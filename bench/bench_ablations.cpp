@@ -1,0 +1,158 @@
+// Ablations for the design decisions called out in DESIGN.md:
+//   D1 stream-buffer gathering   (cfg.stream_buffers)
+//   D2 write-combining           (cfg.write_combine)
+//   D3 rendezvous chunk size     (cfg.rndv_chunk vs L2)
+//   D4 ff-stack merging          (cfg.ff_merge_stacks)
+//   D5 remote-put get threshold  (cfg.get_remote_put_threshold)
+//   D6 direct_pack_ff min block  (cfg.ff_min_block)
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+double noncontig_with(const std::function<void(Config&)>& tweak, std::size_t block) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    tweak(opt.cfg);
+    double seconds = 0.0;
+    const int elems = static_cast<int>(block / 8);
+    auto type = Datatype::vector(static_cast<int>(kNoncontigTotal / block), elems,
+                                 2 * elems, Datatype::float64());
+    const std::size_t span = static_cast<std::size_t>(type.extent()) / 8 + 16;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<double> buf(span, 1.0);
+        for (int it = 0; it < 3; ++it) {
+            comm.barrier();
+            const double t0 = comm.wtime();
+            if (comm.rank() == 0)
+                comm.send(buf.data(), 1, type, 1, it);
+            else {
+                comm.recv(buf.data(), 1, type, 0, it);
+                if (it > 0) seconds += comm.wtime() - t0;
+            }
+        }
+    });
+    return bandwidth_mib(2 * kNoncontigTotal, static_cast<SimTime>(seconds * 1e9));
+}
+
+double get_with(std::size_t threshold, std::size_t access) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.cfg.get_remote_put_threshold = threshold;
+    SparseResult r;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        auto mem = comm.alloc_mem(256_KiB);
+        auto win = comm.win_create(mem.value().data(), 256_KiB);
+        std::vector<std::byte> local(access);
+        win->fence();
+        const double t0 = comm.wtime();
+        std::uint64_t ops = 0;
+        for (std::size_t off = 0; off + access <= 256_KiB; off += 2 * access) {
+            win->get(local.data(), static_cast<int>(access), Datatype::byte_(),
+                     1 - comm.rank(), off);
+            ++ops;
+        }
+        win->fence();
+        if (comm.rank() == 0)
+            r.bandwidth = bandwidth_mib(ops * access,
+                                        static_cast<SimTime>((comm.wtime() - t0) * 1e9));
+    });
+    return r.bandwidth;
+}
+
+void BM_Ablation(benchmark::State& state) {
+    const int which = static_cast<int>(state.range(0));
+    const bool enabled = state.range(1) != 0;
+    double metric = 0.0;
+    const char* label = "";
+    switch (which) {
+        case 1:  // D1 stream buffers, large blocks
+            label = "D1_stream_buffers_bw64KiB";
+            metric = noncontig_with(
+                [&](Config& c) { c.stream_buffers = enabled; }, 64_KiB);
+            break;
+        case 2:  // D2 write combining, 64 B blocks
+            label = "D2_write_combine_bw64B";
+            metric = noncontig_with(
+                [&](Config& c) { c.write_combine = enabled; }, 64);
+            break;
+        case 3:  // D3 rendezvous chunk <= L2 (256 KiB on the P-III)
+            label = "D3_rndv_chunk_bw4KiB";
+            metric = noncontig_with(
+                [&](Config& c) { c.rndv_chunk = enabled ? 64_KiB : 1_MiB; }, 4_KiB);
+            break;
+        case 4:  // D4 ff-stack merging, tiny blocks
+            label = "D4_ff_merge_bw64B";
+            metric = noncontig_with(
+                [&](Config& c) { c.ff_merge_stacks = enabled; }, 64);
+            break;
+        case 5:  // D5 remote-put threshold for gets, 16 KiB accesses
+            label = "D5_remote_put_get_bw16KiB";
+            metric = get_with(enabled ? 2_KiB : 1_GiB, 16_KiB);
+            break;
+        case 6:  // D6 ff minimum block size, 8 B blocks
+            label = "D6_ff_min_block_bw8B";
+            metric = noncontig_with(
+                [&](Config& c) { c.ff_min_block = enabled ? 16 : 0; }, 8);
+            break;
+    }
+    for (auto _ : state) {
+        state.SetIterationTime(1.0 / std::max(metric, 1e-9));
+    }
+    state.counters["MiB/s"] = metric;
+    state.SetLabel(std::string(label) + (enabled ? "/on" : "/off"));
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (int d = 1; d <= 6; ++d)
+        for (const int on : {1, 0}) b->Args({d, on});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Ablation)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Ablation summary (MiB/s with feature on vs off) ===\n");
+    struct Row {
+        const char* name;
+        double on, off;
+    };
+    const Row rows[] = {
+        {"D1 stream-buffer gathering (64 KiB blocks)",
+         noncontig_with([](Config& c) { c.stream_buffers = true; }, 64_KiB),
+         noncontig_with([](Config& c) { c.stream_buffers = false; }, 64_KiB)},
+        {"D2 write-combining (64 B blocks)",
+         noncontig_with([](Config& c) { c.write_combine = true; }, 64),
+         noncontig_with([](Config& c) { c.write_combine = false; }, 64)},
+        {"D3 rendezvous chunk 64 KiB vs 1 MiB (4 KiB blocks)",
+         noncontig_with([](Config& c) { c.rndv_chunk = 64_KiB; }, 4_KiB),
+         noncontig_with([](Config& c) { c.rndv_chunk = 1_MiB; }, 4_KiB)},
+        {"D4 ff-stack merge (64 B blocks)",
+         noncontig_with([](Config& c) { c.ff_merge_stacks = true; }, 64),
+         noncontig_with([](Config& c) { c.ff_merge_stacks = false; }, 64)},
+        {"D5 remote-put gets (16 KiB accesses)", get_with(2_KiB, 16_KiB),
+         get_with(1_GiB, 16_KiB)},
+        {"D6 ff min-block=16 fallback (8 B blocks)",
+         noncontig_with([](Config& c) { c.ff_min_block = 16; }, 8),
+         noncontig_with([](Config& c) { c.ff_min_block = 0; }, 8)},
+    };
+    std::printf("%-52s %10s %10s %8s\n", "design decision", "on", "off", "ratio");
+    for (const Row& r : rows)
+        std::printf("%-52s %10.1f %10.1f %8.2f\n", r.name, r.on, r.off,
+                    r.on / r.off);
+    benchmark::Shutdown();
+    return 0;
+}

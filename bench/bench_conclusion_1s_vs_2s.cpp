@@ -1,0 +1,138 @@
+// Section 6 conclusion: "if synchronization is considered, one-sided
+// communication does usually not provide lower latencies if compared
+// directly with two-sided communication using micro-benchmarks. [...]
+// ping-pong-like comparisons are not really meaningful, but can give an
+// upper limit of performance."
+//
+// This bench quantifies that statement on the simulated SCI cluster:
+//   * two-sided ping-pong (send/recv),
+//   * one-sided "ping-pong" with fence synchronization (put + fence both ways),
+//   * one-sided put with post/start/complete/wait,
+//   * raw put without synchronization (the upper limit the paper mentions).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+enum class Mode { two_sided, osc_fence, osc_pscw, osc_unsync };
+
+double round_trip_us(Mode mode, std::size_t bytes, int reps = 16) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    double us = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<std::byte> buf(std::max<std::size_t>(bytes, 8), std::byte{1});
+        auto mem = comm.alloc_mem(std::max<std::size_t>(bytes, 8));
+        auto win = comm.win_create(mem.value().data(), mem.value().size());
+        const int peer = 1 - comm.rank();
+        const int group[1] = {peer};
+        win->fence();
+        comm.barrier();
+        const double t0 = comm.wtime();
+        for (int i = 0; i < reps; ++i) {
+            switch (mode) {
+                case Mode::two_sided:
+                    if (comm.rank() == 0) {
+                        comm.send(buf.data(), static_cast<int>(bytes),
+                                  Datatype::byte_(), 1, i);
+                        comm.recv(buf.data(), static_cast<int>(bytes),
+                                  Datatype::byte_(), 1, i);
+                    } else {
+                        comm.recv(buf.data(), static_cast<int>(bytes),
+                                  Datatype::byte_(), 0, i);
+                        comm.send(buf.data(), static_cast<int>(bytes),
+                                  Datatype::byte_(), 0, i);
+                    }
+                    break;
+                case Mode::osc_fence:
+                    // Each direction is one access epoch ended by a fence.
+                    if (comm.rank() == 0)
+                        win->put(buf.data(), static_cast<int>(bytes),
+                                 Datatype::byte_(), 1, 0);
+                    win->fence();
+                    if (comm.rank() == 1)
+                        win->put(buf.data(), static_cast<int>(bytes),
+                                 Datatype::byte_(), 0, 0);
+                    win->fence();
+                    break;
+                case Mode::osc_pscw:
+                    if (comm.rank() == 0) {
+                        win->post(group);
+                        win->start(group);
+                        win->put(buf.data(), static_cast<int>(bytes),
+                                 Datatype::byte_(), 1, 0);
+                        win->complete();
+                        win->wait();
+                    } else {
+                        win->post(group);
+                        win->start(group);
+                        win->put(buf.data(), static_cast<int>(bytes),
+                                 Datatype::byte_(), 0, 0);
+                        win->complete();
+                        win->wait();
+                    }
+                    break;
+                case Mode::osc_unsync:
+                    // The "upper limit": put + local flush only, no epoch.
+                    win->put(buf.data(), static_cast<int>(bytes),
+                             Datatype::byte_(), peer, 0);
+                    comm.rank_state().adapter().store_barrier(comm.proc());
+                    break;
+            }
+        }
+        if (comm.rank() == 0) us = (comm.wtime() - t0) / reps * 1e6;
+        win->fence();
+    });
+    return us;
+}
+
+void BM_OneVsTwoSided(benchmark::State& state) {
+    const auto mode = static_cast<Mode>(state.range(0));
+    const auto bytes = static_cast<std::size_t>(state.range(1));
+    double us = 0.0;
+    for (auto _ : state) {
+        us = round_trip_us(mode, bytes);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["us_per_iter"] = us;
+    static const char* names[] = {"two_sided", "osc_fence", "osc_pscw",
+                                  "osc_unsync"};
+    state.SetLabel(names[state.range(0)]);
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (int m = 0; m < 4; ++m)
+        for (const std::int64_t bytes : {8, 1024, 16384}) b->Args({m, bytes});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_OneVsTwoSided)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Section 6: one-sided vs two-sided (us per round/epoch) ===\n");
+    std::printf("%10s %12s %12s %12s %14s\n", "bytes", "send/recv", "put+fence",
+                "put+PSCW", "put unsync");
+    for (const std::size_t bytes : {8u, 128u, 1024u, 16384u}) {
+        std::printf("%10zu %12.2f %12.2f %12.2f %14.2f\n", bytes,
+                    round_trip_us(Mode::two_sided, bytes),
+                    round_trip_us(Mode::osc_fence, bytes),
+                    round_trip_us(Mode::osc_pscw, bytes),
+                    round_trip_us(Mode::osc_unsync, bytes));
+    }
+    std::printf(
+        "\nWith synchronization included, one-sided epochs cost at least as much\n"
+        "as the two-sided round trip; the unsynchronized put is the upper limit\n"
+        "— exactly the paper's concluding observation.\n");
+    benchmark::Shutdown();
+    return 0;
+}

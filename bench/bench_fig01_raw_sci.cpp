@@ -1,0 +1,120 @@
+// Figure 1: raw SCI communication performance.
+//   top:    small-data latency of PIO write / PIO read / DMA
+//   bottom: bandwidth of PIO and DMA transfers vs transfer size (note the
+//           PIO dip past 128 KiB — the local memory-read limit, footnote 2)
+// Plus the intra-node shared-memory copy as reference.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+enum class RawOp { pio_write, pio_read, dma_write, local_copy };
+
+/// One raw transfer between node 0 and node 1 using the adapter directly.
+double raw_seconds(RawOp op, std::size_t bytes) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.arena_bytes = 8_MiB;
+    Cluster cluster(opt);
+    double seconds = 0.0;
+    auto& engine = cluster.engine();
+    engine.spawn("raw", [&](sim::Process& p) {
+        auto span = cluster.memory(1).allocate(std::max<std::size_t>(bytes, 64));
+        const auto seg = cluster.directory().create(1, span.value());
+        auto map = cluster.directory().import(0, seg).value();
+        std::vector<std::byte> host(std::max<std::size_t>(bytes, 64), std::byte{7});
+
+        auto& adapter = cluster.adapter(0);
+        // Warm up the stream state, then measure.
+        const int repeats = 4;
+        SimTime t0 = 0;
+        for (int it = 0; it < repeats + 1; ++it) {
+            if (it == 1) t0 = p.now();
+            switch (op) {
+                case RawOp::pio_write:
+                    SCIMPI_REQUIRE(
+                        adapter.write(p, map, 0, host.data(), bytes, bytes).is_ok(),
+                        "write failed");
+                    adapter.store_barrier(p);
+                    break;
+                case RawOp::pio_read:
+                    SCIMPI_REQUIRE(adapter.read(p, map, 0, host.data(), bytes).is_ok(),
+                                   "read failed");
+                    break;
+                case RawOp::dma_write:
+                    SCIMPI_REQUIRE(
+                        adapter.dma_write(p, map, 0, host.data(), bytes).is_ok(),
+                        "dma failed");
+                    break;
+                case RawOp::local_copy: {
+                    mem::CopyModel cm(cluster.options().host);
+                    p.delay(cm.copy_cost(bytes, {}, {}));
+                    break;
+                }
+            }
+        }
+        seconds = to_seconds(p.now() - t0) / repeats;
+    });
+    engine.run();
+    return seconds;
+}
+
+void report(benchmark::State& state, RawOp op) {
+    const auto bytes = static_cast<std::size_t>(state.range(0));
+    double seconds = 0.0;
+    for (auto _ : state) {
+        seconds = raw_seconds(op, bytes);
+        state.SetIterationTime(seconds);
+    }
+    state.counters["lat_us"] = seconds * 1e6;
+    state.counters["MiB/s"] = bandwidth_mib(bytes, static_cast<SimTime>(seconds * 1e9));
+}
+
+void BM_PioWrite(benchmark::State& s) { report(s, RawOp::pio_write); }
+void BM_PioRead(benchmark::State& s) { report(s, RawOp::pio_read); }
+void BM_DmaWrite(benchmark::State& s) { report(s, RawOp::dma_write); }
+void BM_LocalCopy(benchmark::State& s) { report(s, RawOp::local_copy); }
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (std::size_t sz = 8; sz <= 512_KiB; sz *= 4)
+        b->Arg(static_cast<std::int64_t>(sz));
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_PioWrite)->Apply(sweep);
+BENCHMARK(BM_PioRead)->Apply(sweep);
+BENCHMARK(BM_DmaWrite)->Apply(sweep);
+BENCHMARK(BM_LocalCopy)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Paper-style summary table.
+    std::printf("\n=== Figure 1: raw SCI performance (simulated) ===\n");
+    std::printf("%10s %12s %12s %12s %12s\n", "bytes", "PIOwr MiB/s", "PIOrd MiB/s",
+                "DMA MiB/s", "shm MiB/s");
+    for (std::size_t sz = 64; sz <= 512_KiB; sz *= 2) {
+        const double w = bandwidth_mib(
+            sz, static_cast<SimTime>(raw_seconds(RawOp::pio_write, sz) * 1e9));
+        const double r = bandwidth_mib(
+            sz, static_cast<SimTime>(raw_seconds(RawOp::pio_read, sz) * 1e9));
+        const double d = bandwidth_mib(
+            sz, static_cast<SimTime>(raw_seconds(RawOp::dma_write, sz) * 1e9));
+        const double l = bandwidth_mib(
+            sz, static_cast<SimTime>(raw_seconds(RawOp::local_copy, sz) * 1e9));
+        std::printf("%10zu %12.1f %12.1f %12.1f %12.1f\n", sz, w, r, d, l);
+    }
+    std::printf("\nsmall-data latency (8 B): write %.2f us, read %.2f us, DMA %.2f us\n",
+                raw_seconds(RawOp::pio_write, 8) * 1e6,
+                raw_seconds(RawOp::pio_read, 8) * 1e6,
+                raw_seconds(RawOp::dma_write, 8) * 1e6);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: performance of non-contiguous data transfers in SCI-MPICH —
+// generic pack-and-send vs direct_pack_ff, inter-node (SCI) and intra-node
+// (shared memory), with the equivalent contiguous transfer as reference.
+// 256 KiB total payload, blocksize 8 B .. 128 KiB, stride = 2 x blocksize.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+void BM_Noncontig(benchmark::State& state) {
+    const auto block = static_cast<std::size_t>(state.range(0));
+    const bool internode = state.range(1) != 0;
+    const bool use_ff = state.range(2) != 0;
+    double bw = 0.0;
+    for (auto _ : state) {
+        bw = noncontig_bandwidth(internode, block, use_ff);
+        state.SetIterationTime(
+            static_cast<double>(kNoncontigTotal) / 1048576.0 / bw);
+    }
+    state.counters["MiB/s"] = bw;
+    state.counters["eff_vs_contig"] =
+        bw / noncontig_bandwidth(internode, 0, use_ff);
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (std::size_t block = 8; block <= 128_KiB; block *= 4)
+        for (const int internode : {1, 0})
+            for (const int ff : {1, 0})
+                b->Args({static_cast<std::int64_t>(block), internode, ff});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Noncontig)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 7: non-contiguous transfer bandwidth (MiB/s) ===\n");
+    std::printf("total %zu KiB, stride = 2 x blocksize\n\n", kNoncontigTotal / 1024);
+    for (const bool internode : {true, false}) {
+        const double contig = noncontig_bandwidth(internode, 0, true);
+        std::printf("--- %s (contiguous reference: %.1f MiB/s) ---\n",
+                    internode ? "inter-node via SCI" : "intra-node via shared memory",
+                    contig);
+        std::printf("%10s %14s %14s %10s\n", "block", "generic", "direct_pack_ff",
+                    "ff/contig");
+        for (std::size_t block = 8; block <= 128_KiB; block *= 2) {
+            const double gen = noncontig_bandwidth(internode, block, false);
+            const double ff = noncontig_bandwidth(internode, block, true);
+            std::printf("%10zu %14.1f %14.1f %9.0f%%\n", block, gen, ff,
+                        ff / contig * 100.0);
+        }
+        std::printf("\n");
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9: the *sparse* micro-benchmark — MPI_Get / MPI_Put latency (top)
+// and bandwidth (bottom) for strided accesses, with the communication window
+// in *shared* SCI memory (direct remote access) or in *private* process
+// memory (access emulated via message exchange + remote handler).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+void BM_Sparse(benchmark::State& state) {
+    const auto access = static_cast<std::size_t>(state.range(0));
+    const bool shared = state.range(1) != 0;
+    const bool is_put = state.range(2) != 0;
+    SparseResult r;
+    for (auto _ : state) {
+        r = sparse_osc(shared, is_put, access);
+        state.SetIterationTime(r.latency_us * 1e-6);
+    }
+    state.counters["lat_us"] = r.latency_us;
+    state.counters["MiB/s"] = r.bandwidth;
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (std::size_t a = 8; a <= 64_KiB; a *= 8)
+        for (const int shared : {1, 0})
+            for (const int put : {1, 0})
+                b->Args({static_cast<std::int64_t>(a), shared, put});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Sparse)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 9: sparse micro-benchmark (strided one-sided) ===\n");
+    std::printf("%10s | %21s | %21s | %21s | %21s\n", "", "put/shared", "put/private",
+                "get/shared", "get/private");
+    std::printf("%10s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n", "access",
+                "lat_us", "MiB/s", "lat_us", "MiB/s", "lat_us", "MiB/s", "lat_us",
+                "MiB/s");
+    for (std::size_t a = 8; a <= 64_KiB; a *= 2) {
+        const SparseResult ps = sparse_osc(true, true, a);
+        const SparseResult pp = sparse_osc(false, true, a);
+        const SparseResult gs = sparse_osc(true, false, a);
+        const SparseResult gp = sparse_osc(false, false, a);
+        std::printf("%10zu | %10.2f %10.1f | %10.2f %10.1f | %10.2f %10.1f | %10.2f %10.1f\n",
+                    a, ps.latency_us, ps.bandwidth, pp.latency_us, pp.bandwidth,
+                    gs.latency_us, gs.bandwidth, gp.latency_us, gp.bandwidth);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

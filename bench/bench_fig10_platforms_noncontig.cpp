@@ -1,0 +1,79 @@
+// Figure 10: non-contiguous datatype communication across platforms —
+// bandwidth of the strided vector (nc) against the equivalent contiguous
+// transfer (c). SCI-MPICH rows (M-S, M-s) come from the full simulator;
+// Table 1 comparator platforms from their models (plat/platform_model.hpp).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "plat/platform_model.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+using plat::PlatformId;
+using plat::PlatformModel;
+
+const std::vector<PlatformId> kPlatforms = plat::all_platforms();
+
+void BM_PlatformNoncontig(benchmark::State& state) {
+    const auto plat_idx = static_cast<std::size_t>(state.range(0));
+    const auto block = static_cast<std::size_t>(state.range(1));
+    PlatformModel m(kPlatforms[plat_idx]);
+    double bw = 0.0;
+    for (auto _ : state) {
+        bw = m.transfer_bandwidth(kNoncontigTotal, block);
+        state.SetIterationTime(to_seconds(m.transfer_time(kNoncontigTotal, block)));
+    }
+    state.counters["MiB/s"] = bw;
+    state.counters["efficiency"] = m.noncontig_efficiency(kNoncontigTotal, block);
+    state.SetLabel(m.platform().code);
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (std::size_t p = 0; p < kPlatforms.size(); ++p)
+        for (std::size_t block = 64; block <= 64_KiB; block *= 16)
+            b->Args({static_cast<std::int64_t>(p), static_cast<std::int64_t>(block)});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_PlatformNoncontig)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 10: noncontig (nc) vs contiguous (c) bandwidth, MiB/s ===\n");
+    std::printf("total payload: %zu KiB\n\n", kNoncontigTotal / 1024);
+    std::printf("%-6s", "block");
+    std::printf(" | %9s %9s", "M-S nc", "M-S c");
+    std::printf(" | %9s %9s", "M-s nc", "M-s c");
+    for (const auto id : kPlatforms) {
+        const auto s = plat::spec(id);
+        std::printf(" | %6s nc %6s c", s.code.c_str(), s.code.c_str());
+    }
+    std::printf("\n");
+
+    for (std::size_t block = 64; block <= 64_KiB; block *= 4) {
+        std::printf("%-6zu", block);
+        // Simulated SCI-MPICH rows (ff enabled: the library's default path).
+        const double ms_nc = noncontig_bandwidth(true, block, true);
+        const double ms_c = noncontig_bandwidth(true, 0, true);
+        const double mshm_nc = noncontig_bandwidth(false, block, true);
+        const double mshm_c = noncontig_bandwidth(false, 0, true);
+        std::printf(" | %9.1f %9.1f | %9.1f %9.1f", ms_nc, ms_c, mshm_nc, mshm_c);
+        for (const auto id : kPlatforms) {
+            PlatformModel m(id);
+            std::printf(" | %9.1f %8.1f", m.transfer_bandwidth(kNoncontigTotal, block),
+                        m.transfer_bandwidth(kNoncontigTotal, 0));
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "\nefficiency highlights: T3E ~1 only for 8-32 KiB blocks; Sun shm jumps at\n"
+        "16 KiB; all other implementations use generic pack-and-send (paper 5.1).\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 11: performance of single-sided communication in the *sparse*
+// micro-benchmark across the platforms of Table 1 that support it. The
+// SCI-MPICH rows (shared/private window) run the full simulator; the
+// comparators use their platform models. Prints Table 1 as a capability
+// preamble.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "plat/platform_model.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+using plat::PlatformId;
+using plat::PlatformModel;
+
+const std::vector<PlatformId> kOsc = plat::osc_platforms();
+
+void BM_PlatformSparse(benchmark::State& state) {
+    const auto idx = static_cast<std::size_t>(state.range(0));
+    const auto access = static_cast<std::size_t>(state.range(1));
+    const bool is_put = state.range(2) != 0;
+    PlatformModel m(kOsc[idx]);
+    double lat = 0.0, bw = 0.0;
+    for (auto _ : state) {
+        lat = to_us(m.osc_latency(access, is_put));
+        bw = m.osc_bandwidth(access, is_put);
+        state.SetIterationTime(lat * 1e-6);
+    }
+    state.counters["lat_us"] = lat;
+    state.counters["MiB/s"] = bw;
+    state.SetLabel(m.platform().code + (is_put ? "/put" : "/get"));
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (std::size_t p = 0; p < kOsc.size(); ++p)
+        for (std::size_t a = 8; a <= 64_KiB; a *= 16)
+            for (const int put : {1, 0})
+                b->Args({static_cast<std::int64_t>(p), static_cast<std::int64_t>(a), put});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_PlatformSparse)->Apply(sweep);
+
+void print_table1() {
+    std::printf("=== Table 1: cluster platforms for the evaluation ===\n");
+    std::printf("%-4s %-52s %-4s\n", "ID", "machine / interconnect / MPI", "OSC");
+    std::printf("%-4s %-52s %-4s\n", "M-S",
+                "PentiumIII dual SMP 800 / SCI / scimpi (this library)", "yes");
+    std::printf("%-4s %-52s %-4s\n", "M-s",
+                "PentiumIII dual SMP 800 / shared memory / scimpi", "yes");
+    for (const auto id : plat::all_platforms()) {
+        const auto s = plat::spec(id);
+        std::printf("%-4s %-52s %-4s%s\n", s.code.c_str(), s.name.c_str(),
+                    s.supports_osc ? "yes" : "no",
+                    s.osc_get_deadlocks ? " (only MPI_Get; MPI_Put deadlocked)" : "");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    print_table1();
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 11: sparse one-sided put latency / bandwidth ===\n");
+    std::printf("%10s", "access");
+    std::printf(" | %9s %9s | %9s %9s", "M-S lat", "M-S bw", "M-s lat", "M-s bw");
+    for (const auto id : kOsc) {
+        const auto s = plat::spec(id);
+        std::printf(" | %5s lat %6s bw", s.code.c_str(), s.code.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t a = 8; a <= 64_KiB; a *= 4) {
+        std::printf("%10zu", a);
+        const SparseResult shared = sparse_osc(true, true, a);
+        const SparseResult priv = sparse_osc(false, true, a);
+        std::printf(" | %9.1f %9.1f | %9.1f %9.1f", shared.latency_us,
+                    shared.bandwidth, priv.latency_us, priv.bandwidth);
+        for (const auto id : kOsc) {
+            PlatformModel m(id);
+            std::printf(" | %9.1f %9.1f", to_us(m.osc_latency(a, true)),
+                        m.osc_bandwidth(a, true));
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "\n(M-S = SCI-MPICH over SCI shared windows, M-s = private windows via\n"
+        "message-exchange emulation; comparators from platform models.)\n");
+    benchmark::Shutdown();
+    return 0;
+}

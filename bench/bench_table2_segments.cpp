@@ -1,0 +1,69 @@
+// Table 2: scalability for different segment utilization levels on a single
+// SCI ringlet of 8 nodes.
+//   * 1 transfer/segment  — every active node puts to its downstream
+//     neighbour (distance 1): per-node bandwidth stays flat,
+//   * 8 transfers/segment — every active node puts to the node 7 hops
+//     downstream (each segment carries ~7 data streams + echoes): the ring
+//     saturates and per-node bandwidth declines.
+// Also reproduces the 200 MHz link-frequency experiment: the worst-case
+// accumulated bandwidth rises linearly with the ring bandwidth.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+void BM_SegmentUtilization(benchmark::State& state) {
+    const int active = static_cast<int>(state.range(0));
+    const int distance = static_cast<int>(state.range(1));
+    ScalingResult r;
+    for (auto _ : state) {
+        r = scaling_put(8, active, distance, 64_KiB, 2_MiB);
+        state.SetIterationTime(2.0 / std::max(r.min_bw, 1e-9));
+    }
+    state.counters["per_node"] = r.min_bw;
+    state.counters["accumulated"] = r.accumulated;
+    state.counters["efficiency_pct"] = r.efficiency * 100.0;
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (int active = 4; active <= 8; ++active)
+        for (const int distance : {1, 7}) b->Args({active, distance});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_SegmentUtilization)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Table 2: segment utilization on one 8-node ringlet (166 MHz) ===\n");
+    std::printf("%7s | %10s %10s | %10s %10s %8s %8s\n", "active",
+                "1/seg p.n", "1/seg acc", "8/seg p.n", "8/seg acc", "load%", "eff%");
+    // Per-node bandwidth at utilization 1 defines the offered load.
+    const double solo = scaling_put(8, 1, 1, 64_KiB, 2_MiB).min_bw;
+    for (int active = 4; active <= 8; ++active) {
+        const ScalingResult u1 = scaling_put(8, active, 1, 64_KiB, 2_MiB);
+        const ScalingResult u8 = scaling_put(8, active, 7, 64_KiB, 2_MiB);
+        const double load = static_cast<double>(active) * solo / u8.nominal * 100.0;
+        std::printf("%7d | %10.2f %10.1f | %10.2f %10.1f %7.1f%% %7.1f%%\n", active,
+                    u1.min_bw, u1.accumulated, u8.min_bw, u8.accumulated, load,
+                    u8.efficiency * 100.0);
+    }
+
+    std::printf("\n--- link frequency scaling (worst case: 8 nodes, 8 transfers/segment) ---\n");
+    std::printf("%9s %12s %12s %12s\n", "link MHz", "nominal", "accumulated", "p. node");
+    for (const double mhz : {166.0, 200.0}) {
+        const ScalingResult r = scaling_put(8, 8, 7, 64_KiB, 2_MiB, mhz);
+        std::printf("%9.0f %12.1f %12.1f %12.2f\n", mhz, r.nominal, r.accumulated,
+                    r.min_bw);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,121 @@
+// Protocol tuning study: sensitivity of the SCI-MPICH-style protocols to
+// their runtime parameters, the knobs a real installation would tune
+// (SCI-MPICH shipped with exactly such a parameter file).
+//   * eager threshold   — where the eager/rendezvous switch should sit,
+//   * rendezvous chunk  — pipelining granularity vs L2 thrash (paper §3.3.2),
+//   * eager credits     — flow-control depth under message floods.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+/// Bandwidth of a single message of `bytes` under config tweaks.
+double message_bw(std::size_t bytes, const std::function<void(Config&)>& tweak) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    tweak(opt.cfg);
+    double seconds = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<std::byte> buf(bytes, std::byte{1});
+        for (int it = 0; it < 4; ++it) {
+            comm.barrier();
+            const double t0 = comm.wtime();
+            if (comm.rank() == 0)
+                comm.send(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 1,
+                          it);
+            else {
+                comm.recv(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 0,
+                          it);
+                if (it > 0) seconds += comm.wtime() - t0;
+            }
+        }
+    });
+    return bandwidth_mib(3 * bytes, static_cast<SimTime>(seconds * 1e9));
+}
+
+/// Time to flood `n` messages of `bytes` with `slots` eager credits.
+double flood_ms(int n, std::size_t bytes, std::size_t slots) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.cfg.eager_slots = slots;
+    double seconds = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<std::byte> buf(bytes, std::byte{1});
+        comm.barrier();
+        const double t0 = comm.wtime();
+        if (comm.rank() == 0) {
+            for (int i = 0; i < n; ++i)
+                comm.send(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 1,
+                          i);
+        } else {
+            for (int i = 0; i < n; ++i)
+                comm.recv(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 0,
+                          i);
+            seconds = comm.wtime() - t0;
+        }
+    });
+    return seconds * 1e3;
+}
+
+void BM_EagerThreshold(benchmark::State& state) {
+    const auto threshold = static_cast<std::size_t>(state.range(0));
+    const auto bytes = static_cast<std::size_t>(state.range(1));
+    double bw = 0.0;
+    for (auto _ : state) {
+        bw = message_bw(bytes, [&](Config& c) { c.eager_threshold = threshold; });
+        state.SetIterationTime(1.0 / std::max(bw, 1e-9));
+    }
+    state.counters["MiB/s"] = bw;
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (const std::int64_t thr : {2048, 16384, 131072})
+        for (const std::int64_t bytes : {4096, 32768}) b->Args({thr, bytes});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+BENCHMARK(BM_EagerThreshold)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Tuning: eager threshold (message bandwidth, MiB/s) ===\n");
+    std::printf("%12s", "msg bytes");
+    for (const std::size_t thr : {2_KiB, 8_KiB, 16_KiB, 64_KiB})
+        std::printf("  thr=%-6zu", thr);
+    std::printf("\n");
+    for (const std::size_t bytes : {1_KiB, 4_KiB, 16_KiB, 64_KiB}) {
+        std::printf("%12zu", bytes);
+        for (const std::size_t thr : {2_KiB, 8_KiB, 16_KiB, 64_KiB})
+            std::printf("  %10.1f",
+                        message_bw(bytes, [&](Config& c) { c.eager_threshold = thr; }));
+        std::printf("\n");
+    }
+
+    std::printf("\n=== Tuning: rendezvous chunk size (1 MiB message, MiB/s) ===\n");
+    std::printf("%12s %10s\n", "chunk", "MiB/s");
+    for (const std::size_t chunk : {8_KiB, 32_KiB, 64_KiB, 128_KiB, 512_KiB})
+        std::printf("%12zu %10.1f\n", chunk,
+                    message_bw(1_MiB, [&](Config& c) { c.rndv_chunk = chunk; }));
+
+    std::printf("\n=== Tuning: eager credits under a 64-message 8 KiB flood ===\n");
+    std::printf("%8s %10s\n", "slots", "ms");
+    for (const std::size_t slots : {1u, 2u, 4u, 8u, 16u})
+        std::printf("%8zu %10.3f\n", slots, flood_ms(64, 8_KiB, slots));
+
+    std::printf(
+        "\nLarger eager thresholds help mid-size messages (no handshake) at the\n"
+        "price of receiver buffering; rendezvous chunks peak near 64-128 KiB\n"
+        "(pipelining vs per-chunk overhead); a few credits suffice once the\n"
+        "receiver drains at line rate.\n");
+    benchmark::Shutdown();
+    return 0;
+}

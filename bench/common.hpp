@@ -1,0 +1,185 @@
+// Shared measurement harness for the paper-reproduction benchmarks. Each
+// helper builds a fresh simulated cluster, runs the communication pattern of
+// the corresponding paper experiment, and returns *simulated* time /
+// bandwidth. Host wall-clock never enters any number.
+#pragma once
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/window.hpp"
+
+namespace scimpi::bench {
+
+using namespace scimpi::mpi;
+
+/// Total payload of the noncontig micro-benchmark (paper Section 3.4).
+inline constexpr std::size_t kNoncontigTotal = 256_KiB;
+
+/// Figure 7 data point: transfer kNoncontigTotal bytes as blocks of `block`
+/// bytes with stride 2*block (block == 0: contiguous reference). Returns the
+/// receiver-observed bandwidth in MiB/s.
+inline double noncontig_bandwidth(bool internode, std::size_t block, bool use_ff,
+                                  int repeats = 3) {
+    ClusterOptions opt;
+    if (internode) {
+        opt.nodes = 2;
+    } else {
+        opt.nodes = 1;
+        opt.procs_per_node = 2;
+    }
+    opt.cfg.use_direct_pack_ff = use_ff;
+    opt.cfg.ff_min_block = 0;  // paper footnote: full comparison down to 8 B
+
+    Datatype type;
+    if (block == 0) {
+        type = Datatype::contiguous(static_cast<int>(kNoncontigTotal / 8),
+                                    Datatype::float64());
+    } else {
+        const int elems = static_cast<int>(block / 8);
+        const int count = static_cast<int>(kNoncontigTotal / block);
+        type = Datatype::vector(count, elems, 2 * elems, Datatype::float64());
+    }
+    const std::size_t span =
+        static_cast<std::size_t>(type.extent()) / 8 + 16;
+
+    double seconds = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<double> buf(span, 1.0);
+        for (int it = 0; it < repeats + 1; ++it) {  // first iteration warms up
+            comm.barrier();
+            const double t0 = comm.wtime();
+            if (comm.rank() == 0) {
+                comm.send(buf.data(), 1, type, 1, it);
+            } else {
+                comm.recv(buf.data(), 1, type, 0, it);
+                if (it > 0) seconds += comm.wtime() - t0;
+            }
+        }
+    });
+    return bandwidth_mib(kNoncontigTotal * static_cast<std::size_t>(repeats),
+                         static_cast<SimTime>(seconds * 1e9));
+}
+
+struct SparseResult {
+    double latency_us = 0.0;   ///< per communication call
+    double bandwidth = 0.0;    ///< MiB/s of accessed payload, per process
+    std::uint64_t ops = 0;
+};
+
+/// Figure 9 data point: the *sparse* micro-benchmark. Both processes sweep
+/// the partner's window with `access`-byte puts/gets at stride 2, then
+/// fence (paper Figure 8).
+inline SparseResult sparse_osc(bool shared_window, bool is_put, std::size_t access,
+                               std::size_t winsize = 256_KiB) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    SparseResult result;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::span<std::byte> wmem;
+        std::vector<std::byte> heap;
+        if (shared_window) {
+            auto mem = comm.alloc_mem(winsize);
+            SCIMPI_REQUIRE(mem.is_ok(), "window alloc failed");
+            wmem = mem.value();
+        } else {
+            heap.assign(winsize, std::byte{0});
+            wmem = {heap.data(), heap.size()};
+        }
+        auto win = comm.win_create(wmem.data(), winsize);
+        std::vector<std::byte> local(access, std::byte{0x42});
+        const int partner = 1 - comm.rank();
+        const auto type = Datatype::byte_();
+        const int count = static_cast<int>(access);
+
+        win->fence();
+        const double t0 = comm.wtime();
+        std::uint64_t ops = 0;
+        const std::size_t stride = 2 * access;
+        for (std::size_t off = 0; off + access <= winsize; off += stride) {
+            if (is_put)
+                win->put(local.data(), count, type, partner, off);
+            else
+                win->get(local.data(), count, type, partner, off);
+            ++ops;
+        }
+        win->fence();
+        const double dt = comm.wtime() - t0;
+        if (comm.rank() == 0) {
+            result.ops = ops;
+            result.latency_us = dt / static_cast<double>(ops) * 1e6;
+            result.bandwidth = bandwidth_mib(ops * access,
+                                             static_cast<SimTime>(dt * 1e9));
+        }
+    });
+    return result;
+}
+
+/// Figure 12 / Table 2 data point: `active` nodes on a ring of `ring_nodes`
+/// simultaneously stream `bytes` of sparse puts (access `access`, stride 2)
+/// to the node `distance` hops downstream. Returns the minimum of the
+/// per-process bandwidths (the paper's scaling metric).
+struct ScalingResult {
+    double min_bw = 0.0;       ///< MiB/s per node (min of max)
+    double accumulated = 0.0;  ///< sum over active nodes
+    double efficiency = 0.0;   ///< accumulated / nominal ring bandwidth
+    double nominal = 0.0;      ///< nominal link bandwidth (MiB/s)
+};
+
+inline ScalingResult scaling_put(int ring_nodes, int active, int distance,
+                                 std::size_t access = 64_KiB,
+                                 std::size_t bytes = 4_MiB,
+                                 double link_mhz = 166.0) {
+    ClusterOptions opt;
+    opt.nodes = ring_nodes;
+    opt.sci.link_mhz = link_mhz;
+    opt.arena_bytes = 24_MiB;
+    ScalingResult result;
+    std::vector<double> bw(static_cast<std::size_t>(ring_nodes), 0.0);
+    double elapsed = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        const std::size_t winsize = 2 * access * 8;  // 8 strided slots
+        auto mem = comm.alloc_mem(winsize);
+        SCIMPI_REQUIRE(mem.is_ok(), "window alloc failed");
+        auto win = comm.win_create(mem.value().data(), winsize);
+        std::vector<std::byte> local(access, std::byte{1});
+        const bool sender = comm.rank() < active;
+        const int target = (comm.rank() + distance) % comm.size();
+
+        win->fence();
+        const double t0 = comm.wtime();
+        if (sender) {
+            std::size_t sent = 0;
+            std::size_t off = 0;
+            while (sent < bytes) {
+                win->put(local.data(), static_cast<int>(access), Datatype::byte_(),
+                         target, off);
+                sent += access;
+                off = (off + 2 * access) % winsize;
+            }
+        }
+        win->fence();
+        const double dt = comm.wtime() - t0;
+        if (sender)
+            bw[static_cast<std::size_t>(comm.rank())] =
+                bandwidth_mib(bytes, static_cast<SimTime>(dt * 1e9));
+        if (comm.rank() == 0) elapsed = dt;
+    });
+    (void)elapsed;
+
+    result.min_bw = 1e30;
+    for (int r = 0; r < active; ++r) {
+        result.min_bw = std::min(result.min_bw, bw[static_cast<std::size_t>(r)]);
+        result.accumulated += bw[static_cast<std::size_t>(r)];
+    }
+    result.nominal = cluster.fabric().params().nominal_link_bw();
+    result.efficiency = result.accumulated / result.nominal;
+    return result;
+}
+
+}  // namespace scimpi::bench

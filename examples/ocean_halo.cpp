@@ -1,0 +1,122 @@
+// Ocean-model boundary exchange (the paper's motivating application,
+// Figure 2): a 2D decomposition of a simulated ocean surface. Each rank owns
+// an NxN tile and exchanges halo rows/columns with its neighbours every
+// iteration. North/south halos are contiguous rows; east/west halos are
+// *strided columns* expressed as an MPI vector datatype — exactly the
+// non-contiguous case direct_pack_ff accelerates.
+//
+// The example runs the same simulation twice — with direct_pack_ff and with
+// the generic pack-and-send baseline — and reports the halo-exchange time.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+using namespace scimpi;
+using namespace scimpi::mpi;
+
+namespace {
+
+constexpr int kTile = 192;    // local tile is kTile x kTile doubles
+constexpr int kPx = 2;        // process grid
+constexpr int kPy = 2;
+constexpr int kIters = 5;
+
+struct Neighbours {
+    int north = -1, south = -1, east = -1, west = -1;
+};
+
+Neighbours neighbours(int rank) {
+    const int px = rank % kPx;
+    const int py = rank / kPx;
+    Neighbours n;
+    if (py > 0) n.north = rank - kPx;
+    if (py < kPy - 1) n.south = rank + kPx;
+    if (px > 0) n.west = rank - 1;
+    if (px < kPx - 1) n.east = rank + 1;
+    return n;
+}
+
+/// Run the ocean relaxation; returns (halo seconds, checksum).
+std::pair<double, double> run_ocean(Comm& comm) {
+    constexpr int W = kTile + 2;  // tile plus halo frame
+    std::vector<double> field(static_cast<std::size_t>(W) * W, 0.0);
+    std::vector<double> next(field.size(), 0.0);
+    auto at = [&](std::vector<double>& f, int y, int x) -> double& {
+        return f[static_cast<std::size_t>(y) * W + static_cast<std::size_t>(x)];
+    };
+    // Heat source in the global north-west tile.
+    if (comm.rank() == 0)
+        for (int i = 1; i <= kTile; ++i) at(field, 1, i) = 100.0;
+
+    // Column halo: kTile elements with stride W (a strided vector datatype).
+    auto column = Datatype::vector(kTile, 1, W, Datatype::float64());
+    auto row = Datatype::contiguous(kTile, Datatype::float64());
+    const Neighbours nb = neighbours(comm.rank());
+
+    double halo_seconds = 0.0;
+    for (int iter = 0; iter < kIters; ++iter) {
+        const double t0 = comm.wtime();
+        // Exchange halos with all four neighbours (tags per direction).
+        if (nb.north >= 0)
+            comm.sendrecv(&at(field, 1, 1), 1, row, nb.north, 10, &at(field, 0, 1), 1,
+                          row, nb.north, 11);
+        if (nb.south >= 0)
+            comm.sendrecv(&at(field, kTile, 1), 1, row, nb.south, 11,
+                          &at(field, kTile + 1, 1), 1, row, nb.south, 10);
+        if (nb.west >= 0)
+            comm.sendrecv(&at(field, 1, 1), 1, column, nb.west, 12, &at(field, 1, 0), 1,
+                          column, nb.west, 13);
+        if (nb.east >= 0)
+            comm.sendrecv(&at(field, 1, kTile), 1, column, nb.east, 13,
+                          &at(field, 1, kTile + 1), 1, column, nb.east, 12);
+        halo_seconds += comm.wtime() - t0;
+
+        // Jacobi relaxation step (charged as compute time).
+        for (int y = 1; y <= kTile; ++y)
+            for (int x = 1; x <= kTile; ++x)
+                at(next, y, x) = 0.25 * (at(field, y - 1, x) + at(field, y + 1, x) +
+                                         at(field, y, x - 1) + at(field, y, x + 1));
+        comm.proc().delay(kTile * kTile * 4);  // ~4 ns per 4-flop stencil point
+        std::swap(field, next);
+        if (comm.rank() == 0)
+            for (int i = 1; i <= kTile; ++i) at(field, 1, i) = 100.0;
+    }
+
+    double checksum = 0.0;
+    for (int y = 1; y <= kTile; ++y)
+        for (int x = 1; x <= kTile; ++x) checksum += at(field, y, x);
+    double total = 0.0;
+    comm.allreduce_sum(&checksum, &total, 1);
+    return {halo_seconds, total};
+}
+
+}  // namespace
+
+int main() {
+    double halo_ff = 0.0, halo_gen = 0.0, sum_ff = 0.0, sum_gen = 0.0;
+
+    for (const bool use_ff : {true, false}) {
+        ClusterOptions opt;
+        opt.nodes = kPx * kPy;
+        opt.cfg.use_direct_pack_ff = use_ff;
+        Cluster cluster(opt);
+        cluster.run([&](Comm& comm) {
+            const auto [halo, sum] = run_ocean(comm);
+            if (comm.rank() == 0) {
+                (use_ff ? halo_ff : halo_gen) = halo;
+                (use_ff ? sum_ff : sum_gen) = sum;
+            }
+        });
+    }
+
+    std::printf("ocean %dx%d tiles on a %dx%d process grid, %d iterations\n", kTile,
+                kTile, kPx, kPy, kIters);
+    std::printf("  halo exchange, direct_pack_ff : %8.1f us\n", halo_ff * 1e6);
+    std::printf("  halo exchange, generic pack   : %8.1f us\n", halo_gen * 1e6);
+    std::printf("  speedup                       : %8.2fx\n", halo_gen / halo_ff);
+    std::printf("  checksums match               : %s (%.3f)\n",
+                std::abs(sum_ff - sum_gen) < 1e-9 ? "yes" : "NO", sum_ff);
+    return std::abs(sum_ff - sum_gen) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Quickstart: a 10-minute tour of the library.
+//
+// Simulates a 4-node SCI cluster and exercises the three pillars of the
+// paper: two-sided messaging, non-contiguous datatypes packed with
+// direct_pack_ff, and MPI-2 one-sided communication over a shared window.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/window.hpp"
+
+using namespace scimpi;
+using namespace scimpi::mpi;
+
+int main() {
+    ClusterOptions opt;
+    opt.nodes = 4;  // 4 nodes on one SCI ringlet, 1 rank each
+
+    Cluster cluster(opt);
+    cluster.run([](Comm& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+
+        // ---- 1. plain two-sided messaging ----------------------------------
+        if (rank == 0) {
+            std::vector<double> payload(1024);
+            std::iota(payload.begin(), payload.end(), 0.0);
+            comm.send(payload.data(), 1024, Datatype::float64(), 1, /*tag=*/0);
+        } else if (rank == 1) {
+            std::vector<double> inbox(1024);
+            const RecvResult r = comm.recv(inbox.data(), 1024, Datatype::float64(),
+                                           0, 0);
+            std::printf("[rank 1] received %zu bytes from rank %d (sum tail %.0f)\n",
+                        r.bytes, r.source, inbox.back());
+        }
+        comm.barrier();
+
+        // ---- 2. non-contiguous datatype (direct_pack_ff under the hood) ----
+        // A strided vector: 512 blocks of 4 doubles with equal-sized gaps.
+        auto column = Datatype::vector(512, 4, 8, Datatype::float64());
+        const double t0 = comm.wtime();
+        if (rank == 0) {
+            std::vector<double> grid(512 * 8);
+            std::iota(grid.begin(), grid.end(), 0.0);
+            comm.send(grid.data(), 1, column, 1, 1);
+        } else if (rank == 1) {
+            std::vector<double> grid(512 * 8, -1.0);
+            comm.recv(grid.data(), 1, column, 0, 1);
+            std::printf("[rank 1] strided recv in %.1f us, grid[8]=%.0f (gap %.0f)\n",
+                        (comm.wtime() - t0) * 1e6, grid[8], grid[4]);
+        }
+        comm.barrier();
+
+        // ---- 3. one-sided communication over a shared window ---------------
+        auto wmem = comm.alloc_mem(4096);  // SCI-shared: enables direct puts
+        auto win = comm.win_create(wmem.value().data(), 4096);
+        win->fence();
+        // Everyone deposits its rank into the right neighbour's window.
+        const double stamp = 100.0 + rank;
+        win->put(&stamp, 1, Datatype::float64(), (rank + 1) % size, 0);
+        win->fence();
+        const double got = *reinterpret_cast<double*>(win->local().data());
+        std::printf("[rank %d] window holds %.0f (from rank %d), path: %s\n", rank,
+                    got, (rank + size - 1) % size,
+                    win->stats().direct_puts > 0 ? "direct SCI put" : "emulated");
+        win->fence();
+    });
+
+    std::printf("simulated time: %.3f ms\n", cluster.wtime() * 1e3);
+    return 0;
+}

@@ -1,0 +1,7 @@
+#include "common/config.hpp"
+
+namespace scimpi {
+
+Config default_config() { return Config{}; }
+
+}  // namespace scimpi

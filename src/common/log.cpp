@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace scimpi {
+namespace {
+
+LogLevel g_level = [] {
+    const char* env = std::getenv("SCIMPI_LOG");
+    if (env == nullptr) return LogLevel::warn;
+    if (std::strcmp(env, "trace") == 0) return LogLevel::trace;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::debug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::info;
+    if (std::strcmp(env, "error") == 0) return LogLevel::error;
+    if (std::strcmp(env, "off") == 0) return LogLevel::off;
+    return LogLevel::warn;
+}();
+
+const char* level_tag(LogLevel lvl) {
+    switch (lvl) {
+        case LogLevel::trace: return "TRACE";
+        case LogLevel::debug: return "DEBUG";
+        case LogLevel::info: return "INFO ";
+        case LogLevel::warn: return "WARN ";
+        case LogLevel::error: return "ERROR";
+        case LogLevel::off: return "OFF  ";
+    }
+    return "?";
+}
+
+std::mutex g_mutex;
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void log_message(LogLevel lvl, const std::string& msg) {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[scimpi %s] %s\n", level_tag(lvl), msg.c_str());
+}
+
+}  // namespace scimpi

@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off (warn-and-above) by default; tests and
+// debugging can raise verbosity per-run via set_log_level or the
+// SCIMPI_LOG environment variable ("trace","debug","info","warn","error").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scimpi {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+void log_message(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string log_concat(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+}  // namespace detail
+
+#define SCIMPI_LOG(lvl, ...)                                                     \
+    do {                                                                         \
+        if (static_cast<int>(lvl) >= static_cast<int>(::scimpi::log_level()))    \
+            ::scimpi::log_message(lvl, ::scimpi::detail::log_concat(__VA_ARGS__)); \
+    } while (0)
+
+#define SCIMPI_TRACE(...) SCIMPI_LOG(::scimpi::LogLevel::trace, __VA_ARGS__)
+#define SCIMPI_DEBUG(...) SCIMPI_LOG(::scimpi::LogLevel::debug, __VA_ARGS__)
+#define SCIMPI_INFO(...) SCIMPI_LOG(::scimpi::LogLevel::info, __VA_ARGS__)
+#define SCIMPI_WARN(...) SCIMPI_LOG(::scimpi::LogLevel::warn, __VA_ARGS__)
+
+}  // namespace scimpi

@@ -1,0 +1,39 @@
+// Deterministic, seedable RNG (splitmix64) used for error injection and for
+// property-test datatype generation. Independent of std::mt19937 so streams
+// are stable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace scimpi {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// True with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace scimpi

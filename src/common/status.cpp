@@ -1,0 +1,31 @@
+#include "common/status.hpp"
+
+namespace scimpi {
+
+const char* errc_name(Errc e) {
+    switch (e) {
+        case Errc::ok: return "ok";
+        case Errc::invalid_argument: return "invalid_argument";
+        case Errc::out_of_memory: return "out_of_memory";
+        case Errc::not_found: return "not_found";
+        case Errc::truncated: return "truncated";
+        case Errc::unsupported: return "unsupported";
+        case Errc::link_failure: return "link_failure";
+        case Errc::rma_sync_error: return "rma_sync_error";
+        case Errc::deadlock: return "deadlock";
+    }
+    return "unknown";
+}
+
+void panic(const std::string& msg) { throw Panic(msg); }
+
+std::string Status::to_string() const {
+    std::string s = errc_name(code_);
+    if (!detail_.empty()) {
+        s += ": ";
+        s += detail_;
+    }
+    return s;
+}
+
+}  // namespace scimpi

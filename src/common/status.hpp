@@ -1,0 +1,88 @@
+// Error handling: the library reports recoverable failures through Status /
+// Result<T>; programming errors (precondition violations) throw
+// scimpi::Panic, which tests assert on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scimpi {
+
+enum class Errc {
+    ok = 0,
+    invalid_argument,
+    out_of_memory,        // simulated segment space exhausted
+    not_found,
+    truncated,            // receive buffer smaller than incoming message
+    unsupported,          // feature disabled on this platform profile
+    link_failure,         // unrecoverable SCI transmission failure
+    rma_sync_error,       // one-sided synchronization misuse
+    deadlock,             // simulation detected global deadlock
+};
+
+const char* errc_name(Errc e);
+
+/// Unrecoverable usage error (assert-like). Thrown, never returned.
+class Panic : public std::logic_error {
+public:
+    explicit Panic(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void panic(const std::string& msg);
+
+#define SCIMPI_REQUIRE(cond, msg)                       \
+    do {                                                \
+        if (!(cond)) ::scimpi::panic(std::string(msg)); \
+    } while (0)
+
+/// Lightweight status: an error code plus optional detail message.
+class Status {
+public:
+    Status() = default;
+    Status(Errc code, std::string detail) : code_(code), detail_(std::move(detail)) {}
+    static Status ok() { return {}; }
+    static Status error(Errc code, std::string detail = {}) { return {code, std::move(detail)}; }
+
+    [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+    explicit operator bool() const { return is_ok(); }
+    [[nodiscard]] Errc code() const { return code_; }
+    [[nodiscard]] const std::string& detail() const { return detail_; }
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    Errc code_ = Errc::ok;
+    std::string detail_;
+};
+
+/// Minimal expected-like result carrier.
+template <typename T>
+class Result {
+public:
+    Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+    Result(Status st) : v_(std::move(st)) {    // NOLINT(google-explicit-constructor)
+        SCIMPI_REQUIRE(!std::get<Status>(v_).is_ok(), "Result constructed from ok Status");
+    }
+
+    [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return is_ok(); }
+
+    T& value() {
+        SCIMPI_REQUIRE(is_ok(), "Result::value() on error: " + status().to_string());
+        return std::get<T>(v_);
+    }
+    const T& value() const {
+        SCIMPI_REQUIRE(is_ok(), "Result::value() on error: " + status().to_string());
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] Status status() const {
+        return is_ok() ? Status::ok() : std::get<Status>(v_);
+    }
+    T value_or(T fallback) const { return is_ok() ? std::get<T>(v_) : std::move(fallback); }
+
+private:
+    std::variant<T, Status> v_;
+};
+
+}  // namespace scimpi

@@ -1,0 +1,40 @@
+// Unit helpers: binary size literals and time conversions used throughout
+// the simulator. All simulated time is kept in integer nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace scimpi {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime operator""_ns(unsigned long long v) { return static_cast<SimTime>(v); }
+constexpr SimTime operator""_us(unsigned long long v) { return static_cast<SimTime>(v) * 1000; }
+constexpr SimTime operator""_ms(unsigned long long v) { return static_cast<SimTime>(v) * 1000000; }
+constexpr SimTime operator""_s(unsigned long long v) { return static_cast<SimTime>(v) * 1000000000; }
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Time (ns) to move `bytes` at `mib_per_s` MiB/s. Returns at least 1 ns for
+/// any non-zero amount so that causality is preserved in the event queue.
+constexpr SimTime transfer_time(std::uint64_t bytes, double mib_per_s) {
+    if (bytes == 0 || mib_per_s <= 0.0) return 0;
+    const double seconds = static_cast<double>(bytes) / (mib_per_s * 1048576.0);
+    const auto ns = static_cast<SimTime>(seconds * 1e9);
+    return ns > 0 ? ns : 1;
+}
+
+/// Achieved bandwidth in MiB/s for `bytes` moved in `t` nanoseconds.
+constexpr double bandwidth_mib(std::uint64_t bytes, SimTime t) {
+    if (t <= 0) return 0.0;
+    return static_cast<double>(bytes) / 1048576.0 / to_seconds(t);
+}
+
+}  // namespace scimpi

@@ -1,0 +1,79 @@
+#include "mem/allocator.hpp"
+
+namespace scimpi::mem {
+
+namespace {
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) & ~(a - 1);
+}
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Allocator::Allocator(std::size_t capacity) : capacity_(capacity) {
+    if (capacity > 0) free_.emplace(0, capacity);
+}
+
+Result<std::size_t> Allocator::allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) return Status::error(Errc::invalid_argument, "zero-size allocation");
+    if (!is_pow2(align)) return Status::error(Errc::invalid_argument, "alignment not a power of two");
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const std::size_t base = it->first;
+        const std::size_t len = it->second;
+        const std::size_t user = align_up(base, align);
+        const std::size_t pad = user - base;
+        if (pad + bytes > len) continue;
+
+        // Split the free block: [base, user) stays free as padding remainder,
+        // [user, user+bytes) is allocated, tail stays free.
+        const std::size_t tail_off = user + bytes;
+        const std::size_t tail_len = len - pad - bytes;
+        free_.erase(it);
+        if (pad > 0) free_.emplace(base, pad);
+        if (tail_len > 0) free_.emplace(tail_off, tail_len);
+
+        live_.emplace(user, bytes);
+        base_.emplace(user, user);  // padding was returned to the free list
+        in_use_ += bytes;
+        return user;
+    }
+    return Status::error(Errc::out_of_memory, "segment arena exhausted");
+}
+
+Status Allocator::free(std::size_t offset) {
+    const auto it = live_.find(offset);
+    if (it == live_.end())
+        return Status::error(Errc::invalid_argument, "free of unknown offset");
+    const std::size_t len = it->second;
+    const std::size_t blk = base_.at(offset);
+    live_.erase(it);
+    base_.erase(offset);
+    in_use_ -= len;
+
+    // Insert and coalesce with neighbours.
+    auto [pos, inserted] = free_.emplace(blk, len);
+    SCIMPI_REQUIRE(inserted, "allocator free-list corruption");
+    // merge with next
+    auto next = std::next(pos);
+    if (next != free_.end() && pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        free_.erase(next);
+    }
+    // merge with previous
+    if (pos != free_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            free_.erase(pos);
+        }
+    }
+    return Status::ok();
+}
+
+std::size_t Allocator::largest_free_block() const {
+    std::size_t best = 0;
+    for (const auto& [off, len] : free_) best = std::max(best, len);
+    return best;
+}
+
+}  // namespace scimpi::mem

@@ -1,0 +1,39 @@
+// First-fit free-list allocator with coalescing, used for the exportable
+// SCI segment arena of each node (and by MPI_Alloc_mem on top of it).
+// Operates on offsets so it can be tested independently of any backing store.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "common/status.hpp"
+
+namespace scimpi::mem {
+
+class Allocator {
+public:
+    explicit Allocator(std::size_t capacity);
+
+    /// Allocate `bytes` aligned to `align` (power of two). Returns the offset.
+    Result<std::size_t> allocate(std::size_t bytes, std::size_t align = 64);
+
+    /// Release a block previously returned by allocate().
+    Status free(std::size_t offset);
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+    [[nodiscard]] std::size_t bytes_free() const { return capacity_ - in_use_; }
+    [[nodiscard]] std::size_t allocation_count() const { return live_.size(); }
+
+    /// Largest single block currently allocatable (fragmentation probe).
+    [[nodiscard]] std::size_t largest_free_block() const;
+
+private:
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+    std::map<std::size_t, std::size_t> free_;  // offset -> length, coalesced
+    std::map<std::size_t, std::size_t> live_;  // user offset -> (aligned) length
+    std::map<std::size_t, std::size_t> base_;  // user offset -> block base offset
+};
+
+}  // namespace scimpi::mem

@@ -1,0 +1,51 @@
+#include "mem/copy_model.hpp"
+
+#include <algorithm>
+
+namespace scimpi::mem {
+
+double CopyModel::level_bandwidth(std::size_t footprint) const {
+    if (footprint <= p_.l1_size) return p_.copy_bw_l1;
+    if (footprint <= p_.l2_size) return p_.copy_bw_l2;
+    return p_.copy_bw_mem;
+}
+
+std::size_t CopyModel::traffic_bytes(std::size_t bytes, AccessPattern a) const {
+    if (a.contiguous() || a.block == 0) return bytes;
+    // Blocks smaller than a cache line under a wide stride pull whole lines:
+    // a block of b bytes can straddle up to ceil(b/line)+? lines; model the
+    // common aligned case: max(line, roundup(b, line)) bytes per block.
+    const std::size_t line = p_.cache_line;
+    const std::size_t per_block = std::max(line, (a.block + line - 1) / line * line);
+    const std::size_t nblocks = (bytes + a.block - 1) / a.block;
+    return std::max(bytes, nblocks * per_block);
+}
+
+SimTime CopyModel::copy_cost(std::size_t bytes, AccessPattern src, AccessPattern dst,
+                             std::size_t nblocks) const {
+    if (bytes == 0) return p_.copy_call_overhead;
+    // A copy streams through both sides: charge the heavier traffic.
+    const std::size_t traffic = std::max(traffic_bytes(bytes, src), traffic_bytes(bytes, dst));
+    // Footprint in cache is source + destination working set.
+    const std::size_t footprint = traffic_bytes(bytes, src) + traffic_bytes(bytes, dst);
+    const double bw = level_bandwidth(footprint);
+    SimTime t = transfer_time(traffic, bw);
+    t += p_.copy_call_overhead;
+    t += static_cast<SimTime>(nblocks) * p_.per_block_overhead;
+    return t;
+}
+
+SimTime CopyModel::read_cost(std::size_t bytes, AccessPattern src, std::size_t nblocks) const {
+    if (bytes == 0) return p_.copy_call_overhead;
+    const std::size_t traffic = traffic_bytes(bytes, src);
+    // Read-only streams avoid the write-allocate half; use the dedicated
+    // read bandwidth for main memory, cache bandwidths otherwise.
+    double bw = level_bandwidth(traffic);
+    if (traffic > p_.l2_size) bw = p_.mem_read_bw;
+    SimTime t = transfer_time(traffic, bw);
+    t += p_.copy_call_overhead;
+    t += static_cast<SimTime>(nblocks) * p_.per_block_overhead;
+    return t;
+}
+
+}  // namespace scimpi::mem

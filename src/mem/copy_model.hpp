@@ -1,0 +1,60 @@
+// Analytic cache-aware cost model for process-local copies (packing,
+// unpacking, staging). The model charges for:
+//   * a per-invocation software overhead and a per-basic-block overhead,
+//   * bandwidth chosen by the cache level the copy's footprint fits in,
+//   * cache-line waste for blocks smaller than a line under a wide stride.
+// It deliberately stays analytic (no per-line cache simulation): the paper's
+// effects of interest — the >128 KiB PIO dip, the L2 chunking rule for
+// rendezvous, pack cost vs block size — are footprint effects.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "mem/machine_profile.hpp"
+
+namespace scimpi::mem {
+
+/// Describes one side (source or destination) of a copy.
+struct AccessPattern {
+    /// Length of each contiguous run. 0 means "single contiguous block".
+    std::size_t block = 0;
+    /// Distance between run starts; only meaningful if block > 0.
+    std::size_t stride = 0;
+
+    [[nodiscard]] bool contiguous() const { return block == 0 || stride <= block; }
+
+    static AccessPattern contig() { return {}; }
+    static AccessPattern strided(std::size_t block, std::size_t stride) {
+        return {block, stride};
+    }
+};
+
+class CopyModel {
+public:
+    explicit CopyModel(MachineProfile profile) : p_(std::move(profile)) {}
+
+    [[nodiscard]] const MachineProfile& profile() const { return p_; }
+
+    /// Cost of one copy-routine invocation moving `bytes` of payload split
+    /// into `nblocks` basic blocks, with the given side patterns.
+    [[nodiscard]] SimTime copy_cost(std::size_t bytes, AccessPattern src,
+                                    AccessPattern dst, std::size_t nblocks = 1) const;
+
+    /// Cost of a read-only traversal (e.g. checksum, accumulate read side).
+    [[nodiscard]] SimTime read_cost(std::size_t bytes, AccessPattern src,
+                                    std::size_t nblocks = 1) const;
+
+    /// Effective local copy bandwidth (MiB/s) for the footprint: which cache
+    /// level does a working set of `footprint` bytes stream from?
+    [[nodiscard]] double level_bandwidth(std::size_t footprint) const;
+
+    /// Bytes actually moved through the memory system for a pattern:
+    /// payload plus cache-line waste (whole lines are fetched).
+    [[nodiscard]] std::size_t traffic_bytes(std::size_t bytes, AccessPattern a) const;
+
+private:
+    MachineProfile p_;
+};
+
+}  // namespace scimpi::mem

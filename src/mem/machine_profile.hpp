@@ -1,0 +1,65 @@
+// Machine (node) timing profiles: CPU, cache hierarchy and local memory
+// system parameters used by the copy-cost model and the interconnect models.
+// The reference profile is the paper's cluster node: dual Pentium-III
+// 800 MHz on a ServerWorks ServerSet III LE board with 64 bit/66 MHz PCI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace scimpi::mem {
+
+struct MachineProfile {
+    std::string name;
+
+    // CPU
+    double cpu_ghz = 0.8;
+
+    // Cache hierarchy
+    std::size_t l1_size = 16_KiB;
+    std::size_t l2_size = 256_KiB;
+    std::size_t cache_line = 32;          ///< bytes; P-III line size
+    std::size_t wc_buffer = 32;           ///< CPU write-combine buffer size
+
+    // Local memory system (copy = read + write stream)
+    double copy_bw_l1 = 1600.0;           ///< MiB/s, both streams in L1
+    double copy_bw_l2 = 800.0;            ///< MiB/s, resident in L2
+    double copy_bw_mem = 300.0;           ///< MiB/s, streaming main memory
+    double mem_read_bw = 340.0;           ///< MiB/s, read-only stream (feeds PIO
+                                          ///< writes; the LE chipset limit behind
+                                          ///< the paper's footnote 2)
+
+    // Software overheads
+    SimTime copy_call_overhead = 60;      ///< ns per copy-routine invocation
+    SimTime per_block_overhead = 100;     ///< ns per basic block (loop, address
+                                          ///< generation, memcpy call: ~80 cycles)
+    SimTime recursive_pack_overhead = 200;  ///< ns per basic block for the generic
+                                            ///< recursive datatype walker (MPICH-style;
+                                            ///< the cost direct_pack_ff eliminates)
+
+    // PCI bus the SCI adapter sits on
+    double pci_bw = 480.0;                ///< MiB/s nominal (64 bit / 66 MHz ~ 528;
+                                          ///< 480 leaves protocol headroom)
+};
+
+/// The paper's cluster node (Section II footnote 1).
+MachineProfile pentium3_800();
+
+/// Sun UltraSparc II node (mentioned in §3.4 for the cache-effect check).
+MachineProfile ultrasparc2_400();
+
+/// Node profile for the Xeon 550 quad SMP (ZAMpano, Table 1).
+MachineProfile xeon_550_quad();
+
+/// Node profile for the Pentium-II 400 Myrinet cluster (Parnass2, Table 1).
+MachineProfile pentium2_400();
+
+/// Sun Fire 6800 750 MHz board (Table 1).
+MachineProfile sunfire_750();
+
+/// Cray T3E-1200 Alpha EV5.6 node (Table 1).
+MachineProfile t3e_1200();
+
+}  // namespace scimpi::mem

@@ -1,0 +1,30 @@
+#include "mem/node_memory.hpp"
+
+namespace scimpi::mem {
+
+NodeMemory::NodeMemory(int node_id, std::size_t arena_bytes)
+    : node_id_(node_id), arena_(arena_bytes), alloc_(arena_bytes) {}
+
+Result<std::span<std::byte>> NodeMemory::allocate(std::size_t bytes, std::size_t align) {
+    auto off = alloc_.allocate(bytes, align);
+    if (!off) return off.status();
+    return std::span<std::byte>(arena_.data() + off.value(), bytes);
+}
+
+Status NodeMemory::free(std::span<std::byte> region) {
+    if (!contains(region.data()))
+        return Status::error(Errc::invalid_argument, "region not in this node's arena");
+    return alloc_.free(offset_of(region.data()));
+}
+
+bool NodeMemory::contains(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= arena_.data() && b < arena_.data() + arena_.size();
+}
+
+std::size_t NodeMemory::offset_of(const void* p) const {
+    SCIMPI_REQUIRE(contains(p), "offset_of: pointer outside arena");
+    return static_cast<std::size_t>(static_cast<const std::byte*>(p) - arena_.data());
+}
+
+}  // namespace scimpi::mem

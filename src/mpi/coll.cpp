@@ -1,0 +1,199 @@
+// Collectives over the p2p engine: dissemination barrier, binomial-tree
+// broadcast and reduction, ring allgather. Internal messages use reserved
+// negative tags, which user-level ANY_TAG receives never match.
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace scimpi::mpi {
+
+namespace {
+constexpr int kTagBarrier = -16;
+constexpr int kTagBcast = -32;
+constexpr int kTagReduce = -48;
+constexpr int kTagGather = -64;
+
+/// Internal send/recv bypass the non-negative tag check of the public API
+/// and translate communicator-local ranks to world ranks.
+Status internal_send(Comm& c, const void* buf, std::size_t bytes, int dst, int tag) {
+    return c.rank_state().send(buf, static_cast<int>(bytes), Datatype::byte_(),
+                               c.world_rank(dst), tag, c.context());
+}
+RecvResult internal_recv(Comm& c, void* buf, std::size_t bytes, int src, int tag) {
+    return c.rank_state().recv(buf, static_cast<int>(bytes), Datatype::byte_(),
+                               c.world_rank(src), tag, c.context());
+}
+}  // namespace
+
+void Comm::barrier() {
+    const int n = size();
+    const int r = rank();
+    if (n == 1) return;
+    std::byte token{0};
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+        const int dst = (r + k) % n;
+        const int src = (r - k + n) % n;
+        auto rx = rank_->irecv(&token, 1, Datatype::byte_(), world_rank(src),
+                               kTagBarrier - round, context());
+        auto tx = rank_->isend(&token, 1, Datatype::byte_(), world_rank(dst),
+                               kTagBarrier - round, context());
+        rank_->wait(*tx);
+        rank_->wait(*rx);
+    }
+}
+
+Status Comm::bcast(void* buf, int count, const Datatype& type, int root) {
+    const int n = size();
+    if (n == 1) return Status::ok();
+    const int vr = (rank() - root + n) % n;
+    // Receive from the parent (clear the lowest set bit).
+    int mask = 1;
+    while (mask < n) {
+        if ((vr & mask) != 0) {
+            const int parent = ((vr - mask) + root) % n;
+            const RecvResult res = rank_->recv(buf, count, type, world_rank(parent),
+                                               kTagBcast, context());
+            if (!res.status) return res.status;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children.
+    mask >>= 1;
+    while (mask > 0) {
+        if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < n) {
+            const int child = (vr + mask + root) % n;
+            const Status st = rank_->send(buf, count, type, world_rank(child),
+                                          kTagBcast, context());
+            if (!st) return st;
+        }
+        mask >>= 1;
+    }
+    return Status::ok();
+}
+
+Status Comm::reduce_sum(const double* in, double* out, int n_elems, int root) {
+    const int n = size();
+    const int vr = (rank() - root + n) % n;
+    std::vector<double> acc(in, in + n_elems);
+    std::vector<double> tmp(static_cast<std::size_t>(n_elems));
+    int mask = 1;
+    while (mask < n) {
+        if ((vr & mask) != 0) {
+            const int parent = ((vr - mask) + root) % n;
+            const Status st = internal_send(*this, acc.data(),
+                                            acc.size() * sizeof(double), parent,
+                                            kTagReduce);
+            if (!st) return st;
+            break;
+        }
+        if (vr + mask < n) {
+            const int child = (vr + mask + root) % n;
+            const RecvResult res = internal_recv(
+                *this, tmp.data(), tmp.size() * sizeof(double), child, kTagReduce);
+            if (!res.status) return res.status;
+            // Model the arithmetic: one flop per element at ~1 ns each.
+            proc().delay(n_elems);
+            for (int i = 0; i < n_elems; ++i) acc[static_cast<std::size_t>(i)] +=
+                tmp[static_cast<std::size_t>(i)];
+        }
+        mask <<= 1;
+    }
+    if (rank() == root) std::memcpy(out, acc.data(), acc.size() * sizeof(double));
+    return Status::ok();
+}
+
+Status Comm::allreduce_sum(const double* in, double* out, int n_elems) {
+    std::vector<double> result(static_cast<std::size_t>(n_elems));
+    Status st = reduce_sum(in, result.data(), n_elems, 0);
+    if (!st) return st;
+    if (rank() == 0) std::memcpy(out, result.data(), result.size() * sizeof(double));
+    st = bcast(out, static_cast<int>(result.size() * sizeof(double)),
+               Datatype::byte_(), 0);
+    return st;
+}
+
+Status Comm::allgather(const void* in, std::size_t bytes_each, void* out) {
+    const int n = size();
+    const int r = rank();
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each, in, bytes_each);
+    // Ring: in step s, pass along the block that originated at (r - s).
+    for (int s = 0; s < n - 1; ++s) {
+        const int send_block = (r - s + n) % n;
+        const int recv_block = (r - s - 1 + n) % n;
+        const int to = (r + 1) % n;
+        const int from = (r - 1 + n) % n;
+        auto rx = rank_->irecv(dst + static_cast<std::size_t>(recv_block) * bytes_each,
+                               static_cast<int>(bytes_each), Datatype::byte_(),
+                               world_rank(from), kTagGather - s, context());
+        auto tx = rank_->isend(dst + static_cast<std::size_t>(send_block) * bytes_each,
+                               static_cast<int>(bytes_each), Datatype::byte_(),
+                               world_rank(to), kTagGather - s, context());
+        rank_->wait(*tx);
+        rank_->wait(*rx);
+        if (!rx->status) return rx->status;
+    }
+    return Status::ok();
+}
+
+Status Comm::gather(const void* in, std::size_t bytes_each, void* out, int root) {
+    const int n = size();
+    if (rank() != root)
+        return internal_send(*this, in, bytes_each, root, kTagGather - 100);
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(root) * bytes_each, in, bytes_each);
+    for (int r = 0; r < n; ++r) {
+        if (r == root) continue;
+        const RecvResult res = internal_recv(
+            *this, dst + static_cast<std::size_t>(r) * bytes_each, bytes_each, r,
+            kTagGather - 100);
+        if (!res.status) return res.status;
+    }
+    return Status::ok();
+}
+
+Status Comm::scatter(const void* in, std::size_t bytes_each, void* out, int root) {
+    const int n = size();
+    if (rank() == root) {
+        const auto* src = static_cast<const std::byte*>(in);
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            const Status st = internal_send(
+                *this, src + static_cast<std::size_t>(r) * bytes_each, bytes_each, r,
+                kTagGather - 101);
+            if (!st) return st;
+        }
+        std::memcpy(out, src + static_cast<std::size_t>(root) * bytes_each, bytes_each);
+        return Status::ok();
+    }
+    return internal_recv(*this, out, bytes_each, root, kTagGather - 101).status;
+}
+
+Status Comm::alltoall(const void* in, std::size_t bytes_each, void* out) {
+    const int n = size();
+    const int r = rank();
+    const auto* src = static_cast<const std::byte*>(in);
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each,
+                src + static_cast<std::size_t>(r) * bytes_each, bytes_each);
+    // Pairwise exchange: in step s swap with peer (r + s) and (r - s).
+    for (int s = 1; s < n; ++s) {
+        const int to = (r + s) % n;
+        const int from = (r - s + n) % n;
+        auto rx = rank_->irecv(dst + static_cast<std::size_t>(from) * bytes_each,
+                               static_cast<int>(bytes_each), Datatype::byte_(),
+                               world_rank(from), kTagGather - 200 - s, context());
+        auto tx = rank_->isend(src + static_cast<std::size_t>(to) * bytes_each,
+                               static_cast<int>(bytes_each), Datatype::byte_(),
+                               world_rank(to), kTagGather - 200 - s, context());
+        rank_->wait(*tx);
+        rank_->wait(*rx);
+        if (!rx->status) return rx->status;
+    }
+    return Status::ok();
+}
+
+}  // namespace scimpi::mpi

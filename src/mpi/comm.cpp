@@ -1,0 +1,233 @@
+#include "mpi/comm.hpp"
+
+#include "mpi/rma/window.hpp"
+
+namespace scimpi::mpi {
+
+namespace {
+std::shared_ptr<const CommGroup> world_group(const Cluster& cluster) {
+    auto g = std::make_shared<CommGroup>();
+    g->context = 0;
+    g->members.resize(static_cast<std::size_t>(cluster.world_size()));
+    for (int r = 0; r < cluster.world_size(); ++r)
+        g->members[static_cast<std::size_t>(r)] = r;
+    return g;
+}
+}  // namespace
+
+Comm::Comm(Cluster& cluster, Rank& rank)
+    : cluster_(&cluster), rank_(&rank), group_(world_group(cluster)),
+      local_rank_(rank.rank()) {}
+
+Comm::Comm(Cluster& cluster, Rank& rank, std::shared_ptr<const CommGroup> group)
+    : cluster_(&cluster), rank_(&rank), group_(std::move(group)) {
+    for (std::size_t i = 0; i < group_->members.size(); ++i)
+        if (group_->members[i] == rank.rank()) local_rank_ = static_cast<int>(i);
+    SCIMPI_REQUIRE(local_rank_ >= 0, "rank not a member of its communicator group");
+}
+
+Comm Comm::split(int color, int key) {
+    // Exchange (color, key, world, next_context) over this communicator.
+    struct Entry {
+        std::int64_t color, key, world, next_ctx;
+    };
+    const Entry mine{color, key, rank_->rank(), rank_->peek_next_context()};
+    std::vector<Entry> all(static_cast<std::size_t>(size()));
+    const Status st = allgather(&mine, sizeof mine, all.data());
+    SCIMPI_REQUIRE(st.is_ok(), "split allgather failed: " + st.to_string());
+
+    // Deterministic context allocation: distinct colors get consecutive ids
+    // starting at the max next_context over the participants.
+    std::vector<std::int64_t> colors;
+    std::int64_t base = 1;
+    for (const Entry& e : all) {
+        base = std::max(base, e.next_ctx);
+        colors.push_back(e.color);
+    }
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+    const auto color_idx = static_cast<std::int64_t>(
+        std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+    rank_->set_next_context(static_cast<int>(base + static_cast<std::int64_t>(colors.size())));
+
+    auto g = std::make_shared<CommGroup>();
+    g->context = static_cast<int>(base + color_idx);
+    std::vector<Entry> members;
+    for (const Entry& e : all)
+        if (e.color == color) members.push_back(e);
+    std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+        return a.key != b.key ? a.key < b.key : a.world < b.world;
+    });
+    for (const Entry& e : members) g->members.push_back(static_cast<int>(e.world));
+    return Comm(*cluster_, *rank_, std::move(g));
+}
+
+bool Request::complete() const {
+    if (send_) return send_->complete;
+    if (recv_) return recv_->complete;
+    return true;
+}
+
+Status Comm::send(const void* buf, int count, const Datatype& type, int dst, int tag) {
+    SCIMPI_REQUIRE(tag >= 0, "user tags must be non-negative");
+    return rank_->send(buf, count, type, world_rank(dst), tag, context());
+}
+
+RecvResult Comm::recv(void* buf, int count, const Datatype& type, int src, int tag) {
+    SCIMPI_REQUIRE(tag >= 0 || tag == ANY_TAG, "user tags must be non-negative");
+    RecvResult r = rank_->recv(buf, count, type,
+                               src == ANY_SOURCE ? ANY_SOURCE : world_rank(src), tag,
+                               context());
+    r.source = local_of_world(r.source);
+    return r;
+}
+
+Request Comm::isend(const void* buf, int count, const Datatype& type, int dst, int tag) {
+    SCIMPI_REQUIRE(tag >= 0, "user tags must be non-negative");
+    Request req;
+    req.send_ = rank_->isend(buf, count, type, world_rank(dst), tag, context());
+    return req;
+}
+
+Request Comm::irecv(void* buf, int count, const Datatype& type, int src, int tag) {
+    SCIMPI_REQUIRE(tag >= 0 || tag == ANY_TAG, "user tags must be non-negative");
+    Request req;
+    req.recv_ = rank_->irecv(buf, count, type,
+                             src == ANY_SOURCE ? ANY_SOURCE : world_rank(src), tag,
+                             context());
+    return req;
+}
+
+Status Comm::wait(Request& req) {
+    if (req.send_) {
+        rank_->wait(*req.send_);
+        return req.send_->status;
+    }
+    if (req.recv_) {
+        rank_->wait(*req.recv_);
+        return req.recv_->status;
+    }
+    return Status::ok();
+}
+
+Status Comm::wait_all(std::span<Request> reqs) {
+    Status first;
+    for (auto& r : reqs) {
+        const Status st = wait(r);
+        if (!st && first.is_ok()) first = st;
+    }
+    return first;
+}
+
+Status Comm::sendrecv(const void* sbuf, int scount, const Datatype& stype, int dst,
+                      int stag, void* rbuf, int rcount, const Datatype& rtype, int src,
+                      int rtag) {
+    auto r = rank_->irecv(rbuf, rcount, rtype,
+                          src == ANY_SOURCE ? ANY_SOURCE : world_rank(src), rtag,
+                          context());
+    auto s = rank_->isend(sbuf, scount, stype, world_rank(dst), stag, context());
+    rank_->wait(*s);
+    rank_->wait(*r);
+    if (!s->status) return s->status;
+    return r->status;
+}
+
+Status Comm::sendrecv_replace(void* buf, int count, const Datatype& type, int dst,
+                              int stag, int src, int rtag) {
+    // Stage the outgoing data so the incoming message may overwrite buf.
+    Datatype t = type;
+    if (!t.committed()) t.commit(cluster_->options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    std::vector<std::byte> staged(bytes);
+    std::size_t pos = 0;
+    Status st = pack(buf, count, t, staged, &pos);
+    if (!st) return st;
+    auto r = rank_->irecv(buf, count, t,
+                          src == ANY_SOURCE ? ANY_SOURCE : world_rank(src), rtag,
+                          context());
+    auto s = rank_->isend(staged.data(), static_cast<int>(bytes), Datatype::byte_(),
+                          world_rank(dst), stag, context());
+    rank_->wait(*s);
+    rank_->wait(*r);
+    if (!s->status) return s->status;
+    return r->status;
+}
+
+RecvResult Comm::probe(int src, int tag) {
+    const auto env = rank_->probe(src == ANY_SOURCE ? ANY_SOURCE : world_rank(src),
+                                  tag, /*blocking=*/true, context());
+    SCIMPI_REQUIRE(env.has_value(), "blocking probe returned empty");
+    return RecvResult{Status::ok(), local_of_world(env->src), env->tag, env->bytes};
+}
+
+bool Comm::iprobe(int src, int tag, RecvResult* out) {
+    const auto env = rank_->probe(src == ANY_SOURCE ? ANY_SOURCE : world_rank(src),
+                                  tag, /*blocking=*/false, context());
+    if (!env) return false;
+    if (out != nullptr)
+        *out = RecvResult{Status::ok(), local_of_world(env->src), env->tag, env->bytes};
+    return true;
+}
+
+Status Comm::pack(const void* inbuf, int count, const Datatype& type,
+                  std::span<std::byte> outbuf, std::size_t* position) {
+    SCIMPI_REQUIRE(position != nullptr, "pack: null position");
+    Datatype t = type;
+    if (!t.committed()) t.commit(cluster_->options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    if (*position + bytes > outbuf.size())
+        return Status::error(Errc::truncated, "pack buffer too small");
+    // Canonical order on the wire; ff machinery when it is order-safe.
+    if (cluster_->options().cfg.use_direct_pack_ff &&
+        t.flat().leaf_major_is_canonical()) {
+        FFPacker ff(t, count, const_cast<void*>(inbuf));
+        const PackWork w = ff.pack(0, bytes, outbuf.data() + *position);
+        proc().delay(FFPacker::cost(w, rank_->copy_model()));
+    } else {
+        GenericPacker gp(t, count, const_cast<void*>(inbuf));
+        const PackWork w = gp.pack(0, bytes, outbuf.data() + *position);
+        proc().delay(GenericPacker::cost(w, rank_->copy_model()));
+    }
+    *position += bytes;
+    return Status::ok();
+}
+
+Status Comm::unpack(std::span<const std::byte> inbuf, std::size_t* position,
+                    void* outbuf, int count, const Datatype& type) {
+    SCIMPI_REQUIRE(position != nullptr, "unpack: null position");
+    Datatype t = type;
+    if (!t.committed()) t.commit(cluster_->options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    if (*position + bytes > inbuf.size())
+        return Status::error(Errc::truncated, "unpack past end of buffer");
+    if (cluster_->options().cfg.use_direct_pack_ff &&
+        t.flat().leaf_major_is_canonical()) {
+        FFPacker ff(t, count, outbuf);
+        const PackWork w = ff.unpack(0, bytes, inbuf.data() + *position);
+        proc().delay(FFPacker::cost(w, rank_->copy_model()));
+    } else {
+        GenericPacker gp(t, count, outbuf);
+        const PackWork w = gp.unpack(0, bytes, inbuf.data() + *position);
+        proc().delay(GenericPacker::cost(w, rank_->copy_model()));
+    }
+    *position += bytes;
+    return Status::ok();
+}
+
+Result<std::span<std::byte>> Comm::alloc_mem(std::size_t bytes) {
+    return cluster_->memory(rank_->node()).allocate(bytes);
+}
+
+Status Comm::free_mem(std::span<std::byte> mem) {
+    return cluster_->memory(rank_->node()).free(mem);
+}
+
+bool Comm::is_shared_mem(const void* p) const {
+    return cluster_->memory(rank_->node()).contains(p);
+}
+
+std::shared_ptr<Win> Comm::win_create(void* base, std::size_t size) {
+    return Win::create(*this, base, size);
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,240 @@
+// Datatype constructors: the MPI-1 type-constructor family. Each builder
+// computes size, bounds, depth and the per-instance block/step counts used
+// by the packers' cost accounting.
+#include <algorithm>
+#include <array>
+#include <vector>
+#include <limits>
+
+#include "mpi/datatype/datatype.hpp"
+
+namespace scimpi::mpi {
+
+const char* type_kind_name(TypeKind k) {
+    switch (k) {
+        case TypeKind::basic: return "basic";
+        case TypeKind::contiguous: return "contiguous";
+        case TypeKind::vector: return "vector";
+        case TypeKind::hvector: return "hvector";
+        case TypeKind::indexed: return "indexed";
+        case TypeKind::hindexed: return "hindexed";
+        case TypeKind::strukt: return "struct";
+        case TypeKind::resized: return "resized";
+    }
+    return "?";
+}
+
+Datatype Datatype::make_basic(std::string name, std::size_t bytes) {
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::basic;
+    n->name = std::move(name);
+    n->size = bytes;
+    n->lb = 0;
+    n->ub = static_cast<std::ptrdiff_t>(bytes);
+    return Datatype(std::move(n));
+}
+
+Datatype Datatype::byte_() { return make_basic("byte", 1); }
+Datatype Datatype::char_() { return make_basic("char", 1); }
+Datatype Datatype::int32() { return make_basic("int32", 4); }
+Datatype Datatype::int64() { return make_basic("int64", 8); }
+Datatype Datatype::float32() { return make_basic("float32", 4); }
+Datatype Datatype::float64() { return make_basic("float64", 8); }
+
+Datatype Datatype::contiguous(int count, const Datatype& base) {
+    SCIMPI_REQUIRE(base.valid(), "contiguous: invalid base type");
+    SCIMPI_REQUIRE(count >= 0, "contiguous: negative count");
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::contiguous;
+    n->count = count;
+    n->children = {base.node_};
+    n->size = static_cast<std::size_t>(count) * base.size();
+    n->lb = base.lb();
+    n->ub = n->lb + static_cast<std::ptrdiff_t>(count) * base.extent();
+    n->depth = base.depth() + 1;
+    n->blocks = count * base.blocks_per_item();
+    n->steps = 1 + count * base.traversal_steps_per_item();
+    return Datatype(std::move(n));
+}
+
+Datatype Datatype::vector(int count, int blocklen, int stride, const Datatype& base) {
+    return hvector(count, blocklen, stride * base.extent(), base);
+}
+
+Datatype Datatype::hvector(int count, int blocklen, std::ptrdiff_t stride_bytes,
+                           const Datatype& base) {
+    SCIMPI_REQUIRE(base.valid(), "hvector: invalid base type");
+    SCIMPI_REQUIRE(count >= 0 && blocklen >= 0, "hvector: negative count/blocklen");
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::hvector;
+    n->count = count;
+    n->blocklen = blocklen;
+    n->stride_bytes = stride_bytes;
+    n->children = {base.node_};
+    n->size = static_cast<std::size_t>(count) * static_cast<std::size_t>(blocklen) *
+              base.size();
+    // Bounds: extremes occur at the first/last replication and block.
+    std::ptrdiff_t lo = 0, hi = 0;
+    if (count > 0 && blocklen > 0) {
+        lo = std::numeric_limits<std::ptrdiff_t>::max();
+        hi = std::numeric_limits<std::ptrdiff_t>::min();
+        for (const int i : {0, count - 1})
+            for (const int j : {0, blocklen - 1}) {
+                const std::ptrdiff_t d = i * stride_bytes + j * base.extent();
+                lo = std::min(lo, d + base.lb());
+                hi = std::max(hi, d + base.lb() + base.extent());
+            }
+    }
+    n->lb = lo;
+    n->ub = hi;
+    n->depth = base.depth() + 1;
+    n->blocks = static_cast<std::int64_t>(count) * blocklen * base.blocks_per_item();
+    n->steps = 1 + static_cast<std::int64_t>(count) * blocklen *
+                       base.traversal_steps_per_item();
+    return Datatype(std::move(n));
+}
+
+Datatype Datatype::indexed(std::span<const int> blocklens, std::span<const int> displs,
+                           const Datatype& base) {
+    SCIMPI_REQUIRE(blocklens.size() == displs.size(), "indexed: length mismatch");
+    std::vector<std::ptrdiff_t> byte_displs(displs.size());
+    for (std::size_t i = 0; i < displs.size(); ++i)
+        byte_displs[i] = displs[i] * base.extent();
+    return hindexed(blocklens, byte_displs, base);
+}
+
+Datatype Datatype::hindexed(std::span<const int> blocklens,
+                            std::span<const std::ptrdiff_t> displs_bytes,
+                            const Datatype& base) {
+    SCIMPI_REQUIRE(base.valid(), "hindexed: invalid base type");
+    SCIMPI_REQUIRE(blocklens.size() == displs_bytes.size(), "hindexed: length mismatch");
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::hindexed;
+    n->blocklens.assign(blocklens.begin(), blocklens.end());
+    n->displs.assign(displs_bytes.begin(), displs_bytes.end());
+    n->children = {base.node_};
+    std::size_t sz = 0;
+    std::ptrdiff_t lo = std::numeric_limits<std::ptrdiff_t>::max();
+    std::ptrdiff_t hi = std::numeric_limits<std::ptrdiff_t>::min();
+    std::int64_t blocks = 0;
+    std::int64_t steps = 1;
+    for (std::size_t i = 0; i < blocklens.size(); ++i) {
+        SCIMPI_REQUIRE(blocklens[i] >= 0, "hindexed: negative blocklen");
+        sz += static_cast<std::size_t>(blocklens[i]) * base.size();
+        if (blocklens[i] > 0) {
+            lo = std::min(lo, displs_bytes[i] + base.lb());
+            hi = std::max(hi, displs_bytes[i] + base.lb() +
+                                  blocklens[i] * base.extent());
+        }
+        blocks += blocklens[i] * base.blocks_per_item();
+        steps += blocklens[i] * base.traversal_steps_per_item();
+    }
+    if (lo > hi) lo = hi = 0;  // empty type
+    n->size = sz;
+    n->lb = lo;
+    n->ub = hi;
+    n->depth = base.depth() + 1;
+    n->blocks = blocks;
+    n->steps = steps;
+    return Datatype(std::move(n));
+}
+
+Datatype Datatype::structure(std::span<const int> blocklens,
+                             std::span<const std::ptrdiff_t> displs_bytes,
+                             std::span<const Datatype> types) {
+    SCIMPI_REQUIRE(blocklens.size() == displs_bytes.size() &&
+                       blocklens.size() == types.size(),
+                   "struct: length mismatch");
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::strukt;
+    n->blocklens.assign(blocklens.begin(), blocklens.end());
+    n->displs.assign(displs_bytes.begin(), displs_bytes.end());
+    std::size_t sz = 0;
+    std::ptrdiff_t lo = std::numeric_limits<std::ptrdiff_t>::max();
+    std::ptrdiff_t hi = std::numeric_limits<std::ptrdiff_t>::min();
+    std::int64_t blocks = 0;
+    std::int64_t steps = 1;
+    int depth = 1;
+    for (std::size_t i = 0; i < types.size(); ++i) {
+        SCIMPI_REQUIRE(types[i].valid(), "struct: invalid member type");
+        SCIMPI_REQUIRE(blocklens[i] >= 0, "struct: negative blocklen");
+        n->children.push_back(types[i].node_);
+        sz += static_cast<std::size_t>(blocklens[i]) * types[i].size();
+        if (blocklens[i] > 0) {
+            lo = std::min(lo, displs_bytes[i] + types[i].lb());
+            hi = std::max(hi, displs_bytes[i] + types[i].lb() +
+                                  blocklens[i] * types[i].extent());
+        }
+        blocks += blocklens[i] * types[i].blocks_per_item();
+        steps += blocklens[i] * types[i].traversal_steps_per_item();
+        depth = std::max(depth, types[i].depth() + 1);
+    }
+    if (lo > hi) lo = hi = 0;
+    n->size = sz;
+    n->lb = lo;
+    n->ub = hi;
+    n->depth = depth;
+    n->blocks = blocks;
+    n->steps = steps;
+    return Datatype(std::move(n));
+}
+
+Datatype Datatype::resized(const Datatype& base, std::ptrdiff_t lb,
+                           std::ptrdiff_t extent) {
+    SCIMPI_REQUIRE(base.valid(), "resized: invalid base type");
+    SCIMPI_REQUIRE(extent >= 0, "resized: negative extent");
+    auto n = std::make_shared<Node>();
+    n->kind = TypeKind::resized;
+    n->children = {base.node_};
+    n->size = base.size();
+    n->lb = lb;
+    n->ub = lb + extent;
+    n->depth = base.depth() + 1;
+    n->blocks = base.blocks_per_item();
+    n->steps = base.traversal_steps_per_item();
+    return Datatype(std::move(n));
+}
+
+
+Datatype Datatype::indexed_block(int blocklen, std::span<const int> displs,
+                                 const Datatype& base) {
+    SCIMPI_REQUIRE(blocklen >= 0, "indexed_block: negative blocklen");
+    std::vector<int> lens(displs.size(), blocklen);
+    return indexed(lens, displs, base);
+}
+
+Datatype Datatype::subarray(std::span<const int> sizes, std::span<const int> subsizes,
+                            std::span<const int> starts, const Datatype& base) {
+    SCIMPI_REQUIRE(sizes.size() == subsizes.size() && sizes.size() == starts.size(),
+                   "subarray: dimension mismatch");
+    SCIMPI_REQUIRE(!sizes.empty(), "subarray: needs at least one dimension");
+    for (std::size_t d = 0; d < sizes.size(); ++d) {
+        SCIMPI_REQUIRE(subsizes[d] >= 0 && starts[d] >= 0, "subarray: negative extent");
+        SCIMPI_REQUIRE(starts[d] + subsizes[d] <= sizes[d],
+                       "subarray: slab exceeds array bounds");
+    }
+    // Build from the innermost (fastest-varying, C order) dimension out:
+    // a contiguous run of subsizes[n-1], then an hvector per outer dim with
+    // the full row pitch of that dimension as the stride.
+    const std::size_t n = sizes.size();
+    Datatype t = Datatype::contiguous(subsizes[n - 1], base);
+    std::ptrdiff_t pitch = sizes[n - 1] * base.extent();  // bytes per row
+    for (std::size_t d = n - 1; d-- > 0;) {
+        t = Datatype::hvector(subsizes[d], 1, pitch, t);
+        pitch *= sizes[d];
+    }
+    // Place the slab at its start offset and give the type the extent of the
+    // full array so consecutive instances tile correctly.
+    std::ptrdiff_t offset = 0;
+    std::ptrdiff_t dim_pitch = base.extent();
+    for (std::size_t d = n; d-- > 0;) {
+        offset += starts[d] * dim_pitch;
+        dim_pitch *= sizes[d];
+    }
+    const std::array<int, 1> ones{1};
+    const std::array<std::ptrdiff_t, 1> displ{offset};
+    const std::array<Datatype, 1> inner{t};
+    return resized(structure(ones, displ, inner), 0, dim_pitch);
+}
+
+}  // namespace scimpi::mpi

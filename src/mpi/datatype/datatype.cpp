@@ -1,0 +1,222 @@
+#include "mpi/datatype/datatype.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace scimpi::mpi {
+
+TypeKind Datatype::kind() const {
+    SCIMPI_REQUIRE(valid(), "kind() on invalid datatype");
+    return node_->kind;
+}
+
+std::size_t Datatype::size() const {
+    SCIMPI_REQUIRE(valid(), "size() on invalid datatype");
+    return node_->size;
+}
+
+std::ptrdiff_t Datatype::extent() const {
+    SCIMPI_REQUIRE(valid(), "extent() on invalid datatype");
+    return node_->extent();
+}
+
+std::ptrdiff_t Datatype::lb() const {
+    SCIMPI_REQUIRE(valid(), "lb() on invalid datatype");
+    return node_->lb;
+}
+
+bool Datatype::is_contiguous() const {
+    SCIMPI_REQUIRE(valid(), "is_contiguous() on invalid datatype");
+    if (node_->kind == TypeKind::basic) return true;
+    return node_->lb == 0 &&
+           static_cast<std::size_t>(node_->extent()) == node_->size;
+}
+
+int Datatype::depth() const {
+    SCIMPI_REQUIRE(valid(), "depth() on invalid datatype");
+    return node_->depth;
+}
+
+std::int64_t Datatype::blocks_per_item() const {
+    SCIMPI_REQUIRE(valid(), "blocks_per_item() on invalid datatype");
+    return node_->blocks;
+}
+
+std::int64_t Datatype::traversal_steps_per_item() const {
+    SCIMPI_REQUIRE(valid(), "traversal_steps_per_item() on invalid datatype");
+    return node_->steps;
+}
+
+bool Datatype::committed() const { return valid() && node_->flat.has_value(); }
+
+void Datatype::commit(const Config& cfg) {
+    SCIMPI_REQUIRE(valid(), "commit() on invalid datatype");
+    if (node_->flat.has_value()) return;
+    FlatRep rep;
+    rep.type_size = node_->size;
+    rep.type_extent = node_->extent();
+    std::vector<FFStackItem> stack;
+    flatten_into(*node_, 0, stack, rep);
+    SCIMPI_REQUIRE(stack.empty(), "flatten stack imbalance");
+    if (cfg.ff_merge_stacks) {
+        merge_flat(rep);
+    } else {
+        rep.max_depth = 0;
+        for (const auto& leaf : rep.leaves)
+            rep.max_depth =
+                std::max(rep.max_depth, static_cast<int>(leaf.stack.size()));
+    }
+    node_->flat = std::move(rep);
+}
+
+const FlatRep& Datatype::flat() const {
+    SCIMPI_REQUIRE(committed(), "flat() requires a committed datatype");
+    return *node_->flat;
+}
+
+std::uint64_t Datatype::fingerprint() const {
+    SCIMPI_REQUIRE(committed(), "fingerprint() requires a committed datatype");
+    return node_->flat->structural_hash();
+}
+
+void Datatype::flatten_into(const Node& n, std::ptrdiff_t base,
+                            std::vector<FFStackItem>& stack, FlatRep& out) {
+    switch (n.kind) {
+        case TypeKind::basic: {
+            FlatLeaf leaf;
+            leaf.blocklen = n.size;
+            leaf.first_offset = base;
+            leaf.stack = stack;
+            if (leaf.blocklen > 0) out.leaves.push_back(std::move(leaf));
+            return;
+        }
+        case TypeKind::contiguous: {
+            if (n.count == 0) return;
+            stack.push_back({n.count, n.children[0]->extent()});
+            flatten_into(*n.children[0], base, stack, out);
+            stack.pop_back();
+            return;
+        }
+        case TypeKind::vector:
+        case TypeKind::hvector: {
+            if (n.count == 0 || n.blocklen == 0) return;
+            stack.push_back({n.count, n.stride_bytes});
+            stack.push_back({n.blocklen, n.children[0]->extent()});
+            flatten_into(*n.children[0], base, stack, out);
+            stack.pop_back();
+            stack.pop_back();
+            return;
+        }
+        case TypeKind::indexed:
+        case TypeKind::hindexed: {
+            for (std::size_t i = 0; i < n.blocklens.size(); ++i) {
+                if (n.blocklens[i] == 0) continue;
+                stack.push_back({n.blocklens[i], n.children[0]->extent()});
+                flatten_into(*n.children[0], base + n.displs[i], stack, out);
+                stack.pop_back();
+            }
+            return;
+        }
+        case TypeKind::strukt: {
+            for (std::size_t i = 0; i < n.blocklens.size(); ++i) {
+                if (n.blocklens[i] == 0) continue;
+                stack.push_back({n.blocklens[i], n.children[i]->extent()});
+                flatten_into(*n.children[i], base + n.displs[i], stack, out);
+                stack.pop_back();
+            }
+            return;
+        }
+        case TypeKind::resized: {
+            flatten_into(*n.children[0], base, stack, out);
+            return;
+        }
+    }
+    panic("flatten_into: unknown type kind");
+}
+
+void Datatype::walk_blocks(const Node& n, std::ptrdiff_t base,
+                           const std::function<void(std::ptrdiff_t, std::size_t)>& f) {
+    switch (n.kind) {
+        case TypeKind::basic:
+            if (n.size > 0) f(base, n.size);
+            return;
+        case TypeKind::contiguous: {
+            const std::ptrdiff_t ext = n.children[0]->extent();
+            for (int i = 0; i < n.count; ++i)
+                walk_blocks(*n.children[0], base + i * ext, f);
+            return;
+        }
+        case TypeKind::vector:
+        case TypeKind::hvector: {
+            const std::ptrdiff_t ext = n.children[0]->extent();
+            for (int i = 0; i < n.count; ++i)
+                for (int j = 0; j < n.blocklen; ++j)
+                    walk_blocks(*n.children[0], base + i * n.stride_bytes + j * ext, f);
+            return;
+        }
+        case TypeKind::indexed:
+        case TypeKind::hindexed: {
+            const std::ptrdiff_t ext = n.children[0]->extent();
+            for (std::size_t i = 0; i < n.blocklens.size(); ++i)
+                for (int j = 0; j < n.blocklens[i]; ++j)
+                    walk_blocks(*n.children[0], base + n.displs[i] + j * ext, f);
+            return;
+        }
+        case TypeKind::strukt: {
+            for (std::size_t i = 0; i < n.blocklens.size(); ++i) {
+                const std::ptrdiff_t ext = n.children[i]->extent();
+                for (int j = 0; j < n.blocklens[i]; ++j)
+                    walk_blocks(*n.children[i], base + n.displs[i] + j * ext, f);
+            }
+            return;
+        }
+        case TypeKind::resized:
+            walk_blocks(*n.children[0], base, f);
+            return;
+    }
+    panic("walk_blocks: unknown type kind");
+}
+
+void Datatype::for_each_block(
+    std::ptrdiff_t base, int count,
+    const std::function<void(std::ptrdiff_t, std::size_t)>& f) const {
+    SCIMPI_REQUIRE(valid(), "for_each_block() on invalid datatype");
+    // Coalesce adjacent basic blocks: contiguous runs (e.g. the elements
+    // inside one vector block) are one copy for any reasonable packer.
+    std::ptrdiff_t pend_off = 0;
+    std::size_t pend_len = 0;
+    const auto emit = [&](std::ptrdiff_t off, std::size_t len) {
+        if (pend_len > 0 && pend_off + static_cast<std::ptrdiff_t>(pend_len) == off) {
+            pend_len += len;
+            return;
+        }
+        if (pend_len > 0) f(pend_off, pend_len);
+        pend_off = off;
+        pend_len = len;
+    };
+    for (int c = 0; c < count; ++c)
+        walk_blocks(*node_, base + c * node_->extent(), emit);
+    if (pend_len > 0) f(pend_off, pend_len);
+}
+
+void Datatype::describe_into(const Node& n, int indent, std::string& out) {
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    out += type_kind_name(n.kind);
+    if (n.kind == TypeKind::basic) out += "(" + n.name + ")";
+    out += " size=" + std::to_string(n.size) +
+           " extent=" + std::to_string(n.extent());
+    if (n.count > 0) out += " count=" + std::to_string(n.count);
+    if (n.blocklen > 0) out += " blocklen=" + std::to_string(n.blocklen);
+    if (n.stride_bytes != 0) out += " stride=" + std::to_string(n.stride_bytes);
+    out += "\n";
+    for (const auto& c : n.children) describe_into(*c, indent + 1, out);
+}
+
+std::string Datatype::describe() const {
+    SCIMPI_REQUIRE(valid(), "describe() on invalid datatype");
+    std::string out;
+    describe_into(*node_, 0, out);
+    return out;
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,146 @@
+// MPI derived datatypes: tree representation (Figure 3 of the paper) with
+// the full set of MPI-1 type constructors. Committing a type builds its
+// flattened ff-stack representation (flatten.hpp) used by direct_pack_ff.
+//
+// Conventions: displacements and extents are in bytes ("h" constructors) or
+// in elements of the base type (vector/indexed), exactly as in MPI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/status.hpp"
+#include "mpi/datatype/flatten.hpp"
+
+namespace scimpi::mpi {
+
+enum class TypeKind {
+    basic,
+    contiguous,
+    vector,    // element-strided
+    hvector,   // byte-strided
+    indexed,   // element displacements
+    hindexed,  // byte displacements
+    strukt,    // heterogeneous children
+    resized,   // lb/extent override
+};
+
+const char* type_kind_name(TypeKind k);
+
+class Datatype {
+public:
+    Datatype() = default;  // invalid handle
+
+    // ---- basic types ----
+    static Datatype byte_();
+    static Datatype char_();
+    static Datatype int32();
+    static Datatype int64();
+    static Datatype float32();
+    static Datatype float64();
+
+    // ---- MPI type constructors ----
+    static Datatype contiguous(int count, const Datatype& base);
+    static Datatype vector(int count, int blocklen, int stride, const Datatype& base);
+    static Datatype hvector(int count, int blocklen, std::ptrdiff_t stride_bytes,
+                            const Datatype& base);
+    static Datatype indexed(std::span<const int> blocklens, std::span<const int> displs,
+                            const Datatype& base);
+    static Datatype hindexed(std::span<const int> blocklens,
+                             std::span<const std::ptrdiff_t> displs_bytes,
+                             const Datatype& base);
+    static Datatype structure(std::span<const int> blocklens,
+                              std::span<const std::ptrdiff_t> displs_bytes,
+                              std::span<const Datatype> types);
+    static Datatype resized(const Datatype& base, std::ptrdiff_t lb,
+                            std::ptrdiff_t extent);
+    /// MPI_Type_create_indexed_block: equal-length blocks at element displs.
+    static Datatype indexed_block(int blocklen, std::span<const int> displs,
+                                  const Datatype& base);
+    /// MPI_Type_create_subarray (C order): an n-dimensional slab out of an
+    /// n-dimensional array. sizes/subsizes/starts are in elements of `base`.
+    static Datatype subarray(std::span<const int> sizes,
+                             std::span<const int> subsizes,
+                             std::span<const int> starts, const Datatype& base);
+
+    [[nodiscard]] bool valid() const { return node_ != nullptr; }
+    [[nodiscard]] TypeKind kind() const;
+
+    /// Payload bytes per type instance.
+    [[nodiscard]] std::size_t size() const;
+    /// Memory span per type instance (ub - lb).
+    [[nodiscard]] std::ptrdiff_t extent() const;
+    [[nodiscard]] std::ptrdiff_t lb() const;
+    /// True if one instance is a single dense block (size == extent, lb 0).
+    [[nodiscard]] bool is_contiguous() const;
+    /// Depth of the constructor tree (basic type = 1).
+    [[nodiscard]] int depth() const;
+    /// Basic blocks in the type map of one instance.
+    [[nodiscard]] std::int64_t blocks_per_item() const;
+    /// Tree-node visits a recursive packer performs per instance.
+    [[nodiscard]] std::int64_t traversal_steps_per_item() const;
+
+    /// Prepare the type for communication: builds the flattened ff-stack
+    /// representation. Idempotent.
+    void commit(const Config& cfg = default_config());
+    [[nodiscard]] bool committed() const;
+    /// Flattened representation; requires committed().
+    [[nodiscard]] const FlatRep& flat() const;
+
+    /// Visit the basic blocks of `count` instances at `base` displacement in
+    /// canonical type-map order: f(byte_offset, length).
+    void for_each_block(std::ptrdiff_t base, int count,
+                        const std::function<void(std::ptrdiff_t, std::size_t)>& f) const;
+
+    /// Structural fingerprint of the flattened layout (used by the protocol
+    /// layer to decide whether both ends may use leaf-major ff order).
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
+    /// Human-readable tree dump (debugging, docs).
+    [[nodiscard]] std::string describe() const;
+
+    friend bool operator==(const Datatype& a, const Datatype& b) {
+        return a.node_ == b.node_;
+    }
+
+private:
+    struct Node;
+    explicit Datatype(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+    struct Node {
+        TypeKind kind = TypeKind::basic;
+        std::string name;                 // for basic types / describe()
+        std::size_t size = 0;             // payload bytes per instance
+        std::ptrdiff_t lb = 0;
+        std::ptrdiff_t ub = 0;            // extent = ub - lb
+        int count = 0;                    // replication (contig/vector)
+        int blocklen = 0;                 // vector family
+        std::ptrdiff_t stride_bytes = 0;  // vector family
+        std::vector<int> blocklens;               // indexed/struct
+        std::vector<std::ptrdiff_t> displs;       // bytes, indexed/struct
+        std::vector<std::shared_ptr<Node>> children;
+        int depth = 1;
+        std::int64_t blocks = 1;          // basic blocks per instance
+        std::int64_t steps = 1;           // recursive traversal node visits
+        std::optional<FlatRep> flat;      // built at commit
+
+        [[nodiscard]] std::ptrdiff_t extent() const { return ub - lb; }
+    };
+
+    static Datatype make_basic(std::string name, std::size_t bytes);
+    static void walk_blocks(const Node& n, std::ptrdiff_t base,
+                            const std::function<void(std::ptrdiff_t, std::size_t)>& f);
+    static void flatten_into(const Node& n, std::ptrdiff_t base,
+                             std::vector<FFStackItem>& stack, FlatRep& out);
+    static void describe_into(const Node& n, int indent, std::string& out);
+
+    std::shared_ptr<Node> node_;
+};
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,92 @@
+#include "mpi/datatype/flatten.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace scimpi::mpi {
+
+bool FlatRep::leaf_major_is_canonical() const {
+    if (leaves.size() <= 1) return true;
+    // If each leaf's full memory span (over one instance) ends before the
+    // next leaf's begins, leaf-major equals type-map order.
+    std::ptrdiff_t prev_end = std::numeric_limits<std::ptrdiff_t>::min();
+    for (const auto& leaf : leaves) {
+        std::ptrdiff_t lo = leaf.first_offset;
+        std::ptrdiff_t hi = leaf.first_offset + static_cast<std::ptrdiff_t>(leaf.blocklen);
+        for (const auto& s : leaf.stack) {
+            // The level spans (count-1) strides in either direction.
+            const std::ptrdiff_t span = (s.count - 1) * s.extent;
+            if (span >= 0)
+                hi += span;
+            else
+                lo += span;
+        }
+        if (lo < prev_end) return false;
+        prev_end = hi;
+    }
+    return true;
+}
+
+std::uint64_t FlatRep::structural_hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(leaves.size());
+    for (const auto& leaf : leaves) {
+        mix(leaf.blocklen);
+        mix(static_cast<std::uint64_t>(leaf.first_offset));
+        mix(leaf.stack.size());
+        for (const auto& s : leaf.stack) {
+            mix(static_cast<std::uint64_t>(s.count));
+            mix(static_cast<std::uint64_t>(s.extent));
+        }
+    }
+    return h;
+}
+
+void merge_flat(FlatRep& rep) {
+    for (auto& leaf : rep.leaves) {
+        // Drop count-1 items: they replicate nothing (their offset went
+        // into first_offset during flattening).
+        std::erase_if(leaf.stack, [](const FFStackItem& s) { return s.count == 1; });
+        // Collapse dense innermost replication: stride == blocklen means the
+        // blocks of that level form one contiguous run.
+        while (!leaf.stack.empty() &&
+               leaf.stack.back().extent ==
+                   static_cast<std::ptrdiff_t>(leaf.blocklen)) {
+            leaf.blocklen *= static_cast<std::size_t>(leaf.stack.back().count);
+            leaf.stack.pop_back();
+        }
+    }
+    // Fuse consecutive leaves forming one contiguous run with equal stacks
+    // (e.g. struct members lying back to back).
+    std::vector<FlatLeaf> fused;
+    for (auto& leaf : rep.leaves) {
+        if (!fused.empty() && fused.back().stack == leaf.stack &&
+            fused.back().first_offset +
+                    static_cast<std::ptrdiff_t>(fused.back().blocklen) ==
+                leaf.first_offset) {
+            fused.back().blocklen += leaf.blocklen;
+        } else {
+            fused.push_back(std::move(leaf));
+        }
+    }
+    rep.leaves = std::move(fused);
+    // The fuse may have made an innermost level dense; run one more pass.
+    for (auto& leaf : rep.leaves) {
+        while (!leaf.stack.empty() &&
+               leaf.stack.back().extent ==
+                   static_cast<std::ptrdiff_t>(leaf.blocklen)) {
+            leaf.blocklen *= static_cast<std::size_t>(leaf.stack.back().count);
+            leaf.stack.pop_back();
+        }
+    }
+    rep.max_depth = 0;
+    for (const auto& leaf : rep.leaves)
+        rep.max_depth = std::max(rep.max_depth, static_cast<int>(leaf.stack.size()));
+    rep.merged = true;
+}
+
+}  // namespace scimpi::mpi

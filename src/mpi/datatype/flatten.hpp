@@ -1,0 +1,70 @@
+// Flattened datatype representation for the direct_pack_ff algorithm
+// (paper Section 3.3, derived from Träff's "flattening on the fly").
+//
+// A committed datatype becomes a list of leaves; each leaf is a contiguous
+// basic block plus a *stack* describing its repeat pattern: one item per
+// tree level with a replication count and an extent (stride). The stacks are
+// built at commit time and then *merged*: adjacent blocks combine into
+// bigger ones and count-1 items are elided (Section 3.3.1).
+//
+// Packed-stream order is leaf-major, as in the paper's Figure 6 top loop:
+// all replications of leaf 0, then all of leaf 1, ... The receiving side
+// runs the same iteration with the copy direction swapped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scimpi::mpi {
+
+struct FFStackItem {
+    std::int64_t count = 1;        ///< replications at this level
+    std::ptrdiff_t extent = 0;     ///< byte distance between replications
+
+    friend bool operator==(const FFStackItem&, const FFStackItem&) = default;
+};
+
+struct FlatLeaf {
+    std::size_t blocklen = 0;        ///< contiguous bytes per block
+    std::ptrdiff_t first_offset = 0; ///< offset of the first block
+    std::vector<FFStackItem> stack;  ///< outermost..innermost repeat pattern
+
+    /// Total payload bytes this leaf contributes per type instance.
+    [[nodiscard]] std::int64_t total_bytes() const {
+        std::int64_t t = static_cast<std::int64_t>(blocklen);
+        for (const auto& s : stack) t *= s.count;
+        return t;
+    }
+    /// Number of basic blocks per type instance.
+    [[nodiscard]] std::int64_t block_count() const {
+        std::int64_t n = 1;
+        for (const auto& s : stack) n *= s.count;
+        return n;
+    }
+
+    friend bool operator==(const FlatLeaf&, const FlatLeaf&) = default;
+};
+
+struct FlatRep {
+    std::vector<FlatLeaf> leaves;
+    std::size_t type_size = 0;       ///< payload bytes per instance
+    std::ptrdiff_t type_extent = 0;  ///< memory span per instance
+    int max_depth = 0;               ///< deepest stack (D in the O(N)+O(D) bound)
+    bool merged = false;             ///< merge pass was applied
+
+    /// True if the leaf-major packed order coincides with canonical
+    /// type-map order: single leaf, or leaves whose memory regions do not
+    /// interleave. Used when only one communication end is non-contiguous.
+    [[nodiscard]] bool leaf_major_is_canonical() const;
+
+    /// Structural hash covering blocklens, offsets and stacks.
+    [[nodiscard]] std::uint64_t structural_hash() const;
+};
+
+/// Merge pass (Section 3.3.1): collapse innermost dense replications into
+/// the block length, drop count-1 stack items, and fuse consecutive leaves
+/// that form one contiguous run.
+void merge_flat(FlatRep& rep);
+
+}  // namespace scimpi::mpi

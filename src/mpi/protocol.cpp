@@ -1,0 +1,513 @@
+// Rank protocol engine: matching, short/eager/rendezvous, progress loop.
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "mpi/rank.hpp"
+#include "mpi/rma/window.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::mpi {
+
+namespace {
+constexpr SimTime kLocalCtrlIssue = 120;      // ns: write a flag in local shm
+constexpr SimTime kLocalCtrlDelivery = 250;   // ns: peer poll detects it
+constexpr SimTime kRemotePollDetect = 600;    // ns on top of the pipeline latency
+}  // namespace
+
+Rank::Rank(Cluster& cluster, int rank, int node)
+    : cluster_(cluster), rank_(rank), node_(node), copy_model_(cluster.options().host) {}
+
+Rank::~Rank() = default;
+
+sci::SciAdapter& Rank::adapter() { return cluster_.adapter(node_); }
+
+void Rank::set_rma(std::unique_ptr<RmaState> rma) { rma_ = std::move(rma); }
+
+bool Rank::matches(const RecvOp& op, const Envelope& env) {
+    if (op.context != env.context) return false;
+    if (op.src_filter != ANY_SOURCE && op.src_filter != env.src) return false;
+    if (op.tag_filter == ANY_TAG) return env.tag >= 0;  // wildcards never match
+                                                        // internal (negative) tags
+    return op.tag_filter == env.tag;
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+void Rank::post_ctrl(int dst, CtrlMsg msg) {
+    sim::Process& self = proc();
+    Rank& peer = cluster_.rank_state(dst);
+    const auto& p = cluster_.fabric().params();
+    SimTime delivery;
+    if (peer.node() == node_) {
+        self.delay(kLocalCtrlIssue);
+        delivery = kLocalCtrlDelivery;
+    } else {
+        // Doorbell word plus any inline payload, pushed by PIO.
+        self.delay(p.txn_overhead + p.stream_restart);
+        if (!msg.inline_data.empty())
+            self.delay(adapter().pio_stream_cost(msg.inline_data.size()));
+        cluster_.fabric().account(node_, peer.node(), msg.inline_data.size() + 32);
+        delivery = p.write_latency + kRemotePollDetect;
+    }
+    auto* inbox = &peer.inbox();
+    cluster_.dispatcher().after(delivery, [inbox, m = std::move(msg)]() mutable {
+        inbox->send(std::move(m));
+    });
+}
+
+void Rank::progress_one() {
+    dispatch(inbox_.recv(proc()));
+}
+
+std::optional<Envelope> Rank::probe(int src, int tag, bool blocking, int context) {
+    RecvOp matcher;
+    matcher.src_filter = src;
+    matcher.tag_filter = tag;
+    matcher.context = context;
+    for (;;) {
+        progress_poll();
+        for (const CtrlMsg& msg : unexpected_)
+            if (matches(matcher, msg.env)) return msg.env;
+        if (!blocking) return std::nullopt;
+        progress_one();  // wait for the next arrival, then rescan
+    }
+}
+
+void Rank::progress_poll() {
+    while (auto msg = inbox_.try_recv()) dispatch(std::move(*msg));
+}
+
+void Rank::dispatch(CtrlMsg msg) {
+    switch (msg.kind) {
+        case CtrlKind::short_msg:
+        case CtrlKind::eager:
+        case CtrlKind::rndv_rts: {
+            // Try to match a posted receive (in post order).
+            for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+                if (!matches(**it, msg.env)) continue;
+                auto op = *it;
+                posted_.erase(it);
+                op->matched = true;
+                op->env = msg.env;
+                if (msg.kind == CtrlKind::rndv_rts)
+                    handle_rts(*op, msg);
+                else
+                    deliver_inline(*op, msg);
+                return;
+            }
+            ++stats_.unexpected;
+            unexpected_.push_back(std::move(msg));
+            return;
+        }
+        case CtrlKind::eager_credit: {
+            ++eager_credits_[static_cast<std::size_t>(msg.env.src)];
+            credit_waiters_.wake_all();
+            return;
+        }
+        case CtrlKind::rndv_cts: {
+            const auto it = live_sends_.find(msg.sender_handle);
+            SCIMPI_REQUIRE(it != live_sends_.end(), "CTS for unknown send");
+            SendOp& op = *it->second;
+            op.cts_received = true;
+            op.recv_handle = msg.recv_handle;
+            op.mode = msg.mode;
+            op.credits = static_cast<int>(msg.b);
+            const sci::SegmentId seg{static_cast<int>(msg.a >> 32),
+                                     static_cast<int>(msg.a & 0xffffffffu)};
+            auto m = cluster_.directory().import(node_, seg);
+            SCIMPI_REQUIRE(m.is_ok(), "rendezvous ring import failed");
+            op.ring = m.value();
+            pump_rndv(op);
+            return;
+        }
+        case CtrlKind::rndv_ack: {
+            const auto it = live_sends_.find(msg.sender_handle);
+            SCIMPI_REQUIRE(it != live_sends_.end(), "ack for unknown send");
+            SendOp& op = *it->second;
+            ++op.credits;
+            --op.acks_pending;
+            pump_rndv(op);
+            return;
+        }
+        case CtrlKind::rndv_chunk: {
+            const auto it = live_recvs_.find(msg.recv_handle);
+            SCIMPI_REQUIRE(it != live_recvs_.end(), "chunk for unknown recv");
+            handle_chunk(*it->second, msg);
+            return;
+        }
+    }
+    panic("dispatch: unknown control message kind");
+}
+
+// ---------------------------------------------------------------------------
+// Packing helpers
+// ---------------------------------------------------------------------------
+
+bool Rank::use_ff_side(const Datatype& type, PackMode mode, bool /*fp_match*/) const {
+    if (!cluster_.options().cfg.use_direct_pack_ff) return false;
+    if (mode == PackMode::ff_leaf_major) return true;
+    return type.flat().leaf_major_is_canonical();
+}
+
+void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t ring_off,
+                          std::size_t pos, std::size_t len) {
+    sim::Process& self = proc();
+    const sim::TraceScope trace(self, "rndv:pack_chunk");
+    const Config& cfg = cluster_.options().cfg;
+    auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
+    // DMA rendezvous (paper Section 6 outlook): move large chunks with the
+    // adapter's DMA engine instead of PIO.
+    const bool dma_ok = cfg.use_dma_rndv && len >= cfg.dma_rndv_threshold;
+
+    if (op.type.is_contiguous()) {
+        const Status st =
+            dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
+                   : adapter().write(self, ring, ring_off, src + pos, len, len);
+        if (!st) op.status = st;
+        return;
+    }
+
+    FFPacker ff(op.type, op.count, src);
+    const bool small_blocks_ok =
+        cfg.ff_min_block == 0 ||
+        ff.dominant_pattern().block >= cfg.ff_min_block;
+    if (use_ff_side(op.type, op.mode, false) && small_blocks_ok) {
+        ++stats_.ff_packs;
+        std::vector<sci::SciAdapter::ConstIovec> blocks;
+        ff.for_range(pos, len, [&blocks](std::byte* mem, std::size_t n) {
+            blocks.push_back({mem, n});
+        });
+        const std::size_t traffic = ff.memory_traffic(len);
+        const Status st =
+            dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
+                   : adapter().write_gather(self, ring, ring_off, blocks, traffic);
+        if (!st) op.status = st;
+        return;
+    }
+
+    // Generic: local pack into a scratch buffer, then one contiguous write
+    // (the extra copy of Figure 4 top).
+    ++stats_.generic_packs;
+    std::vector<std::byte> scratch(len);
+    GenericPacker gp(op.type, op.count, src);
+    const PackWork work = gp.pack(pos, len, scratch.data());
+    self.delay(GenericPacker::cost(work, copy_model_));
+    const Status st = adapter().write(self, ring, ring_off, scratch.data(), len, len);
+    if (!st) op.status = st;
+}
+
+void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
+                            std::size_t len) {
+    sim::Process& self = proc();
+    const sim::TraceScope trace(self, "rndv:unpack_chunk");
+    auto* dst = static_cast<std::byte*>(op.buf);
+    const std::size_t capacity =
+        op.type.size() * static_cast<std::size_t>(op.count);
+    if (pos >= capacity) return;  // truncated tail: drain without storing
+    const std::size_t usable = std::min(len, capacity - pos);
+
+    if (op.type.is_contiguous()) {
+        self.delay(copy_model_.copy_cost(usable, {}, {}));
+        std::memcpy(dst + pos, chunk.data(), usable);
+        return;
+    }
+    if (use_ff_side(op.type, op.mode, false)) {
+        ++stats_.ff_packs;
+        FFPacker ff(op.type, op.count, dst);
+        const PackWork work = ff.unpack(pos, usable, chunk.data());
+        self.delay(FFPacker::cost(work, copy_model_));
+        return;
+    }
+    ++stats_.generic_packs;
+    GenericPacker gp(op.type, op.count, dst);
+    const PackWork work = gp.unpack(pos, usable, chunk.data());
+    self.delay(GenericPacker::cost(work, copy_model_));
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SendOp> Rank::isend(const void* buf, int count, const Datatype& type,
+                                    int dst, int tag, int context) {
+    SCIMPI_REQUIRE(dst >= 0 && dst < cluster_.world_size(), "isend: bad destination");
+    auto op = std::make_shared<SendOp>();
+    op->handle = next_handle_++;
+    op->buf = buf;
+    op->count = count;
+    op->type = type;
+    if (!op->type.committed()) op->type.commit(cluster_.options().cfg);
+    op->env.src = rank_;
+    op->env.dst = dst;
+    op->env.context = context;
+    op->env.tag = tag;
+    op->env.seq = send_seq_[static_cast<std::size_t>(dst)]++;
+    op->env.bytes = type.size() * static_cast<std::size_t>(count);
+    op->env.type_fp = op->type.fingerprint();
+    op->env.sender_canonical = op->type.flat().leaf_major_is_canonical();
+    live_sends_[op->handle] = op;
+    start_send(*op);
+    return op;
+}
+
+void Rank::start_send(SendOp& op) {
+    sim::Process& self = proc();
+    const sim::TraceScope trace(self, "mpi:send_start");
+    const Config& cfg = cluster_.options().cfg;
+    const std::size_t bytes = op.env.bytes;
+    stats_.bytes_sent += bytes;
+    auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
+
+    auto pack_inline = [&](std::vector<std::byte>& out) {
+        out.resize(bytes);
+        if (bytes == 0) return;
+        if (op.type.is_contiguous()) {
+            self.delay(copy_model_.copy_cost(bytes, {}, {}));
+            std::memcpy(out.data(), src, bytes);
+        } else if (use_ff_side(op.type, PackMode::canonical, false)) {
+            ++stats_.ff_packs;
+            FFPacker ff(op.type, op.count, src);
+            const PackWork w = ff.pack(0, bytes, out.data());
+            self.delay(FFPacker::cost(w, copy_model_));
+        } else {
+            ++stats_.generic_packs;
+            GenericPacker gp(op.type, op.count, src);
+            const PackWork w = gp.pack(0, bytes, out.data());
+            self.delay(GenericPacker::cost(w, copy_model_));
+        }
+    };
+
+    if (bytes <= cfg.short_threshold) {
+        ++stats_.sends_short;
+        CtrlMsg msg;
+        msg.kind = CtrlKind::short_msg;
+        msg.env = op.env;
+        pack_inline(msg.inline_data);
+        post_ctrl(op.env.dst, std::move(msg));
+        op.complete = true;
+        live_sends_.erase(op.handle);
+        return;
+    }
+
+    if (bytes <= cfg.eager_threshold) {
+        ++stats_.sends_eager;
+        auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
+        while (credits == 0) progress_one();  // flow control: wait for a slot
+        --credits;
+        CtrlMsg msg;
+        msg.kind = CtrlKind::eager;
+        msg.env = op.env;
+        pack_inline(msg.inline_data);
+        post_ctrl(op.env.dst, std::move(msg));
+        op.complete = true;
+        live_sends_.erase(op.handle);
+        return;
+    }
+
+    ++stats_.sends_rndv;
+    CtrlMsg rts;
+    rts.kind = CtrlKind::rndv_rts;
+    rts.env = op.env;
+    rts.sender_handle = op.handle;
+    post_ctrl(op.env.dst, std::move(rts));
+    // The CTS arrives through the progress engine; pump_rndv continues there.
+}
+
+void Rank::pump_rndv(SendOp& op) {
+    if (!op.cts_received) return;
+    const std::size_t chunk_size = cluster_.options().cfg.rndv_chunk;
+    const auto& ring = *op.ring;
+    while (op.credits > 0 && op.next_pos < op.env.bytes) {
+        const std::size_t len = std::min(chunk_size, op.env.bytes - op.next_pos);
+        const std::size_t slot = op.next_chunk % 2;
+        pack_into_ring(op, ring, slot * chunk_size, op.next_pos, len);
+        adapter().store_barrier(proc());
+        CtrlMsg msg;
+        msg.kind = CtrlKind::rndv_chunk;
+        msg.env = op.env;
+        msg.sender_handle = op.handle;
+        msg.recv_handle = op.recv_handle;
+        msg.a = slot;
+        msg.b = len;
+        post_ctrl(op.env.dst, std::move(msg));
+        --op.credits;
+        ++op.acks_pending;
+        op.next_pos += len;
+        ++op.next_chunk;
+    }
+    if (op.next_pos >= op.env.bytes && op.acks_pending == 0) {
+        op.complete = true;
+        live_sends_.erase(op.handle);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<RecvOp> Rank::irecv(void* buf, int count, const Datatype& type,
+                                    int src, int tag, int context) {
+    auto op = std::make_shared<RecvOp>();
+    op->handle = next_handle_++;
+    op->buf = buf;
+    op->count = count;
+    op->type = type;
+    if (!op->type.committed()) op->type.commit(cluster_.options().cfg);
+    op->src_filter = src;
+    op->tag_filter = tag;
+    op->context = context;
+    live_recvs_[op->handle] = op;
+    if (!try_match(*op)) posted_.push_back(op);
+    return op;
+}
+
+bool Rank::try_match(RecvOp& op) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (!matches(op, it->env)) continue;
+        CtrlMsg msg = std::move(*it);
+        unexpected_.erase(it);
+        op.matched = true;
+        op.env = msg.env;
+        if (msg.kind == CtrlKind::rndv_rts)
+            handle_rts(op, msg);
+        else
+            deliver_inline(op, msg);
+        return true;
+    }
+    return false;
+}
+
+void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
+    sim::Process& self = proc();
+    const std::size_t capacity =
+        op.type.size() * static_cast<std::size_t>(op.count);
+    const std::size_t usable = std::min(msg.env.bytes, capacity);
+    if (msg.env.bytes > capacity)
+        op.status = Status::error(Errc::truncated, "message longer than receive buffer");
+    auto* dst = static_cast<std::byte*>(op.buf);
+    if (usable > 0) {
+        if (op.type.is_contiguous()) {
+            self.delay(copy_model_.copy_cost(usable, {}, {}));
+            std::memcpy(dst, msg.inline_data.data(), usable);
+        } else if (use_ff_side(op.type, PackMode::canonical, false)) {
+            ++stats_.ff_packs;
+            FFPacker ff(op.type, op.count, dst);
+            const PackWork w = ff.unpack(0, usable, msg.inline_data.data());
+            self.delay(FFPacker::cost(w, copy_model_));
+        } else {
+            ++stats_.generic_packs;
+            GenericPacker gp(op.type, op.count, dst);
+            const PackWork w = gp.unpack(0, usable, msg.inline_data.data());
+            self.delay(GenericPacker::cost(w, copy_model_));
+        }
+    }
+    stats_.bytes_received += msg.env.bytes;
+    op.received = msg.env.bytes;
+    op.complete = true;
+    live_recvs_.erase(op.handle);
+    if (msg.kind == CtrlKind::eager) {
+        CtrlMsg credit;
+        credit.kind = CtrlKind::eager_credit;
+        credit.env.src = rank_;
+        credit.env.dst = msg.env.src;
+        post_ctrl(msg.env.src, std::move(credit));
+    }
+}
+
+void Rank::handle_rts(RecvOp& op, const CtrlMsg& rts) {
+    const Config& cfg = cluster_.options().cfg;
+    const std::size_t capacity =
+        op.type.size() * static_cast<std::size_t>(op.count);
+    if (rts.env.bytes > capacity)
+        op.status = Status::error(Errc::truncated, "message longer than receive buffer");
+    op.sender_handle = rts.sender_handle;
+
+    auto mem = cluster_.memory(node_).allocate(2 * cfg.rndv_chunk, 64);
+    SCIMPI_REQUIRE(mem.is_ok(), "rendezvous ring allocation failed");
+    op.ring_mem = mem.value();
+    op.ring_seg = cluster_.directory().create(node_, op.ring_mem);
+
+    const bool fp_match = rts.env.type_fp == op.type.fingerprint();
+    op.mode = fp_match ? PackMode::ff_leaf_major : PackMode::canonical;
+
+    CtrlMsg cts;
+    cts.kind = CtrlKind::rndv_cts;
+    cts.env.src = rank_;
+    cts.env.dst = rts.env.src;
+    cts.sender_handle = rts.sender_handle;
+    cts.recv_handle = op.handle;
+    cts.a = (static_cast<std::uint64_t>(op.ring_seg.node) << 32) |
+            static_cast<std::uint32_t>(op.ring_seg.id);
+    cts.b = 2;  // chunk credits
+    cts.mode = op.mode;
+    post_ctrl(rts.env.src, std::move(cts));
+}
+
+void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
+    const Config& cfg = cluster_.options().cfg;
+    SCIMPI_REQUIRE(!op.ring_mem.empty(), "chunk without ring");
+    const std::size_t slot = msg.a;
+    const std::size_t len = msg.b;
+    unpack_from_ring(op, op.ring_mem.subspan(slot * cfg.rndv_chunk, len), op.received,
+                     len);
+    op.received += len;
+    CtrlMsg ack;
+    ack.kind = CtrlKind::rndv_ack;
+    ack.env.src = rank_;
+    ack.env.dst = op.env.src;
+    ack.sender_handle = op.sender_handle;
+    ack.a = slot;
+    post_ctrl(op.env.src, std::move(ack));
+    if (op.received >= op.env.bytes) {
+        stats_.bytes_received += op.env.bytes;
+        SCIMPI_REQUIRE(cluster_.directory().destroy(op.ring_seg).is_ok(),
+                       "ring segment release failed");
+        SCIMPI_REQUIRE(cluster_.memory(node_).free(op.ring_mem).is_ok(),
+                       "ring memory release failed");
+        op.ring_mem = {};
+        op.complete = true;
+        live_recvs_.erase(op.handle);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking wrappers
+// ---------------------------------------------------------------------------
+
+void Rank::wait(SendOp& op) {
+    while (!op.complete) progress_one();
+}
+
+void Rank::wait(RecvOp& op) {
+    while (!op.complete) progress_one();
+}
+
+Status Rank::send(const void* buf, int count, const Datatype& type, int dst, int tag,
+                  int context) {
+    auto op = isend(buf, count, type, dst, tag, context);
+    wait(*op);
+    return op->status;
+}
+
+RecvResult Rank::recv(void* buf, int count, const Datatype& type, int src, int tag,
+                      int context) {
+    auto op = irecv(buf, count, type, src, tag, context);
+    wait(*op);
+    return RecvResult{op->status, op->env.src, op->env.tag, op->received};
+}
+
+void Rank::charge_stream_to(int dst, std::size_t bytes, std::size_t src_traffic) {
+    Rank& peer = cluster_.rank_state(dst);
+    if (peer.node() == node_) {
+        proc().delay(copy_model_.copy_cost(bytes, {}, {}));
+        return;
+    }
+    proc().delay(adapter().pio_stream_cost(bytes, src_traffic));
+    cluster_.fabric().account(node_, peer.node(), bytes);
+}
+
+}  // namespace scimpi::mpi

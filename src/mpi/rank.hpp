@@ -1,0 +1,195 @@
+// Per-rank protocol state: matching queues, protocol engines and the
+// progress loop. Internal to the library; applications use mpi::Comm.
+//
+// Protocols (SCI-MPICH style):
+//   * short  — payload inline in the control packet (<= short_threshold),
+//   * eager  — payload pushed into the receiver's eager buffers, flow
+//     controlled by per-pair credits (<= eager_threshold),
+//   * rendezvous — RTS/CTS handshake, then the sender packs chunks directly
+//     into a ring buffer in the receiver's memory (2 chunks, double
+//     buffered). With direct_pack_ff the sender gathers non-contiguous
+//     blocks straight into the remote chunk (Figure 4 bottom); the generic
+//     path stages through a local pack buffer (Figure 4 top).
+//
+// Wire pack-order negotiation (beyond the paper, which pairs ff with ff
+// implicitly): the CTS grants ff_leaf_major only when both fingerprints
+// match; otherwise the stream is canonical and each side independently uses
+// ff when its own leaf-major order is canonical, falling back to the
+// generic walker otherwise.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "mpi/datatype/pack_ff.hpp"
+#include "mpi/datatype/pack_generic.hpp"
+#include "mpi/types.hpp"
+#include "sci/adapter.hpp"
+#include "smi/region.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::mpi {
+
+class Cluster;
+class RmaState;
+
+struct SendOp {
+    std::uint64_t handle = 0;
+    Envelope env;
+    const void* buf = nullptr;
+    int count = 0;
+    Datatype type;
+    bool complete = false;
+    Status status;
+    // rendezvous state
+    bool cts_received = false;
+    std::uint64_t recv_handle = 0;
+    std::optional<sci::SciMapping> ring;  ///< imported receiver ring
+    PackMode mode = PackMode::canonical;
+    std::size_t next_pos = 0;      ///< packed-stream position already sent
+    int credits = 0;               ///< free ring chunks
+    int acks_pending = 0;          ///< chunks sent but not yet acknowledged
+    std::uint64_t next_chunk = 0;  ///< ring chunk index to fill next
+};
+
+struct RecvOp {
+    std::uint64_t handle = 0;
+    void* buf = nullptr;
+    int count = 0;
+    Datatype type;
+    int src_filter = ANY_SOURCE;
+    int tag_filter = ANY_TAG;
+    int context = 0;
+    bool matched = false;
+    bool complete = false;
+    Envelope env;  ///< valid once matched
+    Status status;
+    std::size_t received = 0;
+    PackMode mode = PackMode::canonical;
+    std::uint64_t sender_handle = 0;
+    // Per-transfer rendezvous ring (2 chunks in this rank's node arena),
+    // allocated at RTS time and released at completion.
+    std::span<std::byte> ring_mem;
+    sci::SegmentId ring_seg;
+};
+
+class Rank {
+public:
+    Rank(Cluster& cluster, int rank, int node);
+    ~Rank();
+
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int node() const { return node_; }
+    [[nodiscard]] Cluster& cluster() { return cluster_; }
+    [[nodiscard]] sci::SciAdapter& adapter();
+    [[nodiscard]] const mem::CopyModel& copy_model() const { return copy_model_; }
+
+    void bind(sim::Process& proc) { proc_ = &proc; }
+    [[nodiscard]] sim::Process& proc() {
+        SCIMPI_REQUIRE(proc_ != nullptr, "rank not bound to a process");
+        return *proc_;
+    }
+
+    // ---- p2p (src/dst are world ranks; context separates communicators) ----
+    std::shared_ptr<SendOp> isend(const void* buf, int count, const Datatype& type,
+                                  int dst, int tag, int context = 0);
+    std::shared_ptr<RecvOp> irecv(void* buf, int count, const Datatype& type,
+                                  int src, int tag, int context = 0);
+    Status send(const void* buf, int count, const Datatype& type, int dst, int tag,
+                int context = 0);
+    RecvResult recv(void* buf, int count, const Datatype& type, int src, int tag,
+                    int context = 0);
+    void wait(SendOp& op);
+    void wait(RecvOp& op);
+
+    /// Probe for a pending message matching (src, tag) without receiving
+    /// it. Blocking variant waits until one arrives.
+    std::optional<Envelope> probe(int src, int tag, bool blocking, int context = 0);
+
+    /// Drive the progress engine: handle exactly one incoming control
+    /// message (blocking).
+    void progress_one();
+    /// Handle all currently queued control messages without blocking.
+    void progress_poll();
+
+    /// Delayed-delivery entry point used by peers (via the dispatcher).
+    sim::Mailbox<CtrlMsg>& inbox() { return inbox_; }
+
+    /// Aggregate protocol statistics.
+    struct Stats {
+        std::uint64_t sends_short = 0, sends_eager = 0, sends_rndv = 0;
+        std::uint64_t bytes_sent = 0, bytes_received = 0;
+        std::uint64_t unexpected = 0;
+        std::uint64_t ff_packs = 0, generic_packs = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// Context-id allocation for Comm::split (collectively synchronized).
+    [[nodiscard]] int peek_next_context() const { return next_context_; }
+    void set_next_context(int c) { next_context_ = c; }
+
+    /// One-sided communication state (created by Cluster; see mpi/rma).
+    [[nodiscard]] RmaState& rma() {
+        SCIMPI_REQUIRE(rma_ != nullptr, "RMA state not initialised");
+        return *rma_;
+    }
+    void set_rma(std::unique_ptr<RmaState> rma);
+
+private:
+    friend class Cluster;
+
+    /// Size the per-peer tables once the world size is known.
+    void init_world(int world_size);
+
+    // Control-plane helpers.
+    void post_ctrl(int dst, CtrlMsg msg);
+    void dispatch(CtrlMsg msg);
+    void start_send(SendOp& op);
+    void pump_rndv(SendOp& op);
+    void handle_rts(RecvOp& op, const CtrlMsg& rts);
+    void handle_chunk(RecvOp& op, const CtrlMsg& chunk);
+    void deliver_inline(RecvOp& op, const CtrlMsg& msg);
+    bool try_match(RecvOp& op);
+    static bool matches(const RecvOp& op, const Envelope& env);
+
+    // Wire-side cost of pushing `bytes` to rank `dst` outside a mapped
+    // segment path (short/eager payloads).
+    void charge_stream_to(int dst, std::size_t bytes, std::size_t src_traffic);
+
+    /// Pack `len` stream bytes starting at `pos` into the remote ring chunk.
+    void pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t ring_off,
+                        std::size_t pos, std::size_t len);
+    /// Unpack `len` stream bytes from the local ring chunk into the user buffer.
+    void unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
+                          std::size_t len);
+
+    [[nodiscard]] bool use_ff_side(const Datatype& type, PackMode mode,
+                                   bool fp_match) const;
+
+    Cluster& cluster_;
+    int rank_;
+    int node_;
+    sim::Process* proc_ = nullptr;
+    mem::CopyModel copy_model_;
+
+    sim::Mailbox<CtrlMsg> inbox_;
+    std::deque<std::shared_ptr<RecvOp>> posted_;
+    std::deque<CtrlMsg> unexpected_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<SendOp>> live_sends_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<RecvOp>> live_recvs_;
+
+    // Eager flow control: credits per destination rank.
+    std::vector<int> eager_credits_;
+    sim::WaitQueue credit_waiters_;
+
+    std::uint64_t next_handle_ = 1;
+    int next_context_ = 1;  ///< allocator for Comm::split (see comm.cpp)
+    std::vector<std::uint64_t> send_seq_;  // per destination
+
+    Stats stats_;
+    std::unique_ptr<RmaState> rma_;
+};
+
+}  // namespace scimpi::mpi

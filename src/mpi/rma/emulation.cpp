@@ -1,0 +1,158 @@
+// The remote handler: a daemon process per rank that serves emulated
+// one-sided accesses (paper Section 4.2 — "internal control messages in
+// conjunction with a remote interrupt are used to invoke a remote handler").
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/proto.hpp"
+#include "mpi/rma/window.hpp"
+#include "mpi/runtime.hpp"
+
+namespace scimpi::mpi {
+
+void RmaState::start_handler() {
+    static constexpr const char* kName = "rma-handler-rank";
+    rank_.cluster().engine().spawn_daemon(
+        kName + std::to_string(rank_.rank()),
+        [this](sim::Process& self) { handler_loop(self); });
+}
+
+void RmaState::handler_loop(sim::Process& self) {
+    for (;;) {
+        const smi::Signal s = channel_.wait(self);
+        switch (s.kind) {
+            case rma_proto::kPut:
+                serve_put(self, s);
+                break;
+            case rma_proto::kGet:
+                serve_get(self, s);
+                break;
+            case rma_proto::kAccumulate:
+                serve_accumulate(self, s);
+                break;
+            case rma_proto::kAck: {
+                if (s.c != 0) {
+                    const auto it = op_events_.find(s.c);
+                    SCIMPI_REQUIRE(it != op_events_.end(), "ack for unknown op");
+                    it->second->set();
+                    op_events_.erase(it);
+                } else {
+                    SCIMPI_REQUIRE(pending_ > 0, "ack underflow");
+                    if (--pending_ == 0) pending_q_.wake_all();
+                }
+                break;
+            }
+            case rma_proto::kPost: {
+                const auto it = windows_.find(static_cast<int>(s.a));
+                SCIMPI_REQUIRE(it != windows_.end(), "post for unknown window");
+                ++it->second->posts_seen_;
+                notify_change();
+                break;
+            }
+            case rma_proto::kComplete: {
+                const auto it = windows_.find(static_cast<int>(s.a));
+                SCIMPI_REQUIRE(it != windows_.end(), "complete for unknown window");
+                ++it->second->completes_seen_;
+                notify_change();
+                break;
+            }
+            default:
+                panic("rma handler: unknown signal kind");
+        }
+    }
+}
+
+void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
+    const auto wit = windows_.find(static_cast<int>(s.a));
+    SCIMPI_REQUIRE(wit != windows_.end(), "put for unknown window");
+    Win& win = *wit->second;
+
+    std::size_t pos = 0;
+    const auto blocks = rma_proto::parse_blocks(s.payload, pos);
+    std::size_t moved = 0;
+    for (const auto& b : blocks) {
+        SCIMPI_REQUIRE(b.off + b.len <= win.local().size(),
+                       "emulated put beyond window");
+        std::memcpy(win.local().data() + b.off, s.payload.data() + pos + moved, b.len);
+        moved += b.len;
+    }
+    self.delay(rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()));
+
+    smi::Signal ack;
+    ack.from_rank = rank_.rank();
+    ack.kind = rma_proto::kAck;
+    ack.c = 0;
+    rank_.cluster().rank_state(s.from_rank).rma().channel().post(self, rank_.node(),
+                                                                 std::move(ack));
+}
+
+void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
+    const auto wit = windows_.find(static_cast<int>(s.a));
+    SCIMPI_REQUIRE(wit != windows_.end(), "get for unknown window");
+    Win& win = *wit->second;
+
+    std::size_t pos = 0;
+    const auto blocks = rma_proto::parse_blocks(s.payload, pos);
+
+    // Remote-put: gather the requested blocks out of the local window and
+    // write them into the origin's staging segment (Section 4.2: the target
+    // writes because remote reads are slow).
+    const sci::SegmentId seg{static_cast<int>(s.b >> 32),
+                             static_cast<int>(s.b & 0xffffffffu)};
+    auto m = rank_.cluster().directory().import(rank_.node(), seg);
+    SCIMPI_REQUIRE(m.is_ok(), "staging segment import failed");
+
+    std::vector<sci::SciAdapter::ConstIovec> iov;
+    iov.reserve(blocks.size());
+    std::size_t total = 0;
+    for (const auto& b : blocks) {
+        SCIMPI_REQUIRE(b.off + b.len <= win.local().size(),
+                       "emulated get beyond window");
+        iov.push_back({win.local().data() + b.off, b.len});
+        total += b.len;
+    }
+    const Status st = rank_.adapter().write_gather(self, m.value(), 0, iov, total);
+    SCIMPI_REQUIRE(st.is_ok(), "remote-put failed: " + st.to_string());
+    rank_.adapter().store_barrier(self);
+
+    smi::Signal ack;
+    ack.from_rank = rank_.rank();
+    ack.kind = rma_proto::kAck;
+    ack.c = s.c;
+    rank_.cluster().rank_state(s.from_rank).rma().channel().post(self, rank_.node(),
+                                                                 std::move(ack));
+}
+
+void RmaState::serve_accumulate(sim::Process& self, const smi::Signal& s) {
+    const auto wit = windows_.find(static_cast<int>(s.a));
+    SCIMPI_REQUIRE(wit != windows_.end(), "accumulate for unknown window");
+    Win& win = *wit->second;
+
+    std::size_t pos = 0;
+    const auto blocks = rma_proto::parse_blocks(s.payload, pos);
+    std::size_t moved = 0;
+    for (const auto& b : blocks) {
+        SCIMPI_REQUIRE(b.off + b.len <= win.local().size(),
+                       "accumulate beyond window");
+        SCIMPI_REQUIRE(b.len % sizeof(double) == 0, "accumulate needs doubles");
+        auto* dst = reinterpret_cast<double*>(win.local().data() + b.off);
+        const auto n = b.len / sizeof(double);
+        std::vector<double> add(n);
+        std::memcpy(add.data(), s.payload.data() + pos + moved, b.len);
+        const auto op = static_cast<Win::ReduceOp>(s.b);
+        for (std::size_t i = 0; i < n; ++i) dst[i] = Win::apply_op(op, dst[i], add[i]);
+        moved += b.len;
+    }
+    // Read-modify-write: two local streams plus the flops.
+    self.delay(2 * rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()) +
+               static_cast<SimTime>(moved / sizeof(double)));
+
+    smi::Signal ack;
+    ack.from_rank = rank_.rank();
+    ack.kind = rma_proto::kAck;
+    ack.c = 0;
+    rank_.cluster().rank_state(s.from_rank).rma().channel().post(self, rank_.node(),
+                                                                 std::move(ack));
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,272 @@
+// One-sided communication calls: path selection and the four data paths
+// (direct put, direct get, remote-put get, emulated put/accumulate).
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/proto.hpp"
+#include "mpi/rma/window.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::mpi {
+
+namespace {
+
+/// Collect the basic blocks of `count` x `type` as (offset, len) pairs in
+/// canonical order. Origin and target share the layout (mirrored put/get).
+std::vector<rma_proto::Block> layout_blocks(const Datatype& type, int count,
+                                            std::size_t disp) {
+    std::vector<rma_proto::Block> blocks;
+    type.for_each_block(static_cast<std::ptrdiff_t>(disp), count,
+                        [&](std::ptrdiff_t off, std::size_t len) {
+                            blocks.push_back({static_cast<std::uint64_t>(off), len});
+                        });
+    return blocks;
+}
+
+}  // namespace
+
+Status Win::put(const void* origin, int count, const Datatype& type, int target,
+                std::size_t disp) {
+    const sim::TraceScope trace(rank_->proc(), "rma:put");
+    Datatype t = type;
+    if (!t.committed()) t.commit(comm_->cluster().options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    if (bytes == 0) return Status::ok();
+    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
+        peers_[static_cast<std::size_t>(target)].size)
+        return Status::error(Errc::invalid_argument, "put beyond window bounds");
+
+    if (target == my_rank())
+        return op_local(const_cast<void*>(origin), count, t, disp, /*is_put=*/true);
+    if (!epoch_allows(target))
+        return Status::error(Errc::rma_sync_error, "put outside any access epoch");
+    if (peers_[static_cast<std::size_t>(target)].shared &&
+        comm_->cluster().options().cfg.osc_direct)
+        return put_direct(origin, count, t, target, disp);
+    return put_emulated(origin, count, t, target, disp);
+}
+
+Status Win::get(void* origin, int count, const Datatype& type, int target,
+                std::size_t disp) {
+    const sim::TraceScope trace(rank_->proc(), "rma:get");
+    Datatype t = type;
+    if (!t.committed()) t.commit(comm_->cluster().options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    if (bytes == 0) return Status::ok();
+    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
+        peers_[static_cast<std::size_t>(target)].size)
+        return Status::error(Errc::invalid_argument, "get beyond window bounds");
+
+    const Config& cfg = comm_->cluster().options().cfg;
+    if (target == my_rank())
+        return op_local(origin, count, t, disp, /*is_put=*/false);
+    if (!epoch_allows(target))
+        return Status::error(Errc::rma_sync_error, "get outside any access epoch");
+    // Direct remote reads are slow on SCI: only up to the threshold, and
+    // only when the target window is directly accessible (Section 4.2).
+    if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct &&
+        bytes <= cfg.get_remote_put_threshold)
+        return get_direct(origin, count, t, target, disp);
+    return get_remote_put(origin, count, t, target, disp);
+}
+
+Status Win::op_local(void* origin, int count, const Datatype& type, std::size_t disp,
+                     bool is_put) {
+    ++stats_.local_ops;
+    sim::Process& self = rank_->proc();
+    const mem::CopyModel& cm = rank_->copy_model();
+    auto* user = static_cast<std::byte*>(origin);
+    Status st;
+    std::size_t moved = 0;
+    std::int64_t blocks = 0;
+    type.for_each_block(0, count, [&](std::ptrdiff_t off, std::size_t len) {
+        std::byte* win_mem = local_.data() + disp + static_cast<std::size_t>(off);
+        if (is_put)
+            std::memcpy(win_mem, user + off, len);
+        else
+            std::memcpy(user + off, win_mem, len);
+        moved += len;
+        ++blocks;
+    });
+    self.delay(cm.copy_cost(moved, {}, {}, static_cast<std::size_t>(blocks)));
+    return st;
+}
+
+Status Win::put_direct(const void* origin, int count, const Datatype& type, int target,
+                       std::size_t disp) {
+    ++stats_.direct_puts;
+    sim::Process& self = rank_->proc();
+    const sci::SciMapping& map = peer_mapping(target);
+    const auto* user = static_cast<const std::byte*>(origin);
+    Status st;
+    type.for_each_block(0, count, [&](std::ptrdiff_t off, std::size_t len) {
+        if (!st.is_ok()) return;
+        st = rank_->adapter().write(self, map, disp + static_cast<std::size_t>(off),
+                                    user + off, len, len);
+    });
+    return st;
+}
+
+Status Win::get_direct(void* origin, int count, const Datatype& type, int target,
+                       std::size_t disp) {
+    ++stats_.direct_gets;
+    sim::Process& self = rank_->proc();
+    const sci::SciMapping& map = peer_mapping(target);
+    auto* user = static_cast<std::byte*>(origin);
+    Status st;
+    type.for_each_block(0, count, [&](std::ptrdiff_t off, std::size_t len) {
+        if (!st.is_ok()) return;
+        st = rank_->adapter().read(self, map, disp + static_cast<std::size_t>(off),
+                                   user + off, len);
+    });
+    return st;
+}
+
+Status Win::put_emulated(const void* origin, int count, const Datatype& type,
+                         int target, std::size_t disp) {
+    ++stats_.emulated_puts;
+    sim::Process& self = rank_->proc();
+    RmaState& rma = rank_->rma();
+    const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+
+    smi::Signal s;
+    s.from_rank = rank_->rank();  // world rank: acks route through the cluster
+    s.kind = rma_proto::kPut;
+    s.a = static_cast<std::uint64_t>(id_);
+    rma_proto::serialize_blocks(s.payload, layout_blocks(type, count, disp));
+
+    // Pack the data in canonical order behind the descriptors.
+    const std::size_t header = s.payload.size();
+    s.payload.resize(header + bytes);
+    GenericPacker gp(type, count, const_cast<void*>(origin));
+    const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
+    self.delay(GenericPacker::cost(work, rank_->copy_model()));
+    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+
+    rma.add_pending();
+    Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
+    peer.rma().channel().post(self, rank_->node(), std::move(s));
+    return Status::ok();
+}
+
+Status Win::get_remote_put(void* origin, int count, const Datatype& type, int target,
+                           std::size_t disp) {
+    ++stats_.remote_put_gets;
+    sim::Process& self = rank_->proc();
+    Cluster& cluster = comm_->cluster();
+    RmaState& rma = rank_->rma();
+    const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+
+    // Staging segment in our arena for the target's remote-put.
+    auto staging = cluster.memory(rank_->node()).allocate(bytes, 64);
+    if (!staging)
+        return Status::error(Errc::out_of_memory, "get staging allocation failed");
+    const sci::SegmentId seg = cluster.directory().create(rank_->node(), staging.value());
+
+    const std::uint64_t op_id = rma.next_op_id();
+    auto done = rma.new_op_event(op_id);
+
+    smi::Signal s;
+    s.from_rank = rank_->rank();
+    s.kind = rma_proto::kGet;
+    s.a = static_cast<std::uint64_t>(id_);
+    s.b = (static_cast<std::uint64_t>(seg.node) << 32) |
+          static_cast<std::uint32_t>(seg.id);
+    s.c = op_id;
+    rma_proto::serialize_blocks(s.payload, layout_blocks(type, count, disp));
+    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+
+    Rank& peer = cluster.rank_state(comm_->world_rank(target));
+    peer.rma().channel().post(self, rank_->node(), std::move(s));
+    done->wait(self);  // target handler writes + barriers, then acks
+
+    // Scatter the staged stream into the origin layout (local copy).
+    auto* user = static_cast<std::byte*>(origin);
+    const std::byte* cursor = staging.value().data();
+    std::int64_t blocks = 0;
+    type.for_each_block(0, count, [&](std::ptrdiff_t off, std::size_t len) {
+        std::memcpy(user + off, cursor, len);
+        cursor += len;
+        ++blocks;
+    });
+    self.delay(rank_->copy_model().copy_cost(bytes, {}, {},
+                                             static_cast<std::size_t>(blocks)));
+
+    SCIMPI_REQUIRE(cluster.directory().destroy(seg).is_ok(), "staging seg leak");
+    SCIMPI_REQUIRE(cluster.memory(rank_->node()).free(staging.value()).is_ok(),
+                   "staging mem leak");
+    return Status::ok();
+}
+
+Status Win::accumulate(const void* origin, int count, const Datatype& type,
+                       int target, std::size_t disp, ReduceOp op) {
+    ++stats_.accumulates;
+    sim::Process& self = rank_->proc();
+    Datatype t = type;
+    if (!t.committed()) t.commit(comm_->cluster().options().cfg);
+    const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    if (bytes == 0) return Status::ok();
+    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
+        peers_[static_cast<std::size_t>(target)].size)
+        return Status::error(Errc::invalid_argument, "accumulate beyond window bounds");
+    if (bytes % sizeof(double) != 0)
+        return Status::error(Errc::invalid_argument, "accumulate needs doubles");
+    if (target != my_rank() && !epoch_allows(target))
+        return Status::error(Errc::rma_sync_error,
+                             "accumulate outside any access epoch");
+
+    if (target == my_rank()) {
+        // Local read-modify-write straight on the window.
+        const auto* user = static_cast<const std::byte*>(origin);
+        std::int64_t blocks = 0;
+        Status st;
+        t.for_each_block(0, count, [&](std::ptrdiff_t off, std::size_t len) {
+            auto* dst = reinterpret_cast<double*>(local_.data() + disp +
+                                                  static_cast<std::size_t>(off));
+            const auto* add = reinterpret_cast<const double*>(user + off);
+            for (std::size_t i = 0; i < len / sizeof(double); ++i)
+                dst[i] = apply_op(op, dst[i], add[i]);
+            ++blocks;
+        });
+        self.delay(2 * rank_->copy_model().copy_cost(bytes, {}, {},
+                                                     static_cast<std::size_t>(blocks)) +
+                   static_cast<SimTime>(bytes / sizeof(double)));
+        return Status::ok();
+    }
+
+    // Accumulate always goes through the target handler: SCI offers no
+    // remote read-modify-write, so the combination happens target-side.
+    RmaState& rma = rank_->rma();
+    smi::Signal s;
+    s.from_rank = rank_->rank();
+    s.kind = rma_proto::kAccumulate;
+    s.a = static_cast<std::uint64_t>(id_);
+    s.b = static_cast<std::uint64_t>(op);
+    rma_proto::serialize_blocks(s.payload, layout_blocks(t, count, disp));
+    const std::size_t header = s.payload.size();
+    s.payload.resize(header + bytes);
+    GenericPacker gp(t, count, const_cast<void*>(origin));
+    const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
+    self.delay(GenericPacker::cost(work, rank_->copy_model()));
+    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+
+    rma.add_pending();
+    Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
+    peer.rma().channel().post(self, rank_->node(), std::move(s));
+    return Status::ok();
+}
+
+double Win::apply_op(ReduceOp op, double current, double incoming) {
+    switch (op) {
+        case ReduceOp::sum: return current + incoming;
+        case ReduceOp::prod: return current * incoming;
+        case ReduceOp::min: return std::min(current, incoming);
+        case ReduceOp::max: return std::max(current, incoming);
+        case ReduceOp::replace: return incoming;
+    }
+    panic("unknown reduce op");
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,61 @@
+// Wire protocol of the one-sided emulation path: signal kinds and the
+// block-descriptor serialization carried in signal payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace scimpi::mpi::rma_proto {
+
+enum Kind : int {
+    kPut = 1,         ///< payload: blocks + data; handler scatters into window
+    kGet = 2,         ///< payload: blocks; handler remote-puts into staging
+    kAccumulate = 3,  ///< payload: blocks + doubles; handler sums in place
+    kAck = 4,         ///< c == op id (get) or 0 (generic completion)
+    kPost = 5,        ///< exposure epoch opened at the sender of the signal
+    kComplete = 6,    ///< access epoch closed by the sender of the signal
+};
+
+struct Block {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+};
+
+inline void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    const auto old = out.size();
+    out.resize(old + 8);
+    std::memcpy(out.data() + old, &v, 8);
+}
+
+inline std::uint64_t read_u64(const std::vector<std::byte>& in, std::size_t& pos) {
+    SCIMPI_REQUIRE(pos + 8 <= in.size(), "rma payload underflow");
+    std::uint64_t v = 0;
+    std::memcpy(&v, in.data() + pos, 8);
+    pos += 8;
+    return v;
+}
+
+inline void serialize_blocks(std::vector<std::byte>& out,
+                             const std::vector<Block>& blocks) {
+    append_u64(out, blocks.size());
+    for (const auto& b : blocks) {
+        append_u64(out, b.off);
+        append_u64(out, b.len);
+    }
+}
+
+inline std::vector<Block> parse_blocks(const std::vector<std::byte>& in,
+                                       std::size_t& pos) {
+    const std::uint64_t n = read_u64(in, pos);
+    std::vector<Block> blocks(n);
+    for (auto& b : blocks) {
+        b.off = read_u64(in, pos);
+        b.len = read_u64(in, pos);
+    }
+    return blocks;
+}
+
+}  // namespace scimpi::mpi::rma_proto

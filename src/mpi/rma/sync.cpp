@@ -1,0 +1,116 @@
+// One-sided synchronization: fence, post/start/complete/wait, lock/unlock.
+#include "mpi/comm.hpp"
+#include "mpi/rma/proto.hpp"
+#include "mpi/rma/window.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace scimpi::mpi {
+
+bool Win::epoch_allows(int target) const {
+    if (fence_epoch_) return true;
+    if (std::find(access_group_.begin(), access_group_.end(), target) !=
+        access_group_.end())
+        return true;
+    return std::find(locked_.begin(), locked_.end(), target) != locked_.end();
+}
+
+void Win::fence() {
+    sim::Process& self = rank_->proc();
+    const sim::TraceScope trace(self, "rma:fence");
+    fence_epoch_ = true;  // a fence both closes the old epoch and opens a new one
+    // 1. Direct puts of this epoch must have arrived at their targets.
+    rank_->adapter().store_barrier(self);
+    // 2. Emulated ops must have been applied (handler acks).
+    rank_->rma().wait_all_pending(self);
+    // 3. Epoch separation across the group.
+    comm_->barrier();
+}
+
+void Win::post(std::span<const int> origin_group) {
+    sim::Process& self = rank_->proc();
+    exposure_group_.assign(origin_group.begin(), origin_group.end());
+    for (const int origin : exposure_group_) {
+        smi::Signal s;
+        s.from_rank = rank_->rank();
+        s.kind = rma_proto::kPost;
+        s.a = static_cast<std::uint64_t>(id_);
+        comm_->cluster()
+            .rank_state(comm_->world_rank(origin))
+            .rma()
+            .channel()
+            .post(self, rank_->node(), std::move(s));
+    }
+}
+
+void Win::start(std::span<const int> target_group) {
+    sim::Process& self = rank_->proc();
+    access_group_.assign(target_group.begin(), target_group.end());
+    // Wait until every target in the group has posted its exposure epoch.
+    while (posts_seen_ < static_cast<int>(access_group_.size()))
+        rank_->rma().wait_signal_change(self);
+    posts_seen_ -= static_cast<int>(access_group_.size());
+}
+
+void Win::complete() {
+    sim::Process& self = rank_->proc();
+    rank_->adapter().store_barrier(self);
+    rank_->rma().wait_all_pending(self);
+    for (const int target : access_group_) {
+        smi::Signal s;
+        s.from_rank = rank_->rank();
+        s.kind = rma_proto::kComplete;
+        s.a = static_cast<std::uint64_t>(id_);
+        comm_->cluster()
+            .rank_state(comm_->world_rank(target))
+            .rma()
+            .channel()
+            .post(self, rank_->node(), std::move(s));
+    }
+    access_group_.clear();
+}
+
+bool Win::test() {
+    if (completes_seen_ < static_cast<int>(exposure_group_.size())) return false;
+    completes_seen_ -= static_cast<int>(exposure_group_.size());
+    exposure_group_.clear();
+    return true;
+}
+
+void Win::wait() {
+    sim::Process& self = rank_->proc();
+    while (completes_seen_ < static_cast<int>(exposure_group_.size()))
+        rank_->rma().wait_signal_change(self);
+    completes_seen_ -= static_cast<int>(exposure_group_.size());
+    exposure_group_.clear();
+}
+
+void Win::lock(int target, bool /*exclusive*/) {
+    // Shared-memory lock owned by the target rank (paper ref. [14]). Only
+    // exclusive locks are implemented — shared locks degrade to exclusive.
+    sim::Process& self = rank_->proc();
+    comm_->cluster()
+        .rank_state(comm_->world_rank(target))
+        .rma()
+        .win_lock(id_)
+        .acquire(self, rank_->node());
+    locked_.push_back(target);
+}
+
+void Win::unlock(int target) {
+    sim::Process& self = rank_->proc();
+    // Passive target: our accesses must be globally visible before the lock
+    // is released.
+    rank_->adapter().store_barrier(self);
+    rank_->rma().wait_all_pending(self);
+    std::erase(locked_, target);
+    comm_->cluster()
+        .rank_state(comm_->world_rank(target))
+        .rma()
+        .win_lock(id_)
+        .release(self, rank_->node());
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,63 @@
+#include "mpi/runtime.hpp"
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/window.hpp"
+
+namespace scimpi::mpi {
+
+namespace {
+sci::Topology make_topology(const ClusterOptions& opt) {
+    if (opt.torus_w > 0 && opt.torus_h > 0) {
+        const int plane = opt.torus_w * opt.torus_h;
+        SCIMPI_REQUIRE(opt.nodes % plane == 0, "nodes not divisible by torus plane");
+        return sci::Topology::torus3d(opt.torus_w, opt.torus_h, opt.nodes / plane);
+    }
+    if (opt.torus_w > 0) {
+        SCIMPI_REQUIRE(opt.nodes % opt.torus_w == 0, "nodes not divisible by torus_w");
+        return sci::Topology::torus2d(opt.torus_w, opt.nodes / opt.torus_w);
+    }
+    return sci::Topology::ring(opt.nodes);
+}
+}  // namespace
+
+Cluster::Cluster(ClusterOptions opt)
+    : opt_(opt), dispatcher_(engine_), fabric_(make_topology(opt), opt.sci) {
+    SCIMPI_REQUIRE(opt_.nodes >= 1 && opt_.procs_per_node >= 1,
+                   "cluster needs at least one node and one process");
+    for (int n = 0; n < opt_.nodes; ++n) {
+        memories_.push_back(std::make_unique<mem::NodeMemory>(n, opt_.arena_bytes));
+        adapters_.push_back(std::make_unique<sci::SciAdapter>(
+            n, fabric_, dispatcher_, opt_.host, opt_.cfg));
+    }
+    const int world = opt_.nodes * opt_.procs_per_node;
+    for (int r = 0; r < world; ++r) {
+        ranks_.push_back(std::make_unique<Rank>(*this, r, node_of(r)));
+        ranks_.back()->init_world(world);
+    }
+    for (const auto& r : ranks_) r->set_rma(std::make_unique<RmaState>(*r));
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const std::function<void(Comm&)>& rank_main) {
+    for (const auto& r : ranks_) {
+        Rank* rank = r.get();
+        engine_.spawn("rank" + std::to_string(rank->rank()), [this, rank,
+                                                              &rank_main](sim::Process& p) {
+            rank->bind(p);
+            rank->rma().start_handler();
+            Comm comm(*this, *rank);
+            rank_main(comm);
+            comm.barrier();  // implicit finalize: drain pending protocol traffic
+        });
+    }
+    engine_.run();
+}
+
+void Rank::init_world(int world_size) {
+    eager_credits_.assign(static_cast<std::size_t>(world_size),
+                          static_cast<int>(cluster_.options().cfg.eager_slots));
+    send_seq_.assign(static_cast<std::size_t>(world_size), 0);
+}
+
+}  // namespace scimpi::mpi

@@ -1,0 +1,74 @@
+// Cluster: owns the whole simulated machine (engine, fabric, node memories,
+// adapters, ranks) and launches rank main functions as simulated processes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/machine_profile.hpp"
+#include "mem/node_memory.hpp"
+#include "mpi/rank.hpp"
+#include "sci/dma.hpp"
+#include "sci/fabric.hpp"
+#include "sci/segment.hpp"
+#include "sim/dispatcher.hpp"
+#include "sim/engine.hpp"
+
+namespace scimpi::mpi {
+
+class Comm;
+
+struct ClusterOptions {
+    int nodes = 2;
+    int procs_per_node = 1;
+    Config cfg = default_config();
+    sci::SciParams sci{};
+    mem::MachineProfile host = mem::pentium3_800();
+    std::size_t arena_bytes = 32_MiB;
+    /// 0 = single ringlet; torus_w > 0 = 2D torus of torus_w x
+    /// (nodes/torus_w); torus_w and torus_h > 0 = 3D torus of
+    /// torus_w x torus_h x (nodes/(torus_w*torus_h)).
+    int torus_w = 0;
+    int torus_h = 0;
+};
+
+class Cluster {
+public:
+    explicit Cluster(ClusterOptions opt);
+    ~Cluster();
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    /// Spawn all world ranks running `rank_main` and run the simulation to
+    /// completion. An implicit finalize barrier runs after rank_main.
+    void run(const std::function<void(Comm&)>& rank_main);
+
+    [[nodiscard]] int world_size() const { return static_cast<int>(ranks_.size()); }
+    [[nodiscard]] int node_of(int rank) const { return rank / opt_.procs_per_node; }
+
+    [[nodiscard]] const ClusterOptions& options() const { return opt_; }
+    sim::Engine& engine() { return engine_; }
+    sim::Dispatcher& dispatcher() { return dispatcher_; }
+    sci::Fabric& fabric() { return fabric_; }
+    sci::SegmentDirectory& directory() { return directory_; }
+    mem::NodeMemory& memory(int node) { return *memories_.at(static_cast<std::size_t>(node)); }
+    sci::SciAdapter& adapter(int node) { return *adapters_.at(static_cast<std::size_t>(node)); }
+    Rank& rank_state(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+
+    /// Simulated seconds since simulation start.
+    [[nodiscard]] double wtime() const { return to_seconds(engine_.now()); }
+
+private:
+    ClusterOptions opt_;
+    sim::Engine engine_;
+    sim::Dispatcher dispatcher_;
+    sci::Fabric fabric_;
+    sci::SegmentDirectory directory_;
+    std::vector<std::unique_ptr<mem::NodeMemory>> memories_;
+    std::vector<std::unique_ptr<sci::SciAdapter>> adapters_;
+    std::vector<std::unique_ptr<Rank>> ranks_;
+};
+
+}  // namespace scimpi::mpi

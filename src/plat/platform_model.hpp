@@ -1,0 +1,52 @@
+// Closed-form performance evaluators for the comparator platforms of
+// Figures 10-12. They compose the same building blocks as the simulator —
+// CopyModel cache-aware copies and the packer work metrics — with each
+// platform's interconnect parameters. The SCI-MPICH rows of those figures
+// are produced by running the full simulator instead (see bench/).
+#pragma once
+
+#include "mem/copy_model.hpp"
+#include "mpi/datatype/pack_generic.hpp"
+#include "plat/profiles.hpp"
+
+namespace scimpi::plat {
+
+class PlatformModel {
+public:
+    explicit PlatformModel(PlatformSpec s)
+        : spec_(std::move(s)), copy_(spec_.host) {}
+    explicit PlatformModel(PlatformId id) : PlatformModel(spec(id)) {}
+
+    [[nodiscard]] const PlatformSpec& platform() const { return spec_; }
+
+    /// Two-sided transfer of `total` payload bytes arranged as blocks of
+    /// `block` bytes with stride 2*block (the noncontig micro-benchmark);
+    /// block == 0 means contiguous.
+    [[nodiscard]] SimTime transfer_time(std::size_t total, std::size_t block) const;
+    [[nodiscard]] double transfer_bandwidth(std::size_t total, std::size_t block) const {
+        return bandwidth_mib(total, transfer_time(total, block));
+    }
+    /// Figure 10 metric: non-contiguous vs contiguous efficiency.
+    [[nodiscard]] double noncontig_efficiency(std::size_t total, std::size_t block) const {
+        return transfer_bandwidth(total, block) / transfer_bandwidth(total, 0);
+    }
+
+    /// One one-sided access of `access` bytes (latency chart of Fig. 9/11).
+    [[nodiscard]] SimTime osc_latency(std::size_t access, bool is_put) const;
+    /// Streaming one-sided bandwidth within one synchronization epoch.
+    [[nodiscard]] double osc_bandwidth(std::size_t access, bool is_put) const;
+    /// Figure 12 metric: per-process put bandwidth with `nprocs` active.
+    [[nodiscard]] double osc_scaling_bandwidth(int nprocs, std::size_t access) const;
+
+private:
+    /// Time the platform's datatype machinery needs to gather/scatter
+    /// `total` bytes in `block`-sized pieces on one side.
+    [[nodiscard]] SimTime pack_time(std::size_t total, std::size_t block) const;
+    /// Wire (or bus) time for `total` contiguous bytes.
+    [[nodiscard]] SimTime wire_time(std::size_t total) const;
+
+    PlatformSpec spec_;
+    mem::CopyModel copy_;
+};
+
+}  // namespace scimpi::plat

@@ -1,0 +1,123 @@
+#include "plat/profiles.hpp"
+
+#include "common/status.hpp"
+
+namespace scimpi::plat {
+
+PlatformSpec spec(PlatformId id) {
+    PlatformSpec s;
+    s.id = id;
+    switch (id) {
+        case PlatformId::cray_t3e:
+            s.code = "C";
+            s.name = "Cray T3E-1200 (custom interconnect, Cray MPI)";
+            s.host = mem::t3e_1200();
+            s.internode = true;
+            s.net = {330.0, 4'000, 1'200, 0, 0.0};  // E-registers: no host copies
+            s.dt_opt = DatatypeOpt::hw_strided;
+            s.supports_osc = true;
+            s.osc_op_overhead = 1'500;
+            s.osc_small_latency = 4'500;
+            s.osc_peak_bw = 175.0;
+            s.scaling_procs_max = 32;
+            return s;
+        case PlatformId::sunfire_gigabit:
+            s.code = "F-G";
+            s.name = "Sun Fire 6800 / Gigabit Ethernet (Sun HPC 3.1)";
+            s.host = mem::sunfire_750();
+            s.internode = true;
+            s.net = {62.0, 90'000, 18'000, 2, 0.0};  // TCP stack overheads
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = false;  // Table 1 footnote a
+            return s;
+        case PlatformId::sunfire_shm:
+            s.code = "F-s";
+            s.name = "Sun Fire 6800 24-way shared memory (Sun HPC 3.1)";
+            s.host = mem::sunfire_750();
+            s.internode = false;
+            s.bus = {3'200.0, 700.0};  // Fireplane: strong but finite
+            s.dt_opt = DatatypeOpt::shm_blockjump;
+            s.supports_osc = true;
+            s.osc_op_overhead = 900;
+            s.osc_small_latency = 1'100;
+            s.osc_peak_bw = 650.0;
+            s.scaling_procs_max = 24;
+            return s;
+        case PlatformId::lam_fastethernet:
+            s.code = "X-f";
+            s.name = "Xeon quad SMP / Fast Ethernet (LAM 6.5.4)";
+            s.host = mem::xeon_550_quad();
+            s.internode = true;
+            s.net = {11.0, 120'000, 25'000, 2, 0.0};
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = true;  // message-based, very high latency
+            s.osc_op_overhead = 30'000;
+            s.osc_small_latency = 250'000;
+            s.osc_peak_bw = 10.0;  // paper: "a maximum of 10 MiB via fast ethernet"
+            return s;
+        case PlatformId::lam_xeon_shm:
+            s.code = "X-s";
+            s.name = "Xeon quad SMP shared memory (LAM 6.5.4)";
+            s.host = mem::xeon_550_quad();
+            s.internode = false;
+            s.bus = {420.0, 220.0};  // "inferior memory system design"
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = true;
+            s.osc_get_deadlocks = true;  // footnote b: MPI_Put deadlocked
+            s.osc_op_overhead = 4'000;
+            s.osc_small_latency = 9'000;
+            s.osc_peak_bw = 200.0;
+            s.scaling_procs_max = 4;
+            return s;
+        case PlatformId::score_myrinet:
+            s.code = "S-M";
+            s.name = "Pentium-II dual / Myrinet 1280 (SCore 2.4.1)";
+            s.host = mem::pentium2_400();
+            s.internode = true;
+            // GM: DMA, but registration throughput dominates until ~700 KiB
+            // (Section 5.2 discussion of [19]).
+            s.net = {125.0, 12'000, 4'000, 0, 180.0};
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = false;  // Table 1: no
+            return s;
+        case PlatformId::score_p2_shm:
+            s.code = "S-s";
+            s.name = "Pentium-II dual shared memory (SCore 2.4.1)";
+            s.host = mem::pentium2_400();
+            s.internode = false;
+            s.bus = {350.0, 180.0};
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = false;
+            return s;
+        case PlatformId::via_smp:
+            s.code = "V";
+            s.name = "Giganet VIA SMP cluster (ref. [15])";
+            s.host = mem::pentium3_800();
+            s.internode = true;
+            s.net = {95.0, 28'000, 9'000, 1, 0.0};  // write-only remote access,
+                                                    // explicit sync per op
+            s.dt_opt = DatatypeOpt::generic;
+            s.supports_osc = true;
+            s.osc_op_overhead = 15'000;
+            s.osc_small_latency = 60'000;  // ~3-15x SCI-MPICH (Section 5.3)
+            s.osc_peak_bw = 85.0;
+            return s;
+    }
+    panic("unknown platform id");
+}
+
+std::vector<PlatformId> all_platforms() {
+    return {PlatformId::cray_t3e,         PlatformId::sunfire_gigabit,
+            PlatformId::sunfire_shm,      PlatformId::lam_fastethernet,
+            PlatformId::lam_xeon_shm,     PlatformId::score_myrinet,
+            PlatformId::score_p2_shm,     PlatformId::via_smp};
+}
+
+std::vector<PlatformId> osc_platforms() {
+    std::vector<PlatformId> out;
+    for (const auto id : all_platforms())
+        if (spec(id).supports_osc) out.push_back(id);
+    return out;
+}
+
+}  // namespace scimpi::plat

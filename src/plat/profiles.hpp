@@ -1,0 +1,78 @@
+// Comparison platforms of the paper's Table 1. The SCI-MPICH rows (M-S,
+// M-s) are produced by the full simulator; the comparator platforms are
+// parameterized models built from the same MachineProfile / CopyModel /
+// packer-cost machinery (see platform_model.hpp), each encoding the
+// interconnect characteristics and MPI-implementation behaviour the paper
+// reports:
+//   C    Cray T3E-1200       — E-register strided hardware transfers, OSC
+//   F-G  Sun Fire / GigE     — Sun HPC 3.1, no OSC over the network
+//   F-s  Sun Fire shared mem — block-size-triggered datatype optimization
+//   X-f  Xeon quad / FastE   — LAM 6.5.4, message-based OSC, high latency
+//   X-s  Xeon quad shm       — weak shared memory bus (bad OSC scaling)
+//   S-M  P-II / Myrinet 1280 — SCore, GM DMA with expensive registration
+//   S-s  P-II shared mem     — SCore shm
+//   V    Giganet VIA SMP     — ref [15] comparison point in Section 5.3
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "mem/machine_profile.hpp"
+
+namespace scimpi::plat {
+
+enum class PlatformId {
+    cray_t3e,         // C
+    sunfire_gigabit,  // F-G
+    sunfire_shm,      // F-s
+    lam_fastethernet, // X-f
+    lam_xeon_shm,     // X-s
+    score_myrinet,    // S-M
+    score_p2_shm,     // S-s
+    via_smp,          // V (ref [15])
+};
+
+/// Datatype-handling strategy of the platform's MPI library (Section 5.1).
+enum class DatatypeOpt {
+    generic,        ///< recursive pack-and-send everywhere
+    shm_blockjump,  ///< Sun shm: efficiency jumps 0.5 -> 1 at >= 16 KiB blocks
+    hw_strided,     ///< T3E: hardware strided transfers, best for 8-32 KiB
+};
+
+struct NetParams {
+    double bw = 100.0;            ///< MiB/s peak wire bandwidth
+    SimTime latency = 50'000;     ///< one-way small-message latency (ns)
+    SimTime per_msg_cpu = 5'000;  ///< per-message sender+receiver CPU cost (ns)
+    int copies = 2;               ///< host copies per transfer (TCP: 2, DMA: 0)
+    double reg_bw = 0.0;          ///< MiB/s DMA registration throughput
+                                  ///< (Myrinet GM: dominates until ~700 KiB)
+};
+
+struct BusParams {
+    double total_bw = 800.0;     ///< MiB/s aggregate memory-system bandwidth
+    double per_proc_bw = 400.0;  ///< MiB/s a single process can draw
+};
+
+struct PlatformSpec {
+    PlatformId id{};
+    std::string code;  ///< Table 1 ID (C, F-G, ...)
+    std::string name;
+    mem::MachineProfile host;
+    bool internode = true;  ///< false: shared-memory platform
+    NetParams net;
+    BusParams bus;
+    DatatypeOpt dt_opt = DatatypeOpt::generic;
+    bool supports_osc = false;
+    bool osc_get_deadlocks = false;  ///< X-s footnote b: only MPI_Get works
+    SimTime osc_op_overhead = 2'000; ///< per one-sided call software cost (ns)
+    SimTime osc_small_latency = 0;   ///< floor latency of one one-sided op (ns)
+    double osc_peak_bw = 0.0;        ///< MiB/s ceiling for one-sided streams
+    int scaling_procs_max = 24;      ///< largest configuration in Figure 12
+};
+
+PlatformSpec spec(PlatformId id);
+std::vector<PlatformId> all_platforms();
+std::vector<PlatformId> osc_platforms();
+
+}  // namespace scimpi::plat

@@ -1,0 +1,403 @@
+#include "sci/adapter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/copy_model.hpp"
+
+namespace scimpi::sci {
+
+namespace {
+constexpr std::size_t round_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
+constexpr std::size_t round_down(std::size_t v, std::size_t a) { return v / a * a; }
+}  // namespace
+
+SciAdapter::SciAdapter(int node, Fabric& fabric, sim::Dispatcher& dispatcher,
+                       mem::MachineProfile host, Config cfg)
+    : node_(node),
+      fabric_(fabric),
+      dispatcher_(dispatcher),
+      host_(std::move(host)),
+      cfg_(cfg),
+      rng_(cfg.seed * 0x51ed2701u + static_cast<std::uint64_t>(node) + 1) {}
+
+SimTime SciAdapter::partial_segment_cost(std::size_t off, std::size_t len) {
+    const SciParams& p = fabric_.params();
+    SimTime t = transfer_time(len, p.burst_bw);
+    // Greedy naturally-aligned power-of-two decomposition, as the PCI bridge
+    // splits a partial write-combine flush into individual transactions.
+    std::size_t pos = off;
+    std::size_t left = len;
+    while (left > 0) {
+        std::size_t chunk = p.wc_line;
+        while (chunk > left || (pos % chunk) != 0) chunk /= 2;
+        if (chunk >= 8) {
+            t += p.txn_overhead;
+        } else {
+            t += p.txn_misaligned;
+            ++stats_.misaligned_txns;
+        }
+        pos += chunk;
+        left -= chunk;
+    }
+    ++stats_.partial_flushes;
+    return t;
+}
+
+SimTime SciAdapter::wc_write_time(int pid, const SciMapping& map, std::size_t off,
+                                  std::size_t len) {
+    const SciParams& p = fabric_.params();
+    StreamState& st = streams_[pid];
+
+    if (!cfg_.write_combine) {
+        // Every store goes out individually; insensitive to stride but slow.
+        st.valid = false;
+        return transfer_time(len, p.uncached_bw);
+    }
+
+    const bool continuation = st.valid && st.seg == map.seg && st.next_off == off;
+    if (continuation) {
+        st.next_off = off + len;
+        if (len < p.wc_gather_min) {
+            // The source-side pause between tiny blocks lets the WC buffer
+            // time out and flush partially.
+            ++stats_.gather_timeouts;
+            return p.wc_gather_timeout + transfer_time(len, p.burst_bw);
+        }
+        return transfer_time(len, p.burst_bw);
+    }
+
+    // Jump: the WC buffer's previous content was already charged as its own
+    // transmission when it was written; only the stream re-arm costs extra.
+    SimTime t = 0;
+    if (cfg_.stream_buffers) t += p.stream_restart;
+    ++stats_.stream_restarts;
+
+    const std::size_t line = p.wc_line;
+    const std::size_t head_end = std::min(round_up(off, line), off + len);
+    const std::size_t full_end = std::max(round_down(off + len, line), head_end);
+    const std::size_t head = head_end - off;
+    const std::size_t full = full_end - head_end;
+    const std::size_t tail = off + len - full_end;
+
+    if (head > 0) t += partial_segment_cost(off, head);
+    if (tail > 0) t += partial_segment_cost(full_end, tail);
+    if (full > 0) {
+        if (cfg_.stream_buffers) {
+            const std::size_t ramp = std::min(full, p.stream_ramp);
+            t += transfer_time(ramp, p.strided_burst_bw);
+            t += transfer_time(full - ramp, p.burst_bw);
+        } else {
+            // Without gathering, every line is its own SCI transaction.
+            t += static_cast<SimTime>(full / line) * p.txn_overhead;
+            t += transfer_time(full, p.burst_bw);
+        }
+    }
+
+    st.valid = true;
+    st.seg = map.seg;
+    st.next_off = off + len;
+    return t;
+}
+
+Status SciAdapter::inject_errors(std::size_t packets, SimTime* t) {
+    if (cfg_.link_error_rate <= 0.0 || packets == 0) return Status::ok();
+    const SciParams& p = fabric_.params();
+    for (std::size_t i = 0; i < packets; ++i) {
+        int attempts = 0;
+        while (rng_.chance(cfg_.link_error_rate)) {
+            ++attempts;
+            ++stats_.retries;
+            *t += p.retry_penalty;
+            if (attempts >= cfg_.max_retries)
+                return Status::error(Errc::link_failure,
+                                     "transaction exceeded retry budget");
+        }
+    }
+    return Status::ok();
+}
+
+Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t off,
+                         const void* src, std::size_t len, std::size_t src_traffic) {
+    SCIMPI_REQUIRE(off + len <= map.size(), "remote write out of segment bounds");
+    if (len == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
+        return Status::error(Errc::link_failure, "route to target is down");
+    if (src_traffic == 0) src_traffic = len;
+    ++stats_.write_calls;
+    stats_.bytes_written += len;
+
+    if (!map.remote()) {
+        // Loopback mapping: an ordinary cached local copy.
+        mem::CopyModel cm(host_);
+        self.delay(cm.copy_cost(len, {}, {}));
+        std::memcpy(map.mem.data() + off, src, len);
+        return Status::ok();
+    }
+
+    const SciParams& p = fabric_.params();
+    SimTime t_wire = wc_write_time(self.id(), map, off, len);
+
+    // Source feed: the CPU reads the data locally while pushing it out.
+    const double feed_bw =
+        src_traffic <= host_.l2_size ? host_.copy_bw_l2 : p.pio_src_mem_bw;
+    const SimTime t_src = transfer_time(src_traffic, feed_bw);
+    SimTime t = std::max(t_wire, t_src);
+
+    // Link contention can throttle below the adapter's own rate.
+    fabric_.register_transfer(node_, map.target_node);
+    const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
+    const SimTime t_link = transfer_time(len, link_bw);
+    t = std::max(t, t_link);
+
+    const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
+    const Status err = inject_errors(packets, &t);
+
+    self.delay(t);
+    fabric_.account(node_, map.target_node, len);
+    fabric_.unregister_transfer(node_, map.target_node);
+    if (!err) return err;  // data of the failed transaction never lands
+
+    // The stores are posted: they land after the pipeline latency.
+    std::vector<std::byte> data(static_cast<const std::byte*>(src),
+                                static_cast<const std::byte*>(src) + len);
+    const int pid = self.id();
+    ++pending_stores_[pid];
+    std::byte* dst = map.mem.data() + off;
+    dispatcher_.after(p.write_latency, [this, pid, dst, data = std::move(data)] {
+        std::memcpy(dst, data.data(), data.size());
+        if (--pending_stores_[pid] == 0) barrier_waiters_.wake_all();
+    });
+    return Status::ok();
+}
+
+SimTime SciAdapter::pio_stream_cost(std::size_t len, std::size_t src_traffic) const {
+    if (len == 0) return 0;
+    if (src_traffic == 0) src_traffic = len;
+    const SciParams& p = fabric_.params();
+    SimTime t_wire = p.stream_restart;
+    const std::size_t ramp = std::min(len, p.stream_ramp);
+    t_wire += transfer_time(ramp, p.strided_burst_bw);
+    t_wire += transfer_time(len - ramp, p.burst_bw);
+    const double feed_bw =
+        src_traffic <= host_.l2_size ? host_.copy_bw_l2 : p.pio_src_mem_bw;
+    return std::max(t_wire, transfer_time(src_traffic, feed_bw));
+}
+
+Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
+                                std::size_t off, std::span<const ConstIovec> blocks,
+                                std::size_t src_traffic) {
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.len;
+    SCIMPI_REQUIRE(off + total <= map.size(), "gather write out of segment bounds");
+    if (total == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
+        return Status::error(Errc::link_failure, "route to target is down");
+    if (src_traffic == 0) src_traffic = total;
+    ++stats_.write_calls;
+    stats_.bytes_written += total;
+
+    if (!map.remote()) {
+        // Local scatter-gather copy: strided source, contiguous destination.
+        mem::CopyModel cm(host_);
+        const std::size_t avg =
+            std::max<std::size_t>(1, total / std::max<std::size_t>(1, blocks.size()));
+        self.delay(cm.copy_cost(total, mem::AccessPattern::strided(avg, avg * 2), {},
+                                blocks.size()));
+        std::byte* dst = map.mem.data() + off;
+        for (const auto& b : blocks) {
+            std::memcpy(dst, b.ptr, b.len);
+            dst += b.len;
+        }
+        return Status::ok();
+    }
+
+    const SciParams& p = fabric_.params();
+    // Wire time: the first block jumps to `off`, the rest continue the
+    // stream. The per-block CPU work (ff stack arithmetic, address
+    // generation) stalls the store pipeline, so it adds to the wire time.
+    SimTime t_wire = static_cast<SimTime>(blocks.size()) * host_.per_block_overhead;
+    std::size_t cursor = off;
+    for (const auto& b : blocks) {
+        t_wire += wc_write_time(self.id(), map, cursor, b.len);
+        cursor += b.len;
+    }
+    const double feed_bw =
+        src_traffic <= host_.l2_size ? host_.copy_bw_l2 : p.pio_src_mem_bw;
+    SimTime t = std::max(t_wire, transfer_time(src_traffic, feed_bw));
+
+    fabric_.register_transfer(node_, map.target_node);
+    const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
+    t = std::max(t, transfer_time(total, link_bw));
+    const std::size_t packets = (total + p.sci_packet - 1) / p.sci_packet;
+    const Status err = inject_errors(packets, &t);
+
+    self.delay(t);
+    fabric_.account(node_, map.target_node, total);
+    fabric_.unregister_transfer(node_, map.target_node);
+    if (!err) return err;
+
+    std::vector<std::byte> data;
+    data.reserve(total);
+    for (const auto& b : blocks) {
+        const auto* src = static_cast<const std::byte*>(b.ptr);
+        data.insert(data.end(), src, src + b.len);
+    }
+    const int pid = self.id();
+    ++pending_stores_[pid];
+    std::byte* dst = map.mem.data() + off;
+    dispatcher_.after(p.write_latency, [this, pid, dst, data = std::move(data)] {
+        std::memcpy(dst, data.data(), data.size());
+        if (--pending_stores_[pid] == 0) barrier_waiters_.wake_all();
+    });
+    return Status::ok();
+}
+
+Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t off,
+                        void* dst, std::size_t len) {
+    SCIMPI_REQUIRE(off + len <= map.size(), "remote read out of segment bounds");
+    if (len == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(map.target_node, node_))
+        return Status::error(Errc::link_failure, "route from target is down");
+    ++stats_.read_calls;
+    stats_.bytes_read += len;
+
+    if (!map.remote()) {
+        mem::CopyModel cm(host_);
+        self.delay(cm.copy_cost(len, {}, {}));
+        std::memcpy(dst, map.mem.data() + off, len);
+        return Status::ok();
+    }
+
+    const SciParams& p = fabric_.params();
+    const std::size_t txns = (len + p.read_txn_bytes - 1) / p.read_txn_bytes;
+    SimTime t = static_cast<SimTime>(txns) * p.read_latency;
+
+    fabric_.register_transfer(map.target_node, node_);
+    const double link_bw = fabric_.effective_bw(map.target_node, node_, 1e9);
+    t = std::max(t, transfer_time(len, link_bw));
+    const Status err = inject_errors(txns, &t);
+
+    self.delay(t);
+    fabric_.account(map.target_node, node_, len);
+    fabric_.unregister_transfer(map.target_node, node_);
+    if (!err) return err;
+
+    // Loads stall the CPU: the data is current as of completion time.
+    std::memcpy(dst, map.mem.data() + off, len);
+    return Status::ok();
+}
+
+
+Status SciAdapter::dma_write_gather(sim::Process& self, const SciMapping& map,
+                                    std::size_t off,
+                                    std::span<const ConstIovec> blocks) {
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.len;
+    SCIMPI_REQUIRE(off + total <= map.size(), "DMA gather out of segment bounds");
+    if (total == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
+        return Status::error(Errc::link_failure, "route to target is down");
+    const SciParams& p = fabric_.params();
+    stats_.dma_bytes += total;
+    // Descriptor chain setup: one per block. This is why DMA pays off only
+    // for large basic blocks (Section 6 outlook).
+    self.delay(p.dma_startup +
+               static_cast<SimTime>(blocks.size()) * p.dma_desc_cost);
+    if (map.remote()) {
+        const std::size_t packets = (total + p.sci_packet - 1) / p.sci_packet;
+        SimTime t_err = 0;
+        const Status err = inject_errors(packets, &t_err);
+        if (t_err > 0) self.delay(t_err);
+        if (!err) return err;
+        fabric_.timed_transfer(self, node_, map.target_node, total, p.dma_bw);
+    } else {
+        self.delay(transfer_time(total, p.dma_bw));
+    }
+    std::byte* dst = map.mem.data() + off;
+    for (const auto& b : blocks) {
+        std::memcpy(dst, b.ptr, b.len);
+        dst += b.len;
+    }
+    return Status::ok();
+}
+
+bool SciAdapter::probe_peer(sim::Process& self, int peer_node) {
+    const SciParams& p = fabric_.params();
+    if (peer_node == node_) {
+        self.delay(100);
+        return true;
+    }
+    if (!fabric_.route_healthy(node_, peer_node) ||
+        !fabric_.route_healthy(peer_node, node_)) {
+        // Probe times out after the retry budget.
+        self.delay(static_cast<SimTime>(cfg_.max_retries) * p.retry_penalty);
+        return false;
+    }
+    self.delay(p.read_latency);  // one small round trip
+    return true;
+}
+
+void SciAdapter::store_barrier(sim::Process& self) {
+    const SciParams& p = fabric_.params();
+    ++stats_.barriers;
+    SimTime t = p.barrier_latency;
+    StreamState& st = streams_[self.id()];
+    if (st.valid) {
+        t += p.txn_overhead;  // flush the write-combine remainder
+        st.valid = false;
+    }
+    self.delay(t);
+    while (pending_stores_[self.id()] > 0) barrier_waiters_.park(self);
+}
+
+Status SciAdapter::dma_write(sim::Process& self, const SciMapping& map, std::size_t off,
+                             const void* src, std::size_t len) {
+    SCIMPI_REQUIRE(off + len <= map.size(), "DMA write out of segment bounds");
+    if (len == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
+        return Status::error(Errc::link_failure, "route to target is down");
+    const SciParams& p = fabric_.params();
+    stats_.dma_bytes += len;
+    self.delay(p.dma_startup);
+    if (!map.remote()) {
+        self.delay(transfer_time(len, p.dma_bw));
+        std::memcpy(map.mem.data() + off, src, len);
+        return Status::ok();
+    }
+    const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
+    SimTime t_err = 0;
+    const Status err = inject_errors(packets, &t_err);
+    if (t_err > 0) self.delay(t_err);
+    if (!err) return err;
+    fabric_.timed_transfer(self, node_, map.target_node, len, p.dma_bw);
+    std::memcpy(map.mem.data() + off, src, len);
+    return Status::ok();
+}
+
+Status SciAdapter::dma_read(sim::Process& self, const SciMapping& map, std::size_t off,
+                            void* dst, std::size_t len) {
+    SCIMPI_REQUIRE(off + len <= map.size(), "DMA read out of segment bounds");
+    if (len == 0) return Status::ok();
+    if (map.remote() && !fabric_.route_healthy(map.target_node, node_))
+        return Status::error(Errc::link_failure, "route from target is down");
+    const SciParams& p = fabric_.params();
+    stats_.dma_bytes += len;
+    self.delay(p.dma_startup);
+    if (!map.remote()) {
+        self.delay(transfer_time(len, p.dma_bw));
+        std::memcpy(dst, map.mem.data() + off, len);
+        return Status::ok();
+    }
+    const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
+    SimTime t_err = 0;
+    const Status err = inject_errors(packets, &t_err);
+    if (t_err > 0) self.delay(t_err);
+    if (!err) return err;
+    // DMA reads stream request/response pairs; effective rate is lower.
+    fabric_.timed_transfer(self, map.target_node, node_, len, p.dma_bw * 0.7);
+    std::memcpy(dst, map.mem.data() + off, len);
+    return Status::ok();
+}
+
+}  // namespace scimpi::sci

@@ -1,0 +1,143 @@
+// The PCI-SCI adapter model (Dolphin D330 class). One instance per node.
+//
+// PIO writes are *posted*: the call returns once the CPU has issued the
+// stores, but the bytes only become visible in the target's memory after the
+// pipeline latency (modelled with delayed dispatcher callbacks). A store
+// barrier stalls until every outstanding store of the calling process has
+// landed — upper layers must barrier before setting completion flags, exactly
+// as on real SCI (Section 2, points 3 and 4 of the paper).
+//
+// Cost model per write call (see SciParams):
+//   * ascending-contiguous continuation       -> burst_bw full lines,
+//   * continuation shorter than wc_gather_min -> WC gather-timeout flush,
+//   * jump: stream restart + partial-line transactions (aligned vs
+//     misaligned chunks) + full lines at strided_burst_bw for the first
+//     stream_ramp bytes, burst_bw beyond,
+//   * write-combining disabled -> flat uncached_bw (no stride sensitivity),
+//   * source feed: local reads feeding the PIO stream are capped by L2 /
+//     memory-read bandwidth (the >128 KiB dip of Figure 1, footnote 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "mem/machine_profile.hpp"
+#include "sci/fabric.hpp"
+#include "sci/segment.hpp"
+#include "sim/dispatcher.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::sci {
+
+class SciAdapter {
+public:
+    SciAdapter(int node, Fabric& fabric, sim::Dispatcher& dispatcher,
+               mem::MachineProfile host, Config cfg);
+
+    struct Stats {
+        std::uint64_t write_calls = 0;
+        std::uint64_t bytes_written = 0;
+        std::uint64_t read_calls = 0;
+        std::uint64_t bytes_read = 0;
+        std::uint64_t stream_restarts = 0;
+        std::uint64_t partial_flushes = 0;
+        std::uint64_t misaligned_txns = 0;
+        std::uint64_t gather_timeouts = 0;
+        std::uint64_t barriers = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t dma_bytes = 0;
+    };
+
+    /// Transparent remote store of `len` bytes to `map` at `off`.
+    /// `src_traffic` is the number of bytes the CPU reads locally to feed the
+    /// stream (>= len when the source pattern wastes cache lines; 0 == len).
+    /// Returns link_failure if a transaction exceeded its retry budget.
+    Status write(sim::Process& self, const SciMapping& map, std::size_t off,
+                 const void* src, std::size_t len, std::size_t src_traffic = 0);
+
+    /// Gather-write: the direct_pack_ff fast path. The blocks land back to
+    /// back at `off` (ascending contiguous destination), so after the
+    /// initial jump every block continues the stream; blocks below
+    /// wc_gather_min still pay the WC gather timeout. One arrival event
+    /// covers the whole call.
+    struct ConstIovec {
+        const void* ptr = nullptr;
+        std::size_t len = 0;
+    };
+    Status write_gather(sim::Process& self, const SciMapping& map, std::size_t off,
+                        std::span<const ConstIovec> blocks,
+                        std::size_t src_traffic = 0);
+
+    /// Wire+feed cost of streaming `len` bytes to a remote node without a
+    /// pre-established mapping (short/eager control payloads).
+    [[nodiscard]] SimTime pio_stream_cost(std::size_t len, std::size_t src_traffic = 0) const;
+
+    /// Transparent remote load (CPU stalls per transaction round trip).
+    Status read(sim::Process& self, const SciMapping& map, std::size_t off,
+                void* dst, std::size_t len);
+
+    /// Flush write-combine + stream buffers and wait until every posted
+    /// store of this process has arrived at its target.
+    void store_barrier(sim::Process& self);
+
+    /// Synchronous DMA transfer (descriptor setup + engine streaming).
+    Status dma_write(sim::Process& self, const SciMapping& map, std::size_t off,
+                     const void* src, std::size_t len);
+    Status dma_read(sim::Process& self, const SciMapping& map, std::size_t off,
+                    void* dst, std::size_t len);
+    /// Chained-descriptor gather DMA: the non-contiguous transfer mode the
+    /// paper's Section 6 outlook proposes. One descriptor per block
+    /// (dma_desc_cost each) plus the usual startup; the engine streams the
+    /// payload at dma_bw into an ascending destination.
+    Status dma_write_gather(sim::Process& self, const SciMapping& map, std::size_t off,
+                            std::span<const ConstIovec> blocks);
+
+    /// Connection monitoring probe: one round trip to the peer node; false
+    /// (after the probe timeout) when the route is broken.
+    bool probe_peer(sim::Process& self, int peer_node);
+
+    [[nodiscard]] int node() const { return node_; }
+    [[nodiscard]] Fabric& fabric() { return fabric_; }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const Config& config() const { return cfg_; }
+    Config& config() { return cfg_; }
+    [[nodiscard]] const mem::MachineProfile& host() const { return host_; }
+    void reset_stats() { stats_ = Stats{}; }
+
+private:
+    struct StreamState {
+        bool valid = false;
+        SegmentId seg;
+        std::size_t next_off = 0;
+    };
+
+    /// Wire-side time for a PIO write; updates the per-process stream state.
+    SimTime wc_write_time(int pid, const SciMapping& map, std::size_t off, std::size_t len);
+
+    /// Cost of flushing a sub-line segment [off, off+len): greedy aligned
+    /// power-of-two decomposition, misaligned chunks cost more.
+    SimTime partial_segment_cost(std::size_t off, std::size_t len);
+
+    /// Error injection for `packets` transactions; adds retry time to *t and
+    /// returns link_failure when a transaction exhausts its retries.
+    Status inject_errors(std::size_t packets, SimTime* t);
+
+    int node_;
+    Fabric& fabric_;
+    sim::Dispatcher& dispatcher_;
+    mem::MachineProfile host_;
+    Config cfg_;
+    Rng rng_;
+    Stats stats_;
+
+    std::unordered_map<int, StreamState> streams_;   // per process
+    std::unordered_map<int, int> pending_stores_;    // per process, in-flight
+    sim::WaitQueue barrier_waiters_;
+};
+
+}  // namespace scimpi::sci

@@ -1,0 +1,53 @@
+// Asynchronous DMA engine: a daemon process per adapter that consumes
+// transfer descriptors from a mailbox, letting the CPU overlap computation
+// with bulk transfers (the adapter's dma_write/dma_read are the synchronous
+// equivalents). Descriptors on one engine execute in FIFO order, as on the
+// real PCI-SCI card.
+#pragma once
+
+#include <memory>
+
+#include "sci/adapter.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::sci {
+
+class DmaEngine {
+public:
+    DmaEngine(sim::Engine& engine, SciAdapter& adapter);
+
+    struct Transfer {
+        std::shared_ptr<sim::Event> done = std::make_shared<sim::Event>();
+        Status result;  // valid once done is set
+
+        void wait(sim::Process& self) { done->wait(self); }
+    };
+    using Handle = std::shared_ptr<Transfer>;
+
+    /// Queue an asynchronous remote write. The descriptor setup cost is
+    /// charged to the caller; streaming happens on the engine process.
+    Handle post_write(sim::Process& self, const SciMapping& map, std::size_t off,
+                      const void* src, std::size_t len);
+    Handle post_read(sim::Process& self, const SciMapping& map, std::size_t off,
+                     void* dst, std::size_t len);
+
+    [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+private:
+    struct Descriptor {
+        bool is_write = true;
+        SciMapping map;
+        std::size_t off = 0;
+        const void* src = nullptr;
+        void* dst = nullptr;
+        std::size_t len = 0;
+        Handle handle;
+    };
+
+    void engine_loop(sim::Process& self);
+
+    SciAdapter& adapter_;
+    sim::Mailbox<Descriptor> queue_;
+};
+
+}  // namespace scimpi::sci

@@ -1,0 +1,109 @@
+#include "sci/fabric.hpp"
+
+#include <algorithm>
+
+namespace scimpi::sci {
+
+Fabric::Fabric(Topology topo, SciParams params)
+    : topo_(std::move(topo)),
+      params_(params),
+      load_(static_cast<std::size_t>(topo_.links()), 0.0),
+      up_(static_cast<std::size_t>(topo_.links()), 1),
+      stats_(static_cast<std::size_t>(topo_.links())) {}
+
+void Fabric::register_transfer(int src, int dst) {
+    for (int link : topo_.route(src, dst)) load_[static_cast<std::size_t>(link)] += 1.0;
+    for (int link : topo_.echo_route(src, dst))
+        load_[static_cast<std::size_t>(link)] += params_.echo_fraction;
+}
+
+void Fabric::unregister_transfer(int src, int dst) {
+    for (int link : topo_.route(src, dst)) {
+        auto& a = load_[static_cast<std::size_t>(link)];
+        SCIMPI_REQUIRE(a >= 1.0 - 1e-9, "unregister_transfer underflow");
+        a -= 1.0;
+    }
+    for (int link : topo_.echo_route(src, dst)) {
+        auto& a = load_[static_cast<std::size_t>(link)];
+        SCIMPI_REQUIRE(a >= params_.echo_fraction - 1e-9,
+                       "unregister_transfer echo underflow");
+        a -= params_.echo_fraction;
+    }
+}
+
+double Fabric::effective_bw(int src, int dst, double src_cap) const {
+    double bw = src_cap;
+    // Headers consume link bandwidth alongside payload.
+    const double payload_eff =
+        static_cast<double>(params_.sci_packet) /
+        static_cast<double>(params_.sci_packet + params_.header_bytes);
+    for (int link : topo_.route(src, dst)) {
+        const double users = std::max(1.0, load_[static_cast<std::size_t>(link)]);
+        const double share = params_.nominal_link_bw() * payload_eff / users;
+        bw = std::min(bw, share);
+    }
+    return bw;
+}
+
+void Fabric::account(int src, int dst, std::size_t payload) {
+    if (src == dst || payload == 0) return;
+    const std::size_t packets = (payload + params_.sci_packet - 1) / params_.sci_packet;
+    const std::size_t wire = payload + packets * params_.header_bytes;
+    const auto echo = static_cast<std::uint64_t>(
+        static_cast<double>(payload) * params_.echo_fraction);
+    for (int link : topo_.route(src, dst)) {
+        auto& s = stats_[static_cast<std::size_t>(link)];
+        s.payload_bytes += payload;
+        s.wire_bytes += wire;
+    }
+    for (int link : topo_.echo_route(src, dst))
+        stats_[static_cast<std::size_t>(link)].echo_bytes += echo;
+}
+
+SimTime Fabric::timed_transfer(sim::Process& self, int src, int dst, std::size_t bytes,
+                               double src_cap, std::size_t chunk) {
+    if (bytes == 0) return 0;
+    if (src == dst) {
+        // Local move at the source cap; no fabric involvement.
+        const SimTime t = transfer_time(bytes, src_cap);
+        self.delay(t);
+        return t;
+    }
+    SCIMPI_REQUIRE(chunk > 0, "timed_transfer with zero chunk");
+    register_transfer(src, dst);
+    SimTime total = 0;
+    std::size_t left = bytes;
+    while (left > 0) {
+        const std::size_t n = std::min(left, chunk);
+        const double bw = effective_bw(src, dst, src_cap);
+        const SimTime t = transfer_time(n, bw);
+        self.delay(t);
+        account(src, dst, n);
+        total += t;
+        left -= n;
+    }
+    unregister_transfer(src, dst);
+    return total;
+}
+
+void Fabric::set_link_up(int link, bool up) {
+    up_.at(static_cast<std::size_t>(link)) = up ? 1 : 0;
+}
+
+bool Fabric::route_healthy(int src, int dst) const {
+    for (int link : topo_.route(src, dst))
+        if (up_[static_cast<std::size_t>(link)] == 0) return false;
+    return true;
+}
+
+void Fabric::reset_stats() {
+    std::fill(stats_.begin(), stats_.end(), LinkStats{});
+}
+
+std::uint64_t Fabric::total_wire_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : stats_) sum += s.total();
+    return sum;
+}
+
+}  // namespace scimpi::sci

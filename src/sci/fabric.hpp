@@ -1,0 +1,83 @@
+// The SCI fabric: links with quasi-static bandwidth sharing and wire-level
+// traffic accounting. Bulk transfers register on their route, move in chunks,
+// and see an effective bandwidth of min over traversed links of
+// nominal/active_transfers — reproducing the ring-saturation behaviour of
+// the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sci/params.hpp"
+#include "sci/topology.hpp"
+#include "sim/process.hpp"
+
+namespace scimpi::sci {
+
+struct LinkStats {
+    std::uint64_t payload_bytes = 0;  ///< user data moved over this link
+    std::uint64_t wire_bytes = 0;     ///< payload + packet headers
+    std::uint64_t echo_bytes = 0;     ///< echo / flow-control traffic
+    std::uint64_t total() const { return wire_bytes + echo_bytes; }
+};
+
+class Fabric {
+public:
+    Fabric(Topology topo, SciParams params);
+
+    [[nodiscard]] const Topology& topology() const { return topo_; }
+    [[nodiscard]] const SciParams& params() const { return params_; }
+    SciParams& params() { return params_; }
+
+    /// Register/unregister an active bulk transfer on the route src -> dst.
+    /// Data packets load the forward route with weight 1; the echo/flow
+    /// control stream loads the remaining ring links with echo_fraction.
+    void register_transfer(int src, int dst);
+    void unregister_transfer(int src, int dst);
+
+    /// Current effective bandwidth (MiB/s) for a transfer src -> dst whose
+    /// source side can push at most `src_cap` MiB/s. A transfer must be
+    /// registered while it measures itself (it counts as one active user).
+    [[nodiscard]] double effective_bw(int src, int dst, double src_cap) const;
+
+    /// Account wire traffic for `payload` bytes moved src -> dst: data
+    /// packets on the forward route, echoes returning the rest of the way
+    /// around the ring.
+    void account(int src, int dst, std::size_t payload);
+
+    /// Move `bytes` src -> dst in `chunk`-sized steps, charging simulated
+    /// time on `self` and re-evaluating contention each chunk. Registers and
+    /// unregisters the transfer internally. Returns total time charged.
+    SimTime timed_transfer(sim::Process& self, int src, int dst, std::size_t bytes,
+                           double src_cap, std::size_t chunk = 16_KiB);
+
+    [[nodiscard]] const LinkStats& link_stats(int link) const {
+        return stats_.at(static_cast<std::size_t>(link));
+    }
+    [[nodiscard]] double load_on_link(int link) const {
+        return load_.at(static_cast<std::size_t>(link));
+    }
+    void reset_stats();
+
+    /// Connection monitoring: mark a link (un)usable — a pulled cable. Any
+    /// transfer whose route crosses a down link fails with link_failure.
+    void set_link_up(int link, bool up);
+    [[nodiscard]] bool link_up(int link) const {
+        return up_.at(static_cast<std::size_t>(link));
+    }
+    /// True if every link on the route src -> dst is up.
+    [[nodiscard]] bool route_healthy(int src, int dst) const;
+
+    /// Aggregate wire traffic over all links (for ring-load metrics).
+    [[nodiscard]] std::uint64_t total_wire_bytes() const;
+
+private:
+    Topology topo_;
+    SciParams params_;
+    std::vector<double> load_;
+    std::vector<char> up_;
+    std::vector<LinkStats> stats_;
+};
+
+}  // namespace scimpi::sci

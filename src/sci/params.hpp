@@ -1,0 +1,72 @@
+// Timing parameters of the simulated SCI fabric and PCI-SCI adapter,
+// calibrated against the paper's Figure 1 / Section 4.3 numbers for a
+// Dolphin D330 adapter on a 64 bit/66 MHz PCI bus and a 166 MHz ringlet.
+//
+// The mechanisms these parameters feed (see sci/adapter.cpp):
+//  * stream buffers  — ascending contiguous stores gather into 64 B SCI
+//    transactions and move at `burst_bw`; a jump restarts the stream,
+//  * write-combining — the CPU's 32 B WC buffer; partial-line flushes cost a
+//    per-transaction overhead, misaligned chunks cost more (Section 4.3:
+//    5-28 MiB/s at 8 B depending on stride),
+//  * slow reads      — the CPU stalls per read transaction round-trip,
+//  * source feed     — PIO writes are fed by local memory reads; beyond L2
+//    the LE chipset's read limit caps bandwidth (Figure 1 footnote 2).
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace scimpi::sci {
+
+struct SciParams {
+    double link_mhz = 166.0;           ///< ringlet frequency; 166 -> 633 MiB/s nominal
+
+    // PIO write path
+    double burst_bw = 160.0;           ///< MiB/s established stream, full-line bursts
+                                       ///< (P-III write-combining to PCI limit)
+    double strided_burst_bw = 125.0;   ///< MiB/s full lines before the adapter's
+                                       ///< stream buffers are re-filled after a jump
+    std::size_t stream_ramp = 2_KiB;   ///< bytes written at strided_burst_bw after a
+                                       ///< jump before the stream counts as established
+    double uncached_bw = 80.0;         ///< MiB/s with write-combining disabled
+                                       ///< (paper §4.3: "lowers bandwidth about 50%")
+    double pio_src_mem_bw = 125.0;     ///< MiB/s source-feed limit when the source
+                                       ///< buffer exceeds L2 (ServerSet III LE)
+    SimTime txn_overhead = 150;        ///< ns per aligned partial-line transaction
+    SimTime txn_misaligned = 560;      ///< ns per misaligned chunk transaction
+    SimTime stream_restart = 150;      ///< ns to re-arm stream buffers after a jump
+    SimTime write_latency = 1400;      ///< ns pipeline latency, first store visible
+    std::size_t wc_line = 32;          ///< CPU write-combine buffer size (P-III)
+    std::size_t wc_gather_min = 16;    ///< continuation stores shorter than this hit
+    SimTime wc_gather_timeout = 450;   ///< ...the WC gather timeout: partial flush (ns)
+
+    // PIO read path
+    SimTime read_latency = 2900;       ///< ns CPU-stall round trip per read txn
+    std::size_t read_txn_bytes = 128;  ///< read/prefetch granularity
+
+    // Barriers, interrupts
+    SimTime barrier_latency = 900;     ///< ns store-barrier flush + ack
+    SimTime irq_latency = 9000;        ///< ns remote interrupt until handler runs
+
+    // DMA engine
+    SimTime dma_startup = 26000;       ///< ns descriptor setup + completion irq
+    SimTime dma_desc_cost = 2500;      ///< ns per chained gather descriptor
+    double dma_bw = 235.0;             ///< MiB/s DMA streaming
+
+    // Wire accounting
+    std::size_t sci_packet = 64;       ///< payload bytes per SCI transaction
+    std::size_t header_bytes = 16;     ///< header + CRC per packet
+    double echo_fraction = 0.18;       ///< echo/flow-control bytes per payload byte
+
+    // Error model
+    SimTime retry_penalty = 2200;      ///< ns per retried transaction
+
+    [[nodiscard]] double nominal_link_bw() const {
+        // 16-bit links moving 2 bytes per edge x 2 (DDR): 4 B per cycle.
+        // 166 MHz -> 633 MiB/s, 200 MHz -> 762 MiB/s as in the paper.
+        return link_mhz * 4e6 / 1048576.0;
+    }
+};
+
+}  // namespace scimpi::sci

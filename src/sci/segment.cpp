@@ -1,0 +1,30 @@
+#include "sci/segment.hpp"
+
+namespace scimpi::sci {
+
+SegmentId SegmentDirectory::create(int node, std::span<std::byte> mem) {
+    SCIMPI_REQUIRE(!mem.empty(), "cannot export empty segment");
+    const SegmentId seg{node, next_id_++};
+    segments_.emplace(seg, mem);
+    return seg;
+}
+
+Status SegmentDirectory::destroy(SegmentId seg) {
+    if (segments_.erase(seg) == 0)
+        return Status::error(Errc::not_found, "segment not exported");
+    return Status::ok();
+}
+
+Result<SciMapping> SegmentDirectory::import(int origin_node, SegmentId seg) {
+    const auto it = segments_.find(seg);
+    if (it == segments_.end())
+        return Status::error(Errc::not_found, "segment not exported");
+    SciMapping m;
+    m.seg = seg;
+    m.origin_node = origin_node;
+    m.target_node = seg.node;
+    m.mem = it->second;
+    return m;
+}
+
+}  // namespace scimpi::sci

@@ -1,0 +1,54 @@
+// SCI shared-memory segments. A target node exports a region of its memory
+// arena under a segment id; an origin node imports it, obtaining a mapping
+// through which the CPU can issue transparent remote loads and stores.
+// Since the simulated cluster shares one host address space, the mapping
+// carries a direct span onto the target's memory — the adapter charges the
+// modelled time for every access through it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "common/status.hpp"
+
+namespace scimpi::sci {
+
+struct SegmentId {
+    int node = -1;   ///< exporting node
+    int id = -1;     ///< per-node segment number
+    auto operator<=>(const SegmentId&) const = default;
+};
+
+/// An imported segment as seen from an origin node.
+struct SciMapping {
+    SegmentId seg;
+    int origin_node = -1;
+    int target_node = -1;
+    std::span<std::byte> mem;
+
+    [[nodiscard]] bool remote() const { return origin_node != target_node; }
+    [[nodiscard]] std::size_t size() const { return mem.size(); }
+};
+
+/// Cluster-global segment name service (the role of the SCI driver's
+/// segment tables; purely bookkeeping, no timing).
+class SegmentDirectory {
+public:
+    /// Export `mem` (a region of node `node`'s arena) as a new segment.
+    SegmentId create(int node, std::span<std::byte> mem);
+
+    /// Withdraw a segment. Existing mappings become invalid.
+    Status destroy(SegmentId seg);
+
+    /// Import a segment into `origin_node`'s address space.
+    Result<SciMapping> import(int origin_node, SegmentId seg);
+
+    [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+private:
+    std::map<SegmentId, std::span<std::byte>> segments_;
+    int next_id_ = 1;
+};
+
+}  // namespace scimpi::sci

@@ -1,0 +1,129 @@
+#include "sci/topology.hpp"
+
+#include <algorithm>
+
+namespace scimpi::sci {
+
+void Topology::add_ring(const std::vector<int>& members) {
+    Ring r;
+    r.members = members;
+    const int n = static_cast<int>(members.size());
+    for (int i = 0; i < n; ++i) {
+        const int link = static_cast<int>(link_from_.size());
+        link_from_.push_back(members[static_cast<std::size_t>(i)]);
+        link_to_.push_back(members[static_cast<std::size_t>((i + 1) % n)]);
+        r.member_link.push_back(link);
+    }
+    // Record ring membership (dimension = index of ring list per node).
+    for (int i = 0; i < n; ++i) {
+        const int node = members[static_cast<std::size_t>(i)];
+        for (auto& dim : node_rings_) {
+            auto& ref = dim[static_cast<std::size_t>(node)];
+            if (ref.ring < 0) {
+                ref = {static_cast<int>(rings_.size()), i};
+                goto recorded;
+            }
+        }
+        node_rings_.emplace_back(nodes_);
+        node_rings_.back()[static_cast<std::size_t>(node)] = {static_cast<int>(rings_.size()), i};
+    recorded:;
+    }
+    rings_.push_back(std::move(r));
+}
+
+Topology Topology::ring(int nodes) {
+    SCIMPI_REQUIRE(nodes >= 1, "ring needs >= 1 node");
+    Topology t;
+    t.nodes_ = nodes;
+    std::vector<int> members(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) members[static_cast<std::size_t>(i)] = i;
+    t.add_ring(members);
+    t.precompute_routes();
+    return t;
+}
+
+Topology Topology::torus2d(int w, int h) {
+    SCIMPI_REQUIRE(w >= 1 && h >= 1, "torus needs positive dimensions");
+    Topology t;
+    t.nodes_ = w * h;
+    // Horizontal ringlets (x dimension) first: routing goes x then y.
+    for (int y = 0; y < h; ++y) {
+        std::vector<int> row;
+        row.reserve(static_cast<std::size_t>(w));
+        for (int x = 0; x < w; ++x) row.push_back(y * w + x);
+        t.add_ring(row);
+    }
+    for (int x = 0; x < w; ++x) {
+        std::vector<int> col;
+        col.reserve(static_cast<std::size_t>(h));
+        for (int y = 0; y < h; ++y) col.push_back(y * w + x);
+        t.add_ring(col);
+    }
+    t.precompute_routes();
+    return t;
+}
+
+Topology Topology::torus3d(int w, int h, int d) {
+    SCIMPI_REQUIRE(w >= 1 && h >= 1 && d >= 1, "torus needs positive dimensions");
+    Topology t;
+    t.nodes_ = w * h * d;
+    const auto id = [w, h](int x, int y, int z) { return (z * h + y) * w + x; };
+    // x ringlets first, then y, then z: the dimension-order of routing.
+    for (int z = 0; z < d; ++z)
+        for (int y = 0; y < h; ++y) {
+            std::vector<int> ring_members;
+            for (int x = 0; x < w; ++x) ring_members.push_back(id(x, y, z));
+            t.add_ring(ring_members);
+        }
+    for (int z = 0; z < d; ++z)
+        for (int x = 0; x < w; ++x) {
+            std::vector<int> ring_members;
+            for (int y = 0; y < h; ++y) ring_members.push_back(id(x, y, z));
+            t.add_ring(ring_members);
+        }
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+            std::vector<int> ring_members;
+            for (int z = 0; z < d; ++z) ring_members.push_back(id(x, y, z));
+            t.add_ring(ring_members);
+        }
+    t.precompute_routes();
+    return t;
+}
+
+void Topology::precompute_routes() {
+    routes_.assign(static_cast<std::size_t>(nodes_),
+                   std::vector<std::vector<int>>(static_cast<std::size_t>(nodes_)));
+    for (int src = 0; src < nodes_; ++src) {
+        for (int dst = 0; dst < nodes_; ++dst) {
+            if (src == dst) continue;
+            auto& out = routes_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+            // Dimension-order routing: in each dimension, a node's position
+            // on its ring *is* its coordinate along that dimension, so we
+            // walk the current ring from our position to dst's coordinate.
+            int cur = src;
+            for (const auto& dim : node_rings_) {
+                const RingRef ref = dim[static_cast<std::size_t>(cur)];
+                const RingRef dst_ref = dim[static_cast<std::size_t>(dst)];
+                if (ref.ring < 0 || dst_ref.ring < 0) continue;
+                const Ring& ring = rings_[static_cast<std::size_t>(ref.ring)];
+                const int target_pos = dst_ref.pos;
+                int pos = ref.pos;
+                const int n = static_cast<int>(ring.members.size());
+                while (pos != target_pos) {
+                    out.push_back(ring.member_link[static_cast<std::size_t>(pos)]);
+                    pos = (pos + 1) % n;
+                }
+                cur = ring.members[static_cast<std::size_t>(target_pos)];
+                if (cur == dst) break;
+            }
+            SCIMPI_REQUIRE(cur == dst, "routing failed to reach destination");
+        }
+    }
+}
+
+const std::vector<int>& Topology::route(int src, int dst) const {
+    return routes_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst));
+}
+
+}  // namespace scimpi::sci

@@ -1,0 +1,67 @@
+// SCI network topologies: unidirectional ringlets and 2D tori of ringlets.
+// Links are unidirectional point-to-point segments (node i -> node i+1 on a
+// ring). Routing is along the ring; on a torus, dimension-order (x then y).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace scimpi::sci {
+
+class Topology {
+public:
+    /// Single unidirectional ringlet of `nodes` nodes. Link i: i -> (i+1)%n.
+    static Topology ring(int nodes);
+
+    /// 2D torus of ringlets: `w` x `h` nodes, a horizontal ringlet per row
+    /// and a vertical ringlet per column. Node id = y*w + x.
+    static Topology torus2d(int w, int h);
+
+    /// 3D torus of ringlets (the paper's Section 5.3 scaling proposal:
+    /// "a 512 nodes system when using 3D-torus topology").
+    /// Node id = (z*h + y)*w + x; dimension-order routing x, then y, then z.
+    static Topology torus3d(int w, int h, int d);
+
+    [[nodiscard]] int nodes() const { return nodes_; }
+    [[nodiscard]] int links() const { return static_cast<int>(link_from_.size()); }
+
+    /// Link endpoints.
+    [[nodiscard]] int link_from(int link) const { return link_from_.at(static_cast<std::size_t>(link)); }
+    [[nodiscard]] int link_to(int link) const { return link_to_.at(static_cast<std::size_t>(link)); }
+
+    /// Links traversed by a request travelling src -> dst (empty if equal).
+    [[nodiscard]] const std::vector<int>& route(int src, int dst) const;
+
+    /// Links traversed by the echo/response on its way back (dst -> src,
+    /// continuing around the ring(s)).
+    [[nodiscard]] const std::vector<int>& echo_route(int src, int dst) const {
+        return route(dst, src);
+    }
+
+    [[nodiscard]] int hops(int src, int dst) const {
+        return static_cast<int>(route(src, dst).size());
+    }
+
+private:
+    Topology() = default;
+    void add_ring(const std::vector<int>& members);
+    void precompute_routes();
+
+    int nodes_ = 0;
+    std::vector<int> link_from_, link_to_;
+    // ring_of_node_[dim][node] -> (ring index, position) used for routing
+    struct RingRef {
+        int ring = -1;
+        int pos = -1;
+    };
+    struct Ring {
+        std::vector<int> members;      // node ids in ring order
+        std::vector<int> member_link;  // link id leaving members[i]
+    };
+    std::vector<Ring> rings_;
+    std::vector<std::vector<RingRef>> node_rings_;  // per dimension
+    std::vector<std::vector<std::vector<int>>> routes_;  // [src][dst] -> links
+};
+
+}  // namespace scimpi::sci

@@ -1,0 +1,39 @@
+#include "sim/dispatcher.hpp"
+
+namespace scimpi::sim {
+
+Dispatcher::Dispatcher(Engine& engine, std::string name) : engine_(engine) {
+    proc_ = &engine_.spawn_daemon(std::move(name),
+                                  [this](Process& self) { service_loop(self); });
+}
+
+void Dispatcher::at(SimTime t, std::function<void()> fn) {
+    SCIMPI_REQUIRE(t >= engine_.now(), "Dispatcher::at() into the past");
+    items_.push(Item{t, seq_++, std::move(fn)});
+    // The service process is suspended (we hold the baton); make sure it
+    // wakes no later than the new item's deadline.
+    engine_.reschedule_earlier(*proc_, t);
+}
+
+void Dispatcher::service_loop(Process& self) {
+    // The dispatcher blocks forever when idle; the engine's deadlock check
+    // must not count it, so it finishes only at engine teardown
+    // (ShutdownSignal unwinds the block()). Idle blocking is fine because
+    // at() always arms a wakeup for newly added work.
+    for (;;) {
+        while (!items_.empty() && items_.top().t <= self.now()) {
+            // top() is const; copy the closure out before popping.
+            auto fn = items_.top().fn;
+            items_.pop();
+            fn();
+        }
+        if (items_.empty()) {
+            self.block();
+        } else {
+            engine_.schedule(self, items_.top().t);
+            self.block();
+        }
+    }
+}
+
+}  // namespace scimpi::sim

@@ -1,0 +1,91 @@
+#include "sim/engine.hpp"
+
+#include "sim/process.hpp"
+
+namespace scimpi::sim {
+
+Engine::Engine() = default;
+
+Engine::~Engine() { shutdown_remaining(); }
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
+    const int id = static_cast<int>(processes_.size());
+    processes_.push_back(std::unique_ptr<Process>(
+        new Process(*this, id, std::move(name), std::move(body))));
+    Process& p = *processes_.back();
+    schedule(p, now_);
+    return p;
+}
+
+Process& Engine::spawn_daemon(std::string name, std::function<void(Process&)> body) {
+    Process& p = spawn(std::move(name), std::move(body));
+    p.daemon_ = true;
+    return p;
+}
+
+void Engine::schedule(Process& p, SimTime t) {
+    SCIMPI_REQUIRE(!p.finished(), "schedule() on finished process " + p.name());
+    SCIMPI_REQUIRE(!p.scheduled_, "schedule() on already-scheduled process " + p.name());
+    SCIMPI_REQUIRE(t >= now_, "schedule() into the past");
+    p.scheduled_ = true;
+    p.pending_time_ = t;
+    queue_.push(QEntry{t, seq_++, &p, p.gen_});
+}
+
+void Engine::reschedule_earlier(Process& p, SimTime t) {
+    SCIMPI_REQUIRE(t >= now_, "reschedule_earlier() into the past");
+    if (!p.scheduled_) {
+        schedule(p, t);
+        return;
+    }
+    if (p.pending_time_ <= t) return;  // existing wakeup is already sooner
+    ++p.gen_;                          // invalidate the queued entry
+    p.scheduled_ = false;
+    schedule(p, t);
+}
+
+void Engine::run() {
+    SCIMPI_REQUIRE(!running_, "Engine::run() is not reentrant");
+    running_ = true;
+    while (!queue_.empty() && pending_error_.empty()) {
+        const QEntry e = queue_.top();
+        queue_.pop();
+        if (e.p->finished()) continue;   // finished while queued (shutdown path)
+        if (e.gen != e.p->gen_) continue;  // stale entry after reschedule
+        e.p->scheduled_ = false;
+        now_ = e.t;
+        ++events_dispatched_;
+        resume(*e.p);
+    }
+    running_ = false;
+
+    if (!pending_error_.empty()) {
+        std::string err = pending_error_;
+        pending_error_.clear();
+        shutdown_remaining();
+        panic(err);
+    }
+
+    std::string blocked;
+    for (const auto& p : processes_)
+        if (!p->finished() && !p->daemon_) blocked += " " + p->name();
+    if (!blocked.empty()) {
+        shutdown_remaining();
+        panic("simulation deadlock; blocked processes:" + blocked);
+    }
+}
+
+void Engine::resume(Process& p) {
+    current_ = &p;
+    p.resume_from_engine();
+    current_ = nullptr;
+}
+
+void Engine::shutdown_remaining() {
+    // ~Process signals shutdown_ (parked threads throw ShutdownSignal through
+    // the user stack, running destructors) and joins each thread.
+    processes_.clear();
+    while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace scimpi::sim

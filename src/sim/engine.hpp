@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulation engine.
+//
+// Every simulated MPI rank is a sim::Process backed by an OS thread, but the
+// engine hands a single execution "baton" around: exactly one thread (a
+// process or the scheduler) runs at any moment. Rank code therefore calls
+// blocking library routines naturally, while results stay bit-deterministic
+// on any host regardless of core count.
+//
+// Scheduling is a min-heap ordered by (wakeup time, insertion sequence), so
+// simultaneous events run in FIFO order of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::sim {
+
+class Process;
+
+class Engine {
+public:
+    Engine();
+    ~Engine();
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Create a process. May be called before run() or from a running
+    /// process (the child is scheduled at the current time).
+    Process& spawn(std::string name, std::function<void(Process&)> body);
+
+    /// Like spawn(), but the process is a service daemon: it may block
+    /// forever without tripping deadlock detection (it is unwound at engine
+    /// teardown instead).
+    Process& spawn_daemon(std::string name, std::function<void(Process&)> body);
+
+    /// Run until every process has finished. Throws Panic if a process threw
+    /// or if all remaining processes are blocked (deadlock), listing them.
+    void run();
+
+    [[nodiscard]] SimTime now() const { return now_; }
+    [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+    [[nodiscard]] Process* current() const { return current_; }
+    [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+    /// Event tracer (disabled by default; see sim/trace.hpp).
+    [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+    /// Low-level: insert `p` into the ready queue at absolute time `t`
+    /// (>= now). Requires that `p` is suspended and not already scheduled.
+    void schedule(Process& p, SimTime t);
+
+    /// Wake a blocked process at the current time.
+    void wake(Process& p) { schedule(p, now_); }
+
+    /// Ensure `p` (suspended) wakes no later than `t`: schedules if blocked,
+    /// pulls an existing later wakeup forward, and leaves an existing
+    /// earlier-or-equal wakeup alone.
+    void reschedule_earlier(Process& p, SimTime t);
+
+private:
+    friend class Process;
+
+    struct QEntry {
+        SimTime t;
+        std::uint64_t seq;
+        Process* p;
+        std::uint64_t gen;  // stale-entry detection after reschedule
+        bool operator>(const QEntry& o) const {
+            return t != o.t ? t > o.t : seq > o.seq;
+        }
+    };
+
+    void resume(Process& p);      // hand baton to p, wait for it back
+    void shutdown_remaining();    // unwind parked threads before throwing/destroying
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue_;
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t events_dispatched_ = 0;
+    Process* current_ = nullptr;
+    Tracer tracer_;
+    bool running_ = false;
+    std::string pending_error_;   // first process exception, rethrown by run()
+};
+
+}  // namespace scimpi::sim

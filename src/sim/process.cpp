@@ -1,0 +1,91 @@
+#include "sim/process.hpp"
+
+#include "common/status.hpp"
+#include "sim/engine.hpp"
+
+namespace scimpi::sim {
+
+Process::Process(Engine& engine, int id, std::string name,
+                 std::function<void(Process&)> body)
+    : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+    if (thread_.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+            cv_.notify_all();
+        }
+        thread_.join();
+    }
+}
+
+SimTime Process::now() const { return engine_.now(); }
+
+void Process::start_thread() {
+    thread_ = std::thread([this] { thread_main(); });
+}
+
+void Process::thread_main() {
+    try {
+        {
+            // Wait for the first baton.
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return baton_ || shutdown_; });
+            if (shutdown_) throw ShutdownSignal{};
+            baton_ = false;
+        }
+        state_ = State::running;
+        body_(*this);
+    } catch (const ShutdownSignal&) {
+        // Engine tear-down: unwind silently.
+    } catch (const std::exception& e) {
+        engine_.pending_error_ = name_ + ": " + e.what();
+    } catch (...) {
+        engine_.pending_error_ = name_ + ": unknown exception";
+    }
+    state_ = State::finished;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    returned_ = true;
+    cv_.notify_all();
+}
+
+void Process::resume_from_engine() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ == State::created) {
+        state_ = State::ready;
+        start_thread();
+    }
+    returned_ = false;
+    baton_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return returned_; });
+}
+
+void Process::suspend() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    returned_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return baton_ || shutdown_; });
+    if (shutdown_) throw ShutdownSignal{};
+    baton_ = false;
+    state_ = State::running;
+}
+
+void Process::delay(SimTime ns) {
+    SCIMPI_REQUIRE(engine_.current() == this,
+                   "delay() must be called from the process's own body");
+    SCIMPI_REQUIRE(ns >= 0, "delay() with negative duration");
+    engine_.schedule(*this, engine_.now() + ns);
+    state_ = State::blocked;
+    suspend();
+}
+
+void Process::block() {
+    SCIMPI_REQUIRE(engine_.current() == this,
+                   "block() must be called from the process's own body");
+    state_ = State::blocked;
+    suspend();
+}
+
+}  // namespace scimpi::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/units.hpp"
+
+namespace scimpi::sim {
+
+class Engine;
+
+/// A simulated thread of control (an MPI rank, a DMA engine, a handler
+/// thread...). Created via Engine::spawn. All member functions except those
+/// documented as engine-side must be called from the process's own body.
+class Process {
+public:
+    ~Process();
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    [[nodiscard]] Engine& engine() const { return engine_; }
+    [[nodiscard]] int id() const { return id_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] SimTime now() const;
+
+    /// Advance simulated time by `ns` (charge compute / transfer cost).
+    void delay(SimTime ns);
+
+    /// Reschedule at the current time, after every other already-scheduled
+    /// same-time event (cooperative yield).
+    void yield() { delay(0); }
+
+    /// Low-level: suspend until another process calls Engine::wake(*this) or
+    /// schedules us. Used by the synchronization primitives.
+    void block();
+
+    /// True while suspended with no pending wakeup (engine-side query).
+    [[nodiscard]] bool is_blocked() const { return state_ == State::blocked && !scheduled_; }
+    [[nodiscard]] bool finished() const { return state_ == State::finished; }
+
+private:
+    friend class Engine;
+    enum class State { created, ready, running, blocked, finished };
+    struct ShutdownSignal {};
+
+    Process(Engine& engine, int id, std::string name, std::function<void(Process&)> body);
+    void start_thread();
+    void thread_main();
+    void suspend();          // give baton back to engine, wait to be resumed
+    void resume_from_engine();  // engine-side: give baton to this process
+
+    Engine& engine_;
+    const int id_;
+    const std::string name_;
+    std::function<void(Process&)> body_;
+
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool baton_ = false;       // true: the process may run
+    bool returned_ = false;    // true: the process gave the baton back
+    bool shutdown_ = false;    // true: unwind instead of resuming
+
+    State state_ = State::created;
+    bool daemon_ = false;         // exempt from deadlock detection
+    bool scheduled_ = false;      // present in the engine ready queue
+    SimTime pending_time_ = 0;    // wakeup time while scheduled_
+    std::uint64_t gen_ = 0;       // bumped to invalidate stale queue entries
+};
+
+}  // namespace scimpi::sim

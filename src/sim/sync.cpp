@@ -1,0 +1,5 @@
+#include "sim/sync.hpp"
+
+// All primitives are header-only templates/inline; this TU exists to give
+// the module a home for future out-of-line definitions and to surface
+// header self-containment errors at build time.

@@ -1,0 +1,179 @@
+// Synchronization primitives for simulated processes. All of them rely on
+// the engine's single-active-thread invariant: their internal state is only
+// ever touched by the baton holder, so no host-level locking is needed.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/status.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace scimpi::sim {
+
+/// FIFO queue of parked processes. Building block for the other primitives.
+class WaitQueue {
+public:
+    /// Park the calling process until woken.
+    void park(Process& self) {
+        waiters_.push_back(&self);
+        self.block();
+    }
+
+    /// Wake the longest-waiting process (returns false if none).
+    bool wake_one() {
+        if (waiters_.empty()) return false;
+        Process* p = waiters_.front();
+        waiters_.pop_front();
+        p->engine().wake(*p);
+        return true;
+    }
+
+    void wake_all() {
+        while (wake_one()) {}
+    }
+
+    [[nodiscard]] bool empty() const { return waiters_.empty(); }
+    [[nodiscard]] std::size_t size() const { return waiters_.size(); }
+
+private:
+    std::deque<Process*> waiters_;
+};
+
+/// Manual-reset event: wait() passes while set.
+class Event {
+public:
+    void wait(Process& self) {
+        while (!set_) q_.park(self);
+    }
+    void set() {
+        set_ = true;
+        q_.wake_all();
+    }
+    void reset() { set_ = false; }
+    [[nodiscard]] bool is_set() const { return set_; }
+
+private:
+    bool set_ = false;
+    WaitQueue q_;
+};
+
+/// Unbounded message queue with blocking receive.
+template <typename T>
+class Mailbox {
+public:
+    void send(T v) {
+        items_.push_back(std::move(v));
+        q_.wake_one();
+    }
+
+    T recv(Process& self) {
+        while (items_.empty()) q_.park(self);
+        T v = std::move(items_.front());
+        items_.pop_front();
+        // More items may remain for other waiters parked behind us.
+        if (!items_.empty()) q_.wake_one();
+        return v;
+    }
+
+    std::optional<T> try_recv() {
+        if (items_.empty()) return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+private:
+    std::deque<T> items_;
+    WaitQueue q_;
+};
+
+/// FIFO-fair mutex with direct ownership hand-off on unlock.
+class SimMutex {
+public:
+    void lock(Process& self) {
+        if (owner_ == nullptr) {
+            owner_ = &self;
+            return;
+        }
+        SCIMPI_REQUIRE(owner_ != &self, "SimMutex is not recursive");
+        waiters_.push_back(&self);
+        self.block();
+        // unlock() handed ownership to us before waking us.
+        SCIMPI_REQUIRE(owner_ == &self, "SimMutex hand-off violated");
+    }
+
+    bool try_lock(Process& self) {
+        if (owner_ != nullptr) return false;
+        owner_ = &self;
+        return true;
+    }
+
+    void unlock(Process& self) {
+        SCIMPI_REQUIRE(owner_ == &self, "SimMutex::unlock by non-owner");
+        if (waiters_.empty()) {
+            owner_ = nullptr;
+            return;
+        }
+        Process* next = waiters_.front();
+        waiters_.pop_front();
+        owner_ = next;
+        next->engine().wake(*next);
+    }
+
+    [[nodiscard]] bool locked() const { return owner_ != nullptr; }
+    [[nodiscard]] Process* owner() const { return owner_; }
+
+private:
+    std::deque<Process*> waiters_;
+    Process* owner_ = nullptr;
+};
+
+class SimCondVar {
+public:
+    /// Atomically release `m`, park, and re-acquire `m` before returning.
+    void wait(Process& self, SimMutex& m) {
+        m.unlock(self);
+        q_.park(self);
+        m.lock(self);
+    }
+
+    void notify_one() { q_.wake_one(); }
+    void notify_all() { q_.wake_all(); }
+
+private:
+    WaitQueue q_;
+};
+
+/// Reusable cyclic barrier for a fixed participant count.
+class SimBarrier {
+public:
+    explicit SimBarrier(int participants) : n_(participants) {
+        SCIMPI_REQUIRE(participants > 0, "SimBarrier needs >= 1 participant");
+    }
+
+    void arrive_and_wait(Process& self) {
+        const std::uint64_t my_round = round_;
+        if (++arrived_ == n_) {
+            arrived_ = 0;
+            ++round_;
+            q_.wake_all();
+            return;
+        }
+        while (round_ == my_round) q_.park(self);
+    }
+
+    [[nodiscard]] int participants() const { return n_; }
+
+private:
+    int n_;
+    int arrived_ = 0;
+    std::uint64_t round_ = 0;
+    WaitQueue q_;
+};
+
+}  // namespace scimpi::sim

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace scimpi::sim {
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+}
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+    std::string out = "[\n";
+    char buf[160];
+    bool first = true;
+    for (const Event& e : events_) {
+        if (!first) out += ",\n";
+        first = false;
+        out += R"(  {"name": ")";
+        append_escaped(out, e.name);
+        if (e.is_instant) {
+            std::snprintf(buf, sizeof buf,
+                          R"(", "ph": "i", "ts": %.3f, "pid": 0, "tid": %d, "s": "t"})",
+                          to_us(e.t0), e.track);
+        } else {
+            std::snprintf(
+                buf, sizeof buf,
+                R"(", "ph": "X", "ts": %.3f, "dur": %.3f, "pid": 0, "tid": %d})",
+                to_us(e.t0), to_us(e.t1 - e.t0), e.track);
+        }
+        out += buf;
+    }
+    out += "\n]\n";
+    return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = to_chrome_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+}
+
+TraceScope::TraceScope(Process& proc, std::string name)
+    : proc_(proc),
+      name_(std::move(name)),
+      t0_(proc.now()),
+      armed_(proc.engine().tracer().enabled()) {}
+
+TraceScope::~TraceScope() {
+    if (armed_) proc_.engine().tracer().span(proc_.id(), name_, t0_, proc_.now());
+}
+
+}  // namespace scimpi::sim

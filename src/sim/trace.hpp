@@ -1,0 +1,70 @@
+// Event tracing for simulated runs: named spans and instant markers on the
+// virtual timeline, exportable as Chrome trace JSON (chrome://tracing,
+// Perfetto). Disabled by default — zero overhead unless enabled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace scimpi::sim {
+
+class Process;
+
+class Tracer {
+public:
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Record a completed span [t0, t1] on `track` (usually a process id).
+    void span(int track, const std::string& name, SimTime t0, SimTime t1) {
+        if (!enabled_) return;
+        events_.push_back({name, track, t0, t1, false});
+    }
+
+    /// Record an instantaneous marker.
+    void instant(int track, const std::string& name, SimTime t) {
+        if (!enabled_) return;
+        events_.push_back({name, track, t, t, true});
+    }
+
+    [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    struct Event {
+        std::string name;
+        int track;
+        SimTime t0, t1;
+        bool is_instant;
+    };
+    [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+    /// Serialize as a Chrome trace JSON array (timestamps in microseconds).
+    [[nodiscard]] std::string to_chrome_json() const;
+
+    /// Write to a file; returns false on I/O failure.
+    bool write_chrome_json(const std::string& path) const;
+
+private:
+    bool enabled_ = false;
+    std::vector<Event> events_;
+};
+
+/// RAII span: records [construction, destruction] on the process's track.
+class TraceScope {
+public:
+    TraceScope(Process& proc, std::string name);
+    ~TraceScope();
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+    Process& proc_;
+    std::string name_;
+    SimTime t0_;
+    bool armed_;
+};
+
+}  // namespace scimpi::sim

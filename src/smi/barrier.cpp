@@ -1,0 +1,17 @@
+#include "smi/barrier.hpp"
+
+namespace scimpi::smi {
+
+void SmiBarrier::arrive_and_wait(sim::Process& self, int rank) {
+    const int my_node = nodes_.at(static_cast<std::size_t>(rank));
+    // Post the arrival flag into the home node's flag array.
+    self.delay(my_node == home_ ? 80 : params_.txn_overhead + params_.stream_restart);
+    const bool last = rank == 0;  // bookkeeping only; any arriver may be last
+    (void)last;
+    barrier_.arrive_and_wait(self);
+    ++rounds_;
+    // Observe the release word: a poll iteration on the home node's memory.
+    self.delay(my_node == home_ ? 80 : params_.read_latency);
+}
+
+}  // namespace scimpi::smi

@@ -1,0 +1,37 @@
+// Cluster-wide barrier over shared memory flags (one flag per participant in
+// the home node's memory; the last arriver flips a release word everyone
+// polls). Costs follow the SCI access model; correctness uses sim barriers.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "sci/params.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::smi {
+
+class SmiBarrier {
+public:
+    /// `home_node`: node holding the flag array; `nodes[i]`: node of rank i.
+    SmiBarrier(int home_node, std::vector<int> nodes, sci::SciParams params)
+        : home_(home_node),
+          nodes_(std::move(nodes)),
+          params_(params),
+          barrier_(static_cast<int>(nodes_.size())) {}
+
+    /// Called by rank `rank` (running on nodes_[rank]).
+    void arrive_and_wait(sim::Process& self, int rank);
+
+    [[nodiscard]] int participants() const { return barrier_.participants(); }
+    [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+private:
+    int home_;
+    std::vector<int> nodes_;
+    sci::SciParams params_;
+    sim::SimBarrier barrier_;
+    std::uint64_t rounds_ = 0;
+};
+
+}  // namespace scimpi::smi

@@ -1,0 +1,27 @@
+#include "smi/lock.hpp"
+
+namespace scimpi::smi {
+
+void SmiLock::acquire(sim::Process& self, int my_node) {
+    // One test-and-set round trip; on contention, the waiter effectively
+    // polls — we charge the poll detection latency when finally woken.
+    self.delay(access_cost(my_node));
+    if (mutex_.locked()) {
+        ++contentions_;
+        mutex_.lock(self);  // parks until hand-off
+        // Detection: the releasing store must cross the fabric and the
+        // spinning load observe it.
+        self.delay(access_cost(my_node));
+    } else {
+        mutex_.lock(self);
+    }
+    ++acquisitions_;
+}
+
+void SmiLock::release(sim::Process& self, int my_node) {
+    // The releasing store is posted; charge its issue cost.
+    self.delay(my_node == home_ ? 60 : params_.txn_overhead + params_.stream_restart);
+    mutex_.unlock(self);
+}
+
+}  // namespace scimpi::smi

@@ -1,0 +1,53 @@
+#include "smi/region.hpp"
+
+#include <cstring>
+
+namespace scimpi::smi {
+
+Region Region::local(std::span<std::byte> mem, mem::MachineProfile profile) {
+    Region r;
+    r.map_.mem = mem;
+    r.map_.origin_node = 0;
+    r.map_.target_node = 0;
+    r.local_model_ = mem::CopyModel(std::move(profile));
+    return r;
+}
+
+Region Region::sci(sci::SciMapping map, sci::SciAdapter& adapter) {
+    Region r;
+    r.map_ = map;
+    r.adapter_ = &adapter;
+    r.local_model_ = mem::CopyModel(adapter.host());
+    return r;
+}
+
+Status Region::write(sim::Process& self, std::size_t off, const void* src,
+                     std::size_t len, std::size_t src_traffic) {
+    if (remote()) return adapter_->write(self, map_, off, src, len, src_traffic);
+    SCIMPI_REQUIRE(off + len <= size(), "region write out of bounds");
+    if (len == 0) return Status::ok();
+    const std::size_t traffic = src_traffic == 0 ? len : src_traffic;
+    self.delay(local_model_.copy_cost(traffic, {}, {}));
+    std::memcpy(map_.mem.data() + off, src, len);
+    return Status::ok();
+}
+
+Status Region::read(sim::Process& self, std::size_t off, void* dst, std::size_t len) {
+    if (remote()) return adapter_->read(self, map_, off, dst, len);
+    SCIMPI_REQUIRE(off + len <= size(), "region read out of bounds");
+    if (len == 0) return Status::ok();
+    self.delay(local_model_.copy_cost(len, {}, {}));
+    std::memcpy(dst, map_.mem.data() + off, len);
+    return Status::ok();
+}
+
+void Region::store_barrier(sim::Process& self) {
+    if (remote()) {
+        adapter_->store_barrier(self);
+        return;
+    }
+    // Intra-node: a compiler/CPU store fence, nanoseconds.
+    self.delay(20);
+}
+
+}  // namespace scimpi::smi

@@ -1,0 +1,53 @@
+// SMI (Shared Memory Interface) region abstraction, after the paper's [26]:
+// a single read/write/barrier API over both intra-node shared memory and
+// imported SCI segments. Thanks to this layer, every optimization built for
+// SCI (direct packing, one-sided windows) applies unchanged to intra-node
+// communication — exactly the property the paper highlights in Section 6.
+#pragma once
+
+#include <span>
+
+#include "mem/copy_model.hpp"
+#include "sci/adapter.hpp"
+#include "sci/segment.hpp"
+
+namespace scimpi::smi {
+
+class Region {
+public:
+    /// Intra-node shared memory region: plain cached copies, immediately
+    /// visible, barriers are (nearly) free.
+    static Region local(std::span<std::byte> mem, mem::MachineProfile profile);
+
+    /// Region backed by an (imported) SCI segment. If the mapping is a
+    /// loopback (origin == target node), behaves like a local region.
+    static Region sci(sci::SciMapping map, sci::SciAdapter& adapter);
+
+    /// True if accesses cross the SCI fabric.
+    [[nodiscard]] bool remote() const { return adapter_ != nullptr && map_.remote(); }
+
+    [[nodiscard]] std::span<std::byte> mem() { return map_.mem; }
+    [[nodiscard]] std::span<const std::byte> mem() const { return map_.mem; }
+    [[nodiscard]] std::size_t size() const { return map_.mem.size(); }
+
+    /// Store `len` bytes at `off`. `src_traffic` as in SciAdapter::write.
+    Status write(sim::Process& self, std::size_t off, const void* src, std::size_t len,
+                 std::size_t src_traffic = 0);
+
+    /// Load `len` bytes from `off`.
+    Status read(sim::Process& self, std::size_t off, void* dst, std::size_t len);
+
+    /// Ensure every preceding write of this process has reached the region.
+    void store_barrier(sim::Process& self);
+
+    [[nodiscard]] const sci::SciMapping& mapping() const { return map_; }
+
+private:
+    Region() = default;
+
+    sci::SciMapping map_;                 // local regions use a synthetic mapping
+    sci::SciAdapter* adapter_ = nullptr;  // null => local
+    mem::CopyModel local_model_{mem::MachineProfile{}};
+};
+
+}  // namespace scimpi::smi

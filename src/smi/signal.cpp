@@ -1,0 +1,16 @@
+#include "smi/signal.hpp"
+
+namespace scimpi::smi {
+
+void SignalChannel::post(sim::Process& self, int from_node, Signal s) {
+    // Doorbell: one small remote (or local) store.
+    const bool remote = from_node != target_node_;
+    self.delay(remote ? params_.txn_overhead + params_.stream_restart : 80);
+    const SimTime latency = remote ? params_.irq_latency : params_.irq_latency / 4;
+    dispatcher_->after(latency, [this, s = std::move(s)]() mutable {
+        ++delivered_;
+        inbox_.send(std::move(s));
+    });
+}
+
+}  // namespace scimpi::smi

@@ -1,0 +1,49 @@
+// Remote signal channel: models SCI remote interrupts. An origin process
+// posts a small control message; after the interrupt latency the target's
+// handler (a process blocked in recv) wakes with the payload. Used by the
+// MPI layer to invoke remote handlers for emulated one-sided accesses on
+// private window memory (paper Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sci/params.hpp"
+#include "sim/dispatcher.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::smi {
+
+struct Signal {
+    int from_rank = -1;
+    int kind = 0;
+    std::uint64_t a = 0, b = 0, c = 0;       ///< small scalar arguments
+    std::vector<std::byte> payload;          ///< optional inline data
+};
+
+class SignalChannel {
+public:
+    SignalChannel(sim::Dispatcher& dispatcher, sci::SciParams params,
+                  int target_node)
+        : dispatcher_(&dispatcher), params_(params), target_node_(target_node) {}
+
+    /// Post a signal from a process on `from_node`; it is delivered (and a
+    /// blocked handler woken) after the interrupt latency. The origin is
+    /// charged only the doorbell write.
+    void post(sim::Process& self, int from_node, Signal s);
+
+    /// Handler side: block until a signal arrives.
+    Signal wait(sim::Process& self) { return inbox_.recv(self); }
+
+    [[nodiscard]] bool pending() const { return !inbox_.empty(); }
+    [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+private:
+    sim::Dispatcher* dispatcher_;
+    sci::SciParams params_;
+    int target_node_;
+    sim::Mailbox<Signal> inbox_;
+    std::uint64_t delivered_ = 0;
+};
+
+}  // namespace scimpi::smi

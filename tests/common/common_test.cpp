@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace scimpi {
+namespace {
+
+TEST(Units, BinaryLiterals) {
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Units, TimeLiteralsAndConversions) {
+    EXPECT_EQ(3_us, 3000);
+    EXPECT_EQ(2_ms, 2'000'000);
+    EXPECT_EQ(1_s, 1'000'000'000);
+    EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+    EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+    EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+}
+
+TEST(Units, TransferTimeAndBandwidthAreInverse) {
+    const SimTime t = transfer_time(1_MiB, 100.0);
+    EXPECT_NEAR(to_ms(t), 10.0, 0.01);
+    EXPECT_NEAR(bandwidth_mib(1_MiB, t), 100.0, 0.1);
+}
+
+TEST(Units, TransferTimeEdgeCases) {
+    EXPECT_EQ(transfer_time(0, 100.0), 0);
+    EXPECT_EQ(transfer_time(100, 0.0), 0);
+    EXPECT_GE(transfer_time(1, 1e12), 1);  // never zero for nonzero payload
+    EXPECT_EQ(bandwidth_mib(100, 0), 0.0);
+}
+
+TEST(Status, OkAndErrorBasics) {
+    const Status ok = Status::ok();
+    EXPECT_TRUE(ok.is_ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.code(), Errc::ok);
+
+    const Status err = Status::error(Errc::truncated, "too small");
+    EXPECT_FALSE(err);
+    EXPECT_EQ(err.code(), Errc::truncated);
+    EXPECT_EQ(err.to_string(), "truncated: too small");
+}
+
+TEST(Status, EveryErrcHasAName) {
+    for (const Errc e : {Errc::ok, Errc::invalid_argument, Errc::out_of_memory,
+                         Errc::not_found, Errc::truncated, Errc::unsupported,
+                         Errc::link_failure, Errc::rma_sync_error, Errc::deadlock}) {
+        EXPECT_STRNE(errc_name(e), "unknown");
+        EXPECT_GT(std::string(errc_name(e)).size(), 1u);
+    }
+}
+
+TEST(Result, ValueAndStatusPaths) {
+    Result<int> good(42);
+    ASSERT_TRUE(good.is_ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_TRUE(good.status().is_ok());
+    EXPECT_EQ(good.value_or(-1), 42);
+
+    Result<int> bad(Status::error(Errc::not_found, "gone"));
+    EXPECT_FALSE(bad);
+    EXPECT_EQ(bad.status().code(), Errc::not_found);
+    EXPECT_EQ(bad.value_or(-1), -1);
+    EXPECT_THROW(bad.value(), Panic);
+}
+
+TEST(Result, ConstructingFromOkStatusPanics) {
+    EXPECT_THROW(Result<int>(Status::ok()), Panic);
+}
+
+TEST(Require, MacroThrowsWithMessage) {
+    try {
+        SCIMPI_REQUIRE(false, "precondition text");
+        FAIL();
+    } catch (const Panic& e) {
+        EXPECT_NE(std::string(e.what()).find("precondition text"), std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(7), c2(8);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, UniformInUnitIntervalAndChance) {
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        if (rng.chance(0.25)) ++hits;
+    }
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Config, DefaultsMatchPaperSetup) {
+    const Config cfg = default_config();
+    EXPECT_EQ(cfg.short_threshold, 128u);
+    EXPECT_EQ(cfg.eager_threshold, 16_KiB);
+    EXPECT_EQ(cfg.rndv_chunk, 64_KiB);
+    EXPECT_TRUE(cfg.use_direct_pack_ff);
+    EXPECT_EQ(cfg.ff_min_block, 0u);  // paper footnote: full comparison
+    EXPECT_TRUE(cfg.write_combine);
+    EXPECT_TRUE(cfg.stream_buffers);
+    EXPECT_FALSE(cfg.use_dma_rndv);  // outlook feature, off by default
+    EXPECT_EQ(cfg.link_error_rate, 0.0);
+}
+
+TEST(Log, LevelsAreAdjustable) {
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::error);
+    EXPECT_EQ(log_level(), LogLevel::error);
+    log_message(LogLevel::error, "visible test message (expected in output)");
+    set_log_level(before);
+}
+
+}  // namespace
+}  // namespace scimpi

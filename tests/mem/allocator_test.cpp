@@ -1,0 +1,130 @@
+#include "mem/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace scimpi::mem {
+namespace {
+
+TEST(Allocator, AllocateAndFreeRoundTrip) {
+    Allocator a(1024);
+    auto r = a.allocate(100, 1);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(a.bytes_in_use(), 100u);
+    EXPECT_TRUE(a.free(r.value()));
+    EXPECT_EQ(a.bytes_in_use(), 0u);
+    EXPECT_EQ(a.largest_free_block(), 1024u);
+}
+
+TEST(Allocator, RespectsAlignment) {
+    Allocator a(4096);
+    ASSERT_TRUE(a.allocate(3, 1));
+    auto r = a.allocate(64, 256);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r.value() % 256, 0u);
+}
+
+TEST(Allocator, ZeroSizeRejected) {
+    Allocator a(64);
+    EXPECT_EQ(a.allocate(0).status().code(), Errc::invalid_argument);
+}
+
+TEST(Allocator, NonPow2AlignmentRejected) {
+    Allocator a(64);
+    EXPECT_EQ(a.allocate(8, 3).status().code(), Errc::invalid_argument);
+}
+
+TEST(Allocator, ExhaustionReturnsOutOfMemory) {
+    Allocator a(128);
+    ASSERT_TRUE(a.allocate(128, 1));
+    EXPECT_EQ(a.allocate(1, 1).status().code(), Errc::out_of_memory);
+}
+
+TEST(Allocator, FreeUnknownOffsetRejected) {
+    Allocator a(128);
+    EXPECT_EQ(a.free(13).code(), Errc::invalid_argument);
+}
+
+TEST(Allocator, CoalescingAllowsFullReuse) {
+    Allocator a(300);
+    auto r1 = a.allocate(100, 1);
+    auto r2 = a.allocate(100, 1);
+    auto r3 = a.allocate(100, 1);
+    ASSERT_TRUE(r1 && r2 && r3);
+    // Free in an order that exercises both merge directions.
+    ASSERT_TRUE(a.free(r2.value()));
+    ASSERT_TRUE(a.free(r1.value()));
+    ASSERT_TRUE(a.free(r3.value()));
+    EXPECT_EQ(a.largest_free_block(), 300u);
+    EXPECT_TRUE(a.allocate(300, 1));
+}
+
+TEST(Allocator, FragmentationLimitsLargestBlock) {
+    Allocator a(400);
+    auto r1 = a.allocate(100, 1);
+    auto r2 = a.allocate(100, 1);
+    auto r3 = a.allocate(100, 1);
+    auto r4 = a.allocate(100, 1);
+    ASSERT_TRUE(r1 && r2 && r3 && r4);
+    ASSERT_TRUE(a.free(r1.value()));
+    ASSERT_TRUE(a.free(r3.value()));
+    EXPECT_EQ(a.largest_free_block(), 100u);
+    EXPECT_EQ(a.allocate(150, 1).status().code(), Errc::out_of_memory);
+}
+
+TEST(Allocator, RandomizedStressPreservesInvariants) {
+    Rng rng(42);
+    Allocator a(1_MiB);
+    std::vector<std::size_t> live;
+    std::size_t expected_in_use = 0;
+    std::vector<std::size_t> sizes;  // parallel to live
+
+    for (int step = 0; step < 5000; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const std::size_t sz = 1 + rng.below(8_KiB);
+            const std::size_t align = std::size_t{1} << rng.below(8);
+            auto r = a.allocate(sz, align);
+            if (r) {
+                EXPECT_EQ(r.value() % align, 0u);
+                live.push_back(r.value());
+                sizes.push_back(sz);
+                expected_in_use += sz;
+            }
+        } else {
+            const std::size_t idx = rng.below(live.size());
+            ASSERT_TRUE(a.free(live[idx]));
+            expected_in_use -= sizes[idx];
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+            sizes.erase(sizes.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        ASSERT_EQ(a.bytes_in_use(), expected_in_use);
+        ASSERT_EQ(a.allocation_count(), live.size());
+    }
+    for (std::size_t off : live) ASSERT_TRUE(a.free(off));
+    EXPECT_EQ(a.bytes_in_use(), 0u);
+    EXPECT_EQ(a.largest_free_block(), 1_MiB);
+}
+
+TEST(Allocator, NoOverlapAmongLiveAllocations) {
+    Rng rng(7);
+    Allocator a(64_KiB);
+    std::vector<std::pair<std::size_t, std::size_t>> live;  // offset,size
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t sz = 1 + rng.below(2_KiB);
+        auto r = a.allocate(sz, 16);
+        if (!r) break;
+        for (const auto& [off, len] : live) {
+            const bool disjoint = r.value() + sz <= off || off + len <= r.value();
+            ASSERT_TRUE(disjoint) << "overlap at " << r.value();
+        }
+        live.emplace_back(r.value(), sz);
+    }
+    EXPECT_GT(live.size(), 10u);
+}
+
+}  // namespace
+}  // namespace scimpi::mem

@@ -1,0 +1,87 @@
+#include "mem/copy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace scimpi::mem {
+namespace {
+
+class CopyModelTest : public ::testing::Test {
+protected:
+    CopyModel m{pentium3_800()};
+};
+
+TEST_F(CopyModelTest, ZeroBytesCostsOnlyCallOverhead) {
+    EXPECT_EQ(m.copy_cost(0, AccessPattern::contig(), AccessPattern::contig()),
+              m.profile().copy_call_overhead);
+}
+
+TEST_F(CopyModelTest, CostGrowsMonotonicallyWithSize) {
+    SimTime prev = 0;
+    for (std::size_t sz = 64; sz <= 1_MiB; sz *= 2) {
+        const SimTime t = m.copy_cost(sz, AccessPattern::contig(), AccessPattern::contig());
+        EXPECT_GT(t, prev) << "size " << sz;
+        prev = t;
+    }
+}
+
+TEST_F(CopyModelTest, CacheResidentCopiesAreFaster) {
+    // Same payload, but the small-footprint copy streams from L1/L2.
+    const double bw_small = bandwidth_mib(8_KiB, m.copy_cost(8_KiB, {}, {}));
+    const double bw_large = bandwidth_mib(4_MiB, m.copy_cost(4_MiB, {}, {}));
+    EXPECT_GT(bw_small, bw_large);
+}
+
+TEST_F(CopyModelTest, LevelBandwidthSteps) {
+    const auto& p = m.profile();
+    EXPECT_EQ(m.level_bandwidth(p.l1_size), p.copy_bw_l1);
+    EXPECT_EQ(m.level_bandwidth(p.l2_size), p.copy_bw_l2);
+    EXPECT_EQ(m.level_bandwidth(p.l2_size + 1), p.copy_bw_mem);
+}
+
+TEST_F(CopyModelTest, SubLineBlocksWasteBandwidth) {
+    // 8-byte blocks with a wide stride pull a full 32-byte line each.
+    const auto strided = AccessPattern::strided(8, 64);
+    EXPECT_EQ(m.traffic_bytes(8000, strided), 8000u / 8 * 32);
+    // Contiguous pattern moves exactly the payload.
+    EXPECT_EQ(m.traffic_bytes(8000, AccessPattern::contig()), 8000u);
+}
+
+TEST_F(CopyModelTest, DenseStrideIsNotPenalized) {
+    // stride == block means the data is effectively contiguous.
+    const auto dense = AccessPattern::strided(128, 128);
+    EXPECT_EQ(m.traffic_bytes(4096, dense), 4096u);
+}
+
+TEST_F(CopyModelTest, StridedCopySlowerThanContiguous) {
+    const SimTime contig = m.copy_cost(64_KiB, {}, {});
+    const SimTime strided =
+        m.copy_cost(64_KiB, AccessPattern::strided(8, 64), {}, 64_KiB / 8);
+    EXPECT_GT(strided, 2 * contig);
+}
+
+TEST_F(CopyModelTest, PerBlockOverheadCharged) {
+    const SimTime one = m.copy_cost(4_KiB, {}, {}, 1);
+    const SimTime many = m.copy_cost(4_KiB, {}, {}, 512);
+    EXPECT_EQ(many - one, 511 * m.profile().per_block_overhead);
+}
+
+TEST_F(CopyModelTest, ReadCostCheaperThanCopyForLargeStreams) {
+    const SimTime rd = m.read_cost(4_MiB, AccessPattern::contig());
+    const SimTime cp = m.copy_cost(4_MiB, {}, {});
+    EXPECT_LT(rd, cp);
+}
+
+TEST(CopyModelProfiles, AllProfilesProduceFiniteCosts) {
+    for (const auto& prof : {pentium3_800(), ultrasparc2_400(), xeon_550_quad(),
+                             pentium2_400(), sunfire_750(), t3e_1200()}) {
+        CopyModel cm(prof);
+        const SimTime t = cm.copy_cost(256_KiB, AccessPattern::strided(64, 128), {}, 4096);
+        EXPECT_GT(t, 0) << prof.name;
+        EXPECT_LT(t, 1_s) << prof.name;
+    }
+}
+
+}  // namespace
+}  // namespace scimpi::mem

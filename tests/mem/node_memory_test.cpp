@@ -1,0 +1,60 @@
+#include "mem/node_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/units.hpp"
+
+namespace scimpi::mem {
+namespace {
+
+TEST(NodeMemory, AllocateGivesWritableSpanInsideArena) {
+    NodeMemory nm(0, 64_KiB);
+    auto r = nm.allocate(256);
+    ASSERT_TRUE(r);
+    std::memset(r.value().data(), 0xAB, r.value().size());
+    EXPECT_TRUE(nm.contains(r.value().data()));
+    EXPECT_TRUE(nm.contains(r.value().data() + 255));
+}
+
+TEST(NodeMemory, ContainsRejectsForeignPointers) {
+    NodeMemory nm(0, 4_KiB);
+    int local = 0;
+    EXPECT_FALSE(nm.contains(&local));
+    NodeMemory other(1, 4_KiB);
+    auto r = other.allocate(16);
+    ASSERT_TRUE(r);
+    EXPECT_FALSE(nm.contains(r.value().data()));
+}
+
+TEST(NodeMemory, OffsetOfMatchesBase) {
+    NodeMemory nm(3, 4_KiB);
+    auto r = nm.allocate(128, 64);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(nm.base() + nm.offset_of(r.value().data()), r.value().data());
+}
+
+TEST(NodeMemory, FreeReturnsCapacity) {
+    NodeMemory nm(0, 1_KiB);
+    auto r = nm.allocate(512);
+    ASSERT_TRUE(r);
+    EXPECT_TRUE(nm.free(r.value()));
+    EXPECT_EQ(nm.bytes_in_use(), 0u);
+    // full capacity usable again
+    EXPECT_TRUE(nm.allocate(1000, 1));
+}
+
+TEST(NodeMemory, FreeForeignRegionRejected) {
+    NodeMemory nm(0, 1_KiB);
+    std::vector<std::byte> foreign(64);
+    EXPECT_EQ(nm.free({foreign.data(), foreign.size()}).code(), Errc::invalid_argument);
+}
+
+TEST(NodeMemory, ExhaustionSurfacesAsOutOfMemory) {
+    NodeMemory nm(0, 256);
+    EXPECT_EQ(nm.allocate(4_KiB).status().code(), Errc::out_of_memory);
+}
+
+}  // namespace
+}  // namespace scimpi::mem

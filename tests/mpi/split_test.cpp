@@ -1,0 +1,167 @@
+// Sub-communicator tests: MPI_Comm_split semantics, context isolation of
+// matching and collectives, and windows created over sub-communicators.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rma/window.hpp"
+
+namespace scimpi::mpi {
+namespace {
+
+ClusterOptions nodes(int n) {
+    ClusterOptions opt;
+    opt.nodes = n;
+    return opt;
+}
+
+TEST(Split, GroupsByColorOrderedByKey) {
+    Cluster c(nodes(6));
+    c.run([](Comm& world) {
+        // Even/odd split; key reverses the world order within each half.
+        Comm half = world.split(world.rank() % 2, -world.rank());
+        EXPECT_EQ(half.size(), 3);
+        // Members sorted by key: highest world rank gets local rank 0.
+        const int expected_local = (world.size() - 1 - world.rank()) / 2;
+        EXPECT_EQ(half.rank(), expected_local);
+        EXPECT_EQ(half.world_rank(half.rank()), world.rank());
+        EXPECT_NE(half.context(), world.context());
+    });
+}
+
+TEST(Split, PointToPointWithinSubcomm) {
+    Cluster c(nodes(4));
+    c.run([](Comm& world) {
+        Comm half = world.split(world.rank() / 2, world.rank());
+        // Local ranks 0 and 1 in each half exchange data.
+        const int peer = 1 - half.rank();
+        const double mine = 100.0 * world.rank();
+        double theirs = -1.0;
+        ASSERT_TRUE(half.sendrecv(&mine, 1, Datatype::float64(), peer, 5, &theirs, 1,
+                                  Datatype::float64(), peer, 5));
+        EXPECT_EQ(theirs, 100.0 * world.rank_state().cluster()
+                              .rank_state(half.world_rank(peer)).rank());
+    });
+}
+
+TEST(Split, ContextsIsolateIdenticalTags) {
+    // Same (source, tag) in world and sub-communicator must not cross-match.
+    Cluster c(nodes(2));
+    c.run([](Comm& world) {
+        Comm sub = world.split(0, world.rank());
+        const int tag = 9;
+        if (world.rank() == 0) {
+            const int a = 111, b = 222;
+            ASSERT_TRUE(world.send(&a, 1, Datatype::int32(), 1, tag));
+            ASSERT_TRUE(sub.send(&b, 1, Datatype::int32(), 1, tag));
+        } else {
+            // Receive on the sub-communicator FIRST: must get the sub message
+            // even though the world message arrived earlier with the same tag.
+            int v = 0;
+            ASSERT_TRUE(sub.recv(&v, 1, Datatype::int32(), 0, tag).status);
+            EXPECT_EQ(v, 222);
+            ASSERT_TRUE(world.recv(&v, 1, Datatype::int32(), 0, tag).status);
+            EXPECT_EQ(v, 111);
+        }
+    });
+}
+
+TEST(Split, CollectivesRunConcurrentlyPerHalf) {
+    Cluster c(nodes(6));
+    c.run([](Comm& world) {
+        Comm half = world.split(world.rank() % 2, world.rank());
+        double in = world.rank() + 1.0;
+        double out = 0.0;
+        ASSERT_TRUE(half.allreduce_sum(&in, &out, 1));
+        // Even half: ranks 0,2,4 -> 1+3+5 = 9; odd half: 2+4+6 = 12.
+        EXPECT_DOUBLE_EQ(out, world.rank() % 2 == 0 ? 9.0 : 12.0);
+        half.barrier();
+        // Allgather within the half.
+        std::vector<double> all(3, 0.0);
+        ASSERT_TRUE(half.allgather(&in, sizeof(double), all.data()));
+        for (int i = 0; i < 3; ++i)
+            EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(i)],
+                             2.0 * i + (world.rank() % 2) + 1.0);
+    });
+}
+
+TEST(Split, NestedSplits) {
+    Cluster c(nodes(8));
+    c.run([](Comm& world) {
+        Comm half = world.split(world.rank() / 4, world.rank());
+        Comm quarter = half.split(half.rank() / 2, half.rank());
+        EXPECT_EQ(quarter.size(), 2);
+        double in = 1.0, out = 0.0;
+        ASSERT_TRUE(quarter.allreduce_sum(&in, &out, 1));
+        EXPECT_DOUBLE_EQ(out, 2.0);
+        // Contexts of sibling quarters differ from each other and the half.
+        EXPECT_NE(quarter.context(), half.context());
+        EXPECT_NE(half.context(), world.context());
+    });
+}
+
+TEST(Split, WindowOverSubcomm) {
+    Cluster c(nodes(4));
+    c.run([](Comm& world) {
+        Comm half = world.split(world.rank() / 2, world.rank());
+        auto mem = world.alloc_mem(1024);
+        std::memset(mem.value().data(), 0, 1024);
+        auto win = half.win_create(mem.value().data(), 1024);
+        win->fence();
+        // Local rank 0 of each half puts into local rank 1.
+        if (half.rank() == 0) {
+            const double v = 500.0 + world.rank();
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 1, 0));
+        }
+        win->fence();
+        if (half.rank() == 1) {
+            const auto* d = reinterpret_cast<const double*>(win->local().data());
+            // The putter is world rank 0 (first half) or 2 (second half).
+            EXPECT_EQ(d[0], 500.0 + (world.rank() / 2) * 2);
+        }
+        win->fence();
+    });
+}
+
+TEST(Split, EmulatedRmaOverSubcommRoutesAcks) {
+    // Private (heap) windows over a sub-communicator exercise the handler
+    // emulation path with world-rank routing.
+    Cluster c(nodes(4));
+    c.run([](Comm& world) {
+        Comm half = world.split(world.rank() / 2, world.rank());
+        std::vector<double> heap(16, 0.0);
+        auto win = half.win_create(heap.data(), heap.size() * sizeof(double));
+        win->fence();
+        if (half.rank() == 0) {
+            const double v = 7.0;
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 1, 0));
+            ASSERT_TRUE(win->accumulate(&v, 1, Datatype::float64(), 1, 8,
+                                        Win::ReduceOp::sum));
+        }
+        win->fence();
+        if (half.rank() == 1) {
+            EXPECT_EQ(heap[0], 7.0);
+            EXPECT_EQ(heap[1], 7.0);
+        }
+        win->fence();
+    });
+}
+
+TEST(Split, SingletonCommunicators) {
+    Cluster c(nodes(3));
+    c.run([](Comm& world) {
+        Comm solo = world.split(world.rank(), 0);  // every rank its own comm
+        EXPECT_EQ(solo.size(), 1);
+        EXPECT_EQ(solo.rank(), 0);
+        solo.barrier();  // must not hang
+        double in = 5.0, out = 0.0;
+        ASSERT_TRUE(solo.allreduce_sum(&in, &out, 1));
+        EXPECT_DOUBLE_EQ(out, 5.0);
+    });
+}
+
+}  // namespace
+}  // namespace scimpi::mpi

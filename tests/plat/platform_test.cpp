@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "plat/platform_model.hpp"
+
+namespace scimpi::plat {
+namespace {
+
+TEST(Profiles, AllPlatformsHaveDistinctCodes) {
+    std::vector<std::string> codes;
+    for (const auto id : all_platforms()) codes.push_back(spec(id).code);
+    std::sort(codes.begin(), codes.end());
+    EXPECT_EQ(std::unique(codes.begin(), codes.end()), codes.end());
+    EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(Profiles, OscSupportMatchesTable1) {
+    EXPECT_TRUE(spec(PlatformId::cray_t3e).supports_osc);
+    EXPECT_FALSE(spec(PlatformId::sunfire_gigabit).supports_osc);  // footnote a
+    EXPECT_TRUE(spec(PlatformId::sunfire_shm).supports_osc);
+    EXPECT_TRUE(spec(PlatformId::lam_fastethernet).supports_osc);
+    EXPECT_TRUE(spec(PlatformId::lam_xeon_shm).supports_osc);
+    EXPECT_TRUE(spec(PlatformId::lam_xeon_shm).osc_get_deadlocks);  // footnote b
+    EXPECT_FALSE(spec(PlatformId::score_myrinet).supports_osc);
+    EXPECT_FALSE(spec(PlatformId::score_p2_shm).supports_osc);
+}
+
+TEST(PlatformModel, NoncontigEfficiencyBelowOneForGenericPlatforms) {
+    for (const auto id : {PlatformId::sunfire_gigabit, PlatformId::lam_fastethernet,
+                          PlatformId::score_myrinet, PlatformId::score_p2_shm}) {
+        PlatformModel m(id);
+        for (const std::size_t block : {64u, 1024u, 16384u}) {
+            const double eff = m.noncontig_efficiency(256_KiB, block);
+            EXPECT_GT(eff, 0.0) << spec(id).code;
+            EXPECT_LT(eff, 1.0) << spec(id).code << " block " << block;
+        }
+    }
+}
+
+TEST(PlatformModel, SunShmEfficiencyJumpsAt16KiB) {
+    // Figure 10: Sun MPI shm efficiency "jumps from 0.5 to 1 for blocksizes
+    // of 16k and above".
+    PlatformModel m(PlatformId::sunfire_shm);
+    const double below = m.noncontig_efficiency(256_KiB, 8_KiB);
+    const double above = m.noncontig_efficiency(256_KiB, 16_KiB);
+    EXPECT_LT(below, 0.75);
+    EXPECT_GT(above, 0.85);
+    EXPECT_GT(above, below * 1.3);
+}
+
+TEST(PlatformModel, T3EEfficiencyWindow) {
+    // Figure 10: T3E efficiency ~1 between 8 and 32 KiB, low for < 4 KiB
+    // and for > 32 KiB blocks.
+    PlatformModel m(PlatformId::cray_t3e);
+    EXPECT_LT(m.noncontig_efficiency(256_KiB, 512), 0.6);
+    EXPECT_GT(m.noncontig_efficiency(256_KiB, 16_KiB), 0.85);
+    EXPECT_LT(m.noncontig_efficiency(512_KiB, 64_KiB), 0.8);
+}
+
+TEST(PlatformModel, MyrinetRegistrationDepressesMidSizes) {
+    // Section 5.2: GM peak bandwidth not reached until ~700 KiB because of
+    // registration throughput.
+    PlatformModel m(PlatformId::score_myrinet);
+    const double mid = m.transfer_bandwidth(128_KiB, 0);
+    const double large = m.transfer_bandwidth(4_MiB, 0);
+    EXPECT_LT(mid, large);
+    EXPECT_LT(large, spec(PlatformId::score_myrinet).net.bw);
+}
+
+TEST(PlatformModel, LamOscIsSlowOverFastEthernet) {
+    PlatformModel m(PlatformId::lam_fastethernet);
+    // Paper: very high latencies, max ~10 MiB/s.
+    EXPECT_GT(to_us(m.osc_latency(8, true)), 100.0);
+    EXPECT_LT(m.osc_bandwidth(64_KiB, true), 11.0);
+}
+
+TEST(PlatformModel, ViaOscLatencyFactorVersusSci) {
+    // Section 5.3: VIA one-sided ~3x-15x slower than SCI-MPICH for 1 KiB.
+    PlatformModel via(PlatformId::via_smp);
+    const double via_us = to_us(via.osc_latency(1024, true));
+    // SCI-MPICH direct put of 1 KiB lands in the ~10 us class.
+    EXPECT_GT(via_us / 10.0, 3.0);
+    EXPECT_LT(via_us / 10.0, 20.0);
+}
+
+TEST(PlatformModel, OscLatencyGetsExceedPuts) {
+    for (const auto id : osc_platforms()) {
+        PlatformModel m(id);
+        EXPECT_GT(m.osc_latency(256, false), m.osc_latency(256, true))
+            << spec(id).code;
+    }
+}
+
+TEST(PlatformModel, XeonShmScalesBadly) {
+    // Figure 12: the 4-way Xeon "scales very badly for coarse-grained
+    // accesses and delivers a bandwidth below the SCI-connected system".
+    PlatformModel m(PlatformId::lam_xeon_shm);
+    const double at2 = m.osc_scaling_bandwidth(2, 64_KiB);
+    const double at4 = m.osc_scaling_bandwidth(4, 64_KiB);
+    EXPECT_LT(at4, at2);
+    EXPECT_LT(at4, 120.0);  // below the SCI plateau
+}
+
+TEST(PlatformModel, SunFireScalesBetterButDeclines) {
+    PlatformModel m(PlatformId::sunfire_shm);
+    const double at4 = m.osc_scaling_bandwidth(4, 64_KiB);
+    const double at8 = m.osc_scaling_bandwidth(8, 64_KiB);
+    const double at16 = m.osc_scaling_bandwidth(16, 64_KiB);
+    EXPECT_GE(at4, at8);
+    EXPECT_GT(at8, at16);         // declines beyond ~6 active processes
+    EXPECT_GT(at4, 200.0);        // high-cost design: strong baseline
+}
+
+TEST(PlatformModel, T3EScalingStaysFlat) {
+    PlatformModel m(PlatformId::cray_t3e);
+    const double at2 = m.osc_scaling_bandwidth(2, 16_KiB);
+    const double at32 = m.osc_scaling_bandwidth(32, 16_KiB);
+    EXPECT_NEAR(at2, at32, at2 * 0.05);
+}
+
+TEST(PlatformModel, BandwidthMonotoneInTotalSize) {
+    for (const auto id : all_platforms()) {
+        PlatformModel m(id);
+        double prev = 0.0;
+        for (std::size_t total = 4_KiB; total <= 1_MiB; total *= 4) {
+            const double bw = m.transfer_bandwidth(total, 0);
+            EXPECT_GE(bw, prev * 0.8) << spec(id).code << " at " << total;
+            prev = bw;
+        }
+    }
+}
+
+TEST(PlatformModel, OscOnUnsupportedPlatformPanics) {
+    PlatformModel m(PlatformId::score_myrinet);
+    EXPECT_THROW((void)m.osc_latency(8, true), Panic);
+}
+
+}  // namespace
+}  // namespace scimpi::plat

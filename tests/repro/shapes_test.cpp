@@ -1,0 +1,136 @@
+// Reproduction-shape regression tests: each test pins one qualitative claim
+// of the paper against the simulator, so refactoring the models cannot
+// silently lose a reproduced result. These are the "who wins, by roughly
+// what factor, where are the crossovers" facts of DESIGN.md section 5.
+#include <gtest/gtest.h>
+
+#include "../../bench/common.hpp"
+
+namespace scimpi::bench {
+namespace {
+
+// ---- Figure 7 -------------------------------------------------------------
+
+TEST(Fig7Shape, GenericBeatsFFOnlyAtEightByteBlocksInterNode) {
+    // "Only for the case of 8 byte-blocksizes, the generic technique proves
+    // to be faster for inter-node communication."
+    EXPECT_GT(noncontig_bandwidth(true, 8, false),
+              noncontig_bandwidth(true, 8, true));
+    EXPECT_LT(noncontig_bandwidth(true, 16, false),
+              noncontig_bandwidth(true, 16, true));
+    EXPECT_LT(noncontig_bandwidth(true, 64, false),
+              noncontig_bandwidth(true, 64, true));
+}
+
+TEST(Fig7Shape, FFDeliversRoughlyTwiceGenericFrom16Bytes) {
+    // "It delivers already twice the bandwidth of the generic algorithm for
+    // a blocksize of 16 bytes and above."
+    for (const std::size_t block : {16u, 64u, 256u, 4096u}) {
+        const double ff = noncontig_bandwidth(true, block, true);
+        const double gen = noncontig_bandwidth(true, block, false);
+        EXPECT_GT(ff / gen, 1.15) << "block " << block;
+    }
+    EXPECT_GT(noncontig_bandwidth(true, 64, true) /
+                  noncontig_bandwidth(true, 64, false),
+              1.3);
+}
+
+TEST(Fig7Shape, FFReaches90PercentOfContiguousAt128Bytes) {
+    // "...approximates the bandwidth for contiguous transfers, and already
+    // reaches 90% of it for blocksizes of 128 byte."
+    const double contig = noncontig_bandwidth(true, 0, true);
+    EXPECT_GT(noncontig_bandwidth(true, 128, true) / contig, 0.80);
+    EXPECT_GT(noncontig_bandwidth(true, 1024, true) / contig, 0.95);
+}
+
+TEST(Fig7Shape, FFBandwidthRisesMonotonicallyWithBlockSize) {
+    double prev = 0.0;
+    for (std::size_t block = 8; block <= 64_KiB; block *= 4) {
+        const double bw = noncontig_bandwidth(true, block, true);
+        EXPECT_GT(bw, prev * 0.98) << "block " << block;
+        prev = bw;
+    }
+}
+
+TEST(Fig7Shape, IntraNodeShmShowsTheSamePattern) {
+    // Section 6: everything carries over to intra-node shared memory.
+    const double contig = noncontig_bandwidth(false, 0, true);
+    const double ff = noncontig_bandwidth(false, 2048, true);
+    const double gen = noncontig_bandwidth(false, 2048, false);
+    EXPECT_GT(ff, gen);
+    EXPECT_GT(ff / contig, 0.9);
+}
+
+// ---- Figure 9 / Section 4.2 ------------------------------------------------
+
+TEST(Fig9Shape, RemoteReadLatencyExceedsWriteLatency) {
+    const SparseResult put = sparse_osc(true, true, 8);
+    const SparseResult get = sparse_osc(true, false, 8);
+    EXPECT_GT(get.latency_us, 2.0 * put.latency_us);
+}
+
+TEST(Fig9Shape, PrivateWindowsPayTheEmulationPenalty) {
+    for (const bool is_put : {true, false}) {
+        const SparseResult shared = sparse_osc(true, is_put, 64);
+        const SparseResult priv = sparse_osc(false, is_put, 64);
+        EXPECT_GT(priv.latency_us, shared.latency_us)
+            << (is_put ? "put" : "get");
+    }
+}
+
+TEST(Fig9Shape, LargeGetsConvergeSharedAndPrivate) {
+    // "The bandwidth numbers for accessing remote private memory and reading
+    // remote shared memory become very similar for bigger access sizes as
+    // they are all performed via message exchange."
+    const SparseResult shared = sparse_osc(true, false, 16_KiB);
+    const SparseResult priv = sparse_osc(false, false, 16_KiB);
+    EXPECT_NEAR(shared.bandwidth, priv.bandwidth, shared.bandwidth * 0.05);
+}
+
+TEST(Fig9Shape, SmallGetsDoNotConverge) {
+    const SparseResult shared = sparse_osc(true, false, 64);
+    const SparseResult priv = sparse_osc(false, false, 64);
+    EXPECT_GT(shared.bandwidth, 2.0 * priv.bandwidth);
+}
+
+// ---- Figure 12 / Table 2 ----------------------------------------------------
+
+TEST(Fig12Shape, PerNodeBandwidthFlatThenDeclines) {
+    // "a constant peak bandwidth ... for up to 5 nodes. For more than 5
+    // nodes, the single SCI ringlet does not supply sufficient bandwidth."
+    const double at2 = scaling_put(8, 2, 1, 64_KiB, 1_MiB).min_bw;
+    const double at4 = scaling_put(8, 4, 3, 64_KiB, 1_MiB).min_bw;
+    const double at8 = scaling_put(8, 8, 7, 64_KiB, 1_MiB).min_bw;
+    EXPECT_NEAR(at2, at4, at2 * 0.25);
+    EXPECT_LT(at8, 0.6 * at2);
+    // Paper: 71.8 MiB/s for 8 nodes (we land within ~20%).
+    EXPECT_NEAR(at8, 71.8, 15.0);
+}
+
+TEST(Table2Shape, RingEfficiencyStaysHighUnderSaturation) {
+    // Paper: efficiency 79.3% at load 152.5% — "little congestion".
+    const ScalingResult r = scaling_put(8, 8, 7, 64_KiB, 1_MiB);
+    EXPECT_GT(r.efficiency, 0.70);
+    EXPECT_LT(r.efficiency, 1.0);
+}
+
+TEST(Table2Shape, LinkFrequencyScalesWorstCaseLinearly) {
+    // "The measured bandwidth for the worst case scenario increased linearly
+    // with the ring bandwidth."
+    const ScalingResult a = scaling_put(8, 8, 7, 64_KiB, 1_MiB, 166.0);
+    const ScalingResult b = scaling_put(8, 8, 7, 64_KiB, 1_MiB, 200.0);
+    const double bw_ratio = b.accumulated / a.accumulated;
+    const double freq_ratio = 200.0 / 166.0;
+    EXPECT_NEAR(bw_ratio, freq_ratio, 0.05);
+}
+
+TEST(Table2Shape, NeighbourPatternDoesNotContend) {
+    // "for the minimal segment utilization, the bandwidth per node remains
+    // constant" regardless of how many nodes are active.
+    const double at4 = scaling_put(8, 4, 1, 64_KiB, 1_MiB).min_bw;
+    const double at8 = scaling_put(8, 8, 1, 64_KiB, 1_MiB).min_bw;
+    EXPECT_NEAR(at4, at8, at4 * 0.02);
+}
+
+}  // namespace
+}  // namespace scimpi::bench

@@ -1,0 +1,132 @@
+#include "sci/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scimpi::sci {
+namespace {
+
+TEST(Topology, RingLinkEndpoints) {
+    const auto t = Topology::ring(4);
+    EXPECT_EQ(t.nodes(), 4);
+    EXPECT_EQ(t.links(), 4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.link_from(i), i);
+        EXPECT_EQ(t.link_to(i), (i + 1) % 4);
+    }
+}
+
+TEST(Topology, RingRouteFollowsDownstreamDirection) {
+    const auto t = Topology::ring(8);
+    EXPECT_EQ(t.route(0, 3), (std::vector<int>{0, 1, 2}));
+    // Wrapping route: 6 -> 1 crosses links 6, 7, 0.
+    EXPECT_EQ(t.route(6, 1), (std::vector<int>{6, 7, 0}));
+    EXPECT_TRUE(t.route(5, 5).empty());
+}
+
+TEST(Topology, RingHops) {
+    const auto t = Topology::ring(8);
+    EXPECT_EQ(t.hops(0, 1), 1);
+    EXPECT_EQ(t.hops(0, 7), 7);  // unidirectional: all the way around
+    EXPECT_EQ(t.hops(3, 3), 0);
+}
+
+TEST(Topology, EchoRouteCompletesTheRing) {
+    const auto t = Topology::ring(8);
+    // Request 0 -> 3 plus echo 3 -> 0 must cover every ring link exactly once.
+    std::set<int> covered;
+    for (int l : t.route(0, 3)) covered.insert(l);
+    for (int l : t.echo_route(0, 3)) covered.insert(l);
+    EXPECT_EQ(covered.size(), 8u);
+    EXPECT_EQ(t.route(0, 3).size() + t.echo_route(0, 3).size(), 8u);
+}
+
+TEST(Topology, SingleNodeRingHasSelfLink) {
+    const auto t = Topology::ring(1);
+    EXPECT_EQ(t.nodes(), 1);
+    EXPECT_TRUE(t.route(0, 0).empty());
+}
+
+TEST(Topology, Torus2dDimensions) {
+    const auto t = Topology::torus2d(4, 2);
+    EXPECT_EQ(t.nodes(), 8);
+    // 2 horizontal rings of 4 links + 4 vertical rings of 2 links.
+    EXPECT_EQ(t.links(), 2 * 4 + 4 * 2);
+}
+
+TEST(Topology, TorusRoutesDimensionOrder) {
+    // 3x3 torus; node id = y*3 + x.
+    const auto t = Topology::torus2d(3, 3);
+    // 0 (0,0) -> 4 (1,1): one hop in x (0->1), one hop in y (row0->row1).
+    EXPECT_EQ(t.hops(0, 4), 2);
+    // Same row: pure x routing.
+    EXPECT_EQ(t.hops(0, 2), 2);  // 0->1->2 along the row ring
+    // Same column: pure y routing.
+    EXPECT_EQ(t.hops(0, 6), 2);  // (0,0)->(0,1)->(0,2)
+}
+
+TEST(Topology, TorusAllPairsReachable) {
+    const auto t = Topology::torus2d(4, 3);
+    for (int s = 0; s < t.nodes(); ++s)
+        for (int d = 0; d < t.nodes(); ++d) {
+            if (s == d) continue;
+            EXPECT_GE(t.hops(s, d), 1) << s << "->" << d;
+            // Route links must be contiguous: each link starts where the
+            // previous one ended.
+            int cur = s;
+            for (int l : t.route(s, d)) {
+                EXPECT_EQ(t.link_from(l), cur);
+                cur = t.link_to(l);
+            }
+            EXPECT_EQ(cur, d);
+        }
+}
+
+TEST(Topology, RingRouteChainsToDestination) {
+    const auto t = Topology::ring(8);
+    for (int s = 0; s < 8; ++s)
+        for (int d = 0; d < 8; ++d) {
+            int cur = s;
+            for (int l : t.route(s, d)) {
+                EXPECT_EQ(t.link_from(l), cur);
+                cur = t.link_to(l);
+            }
+            EXPECT_EQ(cur, d);
+        }
+}
+
+
+TEST(Topology, Torus3dDimensionsAndLinks) {
+    const auto t = Topology::torus3d(4, 3, 2);
+    EXPECT_EQ(t.nodes(), 24);
+    // x rings: 3*2 rings of 4 links; y rings: 4*2 of 3; z rings: 3*4 of 2.
+    EXPECT_EQ(t.links(), 6 * 4 + 8 * 3 + 12 * 2);
+}
+
+TEST(Topology, Torus3dDimensionOrderHops) {
+    const auto t = Topology::torus3d(3, 3, 3);
+    const auto id = [](int x, int y, int z) { return (z * 3 + y) * 3 + x; };
+    // One hop per dimension for the body-diagonal neighbour.
+    EXPECT_EQ(t.hops(id(0, 0, 0), id(1, 1, 1)), 3);
+    // Pure z move.
+    EXPECT_EQ(t.hops(id(2, 1, 0), id(2, 1, 2)), 2);
+    // Wrap-around in x: 2 -> 0 is one downstream hop on a 3-ring.
+    EXPECT_EQ(t.hops(id(2, 0, 0), id(0, 0, 0)), 1);
+}
+
+TEST(Topology, Torus3dAllPairsRoutesChain) {
+    const auto t = Topology::torus3d(3, 2, 2);
+    for (int s = 0; s < t.nodes(); ++s)
+        for (int d = 0; d < t.nodes(); ++d) {
+            int cur = s;
+            for (int l : t.route(s, d)) {
+                ASSERT_EQ(t.link_from(l), cur);
+                cur = t.link_to(l);
+            }
+            ASSERT_EQ(cur, d) << s << "->" << d;
+        }
+}
+
+}  // namespace
+}  // namespace scimpi::sci

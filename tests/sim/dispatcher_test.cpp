@@ -1,0 +1,107 @@
+#include "sim/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sync.hpp"
+
+namespace scimpi::sim {
+namespace {
+
+TEST(Dispatcher, RunsCallbacksAtRequestedTimes) {
+    Engine eng;
+    Dispatcher disp(eng);
+    std::vector<SimTime> fired;
+    eng.spawn("driver", [&](Process& p) {
+        disp.at(500, [&, &e = eng] { fired.push_back(e.now()); });
+        disp.at(100, [&, &e = eng] { fired.push_back(e.now()); });
+        disp.after(250, [&, &e = eng] { fired.push_back(e.now()); });
+        p.delay(1000);
+    });
+    eng.run();
+    EXPECT_EQ(fired, (std::vector<SimTime>{100, 250, 500}));
+}
+
+TEST(Dispatcher, EqualTimesRunInInsertionOrder) {
+    Engine eng;
+    Dispatcher disp(eng);
+    std::vector<int> order;
+    eng.spawn("driver", [&](Process& p) {
+        for (int i = 0; i < 5; ++i) disp.at(42, [&, i] { order.push_back(i); });
+        p.delay(100);
+    });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Dispatcher, EarlierItemInsertedAfterLaterItemStillFiresFirst) {
+    Engine eng;
+    Dispatcher disp(eng);
+    std::vector<std::string> order;
+    eng.spawn("driver", [&](Process& p) {
+        disp.at(900, [&] { order.push_back("late"); });
+        p.delay(10);
+        disp.at(20, [&] { order.push_back("early"); });
+        p.delay(2000);
+    });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"early", "late"}));
+}
+
+TEST(Dispatcher, DeliversIntoMailboxWakingReceiver) {
+    Engine eng;
+    Dispatcher disp(eng);
+    Mailbox<int> mb;
+    SimTime recv_time = -1;
+    eng.spawn("receiver", [&](Process& p) {
+        const int v = mb.recv(p);
+        EXPECT_EQ(v, 99);
+        recv_time = p.now();
+    });
+    eng.spawn("sender", [&](Process& p) {
+        p.delay(300);
+        disp.after(700, [&mb] { mb.send(99); });
+    });
+    eng.run();
+    EXPECT_EQ(recv_time, 1000);
+}
+
+TEST(Dispatcher, IdleDispatcherDoesNotDeadlockEngine) {
+    Engine eng;
+    Dispatcher disp(eng);
+    eng.spawn("p", [](Process& p) { p.delay(5); });
+    eng.run();  // must terminate despite the forever-blocked daemon
+    EXPECT_EQ(eng.now(), 5);
+}
+
+TEST(Dispatcher, CallbackAfterAllUserProcessesStillRuns) {
+    Engine eng;
+    Dispatcher disp(eng);
+    bool ran = false;
+    eng.spawn("p", [&](Process& p) {
+        disp.at(10'000, [&] { ran = true; });
+        p.delay(1);
+    });
+    eng.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eng.now(), 10'000);
+}
+
+TEST(Dispatcher, ManyInterleavedCallbacksStaySorted) {
+    Engine eng;
+    Dispatcher disp(eng);
+    std::vector<SimTime> fired;
+    eng.spawn("driver", [&](Process& p) {
+        // Insert in a scrambled order.
+        for (SimTime t : {70, 10, 50, 30, 90, 20, 80, 40, 60, 100})
+            disp.at(t, [&, &e = eng] { fired.push_back(e.now()); });
+        p.delay(200);
+    });
+    eng.run();
+    for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+    EXPECT_EQ(fired.size(), 10u);
+}
+
+}  // namespace
+}  // namespace scimpi::sim

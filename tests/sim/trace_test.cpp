@@ -1,0 +1,120 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpi/comm.hpp"
+#include "sim/sync.hpp"
+
+namespace scimpi::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+    Engine eng;
+    eng.spawn("p", [](Process& p) {
+        const TraceScope scope(p, "work");
+        p.delay(100);
+    });
+    eng.run();
+    EXPECT_EQ(eng.tracer().event_count(), 0u);
+}
+
+TEST(Tracer, SpansCaptureSimulatedDurations) {
+    Engine eng;
+    eng.tracer().enable();
+    eng.spawn("p", [](Process& p) {
+        p.delay(50);
+        {
+            const TraceScope scope(p, "phase-one");
+            p.delay(200);
+        }
+        const TraceScope scope(p, "phase-two");
+        p.delay(300);
+    });
+    eng.run();
+    const auto& events = eng.tracer().events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "phase-one");
+    EXPECT_EQ(events[0].t0, 50);
+    EXPECT_EQ(events[0].t1, 250);
+    EXPECT_EQ(events[1].name, "phase-two");
+    EXPECT_EQ(events[1].t1 - events[1].t0, 300);
+}
+
+TEST(Tracer, InstantMarkers) {
+    Engine eng;
+    eng.tracer().enable();
+    eng.spawn("p", [&](Process& p) {
+        p.delay(42);
+        eng.tracer().instant(p.id(), "marker", p.now());
+    });
+    eng.run();
+    ASSERT_EQ(eng.tracer().event_count(), 1u);
+    EXPECT_TRUE(eng.tracer().events()[0].is_instant);
+    EXPECT_EQ(eng.tracer().events()[0].t0, 42);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+    Engine eng;
+    eng.tracer().enable();
+    eng.spawn("p", [](Process& p) {
+        const TraceScope scope(p, R"(weird "name" \ here)");
+        p.delay(10);
+    });
+    eng.run();
+    const std::string json = eng.tracer().to_chrome_json();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find(R"("ph": "X")"), std::string::npos);
+    EXPECT_NE(json.find(R"(\"name\")"), std::string::npos);  // escaped quotes
+    EXPECT_NE(json.find("\"dur\": 0.010"), std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Tracer, MpiWorkloadProducesProtocolSpans) {
+    mpi::ClusterOptions opt;
+    opt.nodes = 2;
+    mpi::Cluster c(opt);
+    c.engine().tracer().enable();
+    c.run([](mpi::Comm& comm) {
+        std::vector<double> buf(64_KiB / 8, 1.0);
+        if (comm.rank() == 0)
+            comm.send(buf.data(), static_cast<int>(buf.size()),
+                      mpi::Datatype::float64(), 1, 0);
+        else
+            comm.recv(buf.data(), static_cast<int>(buf.size()),
+                      mpi::Datatype::float64(), 0, 0);
+    });
+    const auto& events = c.engine().tracer().events();
+    int packs = 0, unpacks = 0, starts = 0;
+    for (const auto& e : events) {
+        if (e.name == "rndv:pack_chunk") ++packs;
+        if (e.name == "rndv:unpack_chunk") ++unpacks;
+        if (e.name == "mpi:send_start") ++starts;
+        EXPECT_GE(e.t1, e.t0);
+    }
+    EXPECT_EQ(packs, 1);    // 64 KiB = exactly one rendezvous chunk
+    EXPECT_EQ(unpacks, 1);
+    EXPECT_GE(starts, 1);   // user send + finalize barrier tokens
+}
+
+TEST(Tracer, WriteToFileRoundTrips) {
+    Engine eng;
+    eng.tracer().enable();
+    eng.spawn("p", [](Process& p) {
+        const TraceScope scope(p, "io");
+        p.delay(5);
+    });
+    eng.run();
+    const std::string path = ::testing::TempDir() + "/scimpi_trace.json";
+    ASSERT_TRUE(eng.tracer().write_chrome_json(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char head[2] = {};
+    ASSERT_EQ(std::fread(head, 1, 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EQ(head[0], '[');
+}
+
+}  // namespace
+}  // namespace scimpi::sim
