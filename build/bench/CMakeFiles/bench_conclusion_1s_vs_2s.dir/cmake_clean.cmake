@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conclusion_1s_vs_2s.dir/bench_conclusion_1s_vs_2s.cpp.o"
+  "CMakeFiles/bench_conclusion_1s_vs_2s.dir/bench_conclusion_1s_vs_2s.cpp.o.d"
+  "bench_conclusion_1s_vs_2s"
+  "bench_conclusion_1s_vs_2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conclusion_1s_vs_2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_conclusion_1s_vs_2s.
+# This may be replaced when dependencies are built.

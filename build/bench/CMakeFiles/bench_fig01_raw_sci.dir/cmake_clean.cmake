@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_raw_sci.dir/bench_fig01_raw_sci.cpp.o"
+  "CMakeFiles/bench_fig01_raw_sci.dir/bench_fig01_raw_sci.cpp.o.d"
+  "bench_fig01_raw_sci"
+  "bench_fig01_raw_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_raw_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_noncontig.dir/bench_fig07_noncontig.cpp.o"
+  "CMakeFiles/bench_fig07_noncontig.dir/bench_fig07_noncontig.cpp.o.d"
+  "bench_fig07_noncontig"
+  "bench_fig07_noncontig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_noncontig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_sparse.dir/bench_fig09_sparse.cpp.o"
+  "CMakeFiles/bench_fig09_sparse.dir/bench_fig09_sparse.cpp.o.d"
+  "bench_fig09_sparse"
+  "bench_fig09_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_platforms_noncontig.dir/bench_fig10_platforms_noncontig.cpp.o"
+  "CMakeFiles/bench_fig10_platforms_noncontig.dir/bench_fig10_platforms_noncontig.cpp.o.d"
+  "bench_fig10_platforms_noncontig"
+  "bench_fig10_platforms_noncontig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_platforms_noncontig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_platforms_osc.dir/bench_fig11_platforms_osc.cpp.o"
+  "CMakeFiles/bench_fig11_platforms_osc.dir/bench_fig11_platforms_osc.cpp.o.d"
+  "bench_fig11_platforms_osc"
+  "bench_fig11_platforms_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_platforms_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outlook_dma.dir/bench_outlook_dma.cpp.o"
+  "CMakeFiles/bench_outlook_dma.dir/bench_outlook_dma.cpp.o.d"
+  "bench_outlook_dma"
+  "bench_outlook_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outlook_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outlook_torus.dir/bench_outlook_torus.cpp.o"
+  "CMakeFiles/bench_outlook_torus.dir/bench_outlook_torus.cpp.o.d"
+  "bench_outlook_torus"
+  "bench_outlook_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outlook_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_stride_wc.dir/bench_sec43_stride_wc.cpp.o"
+  "CMakeFiles/bench_sec43_stride_wc.dir/bench_sec43_stride_wc.cpp.o.d"
+  "bench_sec43_stride_wc"
+  "bench_sec43_stride_wc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_stride_wc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec43_stride_wc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec43_stride_wc.
+# This may be replaced when dependencies are built.

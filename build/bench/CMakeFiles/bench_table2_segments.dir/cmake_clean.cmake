@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_segments.dir/bench_table2_segments.cpp.o"
+  "CMakeFiles/bench_table2_segments.dir/bench_table2_segments.cpp.o.d"
+  "bench_table2_segments"
+  "bench_table2_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_transpose.dir/matrix_transpose.cpp.o"
+  "CMakeFiles/matrix_transpose.dir/matrix_transpose.cpp.o.d"
+  "matrix_transpose"
+  "matrix_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_halo.dir/ocean_halo.cpp.o"
+  "CMakeFiles/ocean_halo.dir/ocean_halo.cpp.o.d"
+  "ocean_halo"
+  "ocean_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_matvec.dir/sparse_matvec.cpp.o"
+  "CMakeFiles/sparse_matvec.dir/sparse_matvec.cpp.o.d"
+  "sparse_matvec"
+  "sparse_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_stealing.dir/work_stealing.cpp.o"
+  "CMakeFiles/work_stealing.dir/work_stealing.cpp.o.d"
+  "work_stealing"
+  "work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;7;scimpi_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ocean_halo "/root/repo/build/examples/ocean_halo")
+set_tests_properties(example_ocean_halo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;8;scimpi_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparse_matvec "/root/repo/build/examples/sparse_matvec")
+set_tests_properties(example_sparse_matvec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;9;scimpi_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_work_stealing "/root/repo/build/examples/work_stealing")
+set_tests_properties(example_work_stealing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;10;scimpi_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_transpose "/root/repo/build/examples/matrix_transpose")
+set_tests_properties(example_matrix_transpose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;11;scimpi_example;/root/repo/examples/CMakeLists.txt;0;")

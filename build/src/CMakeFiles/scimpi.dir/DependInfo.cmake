@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/scimpi.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/scimpi.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/scimpi.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/common/status.cpp.o.d"
+  "/root/repo/src/mem/allocator.cpp" "src/CMakeFiles/scimpi.dir/mem/allocator.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mem/allocator.cpp.o.d"
+  "/root/repo/src/mem/copy_model.cpp" "src/CMakeFiles/scimpi.dir/mem/copy_model.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mem/copy_model.cpp.o.d"
+  "/root/repo/src/mem/machine_profile.cpp" "src/CMakeFiles/scimpi.dir/mem/machine_profile.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mem/machine_profile.cpp.o.d"
+  "/root/repo/src/mem/node_memory.cpp" "src/CMakeFiles/scimpi.dir/mem/node_memory.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mem/node_memory.cpp.o.d"
+  "/root/repo/src/mpi/coll.cpp" "src/CMakeFiles/scimpi.dir/mpi/coll.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/coll.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/scimpi.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype/builders.cpp" "src/CMakeFiles/scimpi.dir/mpi/datatype/builders.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/datatype/builders.cpp.o.d"
+  "/root/repo/src/mpi/datatype/datatype.cpp" "src/CMakeFiles/scimpi.dir/mpi/datatype/datatype.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/datatype/datatype.cpp.o.d"
+  "/root/repo/src/mpi/datatype/flatten.cpp" "src/CMakeFiles/scimpi.dir/mpi/datatype/flatten.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/datatype/flatten.cpp.o.d"
+  "/root/repo/src/mpi/datatype/pack_ff.cpp" "src/CMakeFiles/scimpi.dir/mpi/datatype/pack_ff.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/datatype/pack_ff.cpp.o.d"
+  "/root/repo/src/mpi/datatype/pack_generic.cpp" "src/CMakeFiles/scimpi.dir/mpi/datatype/pack_generic.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/datatype/pack_generic.cpp.o.d"
+  "/root/repo/src/mpi/protocol.cpp" "src/CMakeFiles/scimpi.dir/mpi/protocol.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/protocol.cpp.o.d"
+  "/root/repo/src/mpi/rma/emulation.cpp" "src/CMakeFiles/scimpi.dir/mpi/rma/emulation.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/rma/emulation.cpp.o.d"
+  "/root/repo/src/mpi/rma/ops.cpp" "src/CMakeFiles/scimpi.dir/mpi/rma/ops.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/rma/ops.cpp.o.d"
+  "/root/repo/src/mpi/rma/sync.cpp" "src/CMakeFiles/scimpi.dir/mpi/rma/sync.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/rma/sync.cpp.o.d"
+  "/root/repo/src/mpi/rma/window.cpp" "src/CMakeFiles/scimpi.dir/mpi/rma/window.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/rma/window.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/scimpi.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/plat/platform_model.cpp" "src/CMakeFiles/scimpi.dir/plat/platform_model.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/plat/platform_model.cpp.o.d"
+  "/root/repo/src/plat/profiles.cpp" "src/CMakeFiles/scimpi.dir/plat/profiles.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/plat/profiles.cpp.o.d"
+  "/root/repo/src/sci/adapter.cpp" "src/CMakeFiles/scimpi.dir/sci/adapter.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sci/adapter.cpp.o.d"
+  "/root/repo/src/sci/dma.cpp" "src/CMakeFiles/scimpi.dir/sci/dma.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sci/dma.cpp.o.d"
+  "/root/repo/src/sci/fabric.cpp" "src/CMakeFiles/scimpi.dir/sci/fabric.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sci/fabric.cpp.o.d"
+  "/root/repo/src/sci/segment.cpp" "src/CMakeFiles/scimpi.dir/sci/segment.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sci/segment.cpp.o.d"
+  "/root/repo/src/sci/topology.cpp" "src/CMakeFiles/scimpi.dir/sci/topology.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sci/topology.cpp.o.d"
+  "/root/repo/src/sim/dispatcher.cpp" "src/CMakeFiles/scimpi.dir/sim/dispatcher.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sim/dispatcher.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/scimpi.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/scimpi.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/scimpi.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sim/sync.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/scimpi.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/smi/barrier.cpp" "src/CMakeFiles/scimpi.dir/smi/barrier.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/smi/barrier.cpp.o.d"
+  "/root/repo/src/smi/lock.cpp" "src/CMakeFiles/scimpi.dir/smi/lock.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/smi/lock.cpp.o.d"
+  "/root/repo/src/smi/region.cpp" "src/CMakeFiles/scimpi.dir/smi/region.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/smi/region.cpp.o.d"
+  "/root/repo/src/smi/signal.cpp" "src/CMakeFiles/scimpi.dir/smi/signal.cpp.o" "gcc" "src/CMakeFiles/scimpi.dir/smi/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boundary.dir/mpi/boundary_test.cpp.o"
+  "CMakeFiles/test_boundary.dir/mpi/boundary_test.cpp.o.d"
+  "test_boundary"
+  "test_boundary.pdb"
+  "test_boundary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

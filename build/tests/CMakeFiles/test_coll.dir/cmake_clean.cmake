@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll.dir/mpi/coll_test.cpp.o"
+  "CMakeFiles/test_coll.dir/mpi/coll_test.cpp.o.d"
+  "test_coll"
+  "test_coll.pdb"
+  "test_coll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

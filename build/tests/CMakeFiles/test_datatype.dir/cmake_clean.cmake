@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datatype.dir/mpi/datatype_test.cpp.o"
+  "CMakeFiles/test_datatype.dir/mpi/datatype_test.cpp.o.d"
+  "CMakeFiles/test_datatype.dir/mpi/pack_test.cpp.o"
+  "CMakeFiles/test_datatype.dir/mpi/pack_test.cpp.o.d"
+  "test_datatype"
+  "test_datatype.pdb"
+  "test_datatype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plat.dir/plat/platform_test.cpp.o"
+  "CMakeFiles/test_plat.dir/plat/platform_test.cpp.o.d"
+  "test_plat"
+  "test_plat.pdb"
+  "test_plat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rma.dir/mpi/rma_test.cpp.o"
+  "CMakeFiles/test_rma.dir/mpi/rma_test.cpp.o.d"
+  "test_rma"
+  "test_rma.pdb"
+  "test_rma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

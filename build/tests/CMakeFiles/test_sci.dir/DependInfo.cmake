@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sci/adapter_test.cpp" "tests/CMakeFiles/test_sci.dir/sci/adapter_test.cpp.o" "gcc" "tests/CMakeFiles/test_sci.dir/sci/adapter_test.cpp.o.d"
+  "/root/repo/tests/sci/dma_test.cpp" "tests/CMakeFiles/test_sci.dir/sci/dma_test.cpp.o" "gcc" "tests/CMakeFiles/test_sci.dir/sci/dma_test.cpp.o.d"
+  "/root/repo/tests/sci/fabric_test.cpp" "tests/CMakeFiles/test_sci.dir/sci/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_sci.dir/sci/fabric_test.cpp.o.d"
+  "/root/repo/tests/sci/gather_test.cpp" "tests/CMakeFiles/test_sci.dir/sci/gather_test.cpp.o" "gcc" "tests/CMakeFiles/test_sci.dir/sci/gather_test.cpp.o.d"
+  "/root/repo/tests/sci/topology_test.cpp" "tests/CMakeFiles/test_sci.dir/sci/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_sci.dir/sci/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sci.dir/sci/adapter_test.cpp.o"
+  "CMakeFiles/test_sci.dir/sci/adapter_test.cpp.o.d"
+  "CMakeFiles/test_sci.dir/sci/dma_test.cpp.o"
+  "CMakeFiles/test_sci.dir/sci/dma_test.cpp.o.d"
+  "CMakeFiles/test_sci.dir/sci/fabric_test.cpp.o"
+  "CMakeFiles/test_sci.dir/sci/fabric_test.cpp.o.d"
+  "CMakeFiles/test_sci.dir/sci/gather_test.cpp.o"
+  "CMakeFiles/test_sci.dir/sci/gather_test.cpp.o.d"
+  "CMakeFiles/test_sci.dir/sci/topology_test.cpp.o"
+  "CMakeFiles/test_sci.dir/sci/topology_test.cpp.o.d"
+  "test_sci"
+  "test_sci.pdb"
+  "test_sci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

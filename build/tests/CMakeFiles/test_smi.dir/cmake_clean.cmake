@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smi.dir/smi/smi_test.cpp.o"
+  "CMakeFiles/test_smi.dir/smi/smi_test.cpp.o.d"
+  "test_smi"
+  "test_smi.pdb"
+  "test_smi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
