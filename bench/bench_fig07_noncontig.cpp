@@ -22,6 +22,9 @@ void BM_Noncontig(benchmark::State& state) {
             static_cast<double>(kNoncontigTotal) / 1048576.0 / bw);
     }
     state.counters["MiB/s"] = bw;
+    export_counters(state, {"pack.ff_packs", "pack.generic_packs",
+                            "pack.ff_direct_blocks", "pack.ff_direct_bytes",
+                            "pack.generic_staged_bytes"});
     state.counters["eff_vs_contig"] =
         bw / noncontig_bandwidth(internode, 0, use_ff);
 }

@@ -22,6 +22,8 @@ void BM_Sparse(benchmark::State& state) {
     }
     state.counters["lat_us"] = r.latency_us;
     state.counters["MiB/s"] = r.bandwidth;
+    export_counters(state, {"rma.direct_puts", "rma.emulated_puts",
+                            "rma.direct_gets", "rma.remote_put_gets"});
 }
 
 void sweep(benchmark::internal::Benchmark* b) {

@@ -5,15 +5,35 @@
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <numeric>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "mpi/comm.hpp"
 #include "mpi/rma/window.hpp"
+#include "obs/metrics.hpp"
 
 namespace scimpi::bench {
 
 using namespace scimpi::mpi;
+
+/// Run report of the most recent helper invocation (each helper overwrites
+/// it). Benchmarks pull protocol counters out of it into their user counters.
+inline obs::RunReport& last_report() {
+    static obs::RunReport report;
+    return report;
+}
+
+/// Copy selected registry counters of the last run into a benchmark's
+/// user-counter table (any benchmark::State-like type works).
+template <typename State>
+void export_counters(State& state, std::initializer_list<std::string_view> names) {
+    for (const std::string_view n : names)
+        state.counters[std::string(n)] =
+            static_cast<double>(last_report().counter(n));
+}
 
 /// Total payload of the noncontig micro-benchmark (paper Section 3.4).
 inline constexpr std::size_t kNoncontigTotal = 256_KiB;
@@ -32,6 +52,7 @@ inline double noncontig_bandwidth(bool internode, std::size_t block, bool use_ff
     }
     opt.cfg.use_direct_pack_ff = use_ff;
     opt.cfg.ff_min_block = 0;  // paper footnote: full comparison down to 8 B
+    opt.collect_stats = true;  // host-side only; simulated time is unaffected
 
     Datatype type;
     if (block == 0) {
@@ -60,6 +81,7 @@ inline double noncontig_bandwidth(bool internode, std::size_t block, bool use_ff
             }
         }
     });
+    last_report() = cluster.stats_report();
     return bandwidth_mib(kNoncontigTotal * static_cast<std::size_t>(repeats),
                          static_cast<SimTime>(seconds * 1e9));
 }
@@ -77,6 +99,7 @@ inline SparseResult sparse_osc(bool shared_window, bool is_put, std::size_t acce
                                std::size_t winsize = 256_KiB) {
     ClusterOptions opt;
     opt.nodes = 2;
+    opt.collect_stats = true;
     SparseResult result;
     Cluster cluster(opt);
     cluster.run([&](Comm& comm) {
@@ -116,6 +139,7 @@ inline SparseResult sparse_osc(bool shared_window, bool is_put, std::size_t acce
                                              static_cast<SimTime>(dt * 1e9));
         }
     });
+    last_report() = cluster.stats_report();
     return result;
 }
 
@@ -138,6 +162,7 @@ inline ScalingResult scaling_put(int ring_nodes, int active, int distance,
     opt.nodes = ring_nodes;
     opt.sci.link_mhz = link_mhz;
     opt.arena_bytes = 24_MiB;
+    opt.collect_stats = true;
     ScalingResult result;
     std::vector<double> bw(static_cast<std::size_t>(ring_nodes), 0.0);
     double elapsed = 0.0;
@@ -171,6 +196,7 @@ inline ScalingResult scaling_put(int ring_nodes, int active, int distance,
         if (comm.rank() == 0) elapsed = dt;
     });
     (void)elapsed;
+    last_report() = cluster.stats_report();
 
     result.min_bw = 1e30;
     for (int r = 0; r < active; ++r) {

@@ -5,8 +5,14 @@
 // direct_pack_ff, and MPI-2 one-sided communication over a shared window.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// Observability: `--stats` prints the structured run report (JSON) after the
+// run; `--trace FILE` writes a Chrome trace (open in ui.perfetto.dev). The
+// SCIMPI_STATS / SCIMPI_STATS_FILE / SCIMPI_TRACE_FILE environment variables
+// do the same without flags.
 #include <cstdio>
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "mpi/comm.hpp"
@@ -15,9 +21,23 @@
 using namespace scimpi;
 using namespace scimpi::mpi;
 
-int main() {
+int main(int argc, char** argv) {
     ClusterOptions opt;
     opt.nodes = 4;  // 4 nodes on one SCI ringlet, 1 rank each
+
+    bool print_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--stats") {
+            print_stats = true;
+            opt.collect_stats = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.trace_file = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: quickstart [--stats] [--trace FILE]\n");
+            return 2;
+        }
+    }
 
     Cluster cluster(opt);
     cluster.run([](Comm& comm) {
@@ -70,5 +90,7 @@ int main() {
     });
 
     std::printf("simulated time: %.3f ms\n", cluster.wtime() * 1e3);
+    if (print_stats)
+        std::printf("%s\n", cluster.stats_report().to_json().c_str());
     return 0;
 }

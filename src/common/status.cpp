@@ -13,6 +13,7 @@ const char* errc_name(Errc e) {
         case Errc::link_failure: return "link_failure";
         case Errc::rma_sync_error: return "rma_sync_error";
         case Errc::deadlock: return "deadlock";
+        case Errc::io_error: return "io_error";
     }
     return "unknown";
 }

@@ -20,6 +20,7 @@ enum class Errc {
     link_failure,         // unrecoverable SCI transmission failure
     rma_sync_error,       // one-sided synchronization misuse
     deadlock,             // simulation detected global deadlock
+    io_error,             // host-side file I/O failure (trace/stats export)
 };
 
 const char* errc_name(Errc e);

@@ -17,7 +17,22 @@ constexpr SimTime kRemotePollDetect = 600;    // ns on top of the pipeline laten
 }  // namespace
 
 Rank::Rank(Cluster& cluster, int rank, int node)
-    : cluster_(cluster), rank_(rank), node_(node), copy_model_(cluster.options().host) {}
+    : cluster_(cluster), rank_(rank), node_(node), copy_model_(cluster.options().host) {
+    obs::MetricsRegistry& m = cluster.metrics();
+    pm_.sends_short = &m.counter("mpi.sends_short");
+    pm_.sends_eager = &m.counter("mpi.sends_eager");
+    pm_.sends_rndv = &m.counter("mpi.sends_rndv");
+    pm_.bytes_short = &m.counter("mpi.bytes_short");
+    pm_.bytes_eager = &m.counter("mpi.bytes_eager");
+    pm_.bytes_rndv = &m.counter("mpi.bytes_rndv");
+    pm_.unexpected = &m.counter("mpi.unexpected_msgs");
+    pm_.ff_packs = &m.counter("pack.ff_packs");
+    pm_.generic_packs = &m.counter("pack.generic_packs");
+    pm_.ff_direct_writes = &m.counter("pack.ff_direct_writes");
+    pm_.ff_direct_blocks = &m.counter("pack.ff_direct_blocks");
+    pm_.ff_direct_bytes = &m.counter("pack.ff_direct_bytes");
+    pm_.generic_staged_bytes = &m.counter("pack.generic_staged_bytes");
+}
 
 Rank::~Rank() = default;
 
@@ -100,6 +115,7 @@ void Rank::dispatch(CtrlMsg msg) {
                 return;
             }
             ++stats_.unexpected;
+            pm_.unexpected->inc();
             unexpected_.push_back(std::move(msg));
             return;
         }
@@ -156,7 +172,7 @@ bool Rank::use_ff_side(const Datatype& type, PackMode mode, bool /*fp_match*/) c
 void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t ring_off,
                           std::size_t pos, std::size_t len) {
     sim::Process& self = proc();
-    const sim::TraceScope trace(self, "rndv:pack_chunk");
+    const sim::TraceScope trace(self, "rndv:pack_chunk", "p2p", len);
     const Config& cfg = cluster_.options().cfg;
     auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
     // DMA rendezvous (paper Section 6 outlook): move large chunks with the
@@ -177,10 +193,14 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
         ff.dominant_pattern().block >= cfg.ff_min_block;
     if (use_ff_side(op.type, op.mode, false) && small_blocks_ok) {
         ++stats_.ff_packs;
+        pm_.ff_packs->inc();
         std::vector<sci::SciAdapter::ConstIovec> blocks;
         ff.for_range(pos, len, [&blocks](std::byte* mem, std::size_t n) {
             blocks.push_back({mem, n});
         });
+        pm_.ff_direct_writes->inc();
+        pm_.ff_direct_blocks->add(blocks.size());
+        pm_.ff_direct_bytes->add(len);
         const std::size_t traffic = ff.memory_traffic(len);
         const Status st =
             dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
@@ -192,6 +212,8 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
     // Generic: local pack into a scratch buffer, then one contiguous write
     // (the extra copy of Figure 4 top).
     ++stats_.generic_packs;
+    pm_.generic_packs->inc();
+    pm_.generic_staged_bytes->add(len);
     std::vector<std::byte> scratch(len);
     GenericPacker gp(op.type, op.count, src);
     const PackWork work = gp.pack(pos, len, scratch.data());
@@ -203,7 +225,7 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
 void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
                             std::size_t len) {
     sim::Process& self = proc();
-    const sim::TraceScope trace(self, "rndv:unpack_chunk");
+    const sim::TraceScope trace(self, "rndv:unpack_chunk", "p2p", len);
     auto* dst = static_cast<std::byte*>(op.buf);
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
@@ -217,12 +239,14 @@ void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t 
     }
     if (use_ff_side(op.type, op.mode, false)) {
         ++stats_.ff_packs;
+        pm_.ff_packs->inc();
         FFPacker ff(op.type, op.count, dst);
         const PackWork work = ff.unpack(pos, usable, chunk.data());
         self.delay(FFPacker::cost(work, copy_model_));
         return;
     }
     ++stats_.generic_packs;
+    pm_.generic_packs->inc();
     GenericPacker gp(op.type, op.count, dst);
     const PackWork work = gp.unpack(pos, usable, chunk.data());
     self.delay(GenericPacker::cost(work, copy_model_));
@@ -256,9 +280,9 @@ std::shared_ptr<SendOp> Rank::isend(const void* buf, int count, const Datatype& 
 
 void Rank::start_send(SendOp& op) {
     sim::Process& self = proc();
-    const sim::TraceScope trace(self, "mpi:send_start");
     const Config& cfg = cluster_.options().cfg;
     const std::size_t bytes = op.env.bytes;
+    const sim::TraceScope trace(self, "mpi:send_start", "p2p", bytes);
     stats_.bytes_sent += bytes;
     auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
 
@@ -270,11 +294,14 @@ void Rank::start_send(SendOp& op) {
             std::memcpy(out.data(), src, bytes);
         } else if (use_ff_side(op.type, PackMode::canonical, false)) {
             ++stats_.ff_packs;
+            pm_.ff_packs->inc();
             FFPacker ff(op.type, op.count, src);
             const PackWork w = ff.pack(0, bytes, out.data());
             self.delay(FFPacker::cost(w, copy_model_));
         } else {
             ++stats_.generic_packs;
+            pm_.generic_packs->inc();
+            pm_.generic_staged_bytes->add(bytes);
             GenericPacker gp(op.type, op.count, src);
             const PackWork w = gp.pack(0, bytes, out.data());
             self.delay(GenericPacker::cost(w, copy_model_));
@@ -283,6 +310,8 @@ void Rank::start_send(SendOp& op) {
 
     if (bytes <= cfg.short_threshold) {
         ++stats_.sends_short;
+        pm_.sends_short->inc();
+        pm_.bytes_short->add(bytes);
         CtrlMsg msg;
         msg.kind = CtrlKind::short_msg;
         msg.env = op.env;
@@ -295,6 +324,8 @@ void Rank::start_send(SendOp& op) {
 
     if (bytes <= cfg.eager_threshold) {
         ++stats_.sends_eager;
+        pm_.sends_eager->inc();
+        pm_.bytes_eager->add(bytes);
         auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
         while (credits == 0) progress_one();  // flow control: wait for a slot
         --credits;
@@ -309,6 +340,8 @@ void Rank::start_send(SendOp& op) {
     }
 
     ++stats_.sends_rndv;
+    pm_.sends_rndv->inc();
+    pm_.bytes_rndv->add(bytes);
     CtrlMsg rts;
     rts.kind = CtrlKind::rndv_rts;
     rts.env = op.env;
@@ -383,6 +416,7 @@ bool Rank::try_match(RecvOp& op) {
 
 void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     sim::Process& self = proc();
+    const sim::TraceScope trace(self, "mpi:deliver_inline", "p2p", msg.env.bytes);
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
     const std::size_t usable = std::min(msg.env.bytes, capacity);
@@ -395,11 +429,13 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
             std::memcpy(dst, msg.inline_data.data(), usable);
         } else if (use_ff_side(op.type, PackMode::canonical, false)) {
             ++stats_.ff_packs;
+            pm_.ff_packs->inc();
             FFPacker ff(op.type, op.count, dst);
             const PackWork w = ff.unpack(0, usable, msg.inline_data.data());
             self.delay(FFPacker::cost(w, copy_model_));
         } else {
             ++stats_.generic_packs;
+            pm_.generic_packs->inc();
             GenericPacker gp(op.type, op.count, dst);
             const PackWork w = gp.unpack(0, usable, msg.inline_data.data());
             self.delay(GenericPacker::cost(w, copy_model_));
@@ -419,6 +455,7 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
 }
 
 void Rank::handle_rts(RecvOp& op, const CtrlMsg& rts) {
+    const sim::TraceScope trace(proc(), "rndv:handle_rts", "p2p", rts.env.bytes);
     const Config& cfg = cluster_.options().cfg;
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
@@ -448,6 +485,7 @@ void Rank::handle_rts(RecvOp& op, const CtrlMsg& rts) {
 }
 
 void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
+    const sim::TraceScope trace(proc(), "rndv:recv_chunk", "p2p", msg.b);
     const Config& cfg = cluster_.options().cfg;
     SCIMPI_REQUIRE(!op.ring_mem.empty(), "chunk without ring");
     const std::size_t slot = msg.a;

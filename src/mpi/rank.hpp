@@ -26,6 +26,7 @@
 #include "mpi/datatype/pack_ff.hpp"
 #include "mpi/datatype/pack_generic.hpp"
 #include "mpi/types.hpp"
+#include "obs/metrics.hpp"
 #include "sci/adapter.hpp"
 #include "smi/region.hpp"
 #include "sim/sync.hpp"
@@ -189,6 +190,26 @@ private:
     std::vector<std::uint64_t> send_seq_;  // per destination
 
     Stats stats_;
+
+    /// Cluster-wide registry counters, resolved once at construction; all
+    /// ranks share the same slots so values aggregate across the world.
+    struct ProtoMetrics {
+        obs::Counter* sends_short = nullptr;
+        obs::Counter* sends_eager = nullptr;
+        obs::Counter* sends_rndv = nullptr;
+        obs::Counter* bytes_short = nullptr;
+        obs::Counter* bytes_eager = nullptr;
+        obs::Counter* bytes_rndv = nullptr;
+        obs::Counter* unexpected = nullptr;
+        obs::Counter* ff_packs = nullptr;
+        obs::Counter* generic_packs = nullptr;
+        obs::Counter* ff_direct_writes = nullptr;
+        obs::Counter* ff_direct_blocks = nullptr;
+        obs::Counter* ff_direct_bytes = nullptr;
+        obs::Counter* generic_staged_bytes = nullptr;
+    };
+    ProtoMetrics pm_;
+
     std::unique_ptr<RmaState> rma_;
 };
 

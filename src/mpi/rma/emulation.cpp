@@ -7,6 +7,7 @@
 #include "mpi/rma/proto.hpp"
 #include "mpi/rma/window.hpp"
 #include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
 
 namespace scimpi::mpi {
 
@@ -63,6 +64,7 @@ void RmaState::handler_loop(sim::Process& self) {
 }
 
 void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
+    sim::TraceScope trace(self, "rma:serve_put", "rma");
     const auto wit = windows_.find(static_cast<int>(s.a));
     SCIMPI_REQUIRE(wit != windows_.end(), "put for unknown window");
     Win& win = *wit->second;
@@ -77,6 +79,7 @@ void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
         moved += b.len;
     }
     self.delay(rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()));
+    trace.set_bytes(moved);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();
@@ -87,6 +90,7 @@ void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
 }
 
 void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
+    sim::TraceScope trace(self, "rma:serve_get", "rma");
     const auto wit = windows_.find(static_cast<int>(s.a));
     SCIMPI_REQUIRE(wit != windows_.end(), "get for unknown window");
     Win& win = *wit->second;
@@ -111,6 +115,7 @@ void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
         iov.push_back({win.local().data() + b.off, b.len});
         total += b.len;
     }
+    trace.set_bytes(total);
     const Status st = rank_.adapter().write_gather(self, m.value(), 0, iov, total);
     SCIMPI_REQUIRE(st.is_ok(), "remote-put failed: " + st.to_string());
     rank_.adapter().store_barrier(self);
@@ -124,6 +129,7 @@ void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
 }
 
 void RmaState::serve_accumulate(sim::Process& self, const smi::Signal& s) {
+    sim::TraceScope trace(self, "rma:serve_accumulate", "rma");
     const auto wit = windows_.find(static_cast<int>(s.a));
     SCIMPI_REQUIRE(wit != windows_.end(), "accumulate for unknown window");
     Win& win = *wit->second;
@@ -146,6 +152,7 @@ void RmaState::serve_accumulate(sim::Process& self, const smi::Signal& s) {
     // Read-modify-write: two local streams plus the flops.
     self.delay(2 * rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()) +
                static_cast<SimTime>(moved / sizeof(double)));
+    trace.set_bytes(moved);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();

@@ -29,10 +29,10 @@ std::vector<rma_proto::Block> layout_blocks(const Datatype& type, int count,
 
 Status Win::put(const void* origin, int count, const Datatype& type, int target,
                 std::size_t disp) {
-    const sim::TraceScope trace(rank_->proc(), "rma:put");
     Datatype t = type;
     if (!t.committed()) t.commit(comm_->cluster().options().cfg);
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    const sim::TraceScope trace(rank_->proc(), "rma:put", "rma", bytes);
     if (bytes == 0) return Status::ok();
     if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
         peers_[static_cast<std::size_t>(target)].size)
@@ -50,10 +50,10 @@ Status Win::put(const void* origin, int count, const Datatype& type, int target,
 
 Status Win::get(void* origin, int count, const Datatype& type, int target,
                 std::size_t disp) {
-    const sim::TraceScope trace(rank_->proc(), "rma:get");
     Datatype t = type;
     if (!t.committed()) t.commit(comm_->cluster().options().cfg);
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    const sim::TraceScope trace(rank_->proc(), "rma:get", "rma", bytes);
     if (bytes == 0) return Status::ok();
     if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
         peers_[static_cast<std::size_t>(target)].size)
@@ -69,12 +69,15 @@ Status Win::get(void* origin, int count, const Datatype& type, int target,
     if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct &&
         bytes <= cfg.get_remote_put_threshold)
         return get_direct(origin, count, t, target, disp);
+    if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct)
+        rm_.get_conversions->inc();
     return get_remote_put(origin, count, t, target, disp);
 }
 
 Status Win::op_local(void* origin, int count, const Datatype& type, std::size_t disp,
                      bool is_put) {
     ++stats_.local_ops;
+    rm_.local_ops->inc();
     sim::Process& self = rank_->proc();
     const mem::CopyModel& cm = rank_->copy_model();
     auto* user = static_cast<std::byte*>(origin);
@@ -97,6 +100,8 @@ Status Win::op_local(void* origin, int count, const Datatype& type, std::size_t 
 Status Win::put_direct(const void* origin, int count, const Datatype& type, int target,
                        std::size_t disp) {
     ++stats_.direct_puts;
+    rm_.direct_puts->inc();
+    rm_.direct_put_bytes->add(type.size() * static_cast<std::size_t>(count));
     sim::Process& self = rank_->proc();
     const sci::SciMapping& map = peer_mapping(target);
     const auto* user = static_cast<const std::byte*>(origin);
@@ -112,6 +117,7 @@ Status Win::put_direct(const void* origin, int count, const Datatype& type, int 
 Status Win::get_direct(void* origin, int count, const Datatype& type, int target,
                        std::size_t disp) {
     ++stats_.direct_gets;
+    rm_.direct_gets->inc();
     sim::Process& self = rank_->proc();
     const sci::SciMapping& map = peer_mapping(target);
     auto* user = static_cast<std::byte*>(origin);
@@ -130,6 +136,8 @@ Status Win::put_emulated(const void* origin, int count, const Datatype& type,
     sim::Process& self = rank_->proc();
     RmaState& rma = rank_->rma();
     const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+    rm_.emulated_puts->inc();
+    rm_.emulated_put_bytes->add(bytes);
 
     smi::Signal s;
     s.from_rank = rank_->rank();  // world rank: acks route through the cluster
@@ -154,6 +162,7 @@ Status Win::put_emulated(const void* origin, int count, const Datatype& type,
 Status Win::get_remote_put(void* origin, int count, const Datatype& type, int target,
                            std::size_t disp) {
     ++stats_.remote_put_gets;
+    rm_.remote_put_gets->inc();
     sim::Process& self = rank_->proc();
     Cluster& cluster = comm_->cluster();
     RmaState& rma = rank_->rma();
@@ -203,10 +212,12 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
 Status Win::accumulate(const void* origin, int count, const Datatype& type,
                        int target, std::size_t disp, ReduceOp op) {
     ++stats_.accumulates;
+    rm_.accumulates->inc();
     sim::Process& self = rank_->proc();
     Datatype t = type;
     if (!t.committed()) t.commit(comm_->cluster().options().cfg);
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
+    const sim::TraceScope trace(self, "rma:accumulate", "rma", bytes);
     if (bytes == 0) return Status::ok();
     if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
         peers_[static_cast<std::size_t>(target)].size)

@@ -19,7 +19,7 @@ bool Win::epoch_allows(int target) const {
 
 void Win::fence() {
     sim::Process& self = rank_->proc();
-    const sim::TraceScope trace(self, "rma:fence");
+    const sim::TraceScope trace(self, "rma:fence", "rma");
     fence_epoch_ = true;  // a fence both closes the old epoch and opens a new one
     // 1. Direct puts of this epoch must have arrived at their targets.
     rank_->adapter().store_barrier(self);

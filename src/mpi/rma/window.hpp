@@ -25,6 +25,7 @@
 
 #include "mpi/datatype/datatype.hpp"
 #include "mpi/types.hpp"
+#include "obs/metrics.hpp"
 #include "sci/segment.hpp"
 #include "smi/lock.hpp"
 #include "smi/signal.hpp"
@@ -131,6 +132,20 @@ private:
     std::vector<WinPeer> peers_;
     std::map<int, sci::SciMapping> mappings_;
     Stats stats_;
+
+    /// Cluster-wide registry counters (shared slots, resolved at creation).
+    struct RmaMetrics {
+        obs::Counter* direct_puts = nullptr;
+        obs::Counter* direct_gets = nullptr;
+        obs::Counter* emulated_puts = nullptr;
+        obs::Counter* remote_put_gets = nullptr;
+        obs::Counter* get_conversions = nullptr;  ///< shared target, size-forced
+        obs::Counter* local_ops = nullptr;
+        obs::Counter* accumulates = nullptr;
+        obs::Counter* direct_put_bytes = nullptr;
+        obs::Counter* emulated_put_bytes = nullptr;
+    };
+    RmaMetrics rm_;
 
     /// True if `target` may currently be accessed from this rank (inside a
     /// fence epoch, a started access epoch containing it, or under a lock).

@@ -1,11 +1,26 @@
 #include "mpi/runtime.hpp"
 
+#include <cstdlib>
+
+#include "common/log.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rma/window.hpp"
 
 namespace scimpi::mpi {
 
 namespace {
+
+/// SCIMPI_STATS=1 style boolean toggle ("", "0" -> false).
+bool env_flag(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::string env_path(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::string(v) : std::string();
+}
+
 sci::Topology make_topology(const ClusterOptions& opt) {
     if (opt.torus_w > 0 && opt.torus_h > 0) {
         const int plane = opt.torus_w * opt.torus_h;
@@ -24,10 +39,19 @@ Cluster::Cluster(ClusterOptions opt)
     : opt_(opt), dispatcher_(engine_), fabric_(make_topology(opt), opt.sci) {
     SCIMPI_REQUIRE(opt_.nodes >= 1 && opt_.procs_per_node >= 1,
                    "cluster needs at least one node and one process");
+    if (env_flag("SCIMPI_STATS")) opt_.collect_stats = true;
+    if (opt_.stats_file.empty()) opt_.stats_file = env_path("SCIMPI_STATS_FILE");
+    if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
+    if (!opt_.stats_file.empty()) opt_.collect_stats = true;
+    metrics_.enable(opt_.collect_stats);
+    if (!opt_.trace_file.empty()) engine_.tracer().enable();
+    engine_.bind_metrics(metrics_);
+    fabric_.bind_metrics(metrics_);
     for (int n = 0; n < opt_.nodes; ++n) {
         memories_.push_back(std::make_unique<mem::NodeMemory>(n, opt_.arena_bytes));
         adapters_.push_back(std::make_unique<sci::SciAdapter>(
             n, fabric_, dispatcher_, opt_.host, opt_.cfg));
+        adapters_.back()->bind_metrics(metrics_);
     }
     const int world = opt_.nodes * opt_.procs_per_node;
     for (int r = 0; r < world; ++r) {
@@ -37,7 +61,32 @@ Cluster::Cluster(ClusterOptions opt)
     for (const auto& r : ranks_) r->set_rma(std::make_unique<RmaState>(*r));
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+    if (!opt_.stats_file.empty()) {
+        const Status st = stats_report().write_json(opt_.stats_file);
+        if (!st) SCIMPI_WARN("stats dump failed: ", st.to_string());
+    }
+    if (!opt_.trace_file.empty()) {
+        const Status st = engine_.tracer().write_chrome_json(opt_.trace_file);
+        if (!st) SCIMPI_WARN("trace dump failed: ", st.to_string());
+    }
+}
+
+obs::RunReport Cluster::stats_report() const {
+    obs::RunReport r;
+    r.world = static_cast<int>(ranks_.size());
+    r.nodes = opt_.nodes;
+    r.sim_seconds = to_seconds(engine_.now());
+    r.events_dispatched = engine_.events_dispatched();
+    r.stats_enabled = metrics_.enabled();
+    r.counters = metrics_.counters();
+    r.gauges = metrics_.gauge_maxima();
+    for (int l = 0; l < fabric_.topology().links(); ++l) {
+        const sci::LinkStats& ls = fabric_.link_stats(l);
+        r.links.push_back({l, ls.payload_bytes, ls.wire_bytes, ls.echo_bytes});
+    }
+    return r;
+}
 
 void Cluster::run(const std::function<void(Comm&)>& rank_main) {
     for (const auto& r : ranks_) {

@@ -4,12 +4,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "mem/machine_profile.hpp"
 #include "mem/node_memory.hpp"
 #include "mpi/rank.hpp"
+#include "obs/metrics.hpp"
 #include "sci/dma.hpp"
 #include "sci/fabric.hpp"
 #include "sci/segment.hpp"
@@ -32,6 +34,13 @@ struct ClusterOptions {
     /// torus_w x torus_h x (nodes/(torus_w*torus_h)).
     int torus_w = 0;
     int torus_h = 0;
+    /// Observability. collect_stats enables the metrics registry (also
+    /// forced on by SCIMPI_STATS=1 or a stats_file). stats_file / trace_file
+    /// are dumped at Cluster teardown (env: SCIMPI_STATS_FILE,
+    /// SCIMPI_TRACE_FILE; a trace file auto-enables the tracer).
+    bool collect_stats = false;
+    std::string stats_file;
+    std::string trace_file;
 };
 
 class Cluster {
@@ -60,8 +69,16 @@ public:
     /// Simulated seconds since simulation start.
     [[nodiscard]] double wtime() const { return to_seconds(engine_.now()); }
 
+    /// The cluster-wide counter/gauge registry (see src/obs/metrics.hpp).
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+    /// Structured snapshot of the run: every registry counter/gauge plus the
+    /// per-link wire statistics. Valid any time; typically taken after run().
+    [[nodiscard]] obs::RunReport stats_report() const;
+
 private:
     ClusterOptions opt_;
+    obs::MetricsRegistry metrics_;
     sim::Engine engine_;
     sim::Dispatcher dispatcher_;
     sci::Fabric fabric_;

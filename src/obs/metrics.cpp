@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace scimpi::obs {
+
+void json_escape(std::string& out, std::string_view s) {
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(ch);
+                }
+        }
+    }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    return counters_.emplace(std::string(name), Counter(std::string(name), &enabled_))
+        .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second;
+    return gauges_.emplace(std::string(name), Gauge(std::string(name), &enabled_))
+        .first->second;
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::reset() {
+    for (auto& [_, c] : counters_) c.value_ = 0;
+    for (auto& [_, g] : gauges_) {
+        g.value_ = 0.0;
+        g.max_ = 0.0;
+    }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+    return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_maxima() const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) out.emplace_back(name, g.max());
+    return out;
+}
+
+std::uint64_t RunReport::counter(std::string_view name) const {
+    for (const auto& [n, v] : counters)
+        if (n == name) return v;
+    return 0;
+}
+
+double RunReport::gauge(std::string_view name) const {
+    for (const auto& [n, v] : gauges)
+        if (n == name) return v;
+    return 0.0;
+}
+
+std::string RunReport::to_json() const {
+    std::string out = "{\n";
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "  \"world\": %d,\n  \"nodes\": %d,\n  \"sim_seconds\": %.9f,\n"
+                  "  \"events_dispatched\": %llu,\n  \"stats_enabled\": %s,\n",
+                  world, nodes, sim_seconds,
+                  static_cast<unsigned long long>(events_dispatched),
+                  stats_enabled ? "true" : "false");
+    out += buf;
+
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+        out += first ? "\n    \"" : ",\n    \"";
+        first = false;
+        json_escape(out, name);
+        std::snprintf(buf, sizeof buf, "\": %llu",
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+        out += first ? "\n    \"" : ",\n    \"";
+        first = false;
+        json_escape(out, name);
+        std::snprintf(buf, sizeof buf, "\": %.6g", value);
+        out += buf;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"links\": [";
+    first = true;
+    for (const Link& l : links) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"id\": %d, \"payload_bytes\": %llu, \"wire_bytes\": %llu, "
+                      "\"echo_bytes\": %llu}",
+                      l.id, static_cast<unsigned long long>(l.payload_bytes),
+                      static_cast<unsigned long long>(l.wire_bytes),
+                      static_cast<unsigned long long>(l.echo_bytes));
+        out += buf;
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+Status RunReport::write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status::error(Errc::io_error, "stats report: cannot open '" + path +
+                                                 "': " + std::strerror(errno));
+    const std::string json = to_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    const int write_errno = errno;
+    if (std::fclose(f) != 0)
+        return Status::error(Errc::io_error, "stats report: close failed for '" + path +
+                                                 "': " + std::strerror(errno));
+    if (!ok)
+        return Status::error(Errc::io_error, "stats report: short write to '" + path +
+                                                 "': " + std::strerror(write_errno));
+    return Status::ok();
+}
+
+}  // namespace scimpi::obs

@@ -1,0 +1,145 @@
+// Cluster-wide observability: a typed counter/gauge registry plus the
+// structured per-run report it feeds.
+//
+// Design goals (mirroring what the rest of the library needs):
+//   * near-zero cost when disabled — every Counter/Gauge holds a pointer to
+//     the registry's enabled flag, so a disabled increment is one predictable
+//     load + branch and has *no* side effects,
+//   * stable handles — modules resolve `Counter*` once (at construction) and
+//     increment through the pointer on hot paths; no name lookups after
+//     startup. Registry storage is node-based so handles never move,
+//   * cluster-wide aggregation for free — every rank/adapter resolves the
+//     same named counter, so increments from all simulated processes land in
+//     one slot,
+//   * structured export — RunReport is the JSON-serializable snapshot
+//     returned by Cluster::stats_report() and dumped at teardown when
+//     SCIMPI_STATS_FILE is set.
+//
+// This header depends only on common/status.hpp so every layer (sim, sci,
+// mem, mpi) may include it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace scimpi::obs {
+
+/// Append `s` to `out` as JSON string *content* (no surrounding quotes):
+/// escapes quotes, backslashes and all control characters (U+0000..U+001F).
+void json_escape(std::string& out, std::string_view s);
+
+/// Monotonic event count. Obtain via MetricsRegistry::counter(); increments
+/// are dropped entirely while the owning registry is disabled.
+class Counter {
+public:
+    Counter(std::string name, const bool* enabled)
+        : name_(std::move(name)), enabled_(enabled) {}
+
+    void add(std::uint64_t d) {
+        if (*enabled_) value_ += d;
+    }
+    void inc() { add(1); }
+
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    std::string name_;
+    std::uint64_t value_ = 0;
+    const bool* enabled_;
+};
+
+/// Instantaneous level with high-water-mark tracking (e.g. concurrent
+/// transfers in flight). Like Counter, inert while disabled.
+class Gauge {
+public:
+    Gauge(std::string name, const bool* enabled)
+        : name_(std::move(name)), enabled_(enabled) {}
+
+    void set(double v) {
+        if (!*enabled_) return;
+        value_ = v;
+        if (v > max_) max_ = v;
+    }
+    void add(double d) { set(value_ + d); }
+
+    [[nodiscard]] double value() const { return value_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    std::string name_;
+    double value_ = 0.0;
+    double max_ = 0.0;
+    const bool* enabled_;
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    void enable(bool on = true) { enabled_ = on; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Find-or-create; the returned reference stays valid for the registry's
+    /// lifetime (storage is node-based).
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+
+    /// Current value of a counter, 0 when it was never registered.
+    [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+    /// Zero every value; registrations (and resolved handles) survive.
+    void reset();
+
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+    [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_maxima() const;
+
+private:
+    bool enabled_ = false;
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+};
+
+/// Structured snapshot of one simulated run: every registry counter/gauge
+/// plus the per-link wire statistics the fabric keeps unconditionally.
+struct RunReport {
+    int world = 0;
+    int nodes = 0;
+    double sim_seconds = 0.0;
+    std::uint64_t events_dispatched = 0;
+    bool stats_enabled = false;  ///< counters are all zero when false
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted by name
+    std::vector<std::pair<std::string, double>> gauges;           // max values
+
+    struct Link {
+        int id = 0;
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t wire_bytes = 0;
+        std::uint64_t echo_bytes = 0;
+    };
+    std::vector<Link> links;
+
+    /// Value of a named counter in this snapshot (0 when absent).
+    [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+    /// Max value of a named gauge in this snapshot (0 when absent).
+    [[nodiscard]] double gauge(std::string_view name) const;
+
+    [[nodiscard]] std::string to_json() const;
+    /// Serialize to `path`; on failure the Status detail names the path and
+    /// the errno message.
+    [[nodiscard]] Status write_json(const std::string& path) const;
+};
+
+}  // namespace scimpi::obs

@@ -21,6 +21,14 @@ SciAdapter::SciAdapter(int node, Fabric& fabric, sim::Dispatcher& dispatcher,
       cfg_(cfg),
       rng_(cfg.seed * 0x51ed2701u + static_cast<std::uint64_t>(node) + 1) {}
 
+void SciAdapter::bind_metrics(obs::MetricsRegistry& m) {
+    pio_bytes_c_ = &m.counter("sci.pio_bytes");
+    read_bytes_c_ = &m.counter("sci.read_bytes");
+    dma_bytes_c_ = &m.counter("sci.dma_bytes");
+    restarts_c_ = &m.counter("sci.stream_restarts");
+    barriers_c_ = &m.counter("sci.store_barriers");
+}
+
 SimTime SciAdapter::partial_segment_cost(std::size_t off, std::size_t len) {
     const SciParams& p = fabric_.params();
     SimTime t = transfer_time(len, p.burst_bw);
@@ -72,6 +80,7 @@ SimTime SciAdapter::wc_write_time(int pid, const SciMapping& map, std::size_t of
     SimTime t = 0;
     if (cfg_.stream_buffers) t += p.stream_restart;
     ++stats_.stream_restarts;
+    if (restarts_c_ != nullptr) restarts_c_->inc();
 
     const std::size_t line = p.wc_line;
     const std::size_t head_end = std::min(round_up(off, line), off + len);
@@ -126,6 +135,7 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
     if (src_traffic == 0) src_traffic = len;
     ++stats_.write_calls;
     stats_.bytes_written += len;
+    if (pio_bytes_c_ != nullptr) pio_bytes_c_->add(len);
 
     if (!map.remote()) {
         // Loopback mapping: an ordinary cached local copy.
@@ -146,6 +156,7 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
 
     // Link contention can throttle below the adapter's own rate.
     fabric_.register_transfer(node_, map.target_node);
+    fabric_.trace_load(self, node_, map.target_node);
     const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
     const SimTime t_link = transfer_time(len, link_bw);
     t = std::max(t, t_link);
@@ -156,6 +167,7 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
     self.delay(t);
     fabric_.account(node_, map.target_node, len);
     fabric_.unregister_transfer(node_, map.target_node);
+    fabric_.trace_load(self, node_, map.target_node);
     if (!err) return err;  // data of the failed transaction never lands
 
     // The stores are posted: they land after the pipeline latency.
@@ -196,6 +208,7 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     if (src_traffic == 0) src_traffic = total;
     ++stats_.write_calls;
     stats_.bytes_written += total;
+    if (pio_bytes_c_ != nullptr) pio_bytes_c_->add(total);
 
     if (!map.remote()) {
         // Local scatter-gather copy: strided source, contiguous destination.
@@ -227,6 +240,7 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     SimTime t = std::max(t_wire, transfer_time(src_traffic, feed_bw));
 
     fabric_.register_transfer(node_, map.target_node);
+    fabric_.trace_load(self, node_, map.target_node);
     const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
     t = std::max(t, transfer_time(total, link_bw));
     const std::size_t packets = (total + p.sci_packet - 1) / p.sci_packet;
@@ -235,6 +249,7 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     self.delay(t);
     fabric_.account(node_, map.target_node, total);
     fabric_.unregister_transfer(node_, map.target_node);
+    fabric_.trace_load(self, node_, map.target_node);
     if (!err) return err;
 
     std::vector<std::byte> data;
@@ -261,6 +276,7 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
         return Status::error(Errc::link_failure, "route from target is down");
     ++stats_.read_calls;
     stats_.bytes_read += len;
+    if (read_bytes_c_ != nullptr) read_bytes_c_->add(len);
 
     if (!map.remote()) {
         mem::CopyModel cm(host_);
@@ -274,6 +290,7 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
     SimTime t = static_cast<SimTime>(txns) * p.read_latency;
 
     fabric_.register_transfer(map.target_node, node_);
+    fabric_.trace_load(self, map.target_node, node_);
     const double link_bw = fabric_.effective_bw(map.target_node, node_, 1e9);
     t = std::max(t, transfer_time(len, link_bw));
     const Status err = inject_errors(txns, &t);
@@ -281,6 +298,7 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
     self.delay(t);
     fabric_.account(map.target_node, node_, len);
     fabric_.unregister_transfer(map.target_node, node_);
+    fabric_.trace_load(self, map.target_node, node_);
     if (!err) return err;
 
     // Loads stall the CPU: the data is current as of completion time.
@@ -300,6 +318,7 @@ Status SciAdapter::dma_write_gather(sim::Process& self, const SciMapping& map,
         return Status::error(Errc::link_failure, "route to target is down");
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += total;
+    if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(total);
     // Descriptor chain setup: one per block. This is why DMA pays off only
     // for large basic blocks (Section 6 outlook).
     self.delay(p.dma_startup +
@@ -341,6 +360,7 @@ bool SciAdapter::probe_peer(sim::Process& self, int peer_node) {
 void SciAdapter::store_barrier(sim::Process& self) {
     const SciParams& p = fabric_.params();
     ++stats_.barriers;
+    if (barriers_c_ != nullptr) barriers_c_->inc();
     SimTime t = p.barrier_latency;
     StreamState& st = streams_[self.id()];
     if (st.valid) {
@@ -359,6 +379,7 @@ Status SciAdapter::dma_write(sim::Process& self, const SciMapping& map, std::siz
         return Status::error(Errc::link_failure, "route to target is down");
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += len;
+    if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(len);
     self.delay(p.dma_startup);
     if (!map.remote()) {
         self.delay(transfer_time(len, p.dma_bw));
@@ -383,6 +404,7 @@ Status SciAdapter::dma_read(sim::Process& self, const SciMapping& map, std::size
         return Status::error(Errc::link_failure, "route from target is down");
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += len;
+    if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(len);
     self.delay(p.dma_startup);
     if (!map.remote()) {
         self.delay(transfer_time(len, p.dma_bw));

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "mem/machine_profile.hpp"
+#include "obs/metrics.hpp"
 #include "sci/fabric.hpp"
 #include "sci/segment.hpp"
 #include "sim/dispatcher.hpp"
@@ -101,6 +102,11 @@ public:
     /// (after the probe timeout) when the route is broken.
     bool probe_peer(sim::Process& self, int peer_node);
 
+    /// Attach a metrics registry: every adapter resolves the same cluster
+    /// counters (sci.pio_bytes, sci.dma_bytes, ...), so increments aggregate
+    /// over all nodes. Per-adapter Stats stay unconditional.
+    void bind_metrics(obs::MetricsRegistry& m);
+
     [[nodiscard]] int node() const { return node_; }
     [[nodiscard]] Fabric& fabric() { return fabric_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -138,6 +144,12 @@ private:
     std::unordered_map<int, StreamState> streams_;   // per process
     std::unordered_map<int, int> pending_stores_;    // per process, in-flight
     sim::WaitQueue barrier_waiters_;
+
+    obs::Counter* pio_bytes_c_ = nullptr;       // PIO store bytes (write paths)
+    obs::Counter* read_bytes_c_ = nullptr;      // transparent remote loads
+    obs::Counter* dma_bytes_c_ = nullptr;       // DMA engine bytes
+    obs::Counter* restarts_c_ = nullptr;        // stream buffer restarts
+    obs::Counter* barriers_c_ = nullptr;        // store barriers issued
 };
 
 }  // namespace scimpi::sci

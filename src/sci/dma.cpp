@@ -1,7 +1,9 @@
 #include "sci/dma.hpp"
 
-
 #include <string>
+
+#include "sim/trace.hpp"
+
 namespace scimpi::sci {
 
 DmaEngine::DmaEngine(sim::Engine& engine, SciAdapter& adapter) : adapter_(adapter) {
@@ -44,6 +46,8 @@ DmaEngine::Handle DmaEngine::post_read(sim::Process& self, const SciMapping& map
 void DmaEngine::engine_loop(sim::Process& self) {
     for (;;) {
         Descriptor d = queue_.recv(self);
+        const sim::TraceScope trace(self, d.is_write ? "dma:write" : "dma:read",
+                                    "sci", d.len);
         if (d.is_write) {
             d.handle->result = adapter_.dma_write(self, d.map, d.off, d.src, d.len);
         } else {

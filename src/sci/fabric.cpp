@@ -1,6 +1,9 @@
 #include "sci/fabric.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/engine.hpp"
 
 namespace scimpi::sci {
 
@@ -11,13 +14,28 @@ Fabric::Fabric(Topology topo, SciParams params)
       up_(static_cast<std::size_t>(topo_.links()), 1),
       stats_(static_cast<std::size_t>(topo_.links())) {}
 
+void Fabric::bind_metrics(obs::MetricsRegistry& m) {
+    payload_bytes_c_ = &m.counter("fabric.payload_bytes");
+    wire_bytes_c_ = &m.counter("fabric.wire_bytes");
+    echo_bytes_c_ = &m.counter("fabric.echo_bytes");
+    transfers_c_ = &m.counter("fabric.transfers");
+    active_g_ = &m.gauge("fabric.concurrent_transfers");
+}
+
 void Fabric::register_transfer(int src, int dst) {
     for (int link : topo_.route(src, dst)) load_[static_cast<std::size_t>(link)] += 1.0;
     for (int link : topo_.echo_route(src, dst))
         load_[static_cast<std::size_t>(link)] += params_.echo_fraction;
+    ++active_transfers_;
+    peak_transfers_ = std::max(peak_transfers_, active_transfers_);
+    if (transfers_c_ != nullptr) transfers_c_->inc();
+    if (active_g_ != nullptr) active_g_->set(active_transfers_);
 }
 
 void Fabric::unregister_transfer(int src, int dst) {
+    SCIMPI_REQUIRE(active_transfers_ > 0, "unregister_transfer without register");
+    --active_transfers_;
+    if (active_g_ != nullptr) active_g_->set(active_transfers_);
     for (int link : topo_.route(src, dst)) {
         auto& a = load_[static_cast<std::size_t>(link)];
         SCIMPI_REQUIRE(a >= 1.0 - 1e-9, "unregister_transfer underflow");
@@ -55,9 +73,29 @@ void Fabric::account(int src, int dst, std::size_t payload) {
         auto& s = stats_[static_cast<std::size_t>(link)];
         s.payload_bytes += payload;
         s.wire_bytes += wire;
+        if (payload_bytes_c_ != nullptr) {
+            payload_bytes_c_->add(payload);
+            wire_bytes_c_->add(wire);
+        }
     }
-    for (int link : topo_.echo_route(src, dst))
+    for (int link : topo_.echo_route(src, dst)) {
         stats_[static_cast<std::size_t>(link)].echo_bytes += echo;
+        if (echo_bytes_c_ != nullptr) echo_bytes_c_->add(echo);
+    }
+}
+
+void Fabric::trace_load(sim::Process& self, int src, int dst) {
+    sim::Tracer& tr = self.engine().tracer();
+    if (!tr.enabled()) return;
+    if (link_track_names_.empty()) {
+        link_track_names_.reserve(static_cast<std::size_t>(topo_.links()));
+        for (int l = 0; l < topo_.links(); ++l)
+            link_track_names_.push_back("link" + std::to_string(l) + ".load");
+    }
+    tr.counter("fabric.active_transfers", self.now(), active_transfers_);
+    for (int link : topo_.route(src, dst))
+        tr.counter(link_track_names_[static_cast<std::size_t>(link)], self.now(),
+                   load_[static_cast<std::size_t>(link)]);
 }
 
 SimTime Fabric::timed_transfer(sim::Process& self, int src, int dst, std::size_t bytes,
@@ -71,6 +109,7 @@ SimTime Fabric::timed_transfer(sim::Process& self, int src, int dst, std::size_t
     }
     SCIMPI_REQUIRE(chunk > 0, "timed_transfer with zero chunk");
     register_transfer(src, dst);
+    trace_load(self, src, dst);
     SimTime total = 0;
     std::size_t left = bytes;
     while (left > 0) {
@@ -83,6 +122,7 @@ SimTime Fabric::timed_transfer(sim::Process& self, int src, int dst, std::size_t
         left -= n;
     }
     unregister_transfer(src, dst);
+    trace_load(self, src, dst);
     return total;
 }
 

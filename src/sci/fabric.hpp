@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sci/params.hpp"
 #include "sci/topology.hpp"
 #include "sim/process.hpp"
@@ -52,6 +53,11 @@ public:
     SimTime timed_transfer(sim::Process& self, int src, int dst, std::size_t bytes,
                            double src_cap, std::size_t chunk = 16_KiB);
 
+    /// Attach a metrics registry: aggregate payload/wire/echo byte counters
+    /// plus a concurrent-transfer gauge then update live with account() /
+    /// register_transfer().
+    void bind_metrics(obs::MetricsRegistry& m);
+
     [[nodiscard]] const LinkStats& link_stats(int link) const {
         return stats_.at(static_cast<std::size_t>(link));
     }
@@ -72,12 +78,30 @@ public:
     /// Aggregate wire traffic over all links (for ring-load metrics).
     [[nodiscard]] std::uint64_t total_wire_bytes() const;
 
+    /// Transfers currently registered / the peak seen so far (always
+    /// tracked; independent of any bound registry).
+    [[nodiscard]] int active_transfers() const { return active_transfers_; }
+    [[nodiscard]] int peak_concurrent_transfers() const { return peak_transfers_; }
+
+    /// Emit per-link load + active-transfer counter tracks to the tracer of
+    /// `self`'s engine (no-op while tracing is disabled). Called after each
+    /// register/unregister by the paths that hold a Process.
+    void trace_load(sim::Process& self, int src, int dst);
+
 private:
     Topology topo_;
     SciParams params_;
     std::vector<double> load_;
     std::vector<char> up_;
     std::vector<LinkStats> stats_;
+    int active_transfers_ = 0;
+    int peak_transfers_ = 0;
+    std::vector<std::string> link_track_names_;  // lazily built "linkN.load"
+    obs::Counter* payload_bytes_c_ = nullptr;
+    obs::Counter* wire_bytes_c_ = nullptr;
+    obs::Counter* echo_bytes_c_ = nullptr;
+    obs::Counter* transfers_c_ = nullptr;
+    obs::Gauge* active_g_ = nullptr;
 };
 
 }  // namespace scimpi::sci

@@ -8,6 +8,11 @@ Engine::Engine() = default;
 
 Engine::~Engine() { shutdown_remaining(); }
 
+void Engine::bind_metrics(obs::MetricsRegistry& m) {
+    ctx_switches_ = &m.counter("sim.context_switches");
+    deadlock_checks_ = &m.counter("sim.deadlock_checks");
+}
+
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
     const int id = static_cast<int>(processes_.size());
     processes_.push_back(std::unique_ptr<Process>(
@@ -55,6 +60,7 @@ void Engine::run() {
         e.p->scheduled_ = false;
         now_ = e.t;
         ++events_dispatched_;
+        if (ctx_switches_ != nullptr) ctx_switches_->inc();
         resume(*e.p);
     }
     running_ = false;
@@ -66,6 +72,7 @@ void Engine::run() {
         panic(err);
     }
 
+    if (deadlock_checks_ != nullptr) deadlock_checks_->inc();
     std::string blocked;
     for (const auto& p : processes_)
         if (!p->finished() && !p->daemon_) blocked += " " + p->name();

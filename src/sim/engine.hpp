@@ -19,6 +19,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace scimpi::sim {
@@ -52,6 +53,11 @@ public:
 
     /// Event tracer (disabled by default; see sim/trace.hpp).
     [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+    /// Attach a metrics registry: the engine then feeds `sim.context_switches`
+    /// (baton handovers) and `sim.deadlock_checks` (end-of-run blocked-process
+    /// scans). Handles resolve once; increments are no-ops while disabled.
+    void bind_metrics(obs::MetricsRegistry& m);
 
     /// Low-level: insert `p` into the ready queue at absolute time `t`
     /// (>= now). Requires that `p` is suspended and not already scheduled.
@@ -88,6 +94,8 @@ private:
     std::uint64_t events_dispatched_ = 0;
     Process* current_ = nullptr;
     Tracer tracer_;
+    obs::Counter* ctx_switches_ = nullptr;
+    obs::Counter* deadlock_checks_ = nullptr;
     bool running_ = false;
     std::string pending_error_;   // first process exception, rethrown by run()
 };

@@ -1,63 +1,105 @@
 #include "sim/trace.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
 
 namespace scimpi::sim {
 
-namespace {
-void append_escaped(std::string& out, const std::string& s) {
-    for (const char c : s) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-    }
+std::uint32_t Tracer::intern(std::string_view s) {
+    if (s.empty()) return 0;
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(s);
+    ids_.emplace(names_.back(), id);
+    return id;
 }
-}  // namespace
 
 std::string Tracer::to_chrome_json() const {
     std::string out = "[\n";
-    char buf[160];
+    char buf[192];
     bool first = true;
     for (const Event& e : events_) {
         if (!first) out += ",\n";
         first = false;
         out += R"(  {"name": ")";
-        append_escaped(out, e.name);
-        if (e.is_instant) {
-            std::snprintf(buf, sizeof buf,
-                          R"(", "ph": "i", "ts": %.3f, "pid": 0, "tid": %d, "s": "t"})",
-                          to_us(e.t0), e.track);
-        } else {
-            std::snprintf(
-                buf, sizeof buf,
-                R"(", "ph": "X", "ts": %.3f, "dur": %.3f, "pid": 0, "tid": %d})",
-                to_us(e.t0), to_us(e.t1 - e.t0), e.track);
+        obs::json_escape(out, names_[e.name_id]);
+        out += '"';
+        if (e.cat_id != 0) {
+            out += R"(, "cat": ")";
+            obs::json_escape(out, names_[e.cat_id]);
+            out += '"';
         }
-        out += buf;
+        switch (e.kind) {
+            case Kind::span:
+                std::snprintf(buf, sizeof buf,
+                              R"(, "ph": "X", "ts": %.3f, "dur": %.3f, "pid": 0, "tid": %d)",
+                              to_us(e.t0), to_us(e.t1 - e.t0), e.track);
+                out += buf;
+                if (e.arg != kNoArg) {
+                    std::snprintf(buf, sizeof buf, R"(, "args": {"bytes": %llu})",
+                                  static_cast<unsigned long long>(e.arg));
+                    out += buf;
+                }
+                break;
+            case Kind::instant:
+                std::snprintf(buf, sizeof buf,
+                              R"(, "ph": "i", "ts": %.3f, "pid": 0, "tid": %d, "s": "t")",
+                              to_us(e.t0), e.track);
+                out += buf;
+                break;
+            case Kind::counter:
+                std::snprintf(buf, sizeof buf,
+                              R"(, "ph": "C", "ts": %.3f, "pid": 0, "args": {"value": %.6g})",
+                              to_us(e.t0), e.value);
+                out += buf;
+                break;
+        }
+        out += '}';
     }
     out += "\n]\n";
     return out;
 }
 
-bool Tracer::write_chrome_json(const std::string& path) const {
+Status Tracer::write_chrome_json(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
+    if (f == nullptr)
+        return Status::error(Errc::io_error, "trace: cannot open '" + path +
+                                                 "': " + std::strerror(errno));
     const std::string json = to_chrome_json();
     const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-    std::fclose(f);
-    return ok;
+    const int write_errno = errno;
+    if (std::fclose(f) != 0)
+        return Status::error(Errc::io_error, "trace: close failed for '" + path +
+                                                 "': " + std::strerror(errno));
+    if (!ok)
+        return Status::error(Errc::io_error, "trace: short write to '" + path +
+                                                 "': " + std::strerror(write_errno));
+    return Status::ok();
 }
 
-TraceScope::TraceScope(Process& proc, std::string name)
+TraceScope::TraceScope(Process& proc, std::string_view name, std::string_view cat,
+                       std::uint64_t bytes)
     : proc_(proc),
-      name_(std::move(name)),
+      bytes_(bytes),
       t0_(proc.now()),
-      armed_(proc.engine().tracer().enabled()) {}
+      armed_(proc.engine().tracer().enabled()) {
+    if (armed_) {
+        Tracer& tr = proc_.engine().tracer();
+        name_id_ = tr.intern(name);
+        cat_id_ = tr.intern(cat);
+    }
+}
 
 TraceScope::~TraceScope() {
-    if (armed_) proc_.engine().tracer().span(proc_.id(), name_, t0_, proc_.now());
+    if (armed_)
+        proc_.engine().tracer().span_ids(proc_.id(), name_id_, cat_id_, t0_,
+                                         proc_.now(), bytes_);
 }
 
 }  // namespace scimpi::sim

@@ -1,11 +1,23 @@
-// Event tracing for simulated runs: named spans and instant markers on the
-// virtual timeline, exportable as Chrome trace JSON (chrome://tracing,
-// Perfetto). Disabled by default — zero overhead unless enabled.
+// Event tracing for simulated runs: named spans, instant markers and counter
+// tracks on the virtual timeline, exportable as Chrome trace JSON
+// (chrome://tracing, https://ui.perfetto.dev). Disabled by default — zero
+// overhead unless enabled.
+//
+// Names and categories are interned: each event stores two 32-bit string ids
+// instead of a std::string, so tracing a long run does not allocate per
+// event. Spans may carry a category (Perfetto colours/filters by it) and an
+// optional "bytes" argument explaining how much data the span moved; counter
+// events ("ph":"C") render as stacked counter tracks, e.g. the per-link load
+// emitted by sci::Fabric.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/units.hpp"
 
 namespace scimpi::sim {
@@ -14,55 +26,126 @@ class Process;
 
 class Tracer {
 public:
-    void enable() { enabled_ = true; }
+    /// Sentinel for "span carries no byte argument".
+    static constexpr std::uint64_t kNoArg = ~0ull;
+
+    enum class Kind : std::uint8_t { span, instant, counter };
+
+    void enable() {
+        enabled_ = true;
+        if (events_.capacity() < kReserveEvents) events_.reserve(kReserveEvents);
+    }
     void disable() { enabled_ = false; }
     [[nodiscard]] bool enabled() const { return enabled_; }
 
+    /// Intern `s`, returning its stable id (0 is reserved for the empty
+    /// string). Call sites on hot paths may cache the id.
+    std::uint32_t intern(std::string_view s);
+    [[nodiscard]] const std::string& name(std::uint32_t id) const {
+        return names_.at(id);
+    }
+
     /// Record a completed span [t0, t1] on `track` (usually a process id).
-    void span(int track, const std::string& name, SimTime t0, SimTime t1) {
+    void span(int track, std::string_view name, SimTime t0, SimTime t1) {
+        span(track, name, {}, t0, t1, kNoArg);
+    }
+    void span(int track, std::string_view name, std::string_view cat, SimTime t0,
+              SimTime t1, std::uint64_t bytes = kNoArg) {
         if (!enabled_) return;
-        events_.push_back({name, track, t0, t1, false});
+        span_ids(track, intern(name), intern(cat), t0, t1, bytes);
+    }
+    /// Pre-interned variant for hot paths (TraceScope).
+    void span_ids(int track, std::uint32_t name_id, std::uint32_t cat_id, SimTime t0,
+                  SimTime t1, std::uint64_t bytes = kNoArg) {
+        if (!enabled_) return;
+        events_.push_back({name_id, cat_id, track, t0, t1, Kind::span, bytes, 0.0});
     }
 
     /// Record an instantaneous marker.
-    void instant(int track, const std::string& name, SimTime t) {
+    void instant(int track, std::string_view name, SimTime t) {
         if (!enabled_) return;
-        events_.push_back({name, track, t, t, true});
+        events_.push_back({intern(name), 0, track, t, t, Kind::instant, kNoArg, 0.0});
+    }
+
+    /// Record a counter sample: `name` is the counter track, `value` its
+    /// level at simulated time `t` (Chrome trace "ph":"C").
+    void counter(std::string_view name, SimTime t, double value) {
+        if (!enabled_) return;
+        counter_ids(intern(name), t, value);
+    }
+    void counter_ids(std::uint32_t name_id, SimTime t, double value) {
+        if (!enabled_) return;
+        events_.push_back({name_id, 0, 0, t, t, Kind::counter, kNoArg, value});
     }
 
     [[nodiscard]] std::size_t event_count() const { return events_.size(); }
     void clear() { events_.clear(); }
 
     struct Event {
-        std::string name;
+        std::uint32_t name_id;
+        std::uint32_t cat_id;  ///< 0 == no category
         int track;
         SimTime t0, t1;
-        bool is_instant;
+        Kind kind;
+        std::uint64_t arg;  ///< span byte count; kNoArg when absent
+        double value;       ///< counter level (Kind::counter only)
     };
     [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+    [[nodiscard]] const std::string& name_of(const Event& e) const {
+        return names_.at(e.name_id);
+    }
+    [[nodiscard]] const std::string& cat_of(const Event& e) const {
+        return names_.at(e.cat_id);
+    }
 
     /// Serialize as a Chrome trace JSON array (timestamps in microseconds).
     [[nodiscard]] std::string to_chrome_json() const;
 
-    /// Write to a file; returns false on I/O failure.
-    bool write_chrome_json(const std::string& path) const;
+    /// Write to a file; the error Status names the failing path and errno.
+    [[nodiscard]] Status write_chrome_json(const std::string& path) const;
 
 private:
+    static constexpr std::size_t kReserveEvents = 4096;
+
+    // Heterogeneous lookup: intern(string_view) never builds a temporary
+    // std::string just to probe the table.
+    struct SvHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct SvEq {
+        using is_transparent = void;
+        bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+    };
+
     bool enabled_ = false;
     std::vector<Event> events_;
+    std::vector<std::string> names_{std::string()};  // id 0 == ""
+    std::unordered_map<std::string, std::uint32_t, SvHash, SvEq> ids_{
+        {std::string(), 0}};
 };
 
-/// RAII span: records [construction, destruction] on the process's track.
+/// RAII span: records [construction, destruction] on the process's track,
+/// tagged with an optional category and byte count.
 class TraceScope {
 public:
-    TraceScope(Process& proc, std::string name);
+    TraceScope(Process& proc, std::string_view name, std::string_view cat = {},
+               std::uint64_t bytes = Tracer::kNoArg);
     ~TraceScope();
     TraceScope(const TraceScope&) = delete;
     TraceScope& operator=(const TraceScope&) = delete;
 
+    /// Attach/replace the byte argument after construction (for paths that
+    /// only learn the transfer size mid-span).
+    void set_bytes(std::uint64_t bytes) { bytes_ = bytes; }
+
 private:
     Process& proc_;
-    std::string name_;
+    std::uint32_t name_id_ = 0;
+    std::uint32_t cat_id_ = 0;
+    std::uint64_t bytes_;
     SimTime t0_;
     bool armed_;
 };

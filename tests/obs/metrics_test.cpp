@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/mini_json.hpp"
+
+namespace scimpi::obs {
+namespace {
+
+TEST(MetricsRegistry, DisabledCountersHaveNoSideEffects) {
+    MetricsRegistry m;  // disabled by default
+    Counter& c = m.counter("x.count");
+    Gauge& g = m.gauge("x.level");
+    c.inc();
+    c.add(100);
+    g.set(7.0);
+    g.add(3.0);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(g.max(), 0.0);
+    EXPECT_EQ(m.value("x.count"), 0u);
+}
+
+TEST(MetricsRegistry, EnabledCountersAccumulate) {
+    MetricsRegistry m;
+    m.enable();
+    Counter& c = m.counter("x.count");
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(m.value("x.count"), 42u);
+    EXPECT_EQ(m.value("never.registered"), 0u);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
+    MetricsRegistry m;
+    m.enable();
+    Counter* first = &m.counter("a");
+    for (int i = 0; i < 100; ++i) m.counter("filler." + std::to_string(i));
+    EXPECT_EQ(first, &m.counter("a"));
+    first->inc();
+    EXPECT_EQ(m.value("a"), 1u);
+}
+
+TEST(MetricsRegistry, GaugeTracksMaximum) {
+    MetricsRegistry m;
+    m.enable();
+    Gauge& g = m.gauge("level");
+    g.set(2.0);
+    g.set(9.0);
+    g.set(4.0);
+    EXPECT_EQ(g.value(), 4.0);
+    EXPECT_EQ(g.max(), 9.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles) {
+    MetricsRegistry m;
+    m.enable();
+    Counter& c = m.counter("a");
+    Gauge& g = m.gauge("b");
+    c.add(5);
+    g.set(5.0);
+    m.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.max(), 0.0);
+    c.inc();  // same handle still wired to the registry
+    EXPECT_EQ(m.value("a"), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+    MetricsRegistry m;
+    m.enable();
+    m.counter("zeta").add(1);
+    m.counter("alpha").add(2);
+    const auto snap = m.counters();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[1].first, "zeta");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControlChars) {
+    std::string out;
+    json_escape(out, "a\"b\\c\n\t\x01z");
+    EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\u0001z");
+}
+
+TEST(RunReport, ToJsonIsValidEvenWithHostileNames) {
+    MetricsRegistry m;
+    m.enable();
+    m.counter("weird \"name\"\\with\x02junk").add(3);
+    m.gauge("g\nauge").set(1.5);
+
+    RunReport r;
+    r.world = 4;
+    r.nodes = 2;
+    r.sim_seconds = 0.25;
+    r.events_dispatched = 99;
+    r.stats_enabled = true;
+    r.counters = m.counters();
+    r.gauges = m.gauge_maxima();
+    r.links.push_back({0, 100, 120, 10});
+
+    const std::string json = r.to_json();
+    EXPECT_TRUE(testsupport::json_valid(json)) << json;
+    EXPECT_NE(json.find("\\\"name\\\""), std::string::npos);
+    EXPECT_EQ(r.counter("weird \"name\"\\with\x02junk"), 3u);
+    EXPECT_EQ(r.gauge("g\nauge"), 1.5);
+    EXPECT_EQ(r.counter("absent"), 0u);
+}
+
+TEST(RunReport, WriteJsonRoundTripsThroughAFile) {
+    RunReport r;
+    r.world = 1;
+    r.nodes = 1;
+    const std::string path = ::testing::TempDir() + "/scimpi_report.json";
+    ASSERT_TRUE(r.write_json(path).is_ok());
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(testsupport::json_valid(ss.str()));
+    std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteJsonFailureNamesThePath) {
+    RunReport r;
+    const std::string path = "/nonexistent-dir-scimpi/report.json";
+    const Status st = r.write_json(path);
+    ASSERT_FALSE(st.is_ok());
+    EXPECT_EQ(st.code(), Errc::io_error);
+    EXPECT_NE(st.to_string().find(path), std::string::npos) << st.to_string();
+}
+
+}  // namespace
+}  // namespace scimpi::obs

@@ -1,0 +1,29 @@
+# Observability smoke test: run the quickstart example with stats collection
+# and tracing enabled via environment variables, then check that both emitted
+# files are well-formed JSON.
+#
+# Expects: QUICKSTART (example binary), JSON_CHECK (checker binary), OUT_DIR.
+set(stats_file "${OUT_DIR}/smoke_quickstart_stats.json")
+set(trace_file "${OUT_DIR}/smoke_quickstart.trace.json")
+file(REMOVE "${stats_file}" "${trace_file}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SCIMPI_STATS=1"
+          "SCIMPI_STATS_FILE=${stats_file}"
+          "SCIMPI_TRACE_FILE=${trace_file}"
+          "${QUICKSTART}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}")
+endif()
+
+foreach(f IN ITEMS "${stats_file}" "${trace_file}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected output file was not written: ${f}")
+  endif()
+  execute_process(COMMAND "${JSON_CHECK}" "${f}" RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "not valid JSON: ${f}")
+  endif()
+endforeach()

@@ -1,0 +1,144 @@
+// Minimal recursive-descent JSON syntax checker for tests and tools. It
+// validates structure only (no DOM): objects, arrays, strings with escapes,
+// numbers, true/false/null, and rejects trailing garbage.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace scimpi::testsupport {
+
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string_view text) : s_(text) {}
+
+    /// True when the whole input is exactly one valid JSON value.
+    bool valid() {
+        skip_ws();
+        if (!value(0)) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+
+    [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+    [[nodiscard]] char peek() const { return s_[pos_]; }
+
+    void skip_ws() {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                          peek() == '\r'))
+            ++pos_;
+    }
+
+    bool literal(std::string_view word) {
+        if (s_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string() {
+        if (eof() || peek() != '"') return false;
+        ++pos_;
+        while (!eof()) {
+            const char c = s_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+            if (c == '\\') {
+                if (eof()) return false;
+                const char e = s_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() || !is_hex(s_[pos_])) return false;
+                        ++pos_;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+        }
+        return false;  // unterminated
+    }
+
+    static bool is_hex(char c) {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    }
+    static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (!eof() && peek() == '-') ++pos_;
+        while (!eof() && is_digit(peek())) ++pos_;
+        if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) return false;
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !is_digit(peek())) return false;
+            while (!eof() && is_digit(peek())) ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (eof() || !is_digit(peek())) return false;
+            while (!eof() && is_digit(peek())) ++pos_;
+        }
+        return true;
+    }
+
+    bool value(int depth) {
+        if (depth > kMaxDepth || eof()) return false;
+        switch (peek()) {
+            case '{': return object(depth);
+            case '[': return array(depth);
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+
+    bool object(int depth) {
+        ++pos_;  // '{'
+        skip_ws();
+        if (!eof() && peek() == '}') return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (eof() || peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value(depth + 1)) return false;
+            skip_ws();
+            if (eof()) return false;
+            if (peek() == '}') return ++pos_, true;
+            if (peek() != ',') return false;
+            ++pos_;
+        }
+    }
+
+    bool array(int depth) {
+        ++pos_;  // '['
+        skip_ws();
+        if (!eof() && peek() == ']') return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!value(depth + 1)) return false;
+            skip_ws();
+            if (eof()) return false;
+            if (peek() == ']') return ++pos_, true;
+            if (peek() != ',') return false;
+            ++pos_;
+        }
+    }
+};
+
+inline bool json_valid(std::string_view text) { return JsonChecker(text).valid(); }
+
+}  // namespace scimpi::testsupport

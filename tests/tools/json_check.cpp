@@ -1,0 +1,29 @@
+// Tiny JSON well-formedness checker used by the observability smoke test:
+// exit 0 when the file parses, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/mini_json.hpp"
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: json_check FILE\n");
+        return 2;
+    }
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in.good()) {
+        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    if (!scimpi::testsupport::json_valid(text)) {
+        std::fprintf(stderr, "json_check: %s is not valid JSON (%zu bytes)\n",
+                     argv[1], text.size());
+        return 1;
+    }
+    return 0;
+}
