@@ -1,0 +1,149 @@
+// Goodput under fault load versus clean runs (ISSUE 2 / DESIGN.md §8). The
+// same rendezvous stream is driven over a healthy ring, through link-flap
+// windows of growing length, through a CRC error-rate window, and through a
+// seeded probabilistic soak. The seed code answered the flap with a terminal
+// link_failure; with the resilience layer every byte still arrives — at a
+// goodput that prices the backoff — and the retry/recovery counters show the
+// protocol loop (not luck) moved it.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "fault/schedule.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+struct GoodputResult {
+    double goodput = 0.0;  ///< MiB/s of payload delivered intact
+    std::uint64_t delivered = 0;
+    std::uint64_t failed = 0;
+    double sim_seconds = 0.0;
+};
+
+/// Stream `messages` rendezvous sends of `bytes` each from node 0 to node 1
+/// of a 2-node ring while `faults` plays out, and report the goodput of the
+/// transfers that completed successfully.
+GoodputResult stream_goodput(const fault::FaultSchedule& faults,
+                             int messages = 16, std::size_t bytes = 256_KiB) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.collect_stats = true;
+    opt.faults = faults;
+    GoodputResult r;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        std::vector<std::byte> buf(bytes, std::byte{0x5a});
+        const double t0 = comm.wtime();
+        for (int m = 0; m < messages; ++m) {
+            if (comm.rank() == 0) {
+                const Status st = comm.send(buf.data(), static_cast<int>(bytes),
+                                            Datatype::byte_(), 1, m);
+                if (st)
+                    ++r.delivered;
+                else
+                    ++r.failed;
+            } else {
+                (void)comm.recv(buf.data(), static_cast<int>(bytes),
+                                Datatype::byte_(), 0, m);
+            }
+        }
+        if (comm.rank() == 0) r.sim_seconds = comm.wtime() - t0;
+    });
+    last_report() = cluster.stats_report();
+    r.goodput = bandwidth_mib(r.delivered * bytes,
+                              static_cast<SimTime>(r.sim_seconds * 1e9));
+    return r;
+}
+
+/// range(0) = flap length in microseconds (0: clean run). The flap opens at
+/// 300us, well inside the stream, so at least one rendezvous chunk lands in
+/// the window and has to back off.
+void BM_FlapGoodput(benchmark::State& state) {
+    const SimTime flap_us = state.range(0);
+    fault::FaultSchedule faults;
+    if (flap_us > 0) faults.flap(300'000, 0, flap_us * 1'000);
+    GoodputResult r;
+    for (auto _ : state) {
+        r = stream_goodput(faults);
+        state.SetIterationTime(r.sim_seconds);
+    }
+    state.counters["goodput_MiB/s"] = r.goodput;
+    state.counters["delivered"] = static_cast<double>(r.delivered);
+    state.counters["failed"] = static_cast<double>(r.failed);
+    export_counters(state, {"fault.injected", "mpi.send_retries",
+                            "mpi.send_recoveries"});
+}
+
+BENCHMARK(BM_FlapGoodput)
+    ->Arg(0)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Probabilistic soak: every 500us each link flaps with p=0.1 for 100us.
+/// Same seed ⇒ same fault pattern ⇒ same goodput, run to run.
+void BM_SoakGoodput(benchmark::State& state) {
+    fault::FaultSchedule faults;
+    faults.set_seed(static_cast<std::uint64_t>(state.range(0)))
+        .soak(0, 50'000'000, 500'000, 0.1, 100'000);
+    GoodputResult r;
+    for (auto _ : state) {
+        r = stream_goodput(faults);
+        state.SetIterationTime(r.sim_seconds);
+    }
+    state.counters["goodput_MiB/s"] = r.goodput;
+    export_counters(state, {"fault.injected", "mpi.send_recoveries"});
+}
+
+BENCHMARK(BM_SoakGoodput)
+    ->Arg(42)
+    ->Arg(43)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Goodput under fault load (2-node ring, 16 x 256 KiB rendezvous) ===\n");
+    std::printf("%-18s %12s %10s %8s %10s %8s\n", "fault load", "goodput MiB/s",
+                "delivered", "retries", "recoveries", "vs clean");
+    const GoodputResult clean = stream_goodput({});
+    auto row = [&](const char* label, const GoodputResult& r) {
+        std::printf("%-18s %12.1f %7llu/16 %8llu %10llu %7.0f%%\n", label,
+                    r.goodput, static_cast<unsigned long long>(r.delivered),
+                    static_cast<unsigned long long>(last_report().counter("mpi.send_retries")),
+                    static_cast<unsigned long long>(last_report().counter("mpi.send_recoveries")),
+                    100.0 * r.goodput / clean.goodput);
+    };
+    std::printf("%-18s %12.1f %7llu/16 %8d %10d %7s\n", "clean", clean.goodput,
+                static_cast<unsigned long long>(clean.delivered), 0, 0, "-");
+    for (const SimTime us : {500, 1000, 2000}) {
+        fault::FaultSchedule faults;
+        faults.flap(300'000, 0, us * 1'000);
+        char label[32];
+        std::snprintf(label, sizeof label, "flap %lldus",
+                      static_cast<long long>(us));
+        row(label, stream_goodput(faults));
+    }
+    {
+        fault::FaultSchedule faults;
+        faults.error_window(0, 20'000'000, 0, 0.05);
+        row("5% CRC errors", stream_goodput(faults));
+    }
+    {
+        fault::FaultSchedule faults;
+        faults.set_seed(42).soak(0, 50'000'000, 500'000, 0.1, 100'000);
+        row("soak p=0.1", stream_goodput(faults));
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,7 +9,8 @@
 // Observability: `--stats` prints the structured run report (JSON) after the
 // run; `--trace FILE` writes a Chrome trace (open in ui.perfetto.dev). The
 // SCIMPI_STATS / SCIMPI_STATS_FILE / SCIMPI_TRACE_FILE environment variables
-// do the same without flags.
+// do the same without flags. `--faults SPEC` (or SCIMPI_FAULTS) replays a
+// deterministic fault schedule while the tour runs — see DESIGN.md §8.
 #include <cstdio>
 #include <numeric>
 #include <string_view>
@@ -33,8 +34,13 @@ int main(int argc, char** argv) {
             opt.collect_stats = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.trace_file = argv[++i];
+        } else if (arg == "--faults" && i + 1 < argc) {
+            // Deterministic fault injection from a text spec (see
+            // src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
+            opt.fault_spec_file = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: quickstart [--stats] [--trace FILE]\n");
+            std::fprintf(stderr,
+                         "usage: quickstart [--stats] [--trace FILE] [--faults SPEC]\n");
             return 2;
         }
     }

@@ -38,6 +38,20 @@ struct Config {
     double link_error_rate = 0.0;             ///< probability a transaction needs retry
     int max_retries = 8;                      ///< retries before link_failure
 
+    // ---- resilience (responses to injected faults; see src/fault/) ----
+    int send_retries = 16;                    ///< protocol-level attempts per chunk/op
+    SimTime retry_backoff = 20'000;           ///< ns first backoff; doubles per retry
+    SimTime retry_backoff_max = 2'000'000;    ///< ns backoff ceiling
+    SimTime retry_budget = 20'000'000;        ///< ns of backoff per op before giving up
+                                              ///< with peer_unreachable
+    bool torus_reroute = true;                ///< route around a down link via the
+                                              ///< alternate dimension order
+    bool rma_fallback = true;                 ///< direct RMA falls back to the emulated
+                                              ///< handler path when the route is dead
+    SimTime monitor_period = 0;               ///< ns between connection-monitor probe
+                                              ///< sweeps (0 = monitor disabled)
+    int monitor_dead_after = 3;               ///< consecutive probe failures -> dead
+
     // ---- simulation ----
     std::uint64_t seed = 1;                   ///< error-injection RNG seed
 };

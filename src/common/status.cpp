@@ -11,6 +11,7 @@ const char* errc_name(Errc e) {
         case Errc::truncated: return "truncated";
         case Errc::unsupported: return "unsupported";
         case Errc::link_failure: return "link_failure";
+        case Errc::peer_unreachable: return "peer_unreachable";
         case Errc::rma_sync_error: return "rma_sync_error";
         case Errc::deadlock: return "deadlock";
         case Errc::io_error: return "io_error";

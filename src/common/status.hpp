@@ -18,6 +18,7 @@ enum class Errc {
     truncated,            // receive buffer smaller than incoming message
     unsupported,          // feature disabled on this platform profile
     link_failure,         // unrecoverable SCI transmission failure
+    peer_unreachable,     // retry/backoff budget exhausted or peer marked dead
     rma_sync_error,       // one-sided synchronization misuse
     deadlock,             // simulation detected global deadlock
     io_error,             // host-side file I/O failure (trace/stats export)

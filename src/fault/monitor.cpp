@@ -1,0 +1,118 @@
+#include "fault/monitor.hpp"
+
+namespace scimpi::fault {
+
+ConnectionMonitor::ConnectionMonitor(sim::Engine& engine, sci::Fabric& fabric,
+                                     Config cfg)
+    : engine_(engine),
+      fabric_(fabric),
+      cfg_(cfg),
+      nodes_(fabric.topology().nodes()),
+      pairs_(static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(nodes_)),
+      adapters_(static_cast<std::size_t>(nodes_), nullptr) {
+    SCIMPI_REQUIRE(cfg_.monitor_period > 0, "monitor needs a positive period");
+    SCIMPI_REQUIRE(cfg_.monitor_dead_after > 0, "monitor_dead_after must be >= 1");
+}
+
+void ConnectionMonitor::set_adapter(int node, sci::SciAdapter* adapter) {
+    adapters_.at(static_cast<std::size_t>(node)) = adapter;
+}
+
+void ConnectionMonitor::bind_metrics(obs::MetricsRegistry& m) {
+    sweeps_c_ = &m.counter("monitor.sweeps");
+    probes_c_ = &m.counter("monitor.probes");
+    probe_fail_c_ = &m.counter("monitor.probe_failures");
+    suspect_c_ = &m.counter("monitor.peers_suspect");
+    dead_c_ = &m.counter("monitor.peers_dead");
+    recovered_c_ = &m.counter("monitor.peers_recovered");
+}
+
+PeerState ConnectionMonitor::state(int src_node, int dst_node) const {
+    if (src_node == dst_node) return PeerState::healthy;
+    return pair(src_node, dst_node).state;
+}
+
+bool ConnectionMonitor::any_suspect() const {
+    for (const Pair& p : pairs_)
+        if (p.state == PeerState::suspect) return true;
+    return false;
+}
+
+void ConnectionMonitor::on_link_event(int link, bool up) {
+    (void)link;
+    if (up) {
+        // A recovered link may revive dead pairs: give each one more chance.
+        for (Pair& p : pairs_) {
+            if (p.state == PeerState::dead) {
+                p.state = PeerState::suspect;
+                p.fails = 0;
+            }
+        }
+    }
+    attention_ = true;
+    wake_q_.wake_all();
+}
+
+void ConnectionMonitor::start() {
+    SCIMPI_REQUIRE(!started_, "ConnectionMonitor started twice");
+    started_ = true;
+    fabric_.set_link_listener([this](int link, bool up) { on_link_event(link, up); });
+    engine_.spawn_daemon("conn-monitor",
+                         [this](sim::Process& self) { run(self); });
+}
+
+void ConnectionMonitor::run(sim::Process& self) {
+    while (true) {
+        if (!attention_ && !any_suspect()) {
+            wake_q_.park(self);  // quiet fabric: sleep until a link event
+            continue;
+        }
+        attention_ = false;
+        sweep(self);
+        // Suspects in flight: re-probe after a period. Every suspect either
+        // recovers or reaches monitor_dead_after, so this loop is finite and
+        // the daemon always parks again.
+        if (any_suspect()) self.delay(cfg_.monitor_period);
+    }
+}
+
+void ConnectionMonitor::sweep(sim::Process& self) {
+    ++counters_.sweeps;
+    if (sweeps_c_ != nullptr) sweeps_c_->inc();
+    for (int src = 0; src < nodes_; ++src) {
+        sci::SciAdapter* adapter = adapters_[static_cast<std::size_t>(src)];
+        if (adapter == nullptr) continue;
+        for (int dst = 0; dst < nodes_; ++dst) {
+            if (src == dst) continue;
+            Pair& p = pair(src, dst);
+            if (p.state == PeerState::dead) continue;  // until a link returns
+            ++counters_.probes;
+            if (probes_c_ != nullptr) probes_c_->inc();
+            const bool ok = adapter->probe_peer(self, dst);
+            if (ok) {
+                if (p.state == PeerState::suspect) {
+                    ++counters_.peers_recovered;
+                    if (recovered_c_ != nullptr) recovered_c_->inc();
+                }
+                p.state = PeerState::healthy;
+                p.fails = 0;
+                continue;
+            }
+            ++counters_.probe_failures;
+            if (probe_fail_c_ != nullptr) probe_fail_c_->inc();
+            ++p.fails;
+            if (p.state == PeerState::healthy) {
+                p.state = PeerState::suspect;
+                ++counters_.peers_suspect;
+                if (suspect_c_ != nullptr) suspect_c_->inc();
+            }
+            if (p.fails >= cfg_.monitor_dead_after) {
+                p.state = PeerState::dead;
+                ++counters_.peers_dead;
+                if (dead_c_ != nullptr) dead_c_->inc();
+            }
+        }
+    }
+}
+
+}  // namespace scimpi::fault

@@ -1,0 +1,55 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "fault/monitor.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::fault {
+
+RetryOutcome retry_with_backoff(sim::Process& self, const Config& cfg,
+                                const ConnectionMonitor* monitor, int src_node,
+                                int dst_node,
+                                const std::function<Status()>& attempt) {
+    RetryOutcome out;
+    out.status = attempt();
+    if (out.status.is_ok() || out.status.code() != Errc::link_failure) return out;
+
+    SimTime backoff = cfg.retry_backoff;
+    SimTime spent = 0;
+    while (out.retries < cfg.send_retries) {
+        if (monitor != nullptr && !monitor->reachable(src_node, dst_node)) {
+            out.gave_up = true;
+            out.status = Status::error(
+                Errc::peer_unreachable,
+                "node " + std::to_string(dst_node) +
+                    " declared dead by the connection monitor: " +
+                    out.status.detail());
+            return out;
+        }
+        if (spent + backoff > cfg.retry_budget) break;
+        {
+            const sim::TraceScope trace(self, "fault:retry_backoff", "fault");
+            self.delay(backoff);
+        }
+        spent += backoff;
+        backoff = std::min(backoff * 2, cfg.retry_backoff_max);
+        ++out.retries;
+        out.status = attempt();
+        if (out.status.is_ok()) {
+            out.recovered = true;
+            return out;
+        }
+        if (out.status.code() != Errc::link_failure) return out;
+    }
+    out.gave_up = true;
+    out.status = Status::error(Errc::peer_unreachable,
+                               "retry budget exhausted towards node " +
+                                   std::to_string(dst_node) + ": " +
+                                   out.status.detail());
+    return out;
+}
+
+}  // namespace scimpi::fault

@@ -1,0 +1,203 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace scimpi::fault {
+
+const char* fault_kind_name(FaultKind k) {
+    switch (k) {
+        case FaultKind::link_down: return "link_down";
+        case FaultKind::link_up: return "link_up";
+        case FaultKind::error_window_begin: return "error_window_begin";
+        case FaultKind::error_window_end: return "error_window_end";
+        case FaultKind::adapter_stall: return "adapter_stall";
+        case FaultKind::irq_drop: return "irq_drop";
+    }
+    return "unknown";
+}
+
+FaultSchedule& FaultSchedule::link_down(SimTime t, int link) {
+    events_.push_back({t, FaultKind::link_down, link, 0.0, 0, 0});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::link_up(SimTime t, int link) {
+    events_.push_back({t, FaultKind::link_up, link, 0.0, 0, 0});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::flap(SimTime t, int link, SimTime down_for) {
+    link_down(t, link);
+    link_up(t + down_for, link);
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::error_window(SimTime t0, SimTime t1, int link,
+                                           double rate) {
+    events_.push_back({t0, FaultKind::error_window_begin, link, rate, 0, 0});
+    events_.push_back({t1, FaultKind::error_window_end, link, rate, 0, 0});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::adapter_stall(SimTime t, int node, SimTime down_for) {
+    events_.push_back({t, FaultKind::adapter_stall, node, 0.0, down_for, 0});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::drop_interrupts(SimTime t, int node, int count) {
+    events_.push_back({t, FaultKind::irq_drop, node, 0.0, 0, count});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::soak(SimTime t0, SimTime t1, SimTime period, double p,
+                                   SimTime down_for) {
+    SCIMPI_REQUIRE(period > 0, "soak needs a positive period");
+    soaks_.push_back({t0, t1, period, p, down_for});
+    return *this;
+}
+
+FaultSchedule& FaultSchedule::merge(const FaultSchedule& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+    soaks_.insert(soaks_.end(), other.soaks_.begin(), other.soaks_.end());
+    seed_ = other.seed_;
+    return *this;
+}
+
+std::vector<FaultEvent> FaultSchedule::materialize(int links) const {
+    std::vector<FaultEvent> out = events_;
+    Rng rng(seed_ * 0x8f1bbcdcu + 0x2545f491u);
+    for (const Soak& s : soaks_) {
+        for (SimTime t = s.t0; t < s.t1; t += s.period) {
+            for (int link = 0; link < links; ++link) {
+                if (!rng.chance(s.p)) continue;
+                out.push_back({t, FaultKind::link_down, link, 0.0, 0, 0});
+                out.push_back({t + s.down_for, FaultKind::link_up, link, 0.0, 0, 0});
+            }
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.t < b.t; });
+    return out;
+}
+
+namespace {
+
+/// "100us" / "3ms" / "250" (ns) -> SimTime. Returns false on junk.
+bool parse_time(const std::string& tok, SimTime* out) {
+    std::size_t i = 0;
+    while (i < tok.size() && (std::isdigit(static_cast<unsigned char>(tok[i])) != 0))
+        ++i;
+    if (i == 0) return false;
+    SimTime v = 0;
+    for (std::size_t j = 0; j < i; ++j) v = v * 10 + (tok[j] - '0');
+    const std::string suffix = tok.substr(i);
+    if (suffix.empty() || suffix == "ns") {
+        *out = v;
+    } else if (suffix == "us") {
+        *out = v * 1000;
+    } else if (suffix == "ms") {
+        *out = v * 1000 * 1000;
+    } else if (suffix == "s") {
+        *out = v * 1000 * 1000 * 1000;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+Status bad_line(int lineno, const std::string& why) {
+    return Status::error(Errc::invalid_argument,
+                         "fault spec line " + std::to_string(lineno) + ": " + why);
+}
+
+}  // namespace
+
+Result<FaultSchedule> FaultSchedule::parse(std::string_view text) {
+    FaultSchedule sched;
+    std::istringstream in{std::string(text)};
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string cmd;
+        if (!(ls >> cmd)) continue;  // blank / comment-only line
+
+        const auto want_time = [&](SimTime* t) -> bool {
+            std::string tok;
+            return (ls >> tok) && parse_time(tok, t);
+        };
+
+        if (cmd == "seed") {
+            std::uint64_t s = 0;
+            if (!(ls >> s)) return bad_line(lineno, "seed needs an integer");
+            sched.set_seed(s);
+        } else if (cmd == "down" || cmd == "up") {
+            SimTime t = 0;
+            int link = -1;
+            if (!want_time(&t) || !(ls >> link) || link < 0)
+                return bad_line(lineno, cmd + " needs <time> <link>");
+            if (cmd == "down")
+                sched.link_down(t, link);
+            else
+                sched.link_up(t, link);
+        } else if (cmd == "flap") {
+            SimTime t = 0, dur = 0;
+            int link = -1;
+            if (!want_time(&t) || !(ls >> link) || link < 0 || !want_time(&dur))
+                return bad_line(lineno, "flap needs <time> <link> <duration>");
+            sched.flap(t, link, dur);
+        } else if (cmd == "error") {
+            SimTime t0 = 0, t1 = 0;
+            int link = -1;
+            double rate = 0.0;
+            if (!want_time(&t0) || !want_time(&t1) || !(ls >> link) || link < 0 ||
+                !(ls >> rate) || rate < 0.0 || rate > 1.0)
+                return bad_line(lineno, "error needs <t0> <t1> <link> <rate in [0,1]>");
+            sched.error_window(t0, t1, link, rate);
+        } else if (cmd == "stall") {
+            SimTime t = 0, dur = 0;
+            int node = -1;
+            if (!want_time(&t) || !(ls >> node) || node < 0 || !want_time(&dur))
+                return bad_line(lineno, "stall needs <time> <node> <duration>");
+            sched.adapter_stall(t, node, dur);
+        } else if (cmd == "drop-irq") {
+            SimTime t = 0;
+            int node = -1, count = 0;
+            if (!want_time(&t) || !(ls >> node) || node < 0 || !(ls >> count) ||
+                count <= 0)
+                return bad_line(lineno, "drop-irq needs <time> <node> <count>");
+            sched.drop_interrupts(t, node, count);
+        } else if (cmd == "soak") {
+            SimTime t0 = 0, t1 = 0, period = 0, dur = 0;
+            double p = 0.0;
+            if (!want_time(&t0) || !want_time(&t1) || !want_time(&period) ||
+                period <= 0 || !(ls >> p) || p < 0.0 || p > 1.0 || !want_time(&dur))
+                return bad_line(lineno,
+                                "soak needs <t0> <t1> <period> <p in [0,1]> <down_for>");
+            sched.soak(t0, t1, period, p, dur);
+        } else {
+            return bad_line(lineno, "unknown directive '" + cmd + "'");
+        }
+        std::string trailing;
+        if (ls >> trailing) return bad_line(lineno, "trailing junk '" + trailing + "'");
+    }
+    return sched;
+}
+
+Result<FaultSchedule> FaultSchedule::load(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) return Status::error(Errc::io_error, "cannot open fault spec " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parse(buf.str());
+}
+
+}  // namespace scimpi::fault

@@ -1,0 +1,110 @@
+// Deterministic fault schedules (see DESIGN.md §8). A FaultSchedule is a
+// list of virtual-clock events — link down/up, CRC error-rate windows on a
+// link, adapter stalls, dropped remote interrupts — built programmatically
+// or parsed from a small line-based text spec:
+//
+//   # comment
+//   seed 42                     # splitmix64 seed for soak expansion
+//   down 100us 0                # link 0 goes down at t=100us
+//   up   300us 0                # ...and comes back at t=300us
+//   flap 1ms 3 200us            # link 3 down at 1ms for 200us
+//   error 0 500us 2 0.2         # link 2 sees 20% CRC errors in [0, 500us)
+//   stall 50us 1 100us          # node 1's adapter wedged for 100us
+//   drop-irq 10us 2 3           # swallow node 2's next 3 remote interrupts
+//   soak 0 10ms 500us 0.05 200us  # every 500us each link flaps with p=0.05
+//                                 # for 200us (probabilistic soak mode)
+//
+// Times are integers with an optional ns/us/ms/s suffix (default ns).
+// materialize() expands soak windows with the seeded RNG, so the same
+// spec + seed always yields the same event sequence — and therefore a
+// bit-identical stats report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace scimpi::fault {
+
+enum class FaultKind : std::uint8_t {
+    link_down,          ///< pull the cable of a link
+    link_up,            ///< plug it back in
+    error_window_begin, ///< start injecting CRC errors at `rate` on a link
+    error_window_end,   ///< stop that window
+    adapter_stall,      ///< wedge a node's adapter for `duration`
+    irq_drop,           ///< swallow a node's next `count` remote interrupts
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+    SimTime t = 0;
+    FaultKind kind = FaultKind::link_down;
+    int target = 0;       ///< link id (link/error events) or node id
+    double rate = 0.0;    ///< error windows
+    SimTime duration = 0; ///< adapter stalls
+    int count = 0;        ///< irq drops
+};
+
+class FaultSchedule {
+public:
+    FaultSchedule() = default;
+
+    // ---- programmatic builders (times are absolute virtual ns) ----
+    FaultSchedule& link_down(SimTime t, int link);
+    FaultSchedule& link_up(SimTime t, int link);
+    /// down at `t`, back up at `t + down_for`.
+    FaultSchedule& flap(SimTime t, int link, SimTime down_for);
+    FaultSchedule& error_window(SimTime t0, SimTime t1, int link, double rate);
+    FaultSchedule& adapter_stall(SimTime t, int node, SimTime down_for);
+    FaultSchedule& drop_interrupts(SimTime t, int node, int count);
+    /// Probabilistic soak: every `period` in [t0, t1) each link flaps with
+    /// probability `p` for `down_for`. Expanded deterministically from the
+    /// schedule seed at materialize() time.
+    FaultSchedule& soak(SimTime t0, SimTime t1, SimTime period, double p,
+                        SimTime down_for);
+
+    FaultSchedule& set_seed(std::uint64_t seed) {
+        seed_ = seed;
+        return *this;
+    }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// Append everything from `other` (a parsed spec file on top of a
+    /// programmatic schedule, say). `other`'s seed wins.
+    FaultSchedule& merge(const FaultSchedule& other);
+
+    /// Parse the text spec format documented above.
+    static Result<FaultSchedule> parse(std::string_view text);
+    /// Read `path` and parse it.
+    static Result<FaultSchedule> load(const std::string& path);
+
+    [[nodiscard]] bool empty() const {
+        return events_.empty() && soaks_.empty();
+    }
+    [[nodiscard]] const std::vector<FaultEvent>& explicit_events() const {
+        return events_;
+    }
+
+    /// Expand soak windows for a fabric with `links` links, merge with the
+    /// explicit events, and return everything sorted by (time, insertion
+    /// order). Pure function of (spec, seed, links).
+    [[nodiscard]] std::vector<FaultEvent> materialize(int links) const;
+
+private:
+    struct Soak {
+        SimTime t0 = 0, t1 = 0, period = 0;
+        double p = 0.0;
+        SimTime down_for = 0;
+    };
+
+    std::vector<FaultEvent> events_;
+    std::vector<Soak> soaks_;
+    std::uint64_t seed_ = 1;
+};
+
+}  // namespace scimpi::fault

@@ -2,6 +2,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/retry.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rank.hpp"
 #include "mpi/rma/window.hpp"
@@ -32,6 +33,9 @@ Rank::Rank(Cluster& cluster, int rank, int node)
     pm_.ff_direct_blocks = &m.counter("pack.ff_direct_blocks");
     pm_.ff_direct_bytes = &m.counter("pack.ff_direct_bytes");
     pm_.generic_staged_bytes = &m.counter("pack.generic_staged_bytes");
+    pm_.send_retries = &m.counter("mpi.send_retries");
+    pm_.send_recoveries = &m.counter("mpi.send_recoveries");
+    pm_.send_giveups = &m.counter("mpi.send_giveups");
 }
 
 Rank::~Rank() = default;
@@ -155,6 +159,26 @@ void Rank::dispatch(CtrlMsg msg) {
             handle_chunk(*it->second, msg);
             return;
         }
+        case CtrlKind::rndv_fail: {
+            // Sender gave up mid-rendezvous: complete the receive with its
+            // error and release the ring so nothing leaks or hangs.
+            const auto it = live_recvs_.find(msg.recv_handle);
+            if (it == live_recvs_.end()) return;  // raced with completion
+            RecvOp& op = *it->second;
+            op.status = Status::error(static_cast<Errc>(msg.a),
+                                      "sender aborted rendezvous from rank " +
+                                          std::to_string(msg.env.src));
+            if (!op.ring_mem.empty()) {
+                SCIMPI_REQUIRE(cluster_.directory().destroy(op.ring_seg).is_ok(),
+                               "ring segment release failed");
+                SCIMPI_REQUIRE(cluster_.memory(node_).free(op.ring_mem).is_ok(),
+                               "ring memory release failed");
+                op.ring_mem = {};
+            }
+            op.complete = true;
+            live_recvs_.erase(msg.recv_handle);
+            return;
+        }
     }
     panic("dispatch: unknown control message kind");
 }
@@ -169,8 +193,8 @@ bool Rank::use_ff_side(const Datatype& type, PackMode mode, bool /*fp_match*/) c
     return type.flat().leaf_major_is_canonical();
 }
 
-void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t ring_off,
-                          std::size_t pos, std::size_t len) {
+Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
+                            std::size_t ring_off, std::size_t pos, std::size_t len) {
     sim::Process& self = proc();
     const sim::TraceScope trace(self, "rndv:pack_chunk", "p2p", len);
     const Config& cfg = cluster_.options().cfg;
@@ -180,11 +204,8 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
     const bool dma_ok = cfg.use_dma_rndv && len >= cfg.dma_rndv_threshold;
 
     if (op.type.is_contiguous()) {
-        const Status st =
-            dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
-                   : adapter().write(self, ring, ring_off, src + pos, len, len);
-        if (!st) op.status = st;
-        return;
+        return dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
+                      : adapter().write(self, ring, ring_off, src + pos, len, len);
     }
 
     FFPacker ff(op.type, op.count, src);
@@ -202,11 +223,8 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
         pm_.ff_direct_blocks->add(blocks.size());
         pm_.ff_direct_bytes->add(len);
         const std::size_t traffic = ff.memory_traffic(len);
-        const Status st =
-            dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
-                   : adapter().write_gather(self, ring, ring_off, blocks, traffic);
-        if (!st) op.status = st;
-        return;
+        return dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
+                      : adapter().write_gather(self, ring, ring_off, blocks, traffic);
     }
 
     // Generic: local pack into a scratch buffer, then one contiguous write
@@ -218,8 +236,7 @@ void Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t r
     GenericPacker gp(op.type, op.count, src);
     const PackWork work = gp.pack(pos, len, scratch.data());
     self.delay(GenericPacker::cost(work, copy_model_));
-    const Status st = adapter().write(self, ring, ring_off, scratch.data(), len, len);
-    if (!st) op.status = st;
+    return adapter().write(self, ring, ring_off, scratch.data(), len, len);
 }
 
 void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
@@ -286,6 +303,17 @@ void Rank::start_send(SendOp& op) {
     stats_.bytes_sent += bytes;
     auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
 
+    // Bulk payloads (eager slots, rendezvous chunks) need a usable route;
+    // retry with backoff while a link flap is in progress. Short messages
+    // ride the doorbell path, which is modeled hardware-reliable.
+    const int peer_node = cluster_.rank_state(op.env.dst).node();
+    auto route_ready = [this, peer_node]() -> Status {
+        if (peer_node == node_) return Status::ok();
+        if (cluster_.fabric().route_usable(node_, peer_node)) return Status::ok();
+        return Status::error(Errc::link_failure,
+                             cluster_.fabric().describe_down_route(node_, peer_node));
+    };
+
     auto pack_inline = [&](std::vector<std::byte>& out) {
         out.resize(bytes);
         if (bytes == 0) return;
@@ -326,6 +354,12 @@ void Rank::start_send(SendOp& op) {
         ++stats_.sends_eager;
         pm_.sends_eager->inc();
         pm_.bytes_eager->add(bytes);
+        if (const Status st = retry_remote(peer_node, route_ready); !st) {
+            op.status = st;
+            op.complete = true;
+            live_sends_.erase(op.handle);
+            return;
+        }
         auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
         while (credits == 0) progress_one();  // flow control: wait for a slot
         --credits;
@@ -342,6 +376,14 @@ void Rank::start_send(SendOp& op) {
     ++stats_.sends_rndv;
     pm_.sends_rndv->inc();
     pm_.bytes_rndv->add(bytes);
+    // Fail fast (or wait a flap out) before engaging the receiver; failures
+    // after the handshake are handled chunk-by-chunk in pump_rndv.
+    if (const Status st = retry_remote(peer_node, route_ready); !st) {
+        op.status = st;
+        op.complete = true;
+        live_sends_.erase(op.handle);
+        return;
+    }
     CtrlMsg rts;
     rts.kind = CtrlKind::rndv_rts;
     rts.env = op.env;
@@ -354,10 +396,17 @@ void Rank::pump_rndv(SendOp& op) {
     if (!op.cts_received) return;
     const std::size_t chunk_size = cluster_.options().cfg.rndv_chunk;
     const auto& ring = *op.ring;
-    while (op.credits > 0 && op.next_pos < op.env.bytes) {
+    const int peer_node = cluster_.rank_state(op.env.dst).node();
+    while (!op.aborted && op.credits > 0 && op.next_pos < op.env.bytes) {
         const std::size_t len = std::min(chunk_size, op.env.bytes - op.next_pos);
         const std::size_t slot = op.next_chunk % 2;
-        pack_into_ring(op, ring, slot * chunk_size, op.next_pos, len);
+        const Status st = retry_remote(peer_node, [&, this] {
+            return pack_into_ring(op, ring, slot * chunk_size, op.next_pos, len);
+        });
+        if (!st) {
+            abort_rndv(op, st);
+            break;
+        }
         adapter().store_barrier(proc());
         CtrlMsg msg;
         msg.kind = CtrlKind::rndv_chunk;
@@ -372,10 +421,43 @@ void Rank::pump_rndv(SendOp& op) {
         op.next_pos += len;
         ++op.next_chunk;
     }
-    if (op.next_pos >= op.env.bytes && op.acks_pending == 0) {
+    // An aborted send still waits for the acks of chunks already on the wire
+    // so late rndv_ack messages never hit an unknown handle.
+    if ((op.next_pos >= op.env.bytes || op.aborted) && op.acks_pending == 0) {
         op.complete = true;
         live_sends_.erase(op.handle);
     }
+}
+
+Status Rank::retry_remote(int peer_node, const std::function<Status()>& attempt) {
+    const fault::RetryOutcome out = fault::retry_with_backoff(
+        proc(), cluster_.options().cfg, cluster_.monitor(), node_, peer_node,
+        attempt);
+    if (out.retries > 0) {
+        stats_.send_retries += static_cast<std::uint64_t>(out.retries);
+        pm_.send_retries->add(static_cast<std::uint64_t>(out.retries));
+    }
+    if (out.recovered) {
+        ++stats_.send_recoveries;
+        pm_.send_recoveries->inc();
+    }
+    if (out.gave_up) {
+        ++stats_.send_giveups;
+        pm_.send_giveups->inc();
+    }
+    return out.status;
+}
+
+void Rank::abort_rndv(SendOp& op, const Status& st) {
+    op.aborted = true;
+    op.status = st;
+    CtrlMsg fail;
+    fail.kind = CtrlKind::rndv_fail;
+    fail.env = op.env;
+    fail.sender_handle = op.handle;
+    fail.recv_handle = op.recv_handle;
+    fail.a = static_cast<std::uint64_t>(st.code());
+    post_ctrl(op.env.dst, std::move(fail));
 }
 
 // ---------------------------------------------------------------------------

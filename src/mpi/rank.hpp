@@ -19,6 +19,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -46,6 +47,7 @@ struct SendOp {
     Status status;
     // rendezvous state
     bool cts_received = false;
+    bool aborted = false;  ///< retry budget exhausted; drain acks, send no more
     std::uint64_t recv_handle = 0;
     std::optional<sci::SciMapping> ring;  ///< imported receiver ring
     PackMode mode = PackMode::canonical;
@@ -124,6 +126,7 @@ public:
         std::uint64_t bytes_sent = 0, bytes_received = 0;
         std::uint64_t unexpected = 0;
         std::uint64_t ff_packs = 0, generic_packs = 0;
+        std::uint64_t send_retries = 0, send_recoveries = 0, send_giveups = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -149,6 +152,12 @@ private:
     void dispatch(CtrlMsg msg);
     void start_send(SendOp& op);
     void pump_rndv(SendOp& op);
+    /// Run `attempt` under the cluster's backoff policy (fault/retry.hpp),
+    /// charging the mpi.send_retries / _recoveries / _giveups counters.
+    Status retry_remote(int peer_node, const std::function<Status()>& attempt);
+    /// Give up on a rendezvous send: record `st`, stop pumping and tell the
+    /// receiver (rndv_fail) so it completes with the error and frees its ring.
+    void abort_rndv(SendOp& op, const Status& st);
     void handle_rts(RecvOp& op, const CtrlMsg& rts);
     void handle_chunk(RecvOp& op, const CtrlMsg& chunk);
     void deliver_inline(RecvOp& op, const CtrlMsg& msg);
@@ -160,8 +169,9 @@ private:
     void charge_stream_to(int dst, std::size_t bytes, std::size_t src_traffic);
 
     /// Pack `len` stream bytes starting at `pos` into the remote ring chunk.
-    void pack_into_ring(SendOp& op, const sci::SciMapping& ring, std::size_t ring_off,
-                        std::size_t pos, std::size_t len);
+    /// Returns the adapter status; callers retry on link_failure.
+    Status pack_into_ring(SendOp& op, const sci::SciMapping& ring,
+                          std::size_t ring_off, std::size_t pos, std::size_t len);
     /// Unpack `len` stream bytes from the local ring chunk into the user buffer.
     void unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
                           std::size_t len);
@@ -207,6 +217,9 @@ private:
         obs::Counter* ff_direct_blocks = nullptr;
         obs::Counter* ff_direct_bytes = nullptr;
         obs::Counter* generic_staged_bytes = nullptr;
+        obs::Counter* send_retries = nullptr;
+        obs::Counter* send_recoveries = nullptr;
+        obs::Counter* send_giveups = nullptr;
     };
     ProtoMetrics pm_;
 

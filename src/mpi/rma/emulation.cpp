@@ -3,6 +3,7 @@
 // conjunction with a remote interrupt are used to invoke a remote handler").
 #include <cstring>
 
+#include "fault/retry.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rma/proto.hpp"
 #include "mpi/rma/window.hpp"
@@ -35,6 +36,12 @@ void RmaState::handler_loop(sim::Process& self) {
                 if (s.c != 0) {
                     const auto it = op_events_.find(s.c);
                     SCIMPI_REQUIRE(it != op_events_.end(), "ack for unknown op");
+                    // `a` carries an Errc when the target's remote-put failed.
+                    if (s.a != 0)
+                        op_errors_[s.c] = Status::error(
+                            static_cast<Errc>(s.a),
+                            "remote-put from rank " + std::to_string(s.from_rank) +
+                                " failed after retries");
                     it->second->set();
                     op_events_.erase(it);
                 } else {
@@ -116,14 +123,22 @@ void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
         total += b.len;
     }
     trace.set_bytes(total);
-    const Status st = rank_.adapter().write_gather(self, m.value(), 0, iov, total);
-    SCIMPI_REQUIRE(st.is_ok(), "remote-put failed: " + st.to_string());
-    rank_.adapter().store_barrier(self);
+    // The write back to the origin's staging segment crosses the fabric and
+    // can hit injected faults; retry under the shared backoff policy and, if
+    // the budget runs out, report the error through the ack instead of
+    // leaving the origin parked forever.
+    Cluster& cluster = rank_.cluster();
+    const int origin_node = cluster.rank_state(s.from_rank).node();
+    const fault::RetryOutcome out = fault::retry_with_backoff(
+        self, cluster.options().cfg, cluster.monitor(), rank_.node(), origin_node,
+        [&] { return rank_.adapter().write_gather(self, m.value(), 0, iov, total); });
+    if (out.status.is_ok()) rank_.adapter().store_barrier(self);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();
     ack.kind = rma_proto::kAck;
     ack.c = s.c;
+    ack.a = static_cast<std::uint64_t>(out.status.code());
     rank_.cluster().rank_state(s.from_rank).rma().channel().post(self, rank_.node(),
                                                                  std::move(ack));
 }

@@ -43,7 +43,7 @@ Status Win::put(const void* origin, int count, const Datatype& type, int target,
     if (!epoch_allows(target))
         return Status::error(Errc::rma_sync_error, "put outside any access epoch");
     if (peers_[static_cast<std::size_t>(target)].shared &&
-        comm_->cluster().options().cfg.osc_direct)
+        comm_->cluster().options().cfg.osc_direct && direct_path_usable(target))
         return put_direct(origin, count, t, target, disp);
     return put_emulated(origin, count, t, target, disp);
 }
@@ -67,11 +67,26 @@ Status Win::get(void* origin, int count, const Datatype& type, int target,
     // Direct remote reads are slow on SCI: only up to the threshold, and
     // only when the target window is directly accessible (Section 4.2).
     if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct &&
-        bytes <= cfg.get_remote_put_threshold)
+        bytes <= cfg.get_remote_put_threshold && direct_path_usable(target))
         return get_direct(origin, count, t, target, disp);
     if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct)
         rm_.get_conversions->inc();
     return get_remote_put(origin, count, t, target, disp);
+}
+
+bool Win::direct_path_usable(int target) {
+    Cluster& cluster = comm_->cluster();
+    Rank& peer = cluster.rank_state(comm_->world_rank(target));
+    if (peer.node() == rank_->node()) return true;
+    if (cluster.fabric().route_usable(rank_->node(), peer.node()) &&
+        cluster.fabric().route_usable(peer.node(), rank_->node()))
+        return true;
+    // Leave the error to the direct path when fallback is disabled: callers
+    // then see link_failure naming the dead link instead of a silent detour.
+    if (!cluster.options().cfg.rma_fallback) return true;
+    ++stats_.path_fallbacks;
+    rm_.path_fallbacks->inc();
+    return false;
 }
 
 Status Win::op_local(void* origin, int count, const Datatype& type, std::size_t disp,
@@ -190,6 +205,16 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
     Rank& peer = cluster.rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
     done->wait(self);  // target handler writes + barriers, then acks
+
+    // The handler acks with an error when its remote-put could not reach our
+    // staging segment even after retries (fault injection): the staged data
+    // is garbage, so release it and report the failure.
+    if (const Status st = rma.take_op_error(op_id); !st) {
+        SCIMPI_REQUIRE(cluster.directory().destroy(seg).is_ok(), "staging seg leak");
+        SCIMPI_REQUIRE(cluster.memory(rank_->node()).free(staging.value()).is_ok(),
+                       "staging mem leak");
+        return st;
+    }
 
     // Scatter the staged stream into the origin layout (local copy).
     auto* user = static_cast<std::byte*>(origin);

@@ -20,6 +20,7 @@ Win::Win(Comm& comm, std::span<std::byte> local, int id)
     rm_.accumulates = &m.counter("rma.accumulates");
     rm_.direct_put_bytes = &m.counter("rma.direct_put_bytes");
     rm_.emulated_put_bytes = &m.counter("rma.emulated_put_bytes");
+    rm_.path_fallbacks = &m.counter("rma.path_fallbacks");
 }
 
 int Win::my_rank() const { return comm_->rank(); }  // communicator-local
@@ -133,6 +134,14 @@ std::shared_ptr<sim::Event> RmaState::new_op_event(std::uint64_t op_id) {
     auto ev = std::make_shared<sim::Event>();
     op_events_[op_id] = ev;
     return ev;
+}
+
+Status RmaState::take_op_error(std::uint64_t op_id) {
+    const auto it = op_errors_.find(op_id);
+    if (it == op_errors_.end()) return Status::ok();
+    Status st = it->second;
+    op_errors_.erase(it);
+    return st;
 }
 
 }  // namespace scimpi::mpi

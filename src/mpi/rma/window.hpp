@@ -104,6 +104,7 @@ public:
         std::uint64_t remote_put_gets = 0;
         std::uint64_t local_ops = 0;
         std::uint64_t accumulates = 0;
+        std::uint64_t path_fallbacks = 0;  ///< direct path dead -> emulated
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -125,6 +126,11 @@ private:
     Status op_local(void* origin_or_src, int count, const Datatype& type,
                     std::size_t disp, bool is_put);
 
+    /// Degraded-mode routing: false when the direct (mapped-segment) path to
+    /// `target` is currently unusable and Config::rma_fallback redirects the
+    /// op to the handler-based emulation (counted as a path fallback).
+    bool direct_path_usable(int target);
+
     Comm* comm_;
     Rank* rank_;
     std::span<std::byte> local_;
@@ -144,6 +150,7 @@ private:
         obs::Counter* accumulates = nullptr;
         obs::Counter* direct_put_bytes = nullptr;
         obs::Counter* emulated_put_bytes = nullptr;
+        obs::Counter* path_fallbacks = nullptr;  ///< dead route -> emulated path
     };
     RmaMetrics rm_;
 
@@ -181,6 +188,8 @@ public:
 
     /// Blocking wait for a specific acknowledged op (emulated gets).
     std::shared_ptr<sim::Event> new_op_event(std::uint64_t op_id);
+    /// Error reported by an ack for `op_id` (ok if none); consumes the entry.
+    Status take_op_error(std::uint64_t op_id);
 
     /// Wait until a predicate over handler-updated state becomes true.
     void wait_signal_change(sim::Process& self) { change_q_.park(self); }
@@ -209,6 +218,7 @@ private:
     sim::WaitQueue pending_q_;
     sim::WaitQueue change_q_;
     std::map<std::uint64_t, std::shared_ptr<sim::Event>> op_events_;
+    std::map<std::uint64_t, Status> op_errors_;  ///< failed remote-put acks
     int next_win_id_ = 1;
     std::uint64_t next_op_id_ = 1;
 };

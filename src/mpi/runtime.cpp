@@ -42,11 +42,20 @@ Cluster::Cluster(ClusterOptions opt)
     if (env_flag("SCIMPI_STATS")) opt_.collect_stats = true;
     if (opt_.stats_file.empty()) opt_.stats_file = env_path("SCIMPI_STATS_FILE");
     if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
+    if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
     if (!opt_.stats_file.empty()) opt_.collect_stats = true;
     metrics_.enable(opt_.collect_stats);
     if (!opt_.trace_file.empty()) engine_.tracer().enable();
     engine_.bind_metrics(metrics_);
     fabric_.bind_metrics(metrics_);
+    fabric_.bind_engine(&engine_);
+    fabric_.set_reroute(opt_.cfg.torus_reroute);
+    if (!opt_.fault_spec_file.empty()) {
+        auto loaded = fault::FaultSchedule::load(opt_.fault_spec_file);
+        SCIMPI_REQUIRE(loaded.is_ok(), "fault spec '" + opt_.fault_spec_file +
+                                           "': " + loaded.status().to_string());
+        opt_.faults.merge(loaded.value());
+    }
     for (int n = 0; n < opt_.nodes; ++n) {
         memories_.push_back(std::make_unique<mem::NodeMemory>(n, opt_.arena_bytes));
         adapters_.push_back(std::make_unique<sci::SciAdapter>(
@@ -58,7 +67,26 @@ Cluster::Cluster(ClusterOptions opt)
         ranks_.push_back(std::make_unique<Rank>(*this, r, node_of(r)));
         ranks_.back()->init_world(world);
     }
-    for (const auto& r : ranks_) r->set_rma(std::make_unique<RmaState>(*r));
+    for (const auto& r : ranks_) {
+        r->set_rma(std::make_unique<RmaState>(*r));
+        r->rma().channel().bind_metrics(metrics_);
+    }
+    if (!opt_.faults.empty()) {
+        faults_ = std::make_unique<fault::FaultController>(engine_, fabric_,
+                                                           opt_.faults);
+        faults_->bind_metrics(metrics_);
+        for (int n = 0; n < opt_.nodes; ++n)
+            faults_->set_adapter(n, adapters_[static_cast<std::size_t>(n)].get());
+        for (const auto& r : ranks_)
+            faults_->add_channel(r->node(), &r->rma().channel());
+    }
+    if (opt_.cfg.monitor_period > 0) {
+        monitor_ = std::make_unique<fault::ConnectionMonitor>(engine_, fabric_,
+                                                              opt_.cfg);
+        monitor_->bind_metrics(metrics_);
+        for (int n = 0; n < opt_.nodes; ++n)
+            monitor_->set_adapter(n, adapters_[static_cast<std::size_t>(n)].get());
+    }
 }
 
 Cluster::~Cluster() {
@@ -89,6 +117,8 @@ obs::RunReport Cluster::stats_report() const {
 }
 
 void Cluster::run(const std::function<void(Comm&)>& rank_main) {
+    if (faults_ != nullptr) faults_->start();
+    if (monitor_ != nullptr) monitor_->start();
     for (const auto& r : ranks_) {
         Rank* rank = r.get();
         engine_.spawn("rank" + std::to_string(rank->rank()), [this, rank,

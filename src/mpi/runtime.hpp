@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "fault/controller.hpp"
+#include "fault/monitor.hpp"
 #include "mem/machine_profile.hpp"
 #include "mem/node_memory.hpp"
 #include "mpi/rank.hpp"
@@ -41,6 +43,11 @@ struct ClusterOptions {
     bool collect_stats = false;
     std::string stats_file;
     std::string trace_file;
+    /// Fault injection: a programmatic schedule and/or a text spec file
+    /// (see src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
+    /// A non-empty schedule spawns a FaultController alongside the ranks.
+    fault::FaultSchedule faults;
+    std::string fault_spec_file;
 };
 
 class Cluster {
@@ -72,6 +79,12 @@ public:
     /// The cluster-wide counter/gauge registry (see src/obs/metrics.hpp).
     [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
+    /// Fault-injection controller; null when the run has no fault schedule.
+    [[nodiscard]] fault::FaultController* fault_controller() { return faults_.get(); }
+    /// Connection monitor; null unless Config::monitor_period > 0. The MPI
+    /// layer consults it to fail fast on peers declared dead.
+    [[nodiscard]] fault::ConnectionMonitor* monitor() { return monitor_.get(); }
+
     /// Structured snapshot of the run: every registry counter/gauge plus the
     /// per-link wire statistics. Valid any time; typically taken after run().
     [[nodiscard]] obs::RunReport stats_report() const;
@@ -86,6 +99,8 @@ private:
     std::vector<std::unique_ptr<mem::NodeMemory>> memories_;
     std::vector<std::unique_ptr<sci::SciAdapter>> adapters_;
     std::vector<std::unique_ptr<Rank>> ranks_;
+    std::unique_ptr<fault::FaultController> faults_;
+    std::unique_ptr<fault::ConnectionMonitor> monitor_;
 };
 
 }  // namespace scimpi::mpi

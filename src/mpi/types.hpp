@@ -38,6 +38,8 @@ enum class CtrlKind : std::uint8_t {
     rndv_cts,     ///< receiver grants the ring buffer + pack mode
     rndv_chunk,   ///< sender filled ring chunk `a` with `b` bytes
     rndv_ack,     ///< receiver drained ring chunk `a`
+    rndv_fail,    ///< sender exhausted its retry budget; receiver aborts with
+                  ///< the Errc carried in `a` and releases its ring
 };
 
 struct CtrlMsg {

@@ -27,6 +27,21 @@ void SciAdapter::bind_metrics(obs::MetricsRegistry& m) {
     dma_bytes_c_ = &m.counter("sci.dma_bytes");
     restarts_c_ = &m.counter("sci.stream_restarts");
     barriers_c_ = &m.counter("sci.store_barriers");
+    probes_c_ = &m.counter("sci.probes");
+    probe_fail_c_ = &m.counter("sci.probe_failures");
+    stall_waits_c_ = &m.counter("sci.adapter_stall_waits");
+}
+
+void SciAdapter::wait_if_stalled(sim::Process& self) {
+    if (self.now() >= stall_until_) return;
+    ++stats_.stall_waits;
+    if (stall_waits_c_ != nullptr) stall_waits_c_->inc();
+    // The stall may be extended while we wait, so loop until clear.
+    while (self.now() < stall_until_) self.delay(stall_until_ - self.now());
+}
+
+double SciAdapter::route_error_rate(const RoutePath& path) const {
+    return std::max(cfg_.link_error_rate, fabric_.route_error_rate(path));
 }
 
 SimTime SciAdapter::partial_segment_cost(std::size_t off, std::size_t len) {
@@ -109,18 +124,19 @@ SimTime SciAdapter::wc_write_time(int pid, const SciMapping& map, std::size_t of
     return t;
 }
 
-Status SciAdapter::inject_errors(std::size_t packets, SimTime* t) {
-    if (cfg_.link_error_rate <= 0.0 || packets == 0) return Status::ok();
+Status SciAdapter::inject_errors(std::size_t packets, SimTime* t, double rate) {
+    if (rate <= 0.0 || packets == 0) return Status::ok();
     const SciParams& p = fabric_.params();
     for (std::size_t i = 0; i < packets; ++i) {
         int attempts = 0;
-        while (rng_.chance(cfg_.link_error_rate)) {
+        while (rng_.chance(rate)) {
             ++attempts;
             ++stats_.retries;
             *t += p.retry_penalty;
             if (attempts >= cfg_.max_retries)
                 return Status::error(Errc::link_failure,
-                                     "transaction exceeded retry budget");
+                                     "transaction exceeded retry budget (node " +
+                                         std::to_string(node_) + ")");
         }
     }
     return Status::ok();
@@ -130,8 +146,14 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
                          const void* src, std::size_t len, std::size_t src_traffic) {
     SCIMPI_REQUIRE(off + len <= map.size(), "remote write out of segment bounds");
     if (len == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
-        return Status::error(Errc::link_failure, "route to target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        path = fabric_.resolve_route(node_, map.target_node);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(node_, map.target_node));
+    }
     if (src_traffic == 0) src_traffic = len;
     ++stats_.write_calls;
     stats_.bytes_written += len;
@@ -155,19 +177,19 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
     SimTime t = std::max(t_wire, t_src);
 
     // Link contention can throttle below the adapter's own rate.
-    fabric_.register_transfer(node_, map.target_node);
-    fabric_.trace_load(self, node_, map.target_node);
-    const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
+    fabric_.register_transfer(path);
+    fabric_.trace_load(self, path);
+    const double link_bw = fabric_.effective_bw(path, 1e9);
     const SimTime t_link = transfer_time(len, link_bw);
     t = std::max(t, t_link);
 
     const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
-    const Status err = inject_errors(packets, &t);
+    const Status err = inject_errors(packets, &t, route_error_rate(path));
 
     self.delay(t);
-    fabric_.account(node_, map.target_node, len);
-    fabric_.unregister_transfer(node_, map.target_node);
-    fabric_.trace_load(self, node_, map.target_node);
+    fabric_.account(path, len);
+    fabric_.unregister_transfer(path);
+    fabric_.trace_load(self, path);
     if (!err) return err;  // data of the failed transaction never lands
 
     // The stores are posted: they land after the pipeline latency.
@@ -203,8 +225,14 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     for (const auto& b : blocks) total += b.len;
     SCIMPI_REQUIRE(off + total <= map.size(), "gather write out of segment bounds");
     if (total == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
-        return Status::error(Errc::link_failure, "route to target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        path = fabric_.resolve_route(node_, map.target_node);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(node_, map.target_node));
+    }
     if (src_traffic == 0) src_traffic = total;
     ++stats_.write_calls;
     stats_.bytes_written += total;
@@ -239,17 +267,17 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
         src_traffic <= host_.l2_size ? host_.copy_bw_l2 : p.pio_src_mem_bw;
     SimTime t = std::max(t_wire, transfer_time(src_traffic, feed_bw));
 
-    fabric_.register_transfer(node_, map.target_node);
-    fabric_.trace_load(self, node_, map.target_node);
-    const double link_bw = fabric_.effective_bw(node_, map.target_node, 1e9);
+    fabric_.register_transfer(path);
+    fabric_.trace_load(self, path);
+    const double link_bw = fabric_.effective_bw(path, 1e9);
     t = std::max(t, transfer_time(total, link_bw));
     const std::size_t packets = (total + p.sci_packet - 1) / p.sci_packet;
-    const Status err = inject_errors(packets, &t);
+    const Status err = inject_errors(packets, &t, route_error_rate(path));
 
     self.delay(t);
-    fabric_.account(node_, map.target_node, total);
-    fabric_.unregister_transfer(node_, map.target_node);
-    fabric_.trace_load(self, node_, map.target_node);
+    fabric_.account(path, total);
+    fabric_.unregister_transfer(path);
+    fabric_.trace_load(self, path);
     if (!err) return err;
 
     std::vector<std::byte> data;
@@ -272,8 +300,15 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
                         void* dst, std::size_t len) {
     SCIMPI_REQUIRE(off + len <= map.size(), "remote read out of segment bounds");
     if (len == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(map.target_node, node_))
-        return Status::error(Errc::link_failure, "route from target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        // Reads travel target -> node: the response path is what matters.
+        path = fabric_.resolve_route(map.target_node, node_);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(map.target_node, node_));
+    }
     ++stats_.read_calls;
     stats_.bytes_read += len;
     if (read_bytes_c_ != nullptr) read_bytes_c_->add(len);
@@ -289,16 +324,16 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
     const std::size_t txns = (len + p.read_txn_bytes - 1) / p.read_txn_bytes;
     SimTime t = static_cast<SimTime>(txns) * p.read_latency;
 
-    fabric_.register_transfer(map.target_node, node_);
-    fabric_.trace_load(self, map.target_node, node_);
-    const double link_bw = fabric_.effective_bw(map.target_node, node_, 1e9);
+    fabric_.register_transfer(path);
+    fabric_.trace_load(self, path);
+    const double link_bw = fabric_.effective_bw(path, 1e9);
     t = std::max(t, transfer_time(len, link_bw));
-    const Status err = inject_errors(txns, &t);
+    const Status err = inject_errors(txns, &t, route_error_rate(path));
 
     self.delay(t);
-    fabric_.account(map.target_node, node_, len);
-    fabric_.unregister_transfer(map.target_node, node_);
-    fabric_.trace_load(self, map.target_node, node_);
+    fabric_.account(path, len);
+    fabric_.unregister_transfer(path);
+    fabric_.trace_load(self, path);
     if (!err) return err;
 
     // Loads stall the CPU: the data is current as of completion time.
@@ -314,8 +349,14 @@ Status SciAdapter::dma_write_gather(sim::Process& self, const SciMapping& map,
     for (const auto& b : blocks) total += b.len;
     SCIMPI_REQUIRE(off + total <= map.size(), "DMA gather out of segment bounds");
     if (total == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
-        return Status::error(Errc::link_failure, "route to target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        path = fabric_.resolve_route(node_, map.target_node);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(node_, map.target_node));
+    }
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += total;
     if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(total);
@@ -326,10 +367,10 @@ Status SciAdapter::dma_write_gather(sim::Process& self, const SciMapping& map,
     if (map.remote()) {
         const std::size_t packets = (total + p.sci_packet - 1) / p.sci_packet;
         SimTime t_err = 0;
-        const Status err = inject_errors(packets, &t_err);
+        const Status err = inject_errors(packets, &t_err, route_error_rate(path));
         if (t_err > 0) self.delay(t_err);
         if (!err) return err;
-        fabric_.timed_transfer(self, node_, map.target_node, total, p.dma_bw);
+        fabric_.timed_transfer(self, path, total, p.dma_bw);
     } else {
         self.delay(transfer_time(total, p.dma_bw));
     }
@@ -343,14 +384,19 @@ Status SciAdapter::dma_write_gather(sim::Process& self, const SciMapping& map,
 
 bool SciAdapter::probe_peer(sim::Process& self, int peer_node) {
     const SciParams& p = fabric_.params();
+    ++stats_.probes;
+    if (probes_c_ != nullptr) probes_c_->inc();
     if (peer_node == node_) {
         self.delay(100);
         return true;
     }
-    if (!fabric_.route_healthy(node_, peer_node) ||
-        !fabric_.route_healthy(peer_node, node_)) {
+    wait_if_stalled(self);
+    if (!fabric_.route_usable(node_, peer_node) ||
+        !fabric_.route_usable(peer_node, node_)) {
         // Probe times out after the retry budget.
         self.delay(static_cast<SimTime>(cfg_.max_retries) * p.retry_penalty);
+        ++stats_.probe_failures;
+        if (probe_fail_c_ != nullptr) probe_fail_c_->inc();
         return false;
     }
     self.delay(p.read_latency);  // one small round trip
@@ -375,8 +421,14 @@ Status SciAdapter::dma_write(sim::Process& self, const SciMapping& map, std::siz
                              const void* src, std::size_t len) {
     SCIMPI_REQUIRE(off + len <= map.size(), "DMA write out of segment bounds");
     if (len == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(node_, map.target_node))
-        return Status::error(Errc::link_failure, "route to target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        path = fabric_.resolve_route(node_, map.target_node);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(node_, map.target_node));
+    }
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += len;
     if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(len);
@@ -388,10 +440,10 @@ Status SciAdapter::dma_write(sim::Process& self, const SciMapping& map, std::siz
     }
     const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
     SimTime t_err = 0;
-    const Status err = inject_errors(packets, &t_err);
+    const Status err = inject_errors(packets, &t_err, route_error_rate(path));
     if (t_err > 0) self.delay(t_err);
     if (!err) return err;
-    fabric_.timed_transfer(self, node_, map.target_node, len, p.dma_bw);
+    fabric_.timed_transfer(self, path, len, p.dma_bw);
     std::memcpy(map.mem.data() + off, src, len);
     return Status::ok();
 }
@@ -400,8 +452,14 @@ Status SciAdapter::dma_read(sim::Process& self, const SciMapping& map, std::size
                             void* dst, std::size_t len) {
     SCIMPI_REQUIRE(off + len <= map.size(), "DMA read out of segment bounds");
     if (len == 0) return Status::ok();
-    if (map.remote() && !fabric_.route_healthy(map.target_node, node_))
-        return Status::error(Errc::link_failure, "route from target is down");
+    wait_if_stalled(self);
+    RoutePath path;
+    if (map.remote()) {
+        path = fabric_.resolve_route(map.target_node, node_);
+        if (!path.healthy)
+            return Status::error(Errc::link_failure,
+                                 fabric_.describe_down_route(map.target_node, node_));
+    }
     const SciParams& p = fabric_.params();
     stats_.dma_bytes += len;
     if (dma_bytes_c_ != nullptr) dma_bytes_c_->add(len);
@@ -413,11 +471,11 @@ Status SciAdapter::dma_read(sim::Process& self, const SciMapping& map, std::size
     }
     const std::size_t packets = (len + p.sci_packet - 1) / p.sci_packet;
     SimTime t_err = 0;
-    const Status err = inject_errors(packets, &t_err);
+    const Status err = inject_errors(packets, &t_err, route_error_rate(path));
     if (t_err > 0) self.delay(t_err);
     if (!err) return err;
     // DMA reads stream request/response pairs; effective rate is lower.
-    fabric_.timed_transfer(self, map.target_node, node_, len, p.dma_bw * 0.7);
+    fabric_.timed_transfer(self, path, len, p.dma_bw * 0.7);
     std::memcpy(dst, map.mem.data() + off, len);
     return Status::ok();
 }

@@ -18,6 +18,7 @@
 //     memory-read bandwidth (the >128 KiB dip of Figure 1, footnote 2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -52,6 +53,9 @@ public:
         std::uint64_t barriers = 0;
         std::uint64_t retries = 0;
         std::uint64_t dma_bytes = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t probe_failures = 0;
+        std::uint64_t stall_waits = 0;  ///< calls that waited out an injected stall
     };
 
     /// Transparent remote store of `len` bytes to `map` at `off`.
@@ -99,8 +103,15 @@ public:
                             std::span<const ConstIovec> blocks);
 
     /// Connection monitoring probe: one round trip to the peer node; false
-    /// (after the probe timeout) when the route is broken.
+    /// (after the probe timeout) when the route is broken. Charges
+    /// sci.probes / sci.probe_failures.
     bool probe_peer(sim::Process& self, int peer_node);
+
+    /// Fault injection: the adapter is wedged (PCI bridge reset, firmware
+    /// hiccup) until simulated time `t` — every operation issued before then
+    /// first waits the stall out. Extends, never shortens, a pending stall.
+    void stall_until(SimTime t) { stall_until_ = std::max(stall_until_, t); }
+    [[nodiscard]] SimTime stalled_until() const { return stall_until_; }
 
     /// Attach a metrics registry: every adapter resolves the same cluster
     /// counters (sci.pio_bytes, sci.dma_bytes, ...), so increments aggregate
@@ -129,9 +140,18 @@ private:
     /// power-of-two decomposition, misaligned chunks cost more.
     SimTime partial_segment_cost(std::size_t off, std::size_t len);
 
-    /// Error injection for `packets` transactions; adds retry time to *t and
-    /// returns link_failure when a transaction exhausts its retries.
-    Status inject_errors(std::size_t packets, SimTime* t);
+    /// Error injection for `packets` transactions at `rate` (the max of the
+    /// global Config rate and any injected per-link window on the route);
+    /// adds retry time to *t and returns link_failure when a transaction
+    /// exhausts its retries.
+    Status inject_errors(std::size_t packets, SimTime* t, double rate);
+
+    /// Max of the configured error rate and the injected per-link rates on
+    /// `path` (empty path -> just the configured rate).
+    [[nodiscard]] double route_error_rate(const RoutePath& path) const;
+
+    /// Block `self` until any injected adapter stall has elapsed.
+    void wait_if_stalled(sim::Process& self);
 
     int node_;
     Fabric& fabric_;
@@ -140,6 +160,7 @@ private:
     Config cfg_;
     Rng rng_;
     Stats stats_;
+    SimTime stall_until_ = 0;
 
     std::unordered_map<int, StreamState> streams_;   // per process
     std::unordered_map<int, int> pending_stores_;    // per process, in-flight
@@ -150,6 +171,9 @@ private:
     obs::Counter* dma_bytes_c_ = nullptr;       // DMA engine bytes
     obs::Counter* restarts_c_ = nullptr;        // stream buffer restarts
     obs::Counter* barriers_c_ = nullptr;        // store barriers issued
+    obs::Counter* probes_c_ = nullptr;          // connection-monitor probes
+    obs::Counter* probe_fail_c_ = nullptr;      // probes that timed out
+    obs::Counter* stall_waits_c_ = nullptr;     // ops delayed by injected stalls
 };
 
 }  // namespace scimpi::sci

@@ -12,6 +12,7 @@ Fabric::Fabric(Topology topo, SciParams params)
       params_(params),
       load_(static_cast<std::size_t>(topo_.links()), 0.0),
       up_(static_cast<std::size_t>(topo_.links()), 1),
+      error_rate_(static_cast<std::size_t>(topo_.links()), 0.0),
       stats_(static_cast<std::size_t>(topo_.links())) {}
 
 void Fabric::bind_metrics(obs::MetricsRegistry& m) {
@@ -19,12 +20,60 @@ void Fabric::bind_metrics(obs::MetricsRegistry& m) {
     wire_bytes_c_ = &m.counter("fabric.wire_bytes");
     echo_bytes_c_ = &m.counter("fabric.echo_bytes");
     transfers_c_ = &m.counter("fabric.transfers");
+    link_down_c_ = &m.counter("fabric.link_down_events");
+    link_up_c_ = &m.counter("fabric.link_up_events");
+    reroutes_c_ = &m.counter("fabric.reroutes");
     active_g_ = &m.gauge("fabric.concurrent_transfers");
 }
 
+namespace {
+bool all_up(const std::vector<char>& up, const std::vector<int>& links) {
+    for (int link : links)
+        if (up[static_cast<std::size_t>(link)] == 0) return false;
+    return true;
+}
+}  // namespace
+
+RoutePath Fabric::resolve_route(int src, int dst) {
+    RoutePath p;
+    p.src = src;
+    p.dst = dst;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    p.healthy = all_up(up_, *p.fwd);
+    if (!p.healthy && reroute_enabled_) {
+        const std::vector<int>& alt = topo_.alt_route(src, dst);
+        if (alt != *p.fwd && all_up(up_, alt)) {
+            p.fwd = &alt;
+            p.echo = &topo_.alt_route(dst, src);
+            p.healthy = true;
+            p.rerouted = true;
+            ++reroutes_;
+            if (reroutes_c_ != nullptr) reroutes_c_->inc();
+        }
+    }
+    return p;
+}
+
+bool Fabric::route_usable(int src, int dst) {
+    if (route_healthy(src, dst)) return true;
+    if (!reroute_enabled_) return false;
+    const std::vector<int>& alt = topo_.alt_route(src, dst);
+    return alt != topo_.route(src, dst) && all_up(up_, alt);
+}
+
 void Fabric::register_transfer(int src, int dst) {
-    for (int link : topo_.route(src, dst)) load_[static_cast<std::size_t>(link)] += 1.0;
-    for (int link : topo_.echo_route(src, dst))
+    RoutePath p;
+    p.src = src;
+    p.dst = dst;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    register_transfer(p);
+}
+
+void Fabric::register_transfer(const RoutePath& path) {
+    for (int link : *path.fwd) load_[static_cast<std::size_t>(link)] += 1.0;
+    for (int link : *path.echo)
         load_[static_cast<std::size_t>(link)] += params_.echo_fraction;
     ++active_transfers_;
     peak_transfers_ = std::max(peak_transfers_, active_transfers_);
@@ -33,15 +82,24 @@ void Fabric::register_transfer(int src, int dst) {
 }
 
 void Fabric::unregister_transfer(int src, int dst) {
+    RoutePath p;
+    p.src = src;
+    p.dst = dst;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    unregister_transfer(p);
+}
+
+void Fabric::unregister_transfer(const RoutePath& path) {
     SCIMPI_REQUIRE(active_transfers_ > 0, "unregister_transfer without register");
     --active_transfers_;
     if (active_g_ != nullptr) active_g_->set(active_transfers_);
-    for (int link : topo_.route(src, dst)) {
+    for (int link : *path.fwd) {
         auto& a = load_[static_cast<std::size_t>(link)];
         SCIMPI_REQUIRE(a >= 1.0 - 1e-9, "unregister_transfer underflow");
         a -= 1.0;
     }
-    for (int link : topo_.echo_route(src, dst)) {
+    for (int link : *path.echo) {
         auto& a = load_[static_cast<std::size_t>(link)];
         SCIMPI_REQUIRE(a >= params_.echo_fraction - 1e-9,
                        "unregister_transfer echo underflow");
@@ -50,12 +108,19 @@ void Fabric::unregister_transfer(int src, int dst) {
 }
 
 double Fabric::effective_bw(int src, int dst, double src_cap) const {
+    RoutePath p;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    return effective_bw(p, src_cap);
+}
+
+double Fabric::effective_bw(const RoutePath& path, double src_cap) const {
     double bw = src_cap;
     // Headers consume link bandwidth alongside payload.
     const double payload_eff =
         static_cast<double>(params_.sci_packet) /
         static_cast<double>(params_.sci_packet + params_.header_bytes);
-    for (int link : topo_.route(src, dst)) {
+    for (int link : *path.fwd) {
         const double users = std::max(1.0, load_[static_cast<std::size_t>(link)]);
         const double share = params_.nominal_link_bw() * payload_eff / users;
         bw = std::min(bw, share);
@@ -65,11 +130,21 @@ double Fabric::effective_bw(int src, int dst, double src_cap) const {
 
 void Fabric::account(int src, int dst, std::size_t payload) {
     if (src == dst || payload == 0) return;
+    RoutePath p;
+    p.src = src;
+    p.dst = dst;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    account(p, payload);
+}
+
+void Fabric::account(const RoutePath& path, std::size_t payload) {
+    if (path.src == path.dst || payload == 0) return;
     const std::size_t packets = (payload + params_.sci_packet - 1) / params_.sci_packet;
     const std::size_t wire = payload + packets * params_.header_bytes;
     const auto echo = static_cast<std::uint64_t>(
         static_cast<double>(payload) * params_.echo_fraction);
-    for (int link : topo_.route(src, dst)) {
+    for (int link : *path.fwd) {
         auto& s = stats_[static_cast<std::size_t>(link)];
         s.payload_bytes += payload;
         s.wire_bytes += wire;
@@ -78,13 +153,20 @@ void Fabric::account(int src, int dst, std::size_t payload) {
             wire_bytes_c_->add(wire);
         }
     }
-    for (int link : topo_.echo_route(src, dst)) {
+    for (int link : *path.echo) {
         stats_[static_cast<std::size_t>(link)].echo_bytes += echo;
         if (echo_bytes_c_ != nullptr) echo_bytes_c_->add(echo);
     }
 }
 
 void Fabric::trace_load(sim::Process& self, int src, int dst) {
+    RoutePath p;
+    p.fwd = &topo_.route(src, dst);
+    p.echo = &topo_.echo_route(src, dst);
+    trace_load(self, p);
+}
+
+void Fabric::trace_load(sim::Process& self, const RoutePath& path) {
     sim::Tracer& tr = self.engine().tracer();
     if (!tr.enabled()) return;
     if (link_track_names_.empty()) {
@@ -93,7 +175,7 @@ void Fabric::trace_load(sim::Process& self, int src, int dst) {
             link_track_names_.push_back("link" + std::to_string(l) + ".load");
     }
     tr.counter("fabric.active_transfers", self.now(), active_transfers_);
-    for (int link : topo_.route(src, dst))
+    for (int link : *path.fwd)
         tr.counter(link_track_names_[static_cast<std::size_t>(link)], self.now(),
                    load_[static_cast<std::size_t>(link)]);
 }
@@ -108,32 +190,90 @@ SimTime Fabric::timed_transfer(sim::Process& self, int src, int dst, std::size_t
         return t;
     }
     SCIMPI_REQUIRE(chunk > 0, "timed_transfer with zero chunk");
-    register_transfer(src, dst);
-    trace_load(self, src, dst);
+    // Resolve the route once so a link flap mid-transfer cannot desync the
+    // register/unregister pair (the in-flight data keeps its path; the
+    // *next* operation picks up the new link state).
+    const RoutePath path = resolve_route(src, dst);
+    return timed_transfer(self, path, bytes, src_cap, chunk);
+}
+
+SimTime Fabric::timed_transfer(sim::Process& self, const RoutePath& path,
+                               std::size_t bytes, double src_cap, std::size_t chunk) {
+    if (bytes == 0) return 0;
+    if (path.src == path.dst) {
+        const SimTime t = transfer_time(bytes, src_cap);
+        self.delay(t);
+        return t;
+    }
+    SCIMPI_REQUIRE(chunk > 0, "timed_transfer with zero chunk");
+    register_transfer(path);
+    trace_load(self, path);
     SimTime total = 0;
     std::size_t left = bytes;
     while (left > 0) {
         const std::size_t n = std::min(left, chunk);
-        const double bw = effective_bw(src, dst, src_cap);
+        const double bw = effective_bw(path, src_cap);
         const SimTime t = transfer_time(n, bw);
         self.delay(t);
-        account(src, dst, n);
+        account(path, n);
         total += t;
         left -= n;
     }
-    unregister_transfer(src, dst);
-    trace_load(self, src, dst);
+    unregister_transfer(path);
+    trace_load(self, path);
     return total;
 }
 
 void Fabric::set_link_up(int link, bool up) {
-    up_.at(static_cast<std::size_t>(link)) = up ? 1 : 0;
+    auto& cell = up_.at(static_cast<std::size_t>(link));
+    const char want = up ? 1 : 0;
+    if (cell == want) return;  // idempotent: only real state changes count
+    cell = want;
+    if (up) {
+        ++link_up_events_;
+        if (link_up_c_ != nullptr) link_up_c_->inc();
+    } else {
+        ++link_down_events_;
+        if (link_down_c_ != nullptr) link_down_c_->inc();
+    }
+    if (engine_ != nullptr && engine_->tracer().enabled()) {
+        const std::string mark = std::string(up ? "link_up " : "link_down ") +
+                                 std::to_string(link) + " (" +
+                                 std::to_string(topo_.link_from(link)) + "->" +
+                                 std::to_string(topo_.link_to(link)) + ")";
+        engine_->tracer().instant(0, mark, engine_->now());
+    }
+    if (link_listener_) link_listener_(link, up);
 }
 
 bool Fabric::route_healthy(int src, int dst) const {
     for (int link : topo_.route(src, dst))
         if (up_[static_cast<std::size_t>(link)] == 0) return false;
     return true;
+}
+
+std::string Fabric::describe_down_route(int src, int dst) const {
+    for (int link : topo_.route(src, dst)) {
+        if (up_[static_cast<std::size_t>(link)] == 0) {
+            return "route " + std::to_string(src) + "->" + std::to_string(dst) +
+                   " down at link " + std::to_string(link) + " (" +
+                   std::to_string(topo_.link_from(link)) + "->" +
+                   std::to_string(topo_.link_to(link)) + ")";
+        }
+    }
+    return {};
+}
+
+void Fabric::set_link_error_rate(int link, double rate) {
+    error_rate_.at(static_cast<std::size_t>(link)) = rate;
+}
+
+double Fabric::route_error_rate(const RoutePath& path) const {
+    double r = 0.0;
+    if (path.fwd != nullptr)
+        for (int link : *path.fwd)
+            r = std::max(r, error_rate_[static_cast<std::size_t>(link)]);
+    return r;
 }
 
 void Fabric::reset_stats() {

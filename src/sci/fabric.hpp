@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -13,6 +15,10 @@
 #include "sci/params.hpp"
 #include "sci/topology.hpp"
 #include "sim/process.hpp"
+
+namespace scimpi::sim {
+class Engine;
+}
 
 namespace scimpi::sci {
 
@@ -23,6 +29,19 @@ struct LinkStats {
     std::uint64_t total() const { return wire_bytes + echo_bytes; }
 };
 
+/// A route resolved once for the lifetime of one transfer, so register /
+/// account / unregister stay consistent even if links flap mid-operation.
+/// `rerouted` marks the degraded-mode alternate (reversed dimension order)
+/// chosen because the primary crosses a down link.
+struct RoutePath {
+    int src = -1;
+    int dst = -1;
+    const std::vector<int>* fwd = nullptr;   ///< forward data links
+    const std::vector<int>* echo = nullptr;  ///< echo/flow-control links
+    bool healthy = false;                    ///< every forward link is up
+    bool rerouted = false;                   ///< alternate dimension order in use
+};
+
 class Fabric {
 public:
     Fabric(Topology topo, SciParams params);
@@ -31,26 +50,40 @@ public:
     [[nodiscard]] const SciParams& params() const { return params_; }
     SciParams& params() { return params_; }
 
+    /// Resolve the route to use for a transfer src -> dst right now: the
+    /// primary dimension-order route when healthy, else (reroute enabled and
+    /// it helps) the alternate reversed-dimension-order route. The result
+    /// stays valid for the fabric's lifetime; hold it across one operation.
+    [[nodiscard]] RoutePath resolve_route(int src, int dst);
+
     /// Register/unregister an active bulk transfer on the route src -> dst.
     /// Data packets load the forward route with weight 1; the echo/flow
     /// control stream loads the remaining ring links with echo_fraction.
     void register_transfer(int src, int dst);
     void unregister_transfer(int src, int dst);
+    void register_transfer(const RoutePath& path);
+    void unregister_transfer(const RoutePath& path);
 
     /// Current effective bandwidth (MiB/s) for a transfer src -> dst whose
     /// source side can push at most `src_cap` MiB/s. A transfer must be
     /// registered while it measures itself (it counts as one active user).
     [[nodiscard]] double effective_bw(int src, int dst, double src_cap) const;
+    [[nodiscard]] double effective_bw(const RoutePath& path, double src_cap) const;
 
     /// Account wire traffic for `payload` bytes moved src -> dst: data
     /// packets on the forward route, echoes returning the rest of the way
     /// around the ring.
     void account(int src, int dst, std::size_t payload);
+    void account(const RoutePath& path, std::size_t payload);
 
     /// Move `bytes` src -> dst in `chunk`-sized steps, charging simulated
     /// time on `self` and re-evaluating contention each chunk. Registers and
     /// unregisters the transfer internally. Returns total time charged.
     SimTime timed_transfer(sim::Process& self, int src, int dst, std::size_t bytes,
+                           double src_cap, std::size_t chunk = 16_KiB);
+    /// Variant for callers that already resolved (and health-checked) the
+    /// route — avoids double-counting fabric.reroutes.
+    SimTime timed_transfer(sim::Process& self, const RoutePath& path, std::size_t bytes,
                            double src_cap, std::size_t chunk = 16_KiB);
 
     /// Attach a metrics registry: aggregate payload/wire/echo byte counters
@@ -67,13 +100,53 @@ public:
     void reset_stats();
 
     /// Connection monitoring: mark a link (un)usable — a pulled cable. Any
-    /// transfer whose route crosses a down link fails with link_failure.
+    /// transfer whose route crosses a down link fails with link_failure
+    /// (unless the alternate dimension order routes around it). Idempotent;
+    /// real state changes bump fabric.link_down/up_events, emit a trace
+    /// instant, and fire the link listener.
     void set_link_up(int link, bool up);
     [[nodiscard]] bool link_up(int link) const {
         return up_.at(static_cast<std::size_t>(link));
     }
     /// True if every link on the route src -> dst is up.
     [[nodiscard]] bool route_healthy(int src, int dst) const;
+    /// True if the route src -> dst resolves to a usable path (considers
+    /// the alternate dimension order when rerouting is enabled).
+    [[nodiscard]] bool route_usable(int src, int dst);
+
+    /// Human-readable diagnosis of why src -> dst is unusable: names the
+    /// first down link and its endpoints, e.g.
+    /// "route 0->2 down at link 1 (1->2)". Empty if the route is healthy.
+    [[nodiscard]] std::string describe_down_route(int src, int dst) const;
+
+    /// Enable/disable degraded-mode routing via the alternate dimension
+    /// order (Config::torus_reroute). On a plain ring there is no
+    /// alternative, so this has no effect there.
+    void set_reroute(bool on) { reroute_enabled_ = on; }
+    [[nodiscard]] bool reroute_enabled() const { return reroute_enabled_; }
+    [[nodiscard]] std::uint64_t reroutes() const { return reroutes_; }
+
+    /// Per-link injected CRC error rate (fault windows). The adapter takes
+    /// max(Config::link_error_rate, max over the links of its route).
+    void set_link_error_rate(int link, double rate);
+    [[nodiscard]] double link_error_rate(int link) const {
+        return error_rate_.at(static_cast<std::size_t>(link));
+    }
+    /// Max injected error rate over the forward links of `path`.
+    [[nodiscard]] double route_error_rate(const RoutePath& path) const;
+
+    /// Called on every real link state change with (link, up). Used by the
+    /// connection monitor to wake its sweep.
+    void set_link_listener(std::function<void(int, bool)> fn) {
+        link_listener_ = std::move(fn);
+    }
+
+    /// Bind the engine so state changes made from outside any sim process
+    /// (e.g. the fault controller) can still emit trace instants.
+    void bind_engine(sim::Engine* eng) { engine_ = eng; }
+
+    [[nodiscard]] std::uint64_t link_down_events() const { return link_down_events_; }
+    [[nodiscard]] std::uint64_t link_up_events() const { return link_up_events_; }
 
     /// Aggregate wire traffic over all links (for ring-load metrics).
     [[nodiscard]] std::uint64_t total_wire_bytes() const;
@@ -87,20 +160,31 @@ public:
     /// `self`'s engine (no-op while tracing is disabled). Called after each
     /// register/unregister by the paths that hold a Process.
     void trace_load(sim::Process& self, int src, int dst);
+    void trace_load(sim::Process& self, const RoutePath& path);
 
 private:
     Topology topo_;
     SciParams params_;
     std::vector<double> load_;
     std::vector<char> up_;
+    std::vector<double> error_rate_;
     std::vector<LinkStats> stats_;
     int active_transfers_ = 0;
     int peak_transfers_ = 0;
+    bool reroute_enabled_ = true;
+    std::uint64_t reroutes_ = 0;
+    std::uint64_t link_down_events_ = 0;
+    std::uint64_t link_up_events_ = 0;
     std::vector<std::string> link_track_names_;  // lazily built "linkN.load"
+    std::function<void(int, bool)> link_listener_;
+    sim::Engine* engine_ = nullptr;
     obs::Counter* payload_bytes_c_ = nullptr;
     obs::Counter* wire_bytes_c_ = nullptr;
     obs::Counter* echo_bytes_c_ = nullptr;
     obs::Counter* transfers_c_ = nullptr;
+    obs::Counter* link_down_c_ = nullptr;
+    obs::Counter* link_up_c_ = nullptr;
+    obs::Counter* reroutes_c_ = nullptr;
     obs::Gauge* active_g_ = nullptr;
 };
 

@@ -61,6 +61,8 @@ struct SciParams {
 
     // Error model
     SimTime retry_penalty = 2200;      ///< ns per retried transaction
+    SimTime irq_retry_timeout = 50000; ///< ns until a dropped remote interrupt is
+                                       ///< noticed and the doorbell retransmitted
 
     [[nodiscard]] double nominal_link_bw() const {
         // 16-bit links moving 2 bytes per edge x 2 (DDR): 4 B per cycle.

@@ -92,17 +92,27 @@ Topology Topology::torus3d(int w, int h, int d) {
 }
 
 void Topology::precompute_routes() {
-    routes_.assign(static_cast<std::size_t>(nodes_),
-                   std::vector<std::vector<int>>(static_cast<std::size_t>(nodes_)));
+    compute_table(routes_, /*reverse_dims=*/false);
+    compute_table(alt_routes_, /*reverse_dims=*/true);
+}
+
+void Topology::compute_table(std::vector<std::vector<std::vector<int>>>& out_table,
+                             bool reverse_dims) const {
+    out_table.assign(static_cast<std::size_t>(nodes_),
+                     std::vector<std::vector<int>>(static_cast<std::size_t>(nodes_)));
+    std::vector<std::size_t> dim_order(node_rings_.size());
+    for (std::size_t i = 0; i < dim_order.size(); ++i)
+        dim_order[i] = reverse_dims ? dim_order.size() - 1 - i : i;
     for (int src = 0; src < nodes_; ++src) {
         for (int dst = 0; dst < nodes_; ++dst) {
             if (src == dst) continue;
-            auto& out = routes_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+            auto& out = out_table[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
             // Dimension-order routing: in each dimension, a node's position
             // on its ring *is* its coordinate along that dimension, so we
             // walk the current ring from our position to dst's coordinate.
             int cur = src;
-            for (const auto& dim : node_rings_) {
+            for (const std::size_t d : dim_order) {
+                const auto& dim = node_rings_[d];
                 const RingRef ref = dim[static_cast<std::size_t>(cur)];
                 const RingRef dst_ref = dim[static_cast<std::size_t>(dst)];
                 if (ref.ring < 0 || dst_ref.ring < 0) continue;
@@ -124,6 +134,10 @@ void Topology::precompute_routes() {
 
 const std::vector<int>& Topology::route(int src, int dst) const {
     return routes_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst));
+}
+
+const std::vector<int>& Topology::alt_route(int src, int dst) const {
+    return alt_routes_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst));
 }
 
 }  // namespace scimpi::sci

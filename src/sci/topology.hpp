@@ -33,6 +33,11 @@ public:
     /// Links traversed by a request travelling src -> dst (empty if equal).
     [[nodiscard]] const std::vector<int>& route(int src, int dst) const;
 
+    /// Alternate route using the reversed dimension order (y before x on a
+    /// 2D torus). On a single ringlet there is no alternative, so this
+    /// equals route(). Used to steer around a down link (degraded mode).
+    [[nodiscard]] const std::vector<int>& alt_route(int src, int dst) const;
+
     /// Links traversed by the echo/response on its way back (dst -> src,
     /// continuing around the ring(s)).
     [[nodiscard]] const std::vector<int>& echo_route(int src, int dst) const {
@@ -47,6 +52,8 @@ private:
     Topology() = default;
     void add_ring(const std::vector<int>& members);
     void precompute_routes();
+    void compute_table(std::vector<std::vector<std::vector<int>>>& out,
+                       bool reverse_dims) const;
 
     int nodes_ = 0;
     std::vector<int> link_from_, link_to_;
@@ -61,7 +68,8 @@ private:
     };
     std::vector<Ring> rings_;
     std::vector<std::vector<RingRef>> node_rings_;  // per dimension
-    std::vector<std::vector<std::vector<int>>> routes_;  // [src][dst] -> links
+    std::vector<std::vector<std::vector<int>>> routes_;      // [src][dst] -> links
+    std::vector<std::vector<std::vector<int>>> alt_routes_;  // reversed dim order
 };
 
 }  // namespace scimpi::sci

@@ -54,7 +54,8 @@ TEST(Status, OkAndErrorBasics) {
 TEST(Status, EveryErrcHasAName) {
     for (const Errc e : {Errc::ok, Errc::invalid_argument, Errc::out_of_memory,
                          Errc::not_found, Errc::truncated, Errc::unsupported,
-                         Errc::link_failure, Errc::rma_sync_error, Errc::deadlock}) {
+                         Errc::link_failure, Errc::rma_sync_error, Errc::deadlock,
+                         Errc::peer_unreachable, Errc::io_error}) {
         EXPECT_STRNE(errc_name(e), "unknown");
         EXPECT_GT(std::string(errc_name(e)).size(), 1u);
     }

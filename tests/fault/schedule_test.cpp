@@ -1,0 +1,148 @@
+// FaultSchedule unit tests: builders, the text spec parser, time suffixes,
+// and the determinism contract of materialize() (same spec + seed -> same
+// event sequence, bit for bit).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/schedule.hpp"
+
+namespace scimpi::fault {
+namespace {
+
+TEST(FaultSchedule, BuildersMaterializeSortedByTime) {
+    FaultSchedule s;
+    s.flap(500, 2, 100)              // down @500, up @600
+        .link_down(100, 0)
+        .error_window(50, 900, 1, 0.25)
+        .adapter_stall(700, 3, 40)
+        .drop_interrupts(10, 1, 2)
+        .link_up(1000, 0);
+    const auto ev = s.materialize(4);
+    ASSERT_EQ(ev.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(ev.begin(), ev.end(),
+                               [](const FaultEvent& a, const FaultEvent& b) {
+                                   return a.t < b.t;
+                               }));
+    EXPECT_EQ(ev.front().kind, FaultKind::irq_drop);
+    EXPECT_EQ(ev.front().count, 2);
+    EXPECT_EQ(ev[1].kind, FaultKind::error_window_begin);
+    EXPECT_DOUBLE_EQ(ev[1].rate, 0.25);
+    EXPECT_EQ(ev.back().kind, FaultKind::link_up);
+    EXPECT_EQ(ev.back().target, 0);
+    const auto stall = std::find_if(ev.begin(), ev.end(), [](const FaultEvent& e) {
+        return e.kind == FaultKind::adapter_stall;
+    });
+    ASSERT_NE(stall, ev.end());
+    EXPECT_EQ(stall->target, 3);
+    EXPECT_EQ(stall->duration, 40);
+}
+
+TEST(FaultSchedule, ParseMatchesEquivalentProgrammaticSchedule) {
+    const auto parsed = FaultSchedule::parse(
+        "# a comment line\n"
+        "seed 7\n"
+        "down 100us 0\n"
+        "up   300us 0   # trailing comment\n"
+        "flap 1ms 3 200us\n"
+        "error 0 500us 2 0.2\n"
+        "stall 50us 1 100us\n"
+        "drop-irq 10us 2 3\n");
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+
+    FaultSchedule built;
+    built.set_seed(7)
+        .link_down(100'000, 0)
+        .link_up(300'000, 0)
+        .flap(1'000'000, 3, 200'000)
+        .error_window(0, 500'000, 2, 0.2)
+        .adapter_stall(50'000, 1, 100'000)
+        .drop_interrupts(10'000, 2, 3);
+
+    const auto a = parsed.value().materialize(8);
+    const auto b = built.materialize(8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].t, b[i].t) << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << i;
+        EXPECT_EQ(a[i].target, b[i].target) << i;
+        EXPECT_DOUBLE_EQ(a[i].rate, b[i].rate) << i;
+        EXPECT_EQ(a[i].duration, b[i].duration) << i;
+        EXPECT_EQ(a[i].count, b[i].count) << i;
+    }
+}
+
+TEST(FaultSchedule, TimeSuffixes) {
+    const auto r = FaultSchedule::parse(
+        "down 5 0\n"
+        "down 5ns 1\n"
+        "down 5us 2\n"
+        "down 5ms 3\n"
+        "down 5s 4\n");
+    ASSERT_TRUE(r.is_ok());
+    const auto& ev = r.value().explicit_events();
+    ASSERT_EQ(ev.size(), 5u);
+    EXPECT_EQ(ev[0].t, 5);
+    EXPECT_EQ(ev[1].t, 5);
+    EXPECT_EQ(ev[2].t, 5'000);
+    EXPECT_EQ(ev[3].t, 5'000'000);
+    EXPECT_EQ(ev[4].t, 5'000'000'000);
+}
+
+TEST(FaultSchedule, ParseErrorsNameTheLine) {
+    auto expect_bad = [](std::string_view text, const char* line_tag) {
+        const auto r = FaultSchedule::parse(text);
+        ASSERT_FALSE(r.is_ok()) << text;
+        EXPECT_EQ(r.status().code(), Errc::invalid_argument);
+        EXPECT_NE(r.status().detail().find(line_tag), std::string::npos)
+            << r.status().to_string();
+    };
+    expect_bad("explode 1us 0\n", "line 1");                  // unknown directive
+    expect_bad("down 1us 0\nerror 0 1us 0 1.5\n", "line 2");  // rate out of range
+    expect_bad("flap 1us 0\n", "line 1");                     // missing duration
+    expect_bad("down 1xx 0\n", "line 1");                     // bad time suffix
+    expect_bad("down 1us 0 extra\n", "trailing junk");
+    expect_bad("seed banana\n", "seed needs an integer");
+}
+
+TEST(FaultSchedule, SoakIsDeterministicPerSeed) {
+    auto events_for = [](std::uint64_t seed) {
+        FaultSchedule s;
+        s.set_seed(seed).soak(0, 10'000'000, 500'000, 0.3, 200'000);
+        return s.materialize(6);
+    };
+    const auto a = events_for(42);
+    const auto b = events_for(42);
+    const auto c = events_for(43);
+    ASSERT_FALSE(a.empty());  // p=0.3 over 20 slots x 6 links: ~36 flaps
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].t, b[i].t);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].target, b[i].target);
+    }
+    // A different seed moves the flap pattern.
+    bool differs = a.size() != c.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].t != c[i].t || a[i].target != c[i].target;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, MergeAppendsAndTakesOtherSeed) {
+    FaultSchedule base;
+    base.set_seed(11).link_down(100, 0);
+    FaultSchedule extra;
+    extra.set_seed(99).link_up(200, 0);
+    base.merge(extra);
+    EXPECT_EQ(base.seed(), 99u);
+    EXPECT_EQ(base.explicit_events().size(), 2u);
+}
+
+TEST(FaultSchedule, LoadMissingFileIsIoError) {
+    const auto r = FaultSchedule::load("/nonexistent/fault.spec");
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), Errc::io_error);
+}
+
+}  // namespace
+}  // namespace scimpi::fault

@@ -1,0 +1,42 @@
+# Fault-injection smoke test: run the quickstart example under a fault
+# schedule (link 0 flaps at t=0 for 200us — squarely under the first eager
+# send) and assert from the emitted stats JSON that faults were injected AND
+# that the protocol recovered transfers instead of failing them.
+#
+# Expects: QUICKSTART (example binary), JSON_CHECK (checker binary), OUT_DIR.
+set(spec_file "${OUT_DIR}/smoke_faults.spec")
+set(stats_file "${OUT_DIR}/smoke_faults_stats.json")
+file(REMOVE "${stats_file}")
+
+# The quickstart's first send leaves rank 0 at t=0; the 200us outage is
+# outlasted by the sender's exponential backoff (20+40+80+160us).
+file(WRITE "${spec_file}" "# smoke: flap the rank0->rank1 link under the first send\nflap 0 0 200us\n")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SCIMPI_STATS=1"
+          "SCIMPI_STATS_FILE=${stats_file}"
+          "${QUICKSTART}" --faults "${spec_file}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart --faults exited with ${rc}")
+endif()
+
+if(NOT EXISTS "${stats_file}")
+  message(FATAL_ERROR "expected stats file was not written: ${stats_file}")
+endif()
+execute_process(COMMAND "${JSON_CHECK}" "${stats_file}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "not valid JSON: ${stats_file}")
+endif()
+
+file(READ "${stats_file}" stats)
+if(NOT stats MATCHES "\"fault\\.injected\": [1-9]")
+  message(FATAL_ERROR "stats report shows no injected faults:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"mpi\\.send_recoveries\": [1-9]")
+  message(FATAL_ERROR "stats report shows no recovered transfers:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"mpi\\.send_giveups\": 0")
+  message(FATAL_ERROR "a transfer gave up during the smoke flap:\n${stats}")
+endif()
