@@ -122,6 +122,7 @@ BENCHMARK(BM_Ablation)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("ablations", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -154,5 +155,6 @@ int main(int argc, char** argv) {
         std::printf("%-52s %10.1f %10.1f %8.2f\n", r.name, r.on, r.off,
                     r.on / r.off);
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

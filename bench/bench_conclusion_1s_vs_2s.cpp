@@ -116,6 +116,7 @@ BENCHMARK(BM_OneVsTwoSided)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("conclusion_1s_vs_2s", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -134,5 +135,6 @@ int main(int argc, char** argv) {
         "as the two-sided round trip; the unsynchronized put is the upper limit\n"
         "— exactly the paper's concluding observation.\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

@@ -110,6 +110,7 @@ BENCHMARK(BM_SoakGoodput)
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("faults", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -145,5 +146,6 @@ int main(int argc, char** argv) {
         row("soak p=0.1", stream_goodput(faults));
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

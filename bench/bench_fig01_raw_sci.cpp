@@ -93,6 +93,7 @@ BENCHMARK(BM_LocalCopy)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig01_raw_sci", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -116,5 +117,6 @@ int main(int argc, char** argv) {
                 raw_seconds(RawOp::pio_read, 8) * 1e6,
                 raw_seconds(RawOp::dma_write, 8) * 1e6);
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

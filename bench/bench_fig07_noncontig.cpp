@@ -42,6 +42,7 @@ BENCHMARK(BM_Noncontig)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig07_noncontig", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
         std::printf("\n");
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

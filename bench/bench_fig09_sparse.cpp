@@ -39,6 +39,7 @@ BENCHMARK(BM_Sparse)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig09_sparse", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
                     gs.latency_us, gs.bandwidth, gp.latency_us, gp.bandwidth);
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

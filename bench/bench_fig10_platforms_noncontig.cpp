@@ -42,6 +42,7 @@ BENCHMARK(BM_PlatformNoncontig)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig10_platforms_noncontig", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
         "\nefficiency highlights: T3E ~1 only for 8-32 KiB blocks; Sun shm jumps at\n"
         "16 KiB; all other implementations use generic pack-and-send (paper 5.1).\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

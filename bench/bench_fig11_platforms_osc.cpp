@@ -62,6 +62,7 @@ void print_table1() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig11_platforms_osc", argc, argv);
     benchmark::Initialize(&argc, argv);
     print_table1();
     benchmark::RunSpecifiedBenchmarks();
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
         "\n(M-S = SCI-MPICH over SCI shared windows, M-s = private windows via\n"
         "message-exchange emulation; comparators from platform models.)\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

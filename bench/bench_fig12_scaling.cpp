@@ -36,6 +36,7 @@ BENCHMARK(BM_SciScaling)
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("fig12_scaling", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
                     fire.osc_scaling_bandwidth(n, 256));
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

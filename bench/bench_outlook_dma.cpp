@@ -76,6 +76,7 @@ BENCHMARK(BM_DmaNoncontig)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("outlook_dma", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -92,5 +93,6 @@ int main(int argc, char** argv) {
         "\nDMA wins for large blocks/contiguous data; chained descriptors make\n"
         "it lose for fine-grained layouts — the trade-off the outlook predicts.\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

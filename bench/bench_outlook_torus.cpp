@@ -72,6 +72,7 @@ BENCHMARK(BM_TorusScaling)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("outlook_torus", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -97,5 +98,6 @@ int main(int argc, char** argv) {
         "\nLong single rings collapse under distance-5 traffic; tori keep routes\n"
         "short and per-node bandwidth close to the adapter limit (~158 MiB/s).\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

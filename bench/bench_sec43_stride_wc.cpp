@@ -69,6 +69,7 @@ BENCHMARK(BM_StridedWrite)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("sec43_stride_wc", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
         }
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

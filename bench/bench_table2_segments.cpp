@@ -40,6 +40,7 @@ BENCHMARK(BM_SegmentUtilization)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("table2_segments", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -65,5 +66,6 @@ int main(int argc, char** argv) {
                     r.min_bw);
     }
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

@@ -84,6 +84,7 @@ BENCHMARK(BM_EagerThreshold)->Apply(sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+    scimpi::bench::json_init("tuning", argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
         "(pipelining vs per-chunk overhead); a few credits suffice once the\n"
         "receiver drains at line rate.\n");
     benchmark::Shutdown();
+    scimpi::bench::json_write();
     return 0;
 }

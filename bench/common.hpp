@@ -35,6 +35,102 @@ void export_counters(State& state, std::initializer_list<std::string_view> names
             static_cast<double>(last_report().counter(n));
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results: `--json FILE` makes the binary additionally write
+// a JSON document ("BENCH_<name>.json" by convention) with one object per
+// measured configuration — its parameters, the goodput, and the non-empty
+// histogram snapshots of that run's stats report. The flag is stripped from
+// argv before benchmark::Initialize sees it.
+// ---------------------------------------------------------------------------
+
+struct JsonState {
+    std::string bench;              ///< benchmark name, e.g. "fig07_noncontig"
+    std::string path;               ///< empty = --json not given, all no-ops
+    std::vector<std::string> runs;  ///< pre-serialized run objects
+};
+inline JsonState& json_state() {
+    static JsonState s;
+    return s;
+}
+
+/// Call first in main(): remembers the benchmark name and strips
+/// `--json FILE` out of argv.
+inline void json_init(std::string_view bench, int& argc, char** argv) {
+    JsonState& js = json_state();
+    js.bench = bench;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            js.path = argv[i + 1];
+            for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+            argc -= 2;
+            return;
+        }
+    }
+}
+
+/// Record one measured configuration against the current last_report().
+/// The cluster helpers below call this automatically.
+inline void json_run(std::string_view label,
+                     std::initializer_list<std::pair<std::string_view, double>> params,
+                     double goodput_mibs) {
+    JsonState& js = json_state();
+    if (js.path.empty()) return;
+    char buf[64];
+    std::string r = R"(    {"label": ")";
+    obs::json_escape(r, label);
+    r += R"(", "params": {)";
+    bool first = true;
+    for (const auto& [k, v] : params) {
+        if (!first) r += ", ";
+        first = false;
+        r += '"';
+        obs::json_escape(r, k);
+        r += "\": ";
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        r += buf;
+    }
+    std::snprintf(buf, sizeof buf, "%.6g", goodput_mibs);
+    r += R"(}, "goodput_mibs": )";
+    r += buf;
+    r += R"(, "histograms": {)";
+    first = true;
+    for (const obs::HistogramSnapshot& h : last_report().histograms) {
+        if (h.count == 0) continue;
+        if (!first) r += ", ";
+        first = false;
+        r += '"';
+        obs::json_escape(r, h.name);
+        r += "\": ";
+        r += h.to_json();
+    }
+    r += "}}";
+    js.runs.push_back(std::move(r));
+}
+
+/// Write the collected runs; call last in main(). No-op without `--json`.
+inline void json_write() {
+    const JsonState& js = json_state();
+    if (js.path.empty()) return;
+    std::string out = "{\n  \"bench\": \"";
+    obs::json_escape(out, js.bench);
+    out += "\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < js.runs.size(); ++i) {
+        out += js.runs[i];
+        if (i + 1 < js.runs.size()) out += ',';
+        out += '\n';
+    }
+    out += "  ]\n}\n";
+    std::FILE* f = std::fopen(js.path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot open '%s' for --json output\n",
+                     js.path.c_str());
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu runs)\n", js.path.c_str(), js.runs.size());
+}
+
 /// Total payload of the noncontig micro-benchmark (paper Section 3.4).
 inline constexpr std::size_t kNoncontigTotal = 256_KiB;
 
@@ -82,8 +178,15 @@ inline double noncontig_bandwidth(bool internode, std::size_t block, bool use_ff
         }
     });
     last_report() = cluster.stats_report();
-    return bandwidth_mib(kNoncontigTotal * static_cast<std::size_t>(repeats),
-                         static_cast<SimTime>(seconds * 1e9));
+    const double bw =
+        bandwidth_mib(kNoncontigTotal * static_cast<std::size_t>(repeats),
+                      static_cast<SimTime>(seconds * 1e9));
+    json_run(internode ? "noncontig:internode" : "noncontig:intranode",
+             {{"block", static_cast<double>(block)},
+              {"use_ff", use_ff ? 1.0 : 0.0},
+              {"repeats", static_cast<double>(repeats)}},
+             bw);
+    return bw;
 }
 
 struct SparseResult {
@@ -140,6 +243,11 @@ inline SparseResult sparse_osc(bool shared_window, bool is_put, std::size_t acce
         }
     });
     last_report() = cluster.stats_report();
+    json_run(is_put ? "sparse:put" : "sparse:get",
+             {{"shared_window", shared_window ? 1.0 : 0.0},
+              {"access", static_cast<double>(access)},
+              {"winsize", static_cast<double>(winsize)}},
+             result.bandwidth);
     return result;
 }
 
@@ -205,6 +313,12 @@ inline ScalingResult scaling_put(int ring_nodes, int active, int distance,
     }
     result.nominal = cluster.fabric().params().nominal_link_bw();
     result.efficiency = result.accumulated / result.nominal;
+    json_run("scaling:put",
+             {{"ring_nodes", static_cast<double>(ring_nodes)},
+              {"active", static_cast<double>(active)},
+              {"distance", static_cast<double>(distance)},
+              {"access", static_cast<double>(access)}},
+             result.accumulated);
     return result;
 }
 

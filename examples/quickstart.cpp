@@ -7,10 +7,13 @@
 // Build & run:  cmake --build build && ./build/examples/quickstart
 //
 // Observability: `--stats` prints the structured run report (JSON) after the
-// run; `--trace FILE` writes a Chrome trace (open in ui.perfetto.dev). The
-// SCIMPI_STATS / SCIMPI_STATS_FILE / SCIMPI_TRACE_FILE environment variables
-// do the same without flags. `--faults SPEC` (or SCIMPI_FAULTS) replays a
-// deterministic fault schedule while the tour runs — see DESIGN.md §8.
+// run; `--trace FILE` writes a Chrome trace (open in ui.perfetto.dev);
+// `--profile` prints the per-rank time-attribution table (where each rank's
+// simulated time went — compute, packing, PIO, waiting; DESIGN.md §9). The
+// SCIMPI_STATS / SCIMPI_STATS_FILE / SCIMPI_TRACE_FILE / SCIMPI_PROFILE
+// environment variables do the same without flags. `--faults SPEC` (or
+// SCIMPI_FAULTS) replays a deterministic fault schedule while the tour runs
+// — see DESIGN.md §8.
 #include <cstdio>
 #include <numeric>
 #include <string_view>
@@ -27,11 +30,15 @@ int main(int argc, char** argv) {
     opt.nodes = 4;  // 4 nodes on one SCI ringlet, 1 rank each
 
     bool print_stats = false;
+    bool print_profile = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--stats") {
             print_stats = true;
             opt.collect_stats = true;
+        } else if (arg == "--profile") {
+            print_profile = true;
+            opt.profile = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.trace_file = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -40,7 +47,8 @@ int main(int argc, char** argv) {
             opt.fault_spec_file = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: quickstart [--stats] [--trace FILE] [--faults SPEC]\n");
+                         "usage: quickstart [--stats] [--profile] [--trace FILE] "
+                         "[--faults SPEC]\n");
             return 2;
         }
     }
@@ -98,5 +106,29 @@ int main(int argc, char** argv) {
     std::printf("simulated time: %.3f ms\n", cluster.wtime() * 1e3);
     if (print_stats)
         std::printf("%s\n", cluster.stats_report().to_json().c_str());
+    if (print_profile) {
+        const obs::RunReport report = cluster.stats_report();
+        std::printf("\nper-rank time attribution (%% of %.3f ms simulated):\n",
+                    cluster.wtime() * 1e3);
+        std::printf("%6s", "rank");
+        for (int s = 0; s < obs::kProfStates; ++s)
+            std::printf(" %13s",
+                        obs::prof_state_name(static_cast<obs::ProfState>(s)));
+        std::printf("  late-snd  late-rcv\n");
+        for (const auto& p : report.profiles) {
+            std::printf("%6d", p.rank);
+            for (int s = 0; s < obs::kProfStates; ++s)
+                std::printf(" %12.1f%%",
+                            p.total_ns == 0
+                                ? 0.0
+                                : 100.0 *
+                                      static_cast<double>(
+                                          p.state_ns[static_cast<std::size_t>(s)]) /
+                                      static_cast<double>(p.total_ns));
+            std::printf("  %8llu  %8llu\n",
+                        static_cast<unsigned long long>(p.late_senders),
+                        static_cast<unsigned long long>(p.late_receivers));
+        }
+    }
     return 0;
 }

@@ -32,8 +32,13 @@ RetryOutcome retry_with_backoff(sim::Process& self, const Config& cfg,
         if (spent + backoff > cfg.retry_budget) break;
         {
             const sim::TraceScope trace(self, "fault:retry_backoff", "fault");
+            const sim::ProfScope prof(self, obs::ProfState::retry_backoff);
             self.delay(backoff);
         }
+        // Cold path by definition (a link already failed), so resolving the
+        // histogram through the engine per backoff is fine.
+        if (obs::MetricsRegistry* m = self.engine().metrics(); m != nullptr)
+            m->histogram("fault.retry_backoff_ns").record(backoff);
         spent += backoff;
         backoff = std::min(backoff * 2, cfg.retry_backoff_max);
         ++out.retries;

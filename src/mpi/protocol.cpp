@@ -36,6 +36,10 @@ Rank::Rank(Cluster& cluster, int rank, int node)
     pm_.send_retries = &m.counter("mpi.send_retries");
     pm_.send_recoveries = &m.counter("mpi.send_recoveries");
     pm_.send_giveups = &m.counter("mpi.send_giveups");
+    pm_.lat_short = &m.histogram("mpi.latency_short_ns");
+    pm_.lat_eager = &m.histogram("mpi.latency_eager_ns");
+    pm_.lat_rndv = &m.histogram("mpi.latency_rndv_ns");
+    pm_.ff_throughput = &m.histogram("pack.ff_throughput_mibs");
 }
 
 Rank::~Rank() = default;
@@ -66,6 +70,7 @@ void Rank::post_ctrl(int dst, CtrlMsg msg) {
         delivery = kLocalCtrlDelivery;
     } else {
         // Doorbell word plus any inline payload, pushed by PIO.
+        const sim::ProfScope io(self, obs::ProfState::pio_write);
         self.delay(p.txn_overhead + p.stream_restart);
         if (!msg.inline_data.empty())
             self.delay(adapter().pio_stream_cost(msg.inline_data.size()));
@@ -79,7 +84,14 @@ void Rank::post_ctrl(int dst, CtrlMsg msg) {
 }
 
 void Rank::progress_one() {
-    dispatch(inbox_.recv(proc()));
+    std::optional<CtrlMsg> msg;
+    {
+        // Time blocked here is "waiting for a control message" regardless of
+        // which caller spun the progress engine.
+        const sim::ProfScope wait(proc(), obs::ProfState::wait_recv);
+        msg = inbox_.recv(proc());
+    }
+    dispatch(std::move(*msg));
 }
 
 std::optional<Envelope> Rank::probe(int src, int tag, bool blocking, int context) {
@@ -112,6 +124,11 @@ void Rank::dispatch(CtrlMsg msg) {
                 posted_.erase(it);
                 op->matched = true;
                 op->env = msg.env;
+                // The receive was already posted when the data arrived:
+                // classic late-sender pattern (user messages only).
+                obs::Profiler& prof = proc().engine().profiler();
+                if (prof.enabled() && msg.env.tag >= 0)
+                    prof.late_sender(proc().id(), proc().now() - op->post_time);
                 if (msg.kind == CtrlKind::rndv_rts)
                     handle_rts(*op, msg);
                 else
@@ -120,6 +137,7 @@ void Rank::dispatch(CtrlMsg msg) {
             }
             ++stats_.unexpected;
             pm_.unexpected->inc();
+            msg.arrived = proc().now();
             unexpected_.push_back(std::move(msg));
             return;
         }
@@ -165,6 +183,11 @@ void Rank::dispatch(CtrlMsg msg) {
             const auto it = live_recvs_.find(msg.recv_handle);
             if (it == live_recvs_.end()) return;  // raced with completion
             RecvOp& op = *it->second;
+            // Terminate the message's flow arrow here: the abort is where the
+            // transfer's story ends on the timeline.
+            if (op.env.flow != 0)
+                proc().engine().tracer().flow_end(proc().id(), "msg", "p2p",
+                                                  proc().now(), op.env.flow);
             op.status = Status::error(static_cast<Errc>(msg.a),
                                       "sender aborted rendezvous from rank " +
                                           std::to_string(msg.env.src));
@@ -197,13 +220,17 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
                             std::size_t ring_off, std::size_t pos, std::size_t len) {
     sim::Process& self = proc();
     const sim::TraceScope trace(self, "rndv:pack_chunk", "p2p", len);
+    const sim::ProfScope prof(self, obs::ProfState::pack);
     const Config& cfg = cluster_.options().cfg;
     auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
     // DMA rendezvous (paper Section 6 outlook): move large chunks with the
     // adapter's DMA engine instead of PIO.
     const bool dma_ok = cfg.use_dma_rndv && len >= cfg.dma_rndv_threshold;
+    const obs::ProfState io_state =
+        dma_ok ? obs::ProfState::dma : obs::ProfState::pio_write;
 
     if (op.type.is_contiguous()) {
+        const sim::ProfScope io(self, io_state);
         return dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
                       : adapter().write(self, ring, ring_off, src + pos, len, len);
     }
@@ -223,8 +250,14 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
         pm_.ff_direct_blocks->add(blocks.size());
         pm_.ff_direct_bytes->add(len);
         const std::size_t traffic = ff.memory_traffic(len);
-        return dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
-                      : adapter().write_gather(self, ring, ring_off, blocks, traffic);
+        const sim::ProfScope io(self, io_state);
+        const SimTime t0 = self.now();
+        const Status st =
+            dma_ok ? adapter().dma_write_gather(self, ring, ring_off, blocks)
+                   : adapter().write_gather(self, ring, ring_off, blocks, traffic);
+        if (const SimTime dt = self.now() - t0; st && dt > 0)
+            pm_.ff_throughput->record(len * 1'000'000'000ull / (dt * 1'048'576ull));
+        return st;
     }
 
     // Generic: local pack into a scratch buffer, then one contiguous write
@@ -236,6 +269,7 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
     GenericPacker gp(op.type, op.count, src);
     const PackWork work = gp.pack(pos, len, scratch.data());
     self.delay(GenericPacker::cost(work, copy_model_));
+    const sim::ProfScope io(self, obs::ProfState::pio_write);
     return adapter().write(self, ring, ring_off, scratch.data(), len, len);
 }
 
@@ -243,6 +277,7 @@ void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t 
                             std::size_t len) {
     sim::Process& self = proc();
     const sim::TraceScope trace(self, "rndv:unpack_chunk", "p2p", len);
+    const sim::ProfScope prof(self, obs::ProfState::pack);
     auto* dst = static_cast<std::byte*>(op.buf);
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
@@ -301,7 +336,17 @@ void Rank::start_send(SendOp& op) {
     const std::size_t bytes = op.env.bytes;
     const sim::TraceScope trace(self, "mpi:send_start", "p2p", bytes);
     stats_.bytes_sent += bytes;
+    op.env.post_time = self.now();
     auto* src = static_cast<std::byte*>(const_cast<void*>(op.buf));
+
+    // Allocate the message's flow id lazily, when it is actually about to go
+    // on the wire, so failed sends never leave an unmatched flow start.
+    sim::Tracer& tracer = self.engine().tracer();
+    auto open_flow = [&] {
+        if (!tracer.enabled()) return;
+        op.env.flow = tracer.new_flow_id();
+        tracer.flow_start(self.id(), "msg", "p2p", self.now(), op.env.flow);
+    };
 
     // Bulk payloads (eager slots, rendezvous chunks) need a usable route;
     // retry with backoff while a link flap is in progress. Short messages
@@ -315,6 +360,7 @@ void Rank::start_send(SendOp& op) {
     };
 
     auto pack_inline = [&](std::vector<std::byte>& out) {
+        const sim::ProfScope prof(self, obs::ProfState::pack);
         out.resize(bytes);
         if (bytes == 0) return;
         if (op.type.is_contiguous()) {
@@ -340,6 +386,7 @@ void Rank::start_send(SendOp& op) {
         ++stats_.sends_short;
         pm_.sends_short->inc();
         pm_.bytes_short->add(bytes);
+        open_flow();
         CtrlMsg msg;
         msg.kind = CtrlKind::short_msg;
         msg.env = op.env;
@@ -363,6 +410,7 @@ void Rank::start_send(SendOp& op) {
         auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
         while (credits == 0) progress_one();  // flow control: wait for a slot
         --credits;
+        open_flow();
         CtrlMsg msg;
         msg.kind = CtrlKind::eager;
         msg.env = op.env;
@@ -384,6 +432,7 @@ void Rank::start_send(SendOp& op) {
         live_sends_.erase(op.handle);
         return;
     }
+    open_flow();
     CtrlMsg rts;
     rts.kind = CtrlKind::rndv_rts;
     rts.env = op.env;
@@ -475,6 +524,7 @@ std::shared_ptr<RecvOp> Rank::irecv(void* buf, int count, const Datatype& type,
     op->src_filter = src;
     op->tag_filter = tag;
     op->context = context;
+    op->post_time = proc().now();
     live_recvs_[op->handle] = op;
     if (!try_match(*op)) posted_.push_back(op);
     return op;
@@ -487,6 +537,11 @@ bool Rank::try_match(RecvOp& op) {
         unexpected_.erase(it);
         op.matched = true;
         op.env = msg.env;
+        // The data sat in the unexpected queue until this receive showed up:
+        // late-receiver pattern (user messages only).
+        obs::Profiler& prof = proc().engine().profiler();
+        if (prof.enabled() && msg.env.tag >= 0)
+            prof.late_receiver(proc().id(), proc().now() - msg.arrived);
         if (msg.kind == CtrlKind::rndv_rts)
             handle_rts(op, msg);
         else
@@ -506,6 +561,7 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
         op.status = Status::error(Errc::truncated, "message longer than receive buffer");
     auto* dst = static_cast<std::byte*>(op.buf);
     if (usable > 0) {
+        const sim::ProfScope prof(self, obs::ProfState::pack);
         if (op.type.is_contiguous()) {
             self.delay(copy_model_.copy_cost(usable, {}, {}));
             std::memcpy(dst, msg.inline_data.data(), usable);
@@ -527,6 +583,14 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     op.received = msg.env.bytes;
     op.complete = true;
     live_recvs_.erase(op.handle);
+    // Post-to-delivery latency plus the arrow tip of the message's flow.
+    if (msg.kind == CtrlKind::short_msg)
+        pm_.lat_short->record(self.now() - msg.env.post_time);
+    else
+        pm_.lat_eager->record(self.now() - msg.env.post_time);
+    if (msg.env.flow != 0)
+        self.engine().tracer().flow_end(self.id(), "msg", "p2p", self.now(),
+                                        msg.env.flow);
     if (msg.kind == CtrlKind::eager) {
         CtrlMsg credit;
         credit.kind = CtrlKind::eager_credit;
@@ -591,6 +655,10 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
         op.ring_mem = {};
         op.complete = true;
         live_recvs_.erase(op.handle);
+        pm_.lat_rndv->record(proc().now() - op.env.post_time);
+        if (op.env.flow != 0)
+            proc().engine().tracer().flow_end(proc().id(), "msg", "p2p",
+                                              proc().now(), op.env.flow);
     }
 }
 
@@ -626,6 +694,7 @@ void Rank::charge_stream_to(int dst, std::size_t bytes, std::size_t src_traffic)
         proc().delay(copy_model_.copy_cost(bytes, {}, {}));
         return;
     }
+    const sim::ProfScope io(proc(), obs::ProfState::pio_write);
     proc().delay(adapter().pio_stream_cost(bytes, src_traffic));
     cluster_.fabric().account(node_, peer.node(), bytes);
 }

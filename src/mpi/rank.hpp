@@ -72,6 +72,7 @@ struct RecvOp {
     std::size_t received = 0;
     PackMode mode = PackMode::canonical;
     std::uint64_t sender_handle = 0;
+    SimTime post_time = 0;  ///< when the receive was posted (wait-state analysis)
     // Per-transfer rendezvous ring (2 chunks in this rank's node arena),
     // allocated at RTS time and released at completion.
     std::span<std::byte> ring_mem;
@@ -220,6 +221,10 @@ private:
         obs::Counter* send_retries = nullptr;
         obs::Counter* send_recoveries = nullptr;
         obs::Counter* send_giveups = nullptr;
+        obs::Histogram* lat_short = nullptr;
+        obs::Histogram* lat_eager = nullptr;
+        obs::Histogram* lat_rndv = nullptr;
+        obs::Histogram* ff_throughput = nullptr;
     };
     ProtoMetrics pm_;
 

@@ -87,6 +87,11 @@ void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
     }
     self.delay(rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()));
     trace.set_bytes(moved);
+    // The op is done once the data sits in the target window: record the
+    // post-to-done latency here and land the flow arrow in this handler span.
+    win.rm_.lat_emulated->record(self.now() - s.post_time);
+    if (s.flow != 0)
+        self.engine().tracer().flow_end(self.id(), "rma", "rma", self.now(), s.flow);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();
@@ -133,6 +138,8 @@ void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
         self, cluster.options().cfg, cluster.monitor(), rank_.node(), origin_node,
         [&] { return rank_.adapter().write_gather(self, m.value(), 0, iov, total); });
     if (out.status.is_ok()) rank_.adapter().store_barrier(self);
+    if (s.flow != 0)
+        self.engine().tracer().flow_end(self.id(), "rma", "rma", self.now(), s.flow);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();
@@ -168,6 +175,9 @@ void RmaState::serve_accumulate(sim::Process& self, const smi::Signal& s) {
     self.delay(2 * rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()) +
                static_cast<SimTime>(moved / sizeof(double)));
     trace.set_bytes(moved);
+    win.rm_.lat_emulated->record(self.now() - s.post_time);
+    if (s.flow != 0)
+        self.engine().tracer().flow_end(self.id(), "rma", "rma", self.now(), s.flow);
 
     smi::Signal ack;
     ack.from_rank = rank_.rank();

@@ -118,6 +118,8 @@ Status Win::put_direct(const void* origin, int count, const Datatype& type, int 
     rm_.direct_puts->inc();
     rm_.direct_put_bytes->add(type.size() * static_cast<std::size_t>(count));
     sim::Process& self = rank_->proc();
+    const sim::ProfScope io(self, obs::ProfState::pio_write);
+    const SimTime t0 = self.now();
     const sci::SciMapping& map = peer_mapping(target);
     const auto* user = static_cast<const std::byte*>(origin);
     Status st;
@@ -126,6 +128,7 @@ Status Win::put_direct(const void* origin, int count, const Datatype& type, int 
         st = rank_->adapter().write(self, map, disp + static_cast<std::size_t>(off),
                                     user + off, len, len);
     });
+    if (st) rm_.lat_direct->record(self.now() - t0);
     return st;
 }
 
@@ -134,6 +137,8 @@ Status Win::get_direct(void* origin, int count, const Datatype& type, int target
     ++stats_.direct_gets;
     rm_.direct_gets->inc();
     sim::Process& self = rank_->proc();
+    const sim::ProfScope io(self, obs::ProfState::pio_write);
+    const SimTime t0 = self.now();
     const sci::SciMapping& map = peer_mapping(target);
     auto* user = static_cast<std::byte*>(origin);
     Status st;
@@ -142,6 +147,7 @@ Status Win::get_direct(void* origin, int count, const Datatype& type, int target
         st = rank_->adapter().read(self, map, disp + static_cast<std::size_t>(off),
                                    user + off, len);
     });
+    if (st) rm_.lat_direct->record(self.now() - t0);
     return st;
 }
 
@@ -158,16 +164,28 @@ Status Win::put_emulated(const void* origin, int count, const Datatype& type,
     s.from_rank = rank_->rank();  // world rank: acks route through the cluster
     s.kind = rma_proto::kPut;
     s.a = static_cast<std::uint64_t>(id_);
+    s.post_time = self.now();
     rma_proto::serialize_blocks(s.payload, layout_blocks(type, count, disp));
 
     // Pack the data in canonical order behind the descriptors.
     const std::size_t header = s.payload.size();
     s.payload.resize(header + bytes);
-    GenericPacker gp(type, count, const_cast<void*>(origin));
-    const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
-    self.delay(GenericPacker::cost(work, rank_->copy_model()));
-    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    {
+        const sim::ProfScope prof(self, obs::ProfState::pack);
+        GenericPacker gp(type, count, const_cast<void*>(origin));
+        const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
+        self.delay(GenericPacker::cost(work, rank_->copy_model()));
+    }
+    {
+        const sim::ProfScope io(self, obs::ProfState::pio_write);
+        self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    }
 
+    sim::Tracer& tracer = self.engine().tracer();
+    if (tracer.enabled()) {
+        s.flow = tracer.new_flow_id();
+        tracer.flow_start(self.id(), "rma", "rma", self.now(), s.flow);
+    }
     rma.add_pending();
     Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
@@ -199,12 +217,27 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
     s.b = (static_cast<std::uint64_t>(seg.node) << 32) |
           static_cast<std::uint32_t>(seg.id);
     s.c = op_id;
+    s.post_time = self.now();
     rma_proto::serialize_blocks(s.payload, layout_blocks(type, count, disp));
-    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    {
+        const sim::ProfScope io(self, obs::ProfState::pio_write);
+        self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    }
 
+    sim::Tracer& tracer = self.engine().tracer();
+    if (tracer.enabled()) {
+        s.flow = tracer.new_flow_id();
+        tracer.flow_start(self.id(), "rma", "rma", self.now(), s.flow);
+    }
+    const SimTime t0 = self.now();
     Rank& peer = cluster.rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
-    done->wait(self);  // target handler writes + barriers, then acks
+    {
+        // Blocked until the target handler writes + barriers, then acks.
+        const sim::ProfScope wait(self, obs::ProfState::wait_sync);
+        done->wait(self);
+    }
+    rm_.lat_remote_put->record(self.now() - t0);
 
     // The handler acks with an error when its remote-put could not reach our
     // staging segment even after retries (fault injection): the staged data
@@ -280,14 +313,26 @@ Status Win::accumulate(const void* origin, int count, const Datatype& type,
     s.kind = rma_proto::kAccumulate;
     s.a = static_cast<std::uint64_t>(id_);
     s.b = static_cast<std::uint64_t>(op);
+    s.post_time = self.now();
     rma_proto::serialize_blocks(s.payload, layout_blocks(t, count, disp));
     const std::size_t header = s.payload.size();
     s.payload.resize(header + bytes);
-    GenericPacker gp(t, count, const_cast<void*>(origin));
-    const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
-    self.delay(GenericPacker::cost(work, rank_->copy_model()));
-    self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    {
+        const sim::ProfScope prof(self, obs::ProfState::pack);
+        GenericPacker gp(t, count, const_cast<void*>(origin));
+        const PackWork work = gp.pack(0, bytes, s.payload.data() + header);
+        self.delay(GenericPacker::cost(work, rank_->copy_model()));
+    }
+    {
+        const sim::ProfScope io(self, obs::ProfState::pio_write);
+        self.delay(rank_->adapter().pio_stream_cost(s.payload.size()));
+    }
 
+    sim::Tracer& tracer = self.engine().tracer();
+    if (tracer.enabled()) {
+        s.flow = tracer.new_flow_id();
+        tracer.flow_start(self.id(), "rma", "rma", self.now(), s.flow);
+    }
     rma.add_pending();
     Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));

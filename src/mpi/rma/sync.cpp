@@ -49,6 +49,7 @@ void Win::start(std::span<const int> target_group) {
     sim::Process& self = rank_->proc();
     access_group_.assign(target_group.begin(), target_group.end());
     // Wait until every target in the group has posted its exposure epoch.
+    const sim::ProfScope wait(self, obs::ProfState::wait_sync);
     while (posts_seen_ < static_cast<int>(access_group_.size()))
         rank_->rma().wait_signal_change(self);
     posts_seen_ -= static_cast<int>(access_group_.size());
@@ -81,6 +82,7 @@ bool Win::test() {
 
 void Win::wait() {
     sim::Process& self = rank_->proc();
+    const sim::ProfScope wait(self, obs::ProfState::wait_sync);
     while (completes_seen_ < static_cast<int>(exposure_group_.size()))
         rank_->rma().wait_signal_change(self);
     completes_seen_ -= static_cast<int>(exposure_group_.size());
@@ -91,11 +93,14 @@ void Win::lock(int target, bool /*exclusive*/) {
     // Shared-memory lock owned by the target rank (paper ref. [14]). Only
     // exclusive locks are implemented — shared locks degrade to exclusive.
     sim::Process& self = rank_->proc();
-    comm_->cluster()
-        .rank_state(comm_->world_rank(target))
-        .rma()
-        .win_lock(id_)
-        .acquire(self, rank_->node());
+    {
+        const sim::ProfScope wait(self, obs::ProfState::wait_sync);
+        comm_->cluster()
+            .rank_state(comm_->world_rank(target))
+            .rma()
+            .win_lock(id_)
+            .acquire(self, rank_->node());
+    }
     locked_.push_back(target);
 }
 

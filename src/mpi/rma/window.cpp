@@ -3,6 +3,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/rank.hpp"
 #include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
 
 #include <algorithm>
 
@@ -21,6 +22,9 @@ Win::Win(Comm& comm, std::span<std::byte> local, int id)
     rm_.direct_put_bytes = &m.counter("rma.direct_put_bytes");
     rm_.emulated_put_bytes = &m.counter("rma.emulated_put_bytes");
     rm_.path_fallbacks = &m.counter("rma.path_fallbacks");
+    rm_.lat_direct = &m.histogram("rma.latency_direct_ns");
+    rm_.lat_emulated = &m.histogram("rma.latency_emulated_ns");
+    rm_.lat_remote_put = &m.histogram("rma.latency_remote_put_ns");
 }
 
 int Win::my_rank() const { return comm_->rank(); }  // communicator-local
@@ -127,6 +131,7 @@ smi::SmiLock& RmaState::win_lock(int win_id) {
 }
 
 void RmaState::wait_all_pending(sim::Process& self) {
+    const sim::ProfScope wait(self, obs::ProfState::wait_sync);
     while (pending_ > 0) pending_q_.park(self);
 }
 

@@ -151,6 +151,9 @@ private:
         obs::Counter* direct_put_bytes = nullptr;
         obs::Counter* emulated_put_bytes = nullptr;
         obs::Counter* path_fallbacks = nullptr;  ///< dead route -> emulated path
+        obs::Histogram* lat_direct = nullptr;      ///< origin-side op latency
+        obs::Histogram* lat_emulated = nullptr;    ///< post -> handler done
+        obs::Histogram* lat_remote_put = nullptr;  ///< full get round trip
     };
     RmaMetrics rm_;
 

@@ -43,6 +43,9 @@ struct ClusterOptions {
     bool collect_stats = false;
     std::string stats_file;
     std::string trace_file;
+    /// Per-rank time-attribution profiling (obs/profiler.hpp); exported in
+    /// stats_report() / the stats file. Also forced on by SCIMPI_PROFILE=1.
+    bool profile = false;
     /// Fault injection: a programmatic schedule and/or a text spec file
     /// (see src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
     /// A non-empty schedule spawns a FaultController alongside the ranks.

@@ -22,6 +22,9 @@ struct Envelope {
     std::size_t bytes = 0;        ///< payload size
     std::uint64_t type_fp = 0;    ///< sender datatype fingerprint
     bool sender_canonical = true; ///< sender's leaf-major order == type map
+    SimTime post_time = 0;        ///< virtual time the send was posted
+                                  ///< (post→delivery latency histograms)
+    std::uint64_t flow = 0;       ///< trace flow id (0 = tracing disabled)
 };
 
 /// How a rendezvous stream is packed on the wire.
@@ -51,6 +54,8 @@ struct CtrlMsg {
     std::uint64_t b = 0;              ///< kind-specific scalar (chunk bytes)
     PackMode mode = PackMode::canonical;
     std::vector<std::byte> inline_data;  ///< short payload
+    SimTime arrived = 0;  ///< receiver-side arrival stamp (set when the message
+                          ///< is parked in the unexpected queue)
 };
 
 /// Result of a receive operation.

@@ -43,6 +43,54 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
         .first->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_
+        .emplace(std::string(name), Histogram(std::string(name), &enabled_))
+        .first->second;
+}
+
+double Histogram::percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return static_cast<double>(min_);
+    if (p >= 100.0) return static_cast<double>(max_);
+    const double target = p / 100.0 * static_cast<double>(count_);
+    double cum = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const auto n = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+        if (n == 0.0) continue;
+        if (cum + n >= target) {
+            const double lo =
+                i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+            const double hi =
+                i == 0 ? 0.0
+                       : (i >= 63 ? static_cast<double>(~std::uint64_t{0})
+                                  : static_cast<double>((std::uint64_t{1} << i) - 1));
+            double v = lo + (hi - lo) * ((target - cum) / n);
+            // Clamp to the observed range: exact for single samples and for
+            // populations confined to one bucket's edge.
+            if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+            if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+            return v;
+        }
+        cum += n;
+    }
+    return static_cast<double>(max_);
+}
+
+std::string HistogramSnapshot::to_json() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu, "
+                  "\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g}",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(sum),
+                  static_cast<unsigned long long>(min),
+                  static_cast<unsigned long long>(max), p50, p90, p99);
+    return buf;
+}
+
 std::uint64_t MetricsRegistry::value(std::string_view name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value();
@@ -53,6 +101,13 @@ void MetricsRegistry::reset() {
     for (auto& [_, g] : gauges_) {
         g.value_ = 0.0;
         g.max_ = 0.0;
+    }
+    for (auto& [_, h] : histograms_) {
+        h.count_ = 0;
+        h.sum_ = 0;
+        h.min_ = 0;
+        h.max_ = 0;
+        h.buckets_.fill(0);
     }
 }
 
@@ -70,6 +125,24 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_maxima() cons
     return out;
 }
 
+std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
+    std::vector<HistogramSnapshot> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        HistogramSnapshot s;
+        s.name = name;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.p50 = h.percentile(50.0);
+        s.p90 = h.percentile(90.0);
+        s.p99 = h.percentile(99.0);
+        out.push_back(std::move(s));
+    }
+    return out;  // std::map iteration is already name-sorted
+}
+
 std::uint64_t RunReport::counter(std::string_view name) const {
     for (const auto& [n, v] : counters)
         if (n == name) return v;
@@ -82,16 +155,32 @@ double RunReport::gauge(std::string_view name) const {
     return 0.0;
 }
 
+const HistogramSnapshot* RunReport::histogram(std::string_view name) const {
+    for (const HistogramSnapshot& h : histograms)
+        if (h.name == name) return &h;
+    return nullptr;
+}
+
 std::string RunReport::to_json() const {
     std::string out = "{\n";
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof buf,
-                  "  \"world\": %d,\n  \"nodes\": %d,\n  \"sim_seconds\": %.9f,\n"
-                  "  \"events_dispatched\": %llu,\n  \"stats_enabled\": %s,\n",
-                  world, nodes, sim_seconds,
+                  "  \"schema_version\": %d,\n  \"world\": %d,\n  \"nodes\": %d,\n"
+                  "  \"sim_seconds\": %.9f,\n  \"sim_time_ns\": %llu,\n"
+                  "  \"events_dispatched\": %llu,\n  \"stats_enabled\": %s,\n"
+                  "  \"profile_enabled\": %s,\n  \"seed\": %llu,\n"
+                  "  \"fault_seed\": %llu,\n",
+                  schema_version, world, nodes, sim_seconds,
+                  static_cast<unsigned long long>(sim_time_ns),
                   static_cast<unsigned long long>(events_dispatched),
-                  stats_enabled ? "true" : "false");
+                  stats_enabled ? "true" : "false",
+                  profile_enabled ? "true" : "false",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(fault_seed));
     out += buf;
+    out += "  \"fault_spec\": \"";
+    json_escape(out, fault_spec);
+    out += "\",\n";
 
     out += "  \"counters\": {";
     bool first = true;
@@ -115,6 +204,45 @@ std::string RunReport::to_json() const {
         out += buf;
     }
     out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const HistogramSnapshot& h : histograms) {
+        out += first ? "\n    \"" : ",\n    \"";
+        first = false;
+        json_escape(out, h.name);
+        out += "\": ";
+        out += h.to_json();
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"profiles\": [";
+    first = true;
+    for (const RankProfile& p : profiles) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        std::snprintf(buf, sizeof buf, "{\"rank\": %d, \"total_ns\": %llu, ",
+                      p.rank, static_cast<unsigned long long>(p.total_ns));
+        out += buf;
+        out += "\"states\": {";
+        for (int s = 0; s < kProfStates; ++s) {
+            if (s != 0) out += ", ";
+            std::snprintf(buf, sizeof buf, "\"%s\": %llu",
+                          prof_state_name(static_cast<ProfState>(s)),
+                          static_cast<unsigned long long>(
+                              p.state_ns[static_cast<std::size_t>(s)]));
+            out += buf;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "}, \"late_senders\": %llu, \"late_receivers\": %llu, "
+                      "\"late_sender_wait_ns\": %llu, \"late_receiver_wait_ns\": %llu}",
+                      static_cast<unsigned long long>(p.late_senders),
+                      static_cast<unsigned long long>(p.late_receivers),
+                      static_cast<unsigned long long>(p.late_sender_wait_ns),
+                      static_cast<unsigned long long>(p.late_receiver_wait_ns));
+        out += buf;
+    }
+    out += first ? "],\n" : "\n  ],\n";
 
     out += "  \"links\": [";
     first = true;

@@ -19,6 +19,7 @@
 // mem, mpi) may include it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/profiler.hpp"
 
 namespace scimpi::obs {
 
@@ -82,6 +84,80 @@ private:
     const bool* enabled_;
 };
 
+/// Log2-bucketed latency/size distribution. Fixed storage (64 buckets, one
+/// per bit width), so recording never allocates; like Counter, a disabled
+/// record() is one predictable load + branch with no side effects. Bucket i
+/// holds values whose bit width is i, i.e. [2^(i-1), 2^i - 1] (bucket 0
+/// holds exactly the value 0). Percentiles interpolate linearly inside the
+/// winning bucket and are clamped to the observed [min, max].
+class Histogram {
+public:
+    static constexpr int kBuckets = 64;
+
+    Histogram(std::string name, const bool* enabled)
+        : name_(std::move(name)), enabled_(enabled) {}
+
+    void record(std::uint64_t v) {
+        if (!*enabled_) return;
+        ++count_;
+        sum_ += v;
+        if (v < min_ || count_ == 1) min_ = v;
+        if (v > max_) max_ = v;
+        // Values >= 2^63 have bit width 64; fold them into the last bucket.
+        const int b = bucket_index(v);
+        ++buckets_[static_cast<std::size_t>(b < kBuckets ? b : kBuckets - 1)];
+    }
+
+    /// Bucket of value `v`: 0 for 0, otherwise its bit width.
+    static int bucket_index(std::uint64_t v) {
+        int w = 0;
+        while (v != 0) {
+            v >>= 1;
+            ++w;
+        }
+        return w;
+    }
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] std::uint64_t sum() const { return sum_; }
+    [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    [[nodiscard]] std::uint64_t max() const { return max_; }
+    [[nodiscard]] std::uint64_t bucket(int i) const {
+        return buckets_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Estimate the p-th percentile (p in [0, 100]); 0 when empty. Linear
+    /// interpolation inside the bucket, clamped to [min, max] so single
+    /// samples and single-bucket populations report exact endpoints.
+    [[nodiscard]] double percentile(double p) const;
+
+private:
+    friend class MetricsRegistry;
+    std::string name_;
+    const bool* enabled_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Point-in-time export of one histogram (percentiles precomputed).
+struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    /// Serialize the value part as a JSON object (no name).
+    [[nodiscard]] std::string to_json() const;
+};
+
 class MetricsRegistry {
 public:
     MetricsRegistry() = default;
@@ -95,6 +171,7 @@ public:
     /// lifetime (storage is node-based).
     Counter& counter(std::string_view name);
     Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
 
     /// Current value of a counter, 0 when it was never registered.
     [[nodiscard]] std::uint64_t value(std::string_view name) const;
@@ -104,24 +181,42 @@ public:
 
     [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
     [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_maxima() const;
+    [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
 
 private:
     bool enabled_ = false;
     std::map<std::string, Counter, std::less<>> counters_;
     std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
-/// Structured snapshot of one simulated run: every registry counter/gauge
-/// plus the per-link wire statistics the fabric keeps unconditionally.
+/// Structured snapshot of one simulated run: every registry counter/gauge/
+/// histogram, per-rank time-attribution profiles, plus the per-link wire
+/// statistics the fabric keeps unconditionally.
 struct RunReport {
+    /// Bumped whenever the JSON layout changes incompatibly. v2 added
+    /// schema_version/seed/fault_spec/sim_time_ns, histograms and profiles.
+    static constexpr int kSchemaVersion = 2;
+
+    int schema_version = kSchemaVersion;
     int world = 0;
     int nodes = 0;
     double sim_seconds = 0.0;
+    std::uint64_t sim_time_ns = 0;
     std::uint64_t events_dispatched = 0;
     bool stats_enabled = false;  ///< counters are all zero when false
+    bool profile_enabled = false;
+
+    /// Run configuration needed to tell a config regression from a code one:
+    /// the Config RNG seed, the fault schedule's soak seed, and the fault
+    /// spec (file path, empty when the run injected no faults from a spec).
+    std::uint64_t seed = 0;
+    std::uint64_t fault_seed = 0;
+    std::string fault_spec;
 
     std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted by name
     std::vector<std::pair<std::string, double>> gauges;           // max values
+    std::vector<HistogramSnapshot> histograms;                    // sorted by name
 
     struct Link {
         int id = 0;
@@ -131,10 +226,25 @@ struct RunReport {
     };
     std::vector<Link> links;
 
+    /// Per-rank time attribution (see obs/profiler.hpp); filled only when
+    /// the run's Profiler was enabled. State times sum to sim_time_ns.
+    struct RankProfile {
+        int rank = 0;
+        std::array<std::uint64_t, kProfStates> state_ns{};
+        std::uint64_t total_ns = 0;
+        std::uint64_t late_senders = 0;
+        std::uint64_t late_receivers = 0;
+        std::uint64_t late_sender_wait_ns = 0;
+        std::uint64_t late_receiver_wait_ns = 0;
+    };
+    std::vector<RankProfile> profiles;
+
     /// Value of a named counter in this snapshot (0 when absent).
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
     /// Max value of a named gauge in this snapshot (0 when absent).
     [[nodiscard]] double gauge(std::string_view name) const;
+    /// Named histogram snapshot (nullptr when absent).
+    [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
 
     [[nodiscard]] std::string to_json() const;
     /// Serialize to `path`; on failure the Status detail names the path and

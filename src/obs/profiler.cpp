@@ -1,0 +1,76 @@
+#include "obs/profiler.hpp"
+
+#include "common/status.hpp"
+
+namespace scimpi::obs {
+
+const char* prof_state_name(ProfState s) {
+    switch (s) {
+        case ProfState::compute: return "compute";
+        case ProfState::pack: return "pack";
+        case ProfState::pio_write: return "pio_write";
+        case ProfState::dma: return "dma";
+        case ProfState::wait_recv: return "wait_recv";
+        case ProfState::wait_sync: return "wait_sync";
+        case ProfState::retry_backoff: return "retry_backoff";
+    }
+    return "?";
+}
+
+void Profiler::attribute(Track& t, SimTime now) {
+    const ProfState cur = t.stack.empty() ? ProfState::compute : t.stack.back();
+    t.ns[static_cast<std::size_t>(cur)] += static_cast<std::uint64_t>(now - t.last);
+    t.last = now;
+}
+
+void Profiler::push(int track, ProfState s, SimTime now) {
+    if (!enabled_) return;
+    Track& t = tracks_[track];
+    attribute(t, now);
+    t.stack.push_back(s);
+}
+
+void Profiler::pop(int track, SimTime now) {
+    if (!enabled_) return;
+    Track& t = tracks_[track];
+    SCIMPI_REQUIRE(!t.stack.empty(), "profiler pop without matching push");
+    attribute(t, now);
+    t.stack.pop_back();
+}
+
+void Profiler::late_sender(int track, SimTime waited) {
+    if (!enabled_) return;
+    Track& t = tracks_[track];
+    ++t.late_senders;
+    t.late_sender_wait += static_cast<std::uint64_t>(waited);
+}
+
+void Profiler::late_receiver(int track, SimTime waited) {
+    if (!enabled_) return;
+    Track& t = tracks_[track];
+    ++t.late_receivers;
+    t.late_receiver_wait += static_cast<std::uint64_t>(waited);
+}
+
+Profiler::Snapshot Profiler::snapshot(int track, SimTime now) const {
+    Snapshot out;
+    const auto it = tracks_.find(track);
+    if (it == tracks_.end()) {
+        // Never instrumented: the whole run was (by definition) compute.
+        out.state_ns[static_cast<std::size_t>(ProfState::compute)] =
+            static_cast<std::uint64_t>(now);
+        out.total_ns = static_cast<std::uint64_t>(now);
+        return out;
+    }
+    Track t = it->second;  // copy: finalize without mutating live state
+    attribute(t, now);
+    out.state_ns = t.ns;
+    for (const std::uint64_t v : out.state_ns) out.total_ns += v;
+    out.late_senders = t.late_senders;
+    out.late_receivers = t.late_receivers;
+    out.late_sender_wait_ns = t.late_sender_wait;
+    out.late_receiver_wait_ns = t.late_receiver_wait;
+    return out;
+}
+
+}  // namespace scimpi::obs

@@ -9,12 +9,14 @@ Engine::Engine() = default;
 Engine::~Engine() { shutdown_remaining(); }
 
 void Engine::bind_metrics(obs::MetricsRegistry& m) {
+    metrics_ = &m;
     ctx_switches_ = &m.counter("sim.context_switches");
     deadlock_checks_ = &m.counter("sim.deadlock_checks");
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
     const int id = static_cast<int>(processes_.size());
+    tracer_.set_track_name(id, name);
     processes_.push_back(std::unique_ptr<Process>(
         new Process(*this, id, std::move(name), std::move(body))));
     Process& p = *processes_.back();

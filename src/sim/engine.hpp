@@ -54,10 +54,19 @@ public:
     /// Event tracer (disabled by default; see sim/trace.hpp).
     [[nodiscard]] Tracer& tracer() { return tracer_; }
 
+    /// Per-track time-attribution profiler (disabled by default; see
+    /// obs/profiler.hpp and sim::ProfScope).
+    [[nodiscard]] obs::Profiler& profiler() { return profiler_; }
+    [[nodiscard]] const obs::Profiler& profiler() const { return profiler_; }
+
     /// Attach a metrics registry: the engine then feeds `sim.context_switches`
     /// (baton handovers) and `sim.deadlock_checks` (end-of-run blocked-process
     /// scans). Handles resolve once; increments are no-ops while disabled.
     void bind_metrics(obs::MetricsRegistry& m);
+
+    /// The bound registry, nullptr before bind_metrics(). Lets deep layers
+    /// (fault retry) resolve cold-path histograms without plumbing.
+    [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
     /// Low-level: insert `p` into the ready queue at absolute time `t`
     /// (>= now). Requires that `p` is suspended and not already scheduled.
@@ -94,6 +103,8 @@ private:
     std::uint64_t events_dispatched_ = 0;
     Process* current_ = nullptr;
     Tracer tracer_;
+    obs::Profiler profiler_;
+    obs::MetricsRegistry* metrics_ = nullptr;
     obs::Counter* ctx_switches_ = nullptr;
     obs::Counter* deadlock_checks_ = nullptr;
     bool running_ = false;

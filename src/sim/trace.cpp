@@ -24,6 +24,21 @@ std::string Tracer::to_chrome_json() const {
     std::string out = "[\n";
     char buf[192];
     bool first = true;
+    // Perfetto metadata: name the process once and every known track, so
+    // timelines read "rank 3" instead of a bare thread id.
+    out += R"(  {"name": "process_name", "ph": "M", "pid": 0, )"
+           R"("args": {"name": "scimpi cluster"}})";
+    first = false;
+    for (const auto& [track, name] : track_names_) {
+        out += ",\n";
+        std::snprintf(buf, sizeof buf,
+                      R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": %d, )",
+                      track);
+        out += buf;
+        out += R"("args": {"name": ")";
+        obs::json_escape(out, name);
+        out += R"("}})";
+    }
     for (const Event& e : events_) {
         if (!first) out += ",\n";
         first = false;
@@ -57,6 +72,22 @@ std::string Tracer::to_chrome_json() const {
                 std::snprintf(buf, sizeof buf,
                               R"(, "ph": "C", "ts": %.3f, "pid": 0, "args": {"value": %.6g})",
                               to_us(e.t0), e.value);
+                out += buf;
+                break;
+            case Kind::flow_start:
+                std::snprintf(buf, sizeof buf,
+                              R"(, "ph": "s", "ts": %.3f, "pid": 0, "tid": %d, "id": %llu)",
+                              to_us(e.t0), e.track,
+                              static_cast<unsigned long long>(e.arg));
+                out += buf;
+                break;
+            case Kind::flow_end:
+                // "bp": "e" binds the finish to the enclosing slice, which is
+                // what Perfetto expects for arrows that land *inside* a span.
+                std::snprintf(buf, sizeof buf,
+                              R"(, "ph": "f", "bp": "e", "ts": %.3f, "pid": 0, "tid": %d, "id": %llu)",
+                              to_us(e.t0), e.track,
+                              static_cast<unsigned long long>(e.arg));
                 out += buf;
                 break;
         }
@@ -100,6 +131,15 @@ TraceScope::~TraceScope() {
     if (armed_)
         proc_.engine().tracer().span_ids(proc_.id(), name_id_, cat_id_, t0_,
                                          proc_.now(), bytes_);
+}
+
+ProfScope::ProfScope(Process& proc, obs::ProfState state)
+    : proc_(proc), armed_(proc.engine().profiler().enabled()) {
+    if (armed_) proc_.engine().profiler().push(proc_.id(), state, proc_.now());
+}
+
+ProfScope::~ProfScope() {
+    if (armed_) proc_.engine().profiler().pop(proc_.id(), proc_.now());
 }
 
 }  // namespace scimpi::sim

@@ -1,7 +1,7 @@
-// Event tracing for simulated runs: named spans, instant markers and counter
-// tracks on the virtual timeline, exportable as Chrome trace JSON
-// (chrome://tracing, https://ui.perfetto.dev). Disabled by default — zero
-// overhead unless enabled.
+// Event tracing for simulated runs: named spans, instant markers, counter
+// tracks, and cross-track flow arrows on the virtual timeline, exportable as
+// Chrome trace JSON (chrome://tracing, https://ui.perfetto.dev). Disabled by
+// default — zero overhead unless enabled.
 //
 // Names and categories are interned: each event stores two 32-bit string ids
 // instead of a std::string, so tracing a long run does not allocate per
@@ -9,9 +9,17 @@
 // optional "bytes" argument explaining how much data the span moved; counter
 // events ("ph":"C") render as stacked counter tracks, e.g. the per-link load
 // emitted by sci::Fabric.
+//
+// Flow events ("ph":"s"/"f") draw arrows between spans on different tracks:
+// the protocol layer allocates a flow id per message / RMA op at post time
+// and the delivery side terminates it, so Perfetto shows the causal arrow
+// from a send on the origin rank to its completion on the target rank.
+// Track metadata events ("ph":"M") name the tracks — "rank 3" instead of a
+// bare thread id.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,6 +27,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 
 namespace scimpi::sim {
 
@@ -29,7 +38,7 @@ public:
     /// Sentinel for "span carries no byte argument".
     static constexpr std::uint64_t kNoArg = ~0ull;
 
-    enum class Kind : std::uint8_t { span, instant, counter };
+    enum class Kind : std::uint8_t { span, instant, counter, flow_start, flow_end };
 
     void enable() {
         enabled_ = true;
@@ -78,6 +87,36 @@ public:
         events_.push_back({name_id, 0, 0, t, t, Kind::counter, kNoArg, value});
     }
 
+    /// Allocate a fresh flow id (1-based; 0 means "no flow"). Callers guard
+    /// with enabled() so disabled runs never touch the counter.
+    [[nodiscard]] std::uint64_t new_flow_id() { return next_flow_id_++; }
+
+    /// Flow arrow endpoints ("ph":"s"/"f"). Perfetto binds a start to a
+    /// finish by (name, cat, id), so both endpoints must pass the same name
+    /// and category; `track` is the rank/process the endpoint lands on.
+    void flow_start(int track, std::string_view name, std::string_view cat,
+                    SimTime t, std::uint64_t flow_id) {
+        if (!enabled_) return;
+        events_.push_back(
+            {intern(name), intern(cat), track, t, t, Kind::flow_start, flow_id, 0.0});
+    }
+    void flow_end(int track, std::string_view name, std::string_view cat, SimTime t,
+                  std::uint64_t flow_id) {
+        if (!enabled_) return;
+        events_.push_back(
+            {intern(name), intern(cat), track, t, t, Kind::flow_end, flow_id, 0.0});
+    }
+
+    /// Human-readable track name, emitted as a "thread_name" metadata event
+    /// ("ph":"M") by write_json so Perfetto shows "rank 3" instead of a bare
+    /// tid. Recorded even while disabled (it is cheap and set-up-time only).
+    void set_track_name(int track, std::string name) {
+        track_names_[track] = std::move(name);
+    }
+    [[nodiscard]] const std::map<int, std::string>& track_names() const {
+        return track_names_;
+    }
+
     [[nodiscard]] std::size_t event_count() const { return events_.size(); }
     void clear() { events_.clear(); }
 
@@ -87,7 +126,7 @@ public:
         int track;
         SimTime t0, t1;
         Kind kind;
-        std::uint64_t arg;  ///< span byte count; kNoArg when absent
+        std::uint64_t arg;  ///< span byte count (kNoArg when absent) or flow id
         double value;       ///< counter level (Kind::counter only)
     };
     [[nodiscard]] const std::vector<Event>& events() const { return events_; }
@@ -125,6 +164,8 @@ private:
     std::vector<std::string> names_{std::string()};  // id 0 == ""
     std::unordered_map<std::string, std::uint32_t, SvHash, SvEq> ids_{
         {std::string(), 0}};
+    std::map<int, std::string> track_names_;
+    std::uint64_t next_flow_id_ = 1;
 };
 
 /// RAII span: records [construction, destruction] on the process's track,
@@ -147,6 +188,21 @@ private:
     std::uint32_t cat_id_ = 0;
     std::uint64_t bytes_;
     SimTime t0_;
+    bool armed_;
+};
+
+/// RAII time-attribution scope: enters `state` on the process's profiler
+/// track for the scope's lifetime (innermost scope wins; see
+/// obs/profiler.hpp). A no-op while the engine's profiler is disabled.
+class ProfScope {
+public:
+    ProfScope(Process& proc, obs::ProfState state);
+    ~ProfScope();
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+
+private:
+    Process& proc_;
     bool armed_;
 };
 

@@ -20,6 +20,8 @@ struct Signal {
     int kind = 0;
     std::uint64_t a = 0, b = 0, c = 0;       ///< small scalar arguments
     std::vector<std::byte> payload;          ///< optional inline data
+    std::uint64_t flow = 0;                  ///< trace flow id (0 = no tracing)
+    SimTime post_time = 0;                   ///< when the origin posted the op
 };
 
 class SignalChannel {

@@ -1,0 +1,192 @@
+// Unit tests for obs::Histogram: log2 bucket boundaries, percentile edge
+// cases, disabled no-op semantics, and the JSON snapshot export.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "support/mini_json.hpp"
+
+namespace scimpi::obs {
+namespace {
+
+TEST(Histogram, BucketIndexIsTheBitWidth) {
+    EXPECT_EQ(Histogram::bucket_index(0), 0);
+    EXPECT_EQ(Histogram::bucket_index(1), 1);
+    EXPECT_EQ(Histogram::bucket_index(2), 2);
+    EXPECT_EQ(Histogram::bucket_index(3), 2);
+    EXPECT_EQ(Histogram::bucket_index(4), 3);
+    EXPECT_EQ(Histogram::bucket_index(7), 3);
+    EXPECT_EQ(Histogram::bucket_index(8), 4);
+    EXPECT_EQ(Histogram::bucket_index(1023), 10);
+    EXPECT_EQ(Histogram::bucket_index(1024), 11);
+    EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64);
+}
+
+TEST(Histogram, HugeValuesFoldIntoTheLastBucket) {
+    // Bit width of 2^63.. is 64, one past the bucket array; record() must
+    // fold those into bucket 63 instead of indexing out of bounds.
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(~std::uint64_t{0});
+    h.record(std::uint64_t{1} << 63);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 2u);
+    EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+TEST(Histogram, BucketBoundariesHoldPowerOfTwoRanges) {
+    // Bucket i holds [2^(i-1), 2^i - 1]; check both edges for several i.
+    for (int i = 1; i < 40; ++i) {
+        const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+        const std::uint64_t hi = (std::uint64_t{1} << i) - 1;
+        EXPECT_EQ(Histogram::bucket_index(lo), i) << "lo edge of bucket " << i;
+        EXPECT_EQ(Histogram::bucket_index(hi), i) << "hi edge of bucket " << i;
+    }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMaxAndBuckets) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(5);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1011u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucket(0), 1u);   // the 0
+    EXPECT_EQ(h.bucket(1), 1u);   // the 1
+    EXPECT_EQ(h.bucket(3), 2u);   // both 5s
+    EXPECT_EQ(h.bucket(10), 1u);  // 1000 in [512, 1023]
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, PercentileEndpointsReturnMinAndMax) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(10);
+    h.record(100);
+    h.record(100000);
+    EXPECT_EQ(h.percentile(0.0), 10.0);
+    EXPECT_EQ(h.percentile(-5.0), 10.0);
+    EXPECT_EQ(h.percentile(100.0), 100000.0);
+    EXPECT_EQ(h.percentile(250.0), 100000.0);
+}
+
+TEST(Histogram, SingleSampleReportsItselfAtEveryPercentile) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(777);
+    for (const double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(h.percentile(p), 777.0) << "p" << p;
+}
+
+TEST(Histogram, SingleBucketPopulationClampsToObservedRange) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    // All samples land in bucket 7 ([64, 127]); the observed range is
+    // narrower, so interpolation must clamp to [70, 80].
+    for (int i = 0; i < 100; ++i) h.record(70 + (i % 11));
+    for (const double p : {1.0, 50.0, 99.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, 70.0) << "p" << p;
+        EXPECT_LE(v, 80.0) << "p" << p;
+    }
+    EXPECT_LE(h.percentile(10.0), h.percentile(90.0));  // monotone
+}
+
+TEST(Histogram, PercentilesAreMonotoneAcrossBuckets) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    for (std::uint64_t v = 1; v <= 4096; v *= 2) h.record(v);
+    double prev = 0.0;
+    for (double p = 5.0; p <= 95.0; p += 5.0) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p" << p;
+        prev = v;
+    }
+}
+
+TEST(Histogram, DisabledRegistryDropsRecordsEntirely) {
+    MetricsRegistry reg;  // disabled by default
+    Histogram& h = reg.histogram("t");
+    h.record(42);
+    h.record(7);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    for (int i = 0; i < Histogram::kBuckets; ++i) EXPECT_EQ(h.bucket(i), 0u);
+    // Flipping the registry on makes the *same handle* live.
+    reg.enable();
+    h.record(42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 42u);
+}
+
+TEST(Histogram, ResetZeroesValuesButKeepsHandles) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(9);
+    h.record(1024);
+    reg.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.bucket(11), 0u);
+    h.record(3);  // handle still valid and live
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(&reg.histogram("t"), &h);  // find-or-create returns same slot
+}
+
+TEST(Histogram, RegistrySnapshotCarriesPercentiles) {
+    MetricsRegistry reg;
+    reg.enable();
+    reg.histogram("b");
+    Histogram& h = reg.histogram("a");
+    for (int i = 0; i < 10; ++i) h.record(100);
+    const std::vector<HistogramSnapshot> snaps = reg.histograms();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_EQ(snaps[0].name, "a");  // map iteration is name-sorted
+    EXPECT_EQ(snaps[1].name, "b");
+    EXPECT_EQ(snaps[0].count, 10u);
+    EXPECT_EQ(snaps[0].sum, 1000u);
+    EXPECT_EQ(snaps[0].p50, 100.0);
+    EXPECT_EQ(snaps[0].p99, 100.0);
+    EXPECT_EQ(snaps[1].count, 0u);
+}
+
+TEST(Histogram, SnapshotToJsonIsValid) {
+    MetricsRegistry reg;
+    reg.enable();
+    Histogram& h = reg.histogram("t");
+    h.record(1);
+    h.record(1000000);
+    const std::vector<HistogramSnapshot> snaps = reg.histograms();
+    ASSERT_EQ(snaps.size(), 1u);
+    const std::string json = snaps[0].to_json();
+    EXPECT_TRUE(testsupport::json_valid(json)) << json;
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scimpi::obs

@@ -199,6 +199,155 @@ TEST(StatsReport, TraceFileCarriesCounterTracksAndCategories) {
     std::remove(path.c_str());
 }
 
+TEST(StatsReport, HistogramsSeparateEagerFromRendezvousLatency) {
+    Cluster c(two_nodes_with_stats());
+    c.run(p2p_workload);
+    const obs::RunReport r = c.stats_report();
+
+    // The workload sends exactly one eager (1 KiB) and one rendezvous
+    // (64 KiB) message; each lands in its own latency histogram.
+    const obs::HistogramSnapshot* eager = r.histogram("mpi.latency_eager_ns");
+    ASSERT_NE(eager, nullptr);
+    EXPECT_EQ(eager->count, 1u);
+    EXPECT_GT(eager->sum, 0u);
+    EXPECT_EQ(eager->p50, static_cast<double>(eager->min));  // single sample
+
+    const obs::HistogramSnapshot* rndv = r.histogram("mpi.latency_rndv_ns");
+    ASSERT_NE(rndv, nullptr);
+    EXPECT_EQ(rndv->count, 1u);
+    // A 64 KiB rendezvous takes longer end-to-end than a 1 KiB eager send.
+    EXPECT_GT(rndv->min, eager->max);
+
+    // Short messages (finalize-barrier tokens) and the ff pack run populate
+    // their histograms too: at least 4 non-empty distributions per run.
+    const obs::HistogramSnapshot* sh = r.histogram("mpi.latency_short_ns");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_GE(sh->count, 1u);
+    const obs::HistogramSnapshot* ff = r.histogram("pack.ff_throughput_mibs");
+    ASSERT_NE(ff, nullptr);
+    EXPECT_EQ(ff->count, 1u);  // one ff gather into the rendezvous ring
+    EXPECT_GT(ff->min, 0u);
+
+    int non_empty = 0;
+    for (const obs::HistogramSnapshot& h : r.histograms)
+        if (h.count > 0) ++non_empty;
+    EXPECT_GE(non_empty, 4);
+}
+
+TEST(StatsReport, RmaLatencyHistogramsSplitByPath) {
+    Cluster c(two_nodes_with_stats());
+    c.run([](Comm& comm) {
+        constexpr std::size_t kWin = 8_KiB;
+        auto mem = comm.alloc_mem(kWin);
+        SCIMPI_REQUIRE(mem.is_ok(), "alloc_mem failed");
+        auto win = comm.win_create(mem.value().data(), kWin);
+        std::vector<double> buf(512, 1.0);
+        win->fence();
+        if (comm.rank() == 0) {
+            ASSERT_TRUE(win->put(buf.data(), 8, Datatype::float64(), 1, 0));
+            ASSERT_TRUE(win->get(buf.data(), 512, Datatype::float64(), 1, 0));
+            ASSERT_TRUE(win->accumulate_sum(buf.data(), 8, 1, 64));
+        }
+        win->fence();
+    });
+    const obs::RunReport r = c.stats_report();
+    const obs::HistogramSnapshot* direct = r.histogram("rma.latency_direct_ns");
+    ASSERT_NE(direct, nullptr);
+    EXPECT_EQ(direct->count, 1u);  // the 64 B shared-window put
+    const obs::HistogramSnapshot* emu = r.histogram("rma.latency_emulated_ns");
+    ASSERT_NE(emu, nullptr);
+    EXPECT_EQ(emu->count, 1u);  // the accumulate, served target-side
+    const obs::HistogramSnapshot* rput = r.histogram("rma.latency_remote_put_ns");
+    ASSERT_NE(rput, nullptr);
+    EXPECT_EQ(rput->count, 1u);  // the 4 KiB get converted to a remote put
+    // The remote-put get is a full round trip; it dominates the direct put.
+    EXPECT_GT(rput->min, direct->max);
+}
+
+TEST(StatsReport, SchemaCarriesVersionSeedAndFaultSpec) {
+    ClusterOptions opt = two_nodes_with_stats();
+    opt.cfg.seed = 12345;
+    Cluster c(opt);
+    c.run(p2p_workload);
+    const obs::RunReport r = c.stats_report();
+    EXPECT_EQ(r.schema_version, obs::RunReport::kSchemaVersion);
+    EXPECT_EQ(r.seed, 12345u);
+    EXPECT_TRUE(r.fault_spec.empty());
+    EXPECT_GT(r.sim_time_ns, 0u);
+    EXPECT_DOUBLE_EQ(r.sim_seconds,
+                     static_cast<double>(r.sim_time_ns) / 1e9);
+    const std::string json = r.to_json();
+    EXPECT_TRUE(testsupport::json_valid(json));
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 12345"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(StatsReport, ProfileAttributesEveryTickOfEveryRank) {
+    ClusterOptions opt = two_nodes_with_stats();
+    opt.profile = true;
+    Cluster c(opt);
+    c.run(p2p_workload);
+    const obs::RunReport r = c.stats_report();
+    EXPECT_TRUE(r.profile_enabled);
+    ASSERT_EQ(r.profiles.size(), 2u);
+    for (const obs::RunReport::RankProfile& p : r.profiles) {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t ns : p.state_ns) sum += ns;
+        // The invariant the profiler guarantees: every simulated nanosecond
+        // of a rank is attributed to exactly one state.
+        EXPECT_EQ(sum, p.total_ns) << "rank " << p.rank;
+        EXPECT_EQ(p.total_ns, r.sim_time_ns) << "rank " << p.rank;
+        // Ranks spend *some* time blocked on control messages (the barrier).
+        constexpr auto wait_recv =
+            static_cast<std::size_t>(obs::ProfState::wait_recv);
+        EXPECT_GT(p.state_ns[wait_recv] +
+                      p.state_ns[static_cast<std::size_t>(
+                          obs::ProfState::wait_sync)],
+                  0u)
+            << "rank " << p.rank;
+    }
+    // The receiver posts both recvs before data arrives in this workload, so
+    // its matches classify as late-sender (user messages only, tag >= 0).
+    EXPECT_EQ(r.profiles[1].late_senders, 2u);
+    EXPECT_GT(r.profiles[1].late_sender_wait_ns, 0u);
+    EXPECT_EQ(r.profiles[0].late_senders, 0u);
+
+    const std::string json = r.to_json();
+    EXPECT_TRUE(testsupport::json_valid(json));
+    EXPECT_NE(json.find("\"profiles\""), std::string::npos);
+    EXPECT_NE(json.find("\"wait_recv\""), std::string::npos);
+}
+
+TEST(StatsReport, ProfileDisabledLeavesReportEmpty) {
+    Cluster c(two_nodes_with_stats());  // profile defaults to off
+    c.run(p2p_workload);
+    const obs::RunReport r = c.stats_report();
+    EXPECT_FALSE(r.profile_enabled);
+    EXPECT_TRUE(r.profiles.empty());
+}
+
+TEST(StatsReport, ObservabilityDoesNotPerturbTheSimulation) {
+    // Full observability on vs everything off: the simulated run must be
+    // bit-identical — same virtual end time, same number of engine events.
+    std::uint64_t time_on = 0, events_on = 0;
+    {
+        ClusterOptions opt = two_nodes_with_stats();
+        opt.profile = true;
+        Cluster c(opt);
+        c.engine().tracer().enable();
+        c.run(p2p_workload);
+        time_on = static_cast<std::uint64_t>(c.engine().now());
+        events_on = c.engine().events_dispatched();
+    }
+    ClusterOptions opt;
+    opt.nodes = 2;
+    Cluster c(opt);
+    c.run(p2p_workload);
+    EXPECT_EQ(static_cast<std::uint64_t>(c.engine().now()), time_on);
+    EXPECT_EQ(c.engine().events_dispatched(), events_on);
+}
+
 TEST(StatsReport, EnvVarTogglesTheRegistry) {
     ASSERT_EQ(setenv("SCIMPI_STATS", "1", 1), 0);
     {

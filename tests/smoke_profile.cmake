@@ -1,0 +1,45 @@
+# Profiling smoke test: run the quickstart with stats, tracing AND the
+# per-rank profiler enabled via environment variables, then assert the
+# end-to-end observability invariants on the emitted files:
+#   * both files are well-formed JSON (json_check),
+#   * every flow start in the trace has a matching finish and the rank
+#     tracks are named ("rank 0" ...) -- obs_check flows,
+#   * every rank profile's state times sum to total_ns and total_ns equals
+#     the run's sim_time_ns -- obs_check profile.
+#
+# Expects: QUICKSTART, JSON_CHECK, OBS_CHECK (binaries), OUT_DIR.
+set(stats_file "${OUT_DIR}/smoke_profile_stats.json")
+set(trace_file "${OUT_DIR}/smoke_profile.trace.json")
+file(REMOVE "${stats_file}" "${trace_file}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SCIMPI_STATS=1"
+          "SCIMPI_PROFILE=1"
+          "SCIMPI_STATS_FILE=${stats_file}"
+          "SCIMPI_TRACE_FILE=${trace_file}"
+          "${QUICKSTART}" --profile
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}")
+endif()
+
+foreach(f IN ITEMS "${stats_file}" "${trace_file}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected output file was not written: ${f}")
+  endif()
+  execute_process(COMMAND "${JSON_CHECK}" "${f}" RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "not valid JSON: ${f}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${OBS_CHECK}" flows "${trace_file}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "flow events unbalanced or tracks unnamed: ${trace_file}")
+endif()
+
+execute_process(COMMAND "${OBS_CHECK}" profile "${stats_file}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "per-rank time attribution broken: ${stats_file}")
+endif()

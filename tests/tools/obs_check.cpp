@@ -1,0 +1,148 @@
+// Structural checker for the observability smoke test, two modes:
+//
+//   obs_check flows <trace.json>    every flow start ("ph": "s") has exactly
+//                                   one matching finish ("ph": "f") with the
+//                                   same id, at least one flow exists, and
+//                                   the trace names its rank tracks via
+//                                   "thread_name" metadata events.
+//   obs_check profile <stats.json>  every per-rank profile's state times sum
+//                                   to its total_ns, and every total_ns
+//                                   equals the report's sim_time_ns (the
+//                                   "every tick attributed" invariant).
+//
+// Both modes scan the known single-event-per-line layout our own writers
+// emit; they are validators for those writers, not general JSON parsers
+// (json_check covers syntax).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// First "key": <integer> after position `from`; npos-sentinel via ok=false.
+bool find_u64(const std::string& s, const char* key, std::size_t from,
+              std::uint64_t& out) {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const std::size_t k = s.find(needle, from);
+    if (k == std::string::npos) return false;
+    out = std::strtoull(s.c_str() + k + needle.size(), nullptr, 10);
+    return true;
+}
+
+int check_flows(const std::string& text) {
+    std::map<std::uint64_t, long> balance;  // id -> starts - finishes
+    std::size_t starts = 0, finishes = 0;
+    std::istringstream in(text);
+    std::string line;
+    bool named_rank0 = false;
+    while (std::getline(in, line)) {
+        if (line.find("\"thread_name\"") != std::string::npos &&
+            line.find("\"rank 0\"") != std::string::npos)
+            named_rank0 = true;
+        const bool is_start = line.find("\"ph\": \"s\"") != std::string::npos;
+        const bool is_finish = line.find("\"ph\": \"f\"") != std::string::npos;
+        if (!is_start && !is_finish) continue;
+        std::uint64_t id = 0;
+        if (!find_u64(line, "id", 0, id)) {
+            std::fprintf(stderr, "obs_check: flow event without id: %s\n",
+                         line.c_str());
+            return 1;
+        }
+        balance[id] += is_start ? 1 : -1;
+        (is_start ? starts : finishes)++;
+    }
+    if (starts == 0) {
+        std::fprintf(stderr, "obs_check: trace contains no flow events\n");
+        return 1;
+    }
+    for (const auto& [id, diff] : balance) {
+        if (diff != 0) {
+            std::fprintf(stderr,
+                         "obs_check: flow id %llu has %ld unmatched %s\n",
+                         static_cast<unsigned long long>(id), diff > 0 ? diff : -diff,
+                         diff > 0 ? "start(s)" : "finish(es)");
+            return 1;
+        }
+    }
+    if (!named_rank0) {
+        std::fprintf(stderr,
+                     "obs_check: no thread_name metadata naming \"rank 0\"\n");
+        return 1;
+    }
+    std::printf("obs_check: %zu flows matched, %zu ids\n", starts,
+                balance.size());
+    return 0;
+}
+
+int check_profile(const std::string& text) {
+    std::uint64_t sim_time_ns = 0;
+    if (!find_u64(text, "sim_time_ns", 0, sim_time_ns)) {
+        std::fprintf(stderr, "obs_check: stats report lacks sim_time_ns\n");
+        return 1;
+    }
+    std::istringstream in(text);
+    std::string line;
+    int profiles = 0;
+    while (std::getline(in, line)) {
+        std::uint64_t rank = 0, total = 0;
+        if (!find_u64(line, "rank", 0, rank) ||
+            !find_u64(line, "total_ns", 0, total))
+            continue;  // not a profile row
+        const std::size_t states = line.find("\"states\": {");
+        if (states == std::string::npos) continue;
+        // Sum every `"state": N` entry inside the states object.
+        std::uint64_t sum = 0;
+        const std::size_t end = line.find('}', states);
+        for (std::size_t p = line.find(": ", states + 11);
+             p != std::string::npos && p < end; p = line.find(": ", p + 1))
+            sum += std::strtoull(line.c_str() + p + 2, nullptr, 10);
+        ++profiles;
+        if (sum != total) {
+            std::fprintf(stderr,
+                         "obs_check: rank %llu states sum %llu != total_ns %llu\n",
+                         static_cast<unsigned long long>(rank),
+                         static_cast<unsigned long long>(sum),
+                         static_cast<unsigned long long>(total));
+            return 1;
+        }
+        if (total != sim_time_ns) {
+            std::fprintf(stderr,
+                         "obs_check: rank %llu total_ns %llu != sim_time_ns %llu\n",
+                         static_cast<unsigned long long>(rank),
+                         static_cast<unsigned long long>(total),
+                         static_cast<unsigned long long>(sim_time_ns));
+            return 1;
+        }
+    }
+    if (profiles == 0) {
+        std::fprintf(stderr, "obs_check: stats report has no rank profiles\n");
+        return 1;
+    }
+    std::printf("obs_check: %d rank profiles attribute all of %llu ns\n",
+                profiles, static_cast<unsigned long long>(sim_time_ns));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3 || (std::strcmp(argv[1], "flows") != 0 &&
+                      std::strcmp(argv[1], "profile") != 0)) {
+        std::fprintf(stderr, "usage: obs_check flows|profile FILE\n");
+        return 2;
+    }
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in.good()) {
+        std::fprintf(stderr, "obs_check: cannot open %s\n", argv[2]);
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    return std::strcmp(argv[1], "flows") == 0 ? check_flows(text)
+                                              : check_profile(text);
+}
