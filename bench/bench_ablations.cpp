@@ -32,7 +32,8 @@ double noncontig_with(const std::function<void(Config&)>& tweak, std::size_t blo
             comm.barrier();
             const double t0 = comm.wtime();
             if (comm.rank() == 0)
-                comm.send(buf.data(), 1, type, 1, it);
+                SCIMPI_REQUIRE(comm.send(buf.data(), 1, type, 1, it).is_ok(),
+                               "send failed");
             else {
                 comm.recv(buf.data(), 1, type, 0, it);
                 if (it > 0) seconds += comm.wtime() - t0;
@@ -56,8 +57,10 @@ double get_with(std::size_t threshold, std::size_t access) {
         const double t0 = comm.wtime();
         std::uint64_t ops = 0;
         for (std::size_t off = 0; off + access <= 256_KiB; off += 2 * access) {
-            win->get(local.data(), static_cast<int>(access), Datatype::byte_(),
-                     1 - comm.rank(), off);
+            SCIMPI_REQUIRE(win->get(local.data(), static_cast<int>(access),
+                                    Datatype::byte_(), 1 - comm.rank(), off)
+                               .is_ok(),
+                           "get failed");
             ++ops;
         }
         win->fence();

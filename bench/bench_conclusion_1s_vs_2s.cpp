@@ -38,49 +38,69 @@ double round_trip_us(Mode mode, std::size_t bytes, int reps = 16) {
             switch (mode) {
                 case Mode::two_sided:
                     if (comm.rank() == 0) {
-                        comm.send(buf.data(), static_cast<int>(bytes),
-                                  Datatype::byte_(), 1, i);
+                        SCIMPI_REQUIRE(
+                            comm.send(buf.data(), static_cast<int>(bytes),
+                                      Datatype::byte_(), 1, i)
+                                .is_ok(),
+                            "send failed");
                         comm.recv(buf.data(), static_cast<int>(bytes),
                                   Datatype::byte_(), 1, i);
                     } else {
                         comm.recv(buf.data(), static_cast<int>(bytes),
                                   Datatype::byte_(), 0, i);
-                        comm.send(buf.data(), static_cast<int>(bytes),
-                                  Datatype::byte_(), 0, i);
+                        SCIMPI_REQUIRE(
+                            comm.send(buf.data(), static_cast<int>(bytes),
+                                      Datatype::byte_(), 0, i)
+                                .is_ok(),
+                            "send failed");
                     }
                     break;
                 case Mode::osc_fence:
                     // Each direction is one access epoch ended by a fence.
                     if (comm.rank() == 0)
-                        win->put(buf.data(), static_cast<int>(bytes),
-                                 Datatype::byte_(), 1, 0);
+                        SCIMPI_REQUIRE(
+                            win->put(buf.data(), static_cast<int>(bytes),
+                                     Datatype::byte_(), 1, 0)
+                                .is_ok(),
+                            "put failed");
                     win->fence();
                     if (comm.rank() == 1)
-                        win->put(buf.data(), static_cast<int>(bytes),
-                                 Datatype::byte_(), 0, 0);
+                        SCIMPI_REQUIRE(
+                            win->put(buf.data(), static_cast<int>(bytes),
+                                     Datatype::byte_(), 0, 0)
+                                .is_ok(),
+                            "put failed");
                     win->fence();
                     break;
                 case Mode::osc_pscw:
                     if (comm.rank() == 0) {
                         win->post(group);
                         win->start(group);
-                        win->put(buf.data(), static_cast<int>(bytes),
-                                 Datatype::byte_(), 1, 0);
+                        SCIMPI_REQUIRE(
+                            win->put(buf.data(), static_cast<int>(bytes),
+                                     Datatype::byte_(), 1, 0)
+                                .is_ok(),
+                            "put failed");
                         win->complete();
                         win->wait();
                     } else {
                         win->post(group);
                         win->start(group);
-                        win->put(buf.data(), static_cast<int>(bytes),
-                                 Datatype::byte_(), 0, 0);
+                        SCIMPI_REQUIRE(
+                            win->put(buf.data(), static_cast<int>(bytes),
+                                     Datatype::byte_(), 0, 0)
+                                .is_ok(),
+                            "put failed");
                         win->complete();
                         win->wait();
                     }
                     break;
                 case Mode::osc_unsync:
                     // The "upper limit": put + local flush only, no epoch.
-                    win->put(buf.data(), static_cast<int>(bytes),
-                             Datatype::byte_(), peer, 0);
+                    SCIMPI_REQUIRE(win->put(buf.data(), static_cast<int>(bytes),
+                                            Datatype::byte_(), peer, 0)
+                                       .is_ok(),
+                                   "put failed");
                     comm.rank_state().adapter().store_barrier(comm.proc());
                     break;
             }

@@ -43,7 +43,8 @@ double dma_noncontig_bandwidth(std::size_t block, bool use_dma) {
             comm.barrier();
             const double t0 = comm.wtime();
             if (comm.rank() == 0)
-                comm.send(buf.data(), 1, type, 1, it);
+                SCIMPI_REQUIRE(comm.send(buf.data(), 1, type, 1, it).is_ok(),
+                               "send failed");
             else {
                 comm.recv(buf.data(), 1, type, 0, it);
                 if (it > 0) seconds += comm.wtime() - t0;

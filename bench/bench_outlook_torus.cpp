@@ -34,7 +34,10 @@ double torus_put_min_bw(int nodes, int torus_w, int torus_h, int distance,
         const double t0 = comm.wtime();
         std::size_t sent = 0, off = 0;
         while (sent < bytes) {
-            win->put(local.data(), 64_KiB, Datatype::byte_(), target, off);
+            SCIMPI_REQUIRE(
+                win->put(local.data(), 64_KiB, Datatype::byte_(), target, off)
+                    .is_ok(),
+                "put failed");
             sent += 64_KiB;
             off = (off + 128_KiB) % (winsize - 64_KiB);
         }

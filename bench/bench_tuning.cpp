@@ -26,8 +26,10 @@ double message_bw(std::size_t bytes, const std::function<void(Config&)>& tweak) 
             comm.barrier();
             const double t0 = comm.wtime();
             if (comm.rank() == 0)
-                comm.send(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 1,
-                          it);
+                SCIMPI_REQUIRE(comm.send(buf.data(), static_cast<int>(bytes),
+                                         Datatype::byte_(), 1, it)
+                                   .is_ok(),
+                               "send failed");
             else {
                 comm.recv(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 0,
                           it);
@@ -51,8 +53,10 @@ double flood_ms(int n, std::size_t bytes, std::size_t slots) {
         const double t0 = comm.wtime();
         if (comm.rank() == 0) {
             for (int i = 0; i < n; ++i)
-                comm.send(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 1,
-                          i);
+                SCIMPI_REQUIRE(comm.send(buf.data(), static_cast<int>(bytes),
+                                         Datatype::byte_(), 1, i)
+                                   .is_ok(),
+                               "send failed");
         } else {
             for (int i = 0; i < n; ++i)
                 comm.recv(buf.data(), static_cast<int>(bytes), Datatype::byte_(), 0,

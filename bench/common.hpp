@@ -170,7 +170,8 @@ inline double noncontig_bandwidth(bool internode, std::size_t block, bool use_ff
             comm.barrier();
             const double t0 = comm.wtime();
             if (comm.rank() == 0) {
-                comm.send(buf.data(), 1, type, 1, it);
+                SCIMPI_REQUIRE(comm.send(buf.data(), 1, type, 1, it).is_ok(),
+                               "send failed");
             } else {
                 comm.recv(buf.data(), 1, type, 0, it);
                 if (it > 0) seconds += comm.wtime() - t0;
@@ -228,9 +229,13 @@ inline SparseResult sparse_osc(bool shared_window, bool is_put, std::size_t acce
         const std::size_t stride = 2 * access;
         for (std::size_t off = 0; off + access <= winsize; off += stride) {
             if (is_put)
-                win->put(local.data(), count, type, partner, off);
+                SCIMPI_REQUIRE(
+                    win->put(local.data(), count, type, partner, off).is_ok(),
+                    "put failed");
             else
-                win->get(local.data(), count, type, partner, off);
+                SCIMPI_REQUIRE(
+                    win->get(local.data(), count, type, partner, off).is_ok(),
+                    "get failed");
             ++ops;
         }
         win->fence();
@@ -290,8 +295,10 @@ inline ScalingResult scaling_put(int ring_nodes, int active, int distance,
             std::size_t sent = 0;
             std::size_t off = 0;
             while (sent < bytes) {
-                win->put(local.data(), static_cast<int>(access), Datatype::byte_(),
-                         target, off);
+                SCIMPI_REQUIRE(win->put(local.data(), static_cast<int>(access),
+                                        Datatype::byte_(), target, off)
+                                   .is_ok(),
+                               "put failed");
                 sent += access;
                 off = (off + 2 * access) % winsize;
             }

@@ -63,7 +63,7 @@ int main() {
             reqs.push_back(comm.irecv(result.data(), 1, recv_t, p, 1));
             reqs.push_back(comm.isend(slab.data(), 1, send_t, p, 1));
         }
-        comm.wait_all(reqs);
+        SCIMPI_REQUIRE(comm.wait_all(reqs).is_ok(), "wait_all failed");
 
         // Received tiles hold the *untransposed* remote data; transpose each
         // tile locally (cache-friendly small tiles).

@@ -60,17 +60,27 @@ std::pair<double, double> run_ocean(Comm& comm) {
         const double t0 = comm.wtime();
         // Exchange halos with all four neighbours (tags per direction).
         if (nb.north >= 0)
-            comm.sendrecv(&at(field, 1, 1), 1, row, nb.north, 10, &at(field, 0, 1), 1,
-                          row, nb.north, 11);
+            SCIMPI_REQUIRE(comm.sendrecv(&at(field, 1, 1), 1, row, nb.north, 10,
+                                         &at(field, 0, 1), 1, row, nb.north, 11)
+                               .is_ok(),
+                           "north halo exchange failed");
         if (nb.south >= 0)
-            comm.sendrecv(&at(field, kTile, 1), 1, row, nb.south, 11,
-                          &at(field, kTile + 1, 1), 1, row, nb.south, 10);
+            SCIMPI_REQUIRE(
+                comm.sendrecv(&at(field, kTile, 1), 1, row, nb.south, 11,
+                              &at(field, kTile + 1, 1), 1, row, nb.south, 10)
+                    .is_ok(),
+                "south halo exchange failed");
         if (nb.west >= 0)
-            comm.sendrecv(&at(field, 1, 1), 1, column, nb.west, 12, &at(field, 1, 0), 1,
-                          column, nb.west, 13);
+            SCIMPI_REQUIRE(comm.sendrecv(&at(field, 1, 1), 1, column, nb.west, 12,
+                                         &at(field, 1, 0), 1, column, nb.west, 13)
+                               .is_ok(),
+                           "west halo exchange failed");
         if (nb.east >= 0)
-            comm.sendrecv(&at(field, 1, kTile), 1, column, nb.east, 13,
-                          &at(field, 1, kTile + 1), 1, column, nb.east, 12);
+            SCIMPI_REQUIRE(
+                comm.sendrecv(&at(field, 1, kTile), 1, column, nb.east, 13,
+                              &at(field, 1, kTile + 1), 1, column, nb.east, 12)
+                    .is_ok(),
+                "east halo exchange failed");
         halo_seconds += comm.wtime() - t0;
 
         // Jacobi relaxation step (charged as compute time).
@@ -88,7 +98,8 @@ std::pair<double, double> run_ocean(Comm& comm) {
     for (int y = 1; y <= kTile; ++y)
         for (int x = 1; x <= kTile; ++x) checksum += at(field, y, x);
     double total = 0.0;
-    comm.allreduce_sum(&checksum, &total, 1);
+    SCIMPI_REQUIRE(comm.allreduce_sum(&checksum, &total, 1).is_ok(),
+                   "allreduce failed");
     return {halo_seconds, total};
 }
 

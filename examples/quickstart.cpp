@@ -13,7 +13,9 @@
 // SCIMPI_STATS / SCIMPI_STATS_FILE / SCIMPI_TRACE_FILE / SCIMPI_PROFILE
 // environment variables do the same without flags. `--faults SPEC` (or
 // SCIMPI_FAULTS) replays a deterministic fault schedule while the tour runs
-// — see DESIGN.md §8.
+// — see DESIGN.md §8. `--check` (or SCIMPI_CHECK=1) runs the tour under
+// scimpi-check, the one-sided race/epoch checker — see DESIGN.md §10; a
+// clean tour reports zero violations.
 #include <cstdio>
 #include <numeric>
 #include <string_view>
@@ -45,10 +47,17 @@ int main(int argc, char** argv) {
             // Deterministic fault injection from a text spec (see
             // src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
             opt.fault_spec_file = argv[++i];
+        } else if (arg == "--check") {
+            opt.check = true;
         } else {
+            // Name the offender: a silent catch-all would let `--chekc`
+            // typos run unchecked. Flags that take a value also land here
+            // when the value is missing.
+            std::fprintf(stderr, "quickstart: unknown or incomplete flag '%s'\n",
+                         std::string(arg).c_str());
             std::fprintf(stderr,
-                         "usage: quickstart [--stats] [--profile] [--trace FILE] "
-                         "[--faults SPEC]\n");
+                         "usage: quickstart [--stats] [--profile] [--check] "
+                         "[--trace FILE] [--faults SPEC]\n");
             return 2;
         }
     }
@@ -62,7 +71,10 @@ int main(int argc, char** argv) {
         if (rank == 0) {
             std::vector<double> payload(1024);
             std::iota(payload.begin(), payload.end(), 0.0);
-            comm.send(payload.data(), 1024, Datatype::float64(), 1, /*tag=*/0);
+            SCIMPI_REQUIRE(
+                comm.send(payload.data(), 1024, Datatype::float64(), 1, /*tag=*/0)
+                    .is_ok(),
+                "send failed");
         } else if (rank == 1) {
             std::vector<double> inbox(1024);
             const RecvResult r = comm.recv(inbox.data(), 1024, Datatype::float64(),
@@ -79,7 +91,8 @@ int main(int argc, char** argv) {
         if (rank == 0) {
             std::vector<double> grid(512 * 8);
             std::iota(grid.begin(), grid.end(), 0.0);
-            comm.send(grid.data(), 1, column, 1, 1);
+            SCIMPI_REQUIRE(comm.send(grid.data(), 1, column, 1, 1).is_ok(),
+                           "strided send failed");
         } else if (rank == 1) {
             std::vector<double> grid(512 * 8, -1.0);
             comm.recv(grid.data(), 1, column, 0, 1);
@@ -94,7 +107,9 @@ int main(int argc, char** argv) {
         win->fence();
         // Everyone deposits its rank into the right neighbour's window.
         const double stamp = 100.0 + rank;
-        win->put(&stamp, 1, Datatype::float64(), (rank + 1) % size, 0);
+        SCIMPI_REQUIRE(
+            win->put(&stamp, 1, Datatype::float64(), (rank + 1) % size, 0).is_ok(),
+            "put failed");
         win->fence();
         const double got = *reinterpret_cast<double*>(win->local().data());
         std::printf("[rank %d] window holds %.0f (from rank %d), path: %s\n", rank,
@@ -104,6 +119,9 @@ int main(int argc, char** argv) {
     });
 
     std::printf("simulated time: %.3f ms\n", cluster.wtime() * 1e3);
+    if (check::Checker* ck = cluster.checker())
+        std::printf("scimpi-check: %zu violation(s) detected\n",
+                    ck->violations().size());
     if (print_stats)
         std::printf("%s\n", cluster.stats_report().to_json().c_str());
     if (print_profile) {

@@ -82,7 +82,9 @@ int main() {
             if (owner == rank) {
                 xg[k] = x_local[c % kRowsPerRank];
             } else {
-                win->get(&xg[k], 1, Datatype::float64(), owner, disp);
+                SCIMPI_REQUIRE(
+                    win->get(&xg[k], 1, Datatype::float64(), owner, disp).is_ok(),
+                    "remote get failed");
                 ++remote_gets;
             }
         }

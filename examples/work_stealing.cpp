@@ -50,9 +50,12 @@ int main() {
             // Atomically grab the next chunk of task ids.
             win->lock(0);
             double next = 0.0;
-            win->get(&next, 1, Datatype::float64(), 0, 0);
+            SCIMPI_REQUIRE(win->get(&next, 1, Datatype::float64(), 0, 0).is_ok(),
+                           "get failed");
             const double grabbed = next + kChunk;
-            win->put(&grabbed, 1, Datatype::float64(), 0, 0);
+            SCIMPI_REQUIRE(
+                win->put(&grabbed, 1, Datatype::float64(), 0, 0).is_ok(),
+                "put failed");
             win->unlock(0);
 
             const int first = static_cast<int>(next);

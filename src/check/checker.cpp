@@ -1,0 +1,437 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+
+namespace scimpi::check {
+
+namespace {
+
+/// Bounded per-window access log: enough for any real epoch, small enough
+/// that a runaway loop cannot grow without bound (oldest half is dropped).
+constexpr std::size_t kMaxWinRecords = 8192;
+constexpr std::size_t kMaxSegRecords = 8192;
+/// Distinct violations recorded before further ones are only counted.
+constexpr std::size_t kMaxViolations = 1024;
+
+}  // namespace
+
+const char* kind_name(ViolationKind k) {
+    switch (k) {
+        case ViolationKind::put_put_overlap: return "put_put_overlap";
+        case ViolationKind::put_get_overlap: return "put_get_overlap";
+        case ViolationKind::acc_put_overlap: return "acc_put_overlap";
+        case ViolationKind::local_access_during_exposure:
+            return "local_access_during_exposure";
+        case ViolationKind::op_outside_epoch: return "op_outside_epoch";
+        case ViolationKind::oob_displacement: return "oob_displacement";
+        case ViolationKind::pscw_mismatch: return "pscw_mismatch";
+        case ViolationKind::segment_race: return "segment_race";
+    }
+    return "unknown";
+}
+
+const char* access_name(AccessKind k) {
+    switch (k) {
+        case AccessKind::put: return "put";
+        case AccessKind::get: return "get";
+        case AccessKind::accumulate: return "accumulate";
+        case AccessKind::local_load: return "local_load";
+        case AccessKind::local_store: return "local_store";
+    }
+    return "unknown";
+}
+
+Checker::Checker(int world)
+    : world_(world), clocks_(static_cast<std::size_t>(world), VectorClock(world)) {}
+
+void Checker::bind_metrics(obs::MetricsRegistry& m) {
+    total_c_ = &m.counter("check.violations");
+    for (int k = 0; k < kViolationKinds; ++k)
+        kind_c_[k] = &m.counter(std::string("check.") +
+                                kind_name(static_cast<ViolationKind>(k)));
+}
+
+void Checker::register_actor(int track, int world_rank) {
+    actors_[track] = world_rank;
+}
+
+int Checker::actor_rank(int track) const {
+    const auto it = actors_.find(track);
+    return it == actors_.end() ? -1 : it->second;
+}
+
+std::size_t Checker::count(ViolationKind k) const {
+    std::size_t n = 0;
+    for (const Violation& v : violations_)
+        if (v.kind == k) ++n;
+    return n;
+}
+
+Checker::WinRankState& Checker::rank_state(int win_id, int rank) {
+    WinState& ws = win(win_id);
+    const auto it = ws.ranks.find(rank);
+    if (it != ws.ranks.end()) return it->second;
+    WinRankState st;
+    st.post_clock = VectorClock(world_);
+    st.complete_clock = VectorClock(world_);
+    st.lock_clock = VectorClock(world_);
+    return ws.ranks.emplace(rank, std::move(st)).first->second;
+}
+
+void Checker::prune(WinState& ws, int origin, std::uint64_t current_epoch) {
+    if (current_epoch >= 2)
+        std::erase_if(ws.accesses, [&](const AccessRecord& a) {
+            return a.origin == origin && a.epoch + 2 <= current_epoch;
+        });
+    if (ws.accesses.size() > kMaxWinRecords)
+        ws.accesses.erase(ws.accesses.begin(),
+                          ws.accesses.begin() +
+                              static_cast<std::ptrdiff_t>(ws.accesses.size() / 2));
+}
+
+bool Checker::classify(AccessKind a, AccessKind b, ViolationKind* out) {
+    const auto writes = [](AccessKind k) {
+        return k == AccessKind::put || k == AccessKind::accumulate ||
+               k == AccessKind::local_store;
+    };
+    if (!writes(a) && !writes(b)) return false;  // read/read is always fine
+    const bool acc = a == AccessKind::accumulate || b == AccessKind::accumulate;
+    const bool local = a == AccessKind::local_load || a == AccessKind::local_store ||
+                       b == AccessKind::local_load || b == AccessKind::local_store;
+    if (acc && a == b) return false;  // same-op accumulates may interleave
+    if (local) {
+        *out = ViolationKind::local_access_during_exposure;
+        return true;
+    }
+    if (acc) {
+        *out = ViolationKind::acc_put_overlap;
+        return true;
+    }
+    if (a == AccessKind::put && b == AccessKind::put) {
+        *out = ViolationKind::put_put_overlap;
+        return true;
+    }
+    *out = ViolationKind::put_get_overlap;  // one side reads, the other writes
+    return true;
+}
+
+void Checker::report(ViolationKind kind, int win_id, int rank_a, int rank_b,
+                     ByteRange range, SimTime time_a, SimTime time_b,
+                     std::string detail, int track) {
+    if (total_c_ != nullptr) total_c_->inc();
+    if (kind_c_[static_cast<int>(kind)] != nullptr)
+        kind_c_[static_cast<int>(kind)]->inc();
+    // One diagnostic per distinct site: a loop re-racing the same bytes
+    // reports once and counts the rest as suppressed.
+    std::string sig = std::to_string(static_cast<int>(kind)) + ':' +
+                      std::to_string(win_id) + ':' + std::to_string(rank_a) + ':' +
+                      std::to_string(rank_b) + ':' + std::to_string(range.lo) + ':' +
+                      std::to_string(range.hi);
+    if (!seen_.insert(sig).second || violations_.size() >= kMaxViolations) {
+        ++suppressed_;
+        return;
+    }
+    if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->instant(track, std::string("check:") + kind_name(kind), time_b);
+    Violation v;
+    v.kind = kind;
+    v.win = win_id;
+    v.rank_a = rank_a;
+    v.rank_b = rank_b;
+    v.range = range;
+    v.time_a = time_a;
+    v.time_b = time_b;
+    v.detail = std::move(detail);
+    violations_.push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization hooks
+// ---------------------------------------------------------------------------
+
+void Checker::on_p2p(int src, int dst) {
+    if (!enabled_ || src == dst) return;
+    auto& s = clocks_[static_cast<std::size_t>(src)];
+    auto& d = clocks_[static_cast<std::size_t>(dst)];
+    d.join(s);
+    s.tick(src);
+    d.tick(dst);
+}
+
+void Checker::on_fence(int win_id, int rank, SimTime /*now*/, int /*track*/) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, rank);
+    ++st.epoch;
+    prune(win(win_id), rank, st.epoch);
+    clocks_[static_cast<std::size_t>(rank)].tick(rank);
+}
+
+void Checker::on_post(int win_id, int target, const std::vector<int>& origins,
+                      SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, target);
+    if (st.exposed)
+        report(ViolationKind::pscw_mismatch, win_id, -1, target, {}, now, now,
+               "post while an exposure epoch is already open", track);
+    st.exposed = true;
+    st.post_origins = origins;
+    st.post_clock = clocks_[static_cast<std::size_t>(target)];
+    clocks_[static_cast<std::size_t>(target)].tick(target);
+}
+
+void Checker::on_start(int win_id, int origin, const std::vector<int>& targets,
+                       SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, origin);
+    if (st.access_open)
+        report(ViolationKind::pscw_mismatch, win_id, -1, origin, {}, now, now,
+               "start while an access epoch is already open", track);
+    st.access_open = true;
+    auto& clk = clocks_[static_cast<std::size_t>(origin)];
+    for (const int t : targets) clk.join(rank_state(win_id, t).post_clock);
+    clk.tick(origin);
+}
+
+void Checker::on_complete(int win_id, int origin, SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, origin);
+    if (!st.access_open) {
+        report(ViolationKind::pscw_mismatch, win_id, -1, origin, {}, now, now,
+               "complete without a matching start", track);
+        return;
+    }
+    st.access_open = false;
+    st.complete_clock = clocks_[static_cast<std::size_t>(origin)];
+    clocks_[static_cast<std::size_t>(origin)].tick(origin);
+}
+
+void Checker::on_wait(int win_id, int target, SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, target);
+    if (!st.exposed) {
+        report(ViolationKind::pscw_mismatch, win_id, -1, target, {}, now, now,
+               "wait without a matching post", track);
+        return;
+    }
+    auto& clk = clocks_[static_cast<std::size_t>(target)];
+    for (const int o : st.post_origins)
+        clk.join(rank_state(win_id, o).complete_clock);
+    st.exposed = false;
+    st.post_origins.clear();
+    clk.tick(target);
+}
+
+void Checker::on_lock(int win_id, int origin, int target, SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, origin);
+    if (!st.locks_held.insert(target).second)
+        report(ViolationKind::pscw_mismatch, win_id, -1, origin, {}, now, now,
+               "lock on rank " + std::to_string(target) + " already held", track);
+    auto& clk = clocks_[static_cast<std::size_t>(origin)];
+    clk.join(rank_state(win_id, target).lock_clock);
+    clk.tick(origin);
+}
+
+void Checker::on_unlock(int win_id, int origin, int target, SimTime now, int track) {
+    if (!enabled_) return;
+    WinRankState& st = rank_state(win_id, origin);
+    if (st.locks_held.erase(target) == 0) {
+        report(ViolationKind::pscw_mismatch, win_id, -1, origin, {}, now, now,
+               "unlock of rank " + std::to_string(target) + " without a lock",
+               track);
+        return;
+    }
+    auto& clk = clocks_[static_cast<std::size_t>(origin)];
+    // Each lock session hands its clock to the next holder: their accesses
+    // dominate ours through the lock clock, so no conflict is reported.
+    rank_state(win_id, target).lock_clock.join(clk);
+    clk.tick(origin);
+}
+
+// ---------------------------------------------------------------------------
+// Window accesses
+// ---------------------------------------------------------------------------
+
+void Checker::on_win_create(int win_id, int rank, std::uint64_t size) {
+    if (!enabled_) return;
+    rank_state(win_id, rank).size = size;
+}
+
+void Checker::on_rma_op(int win_id, int origin, int target, AccessKind kind,
+                        const std::vector<ByteRange>& blocks, SimTime now,
+                        int track) {
+    if (!enabled_) return;
+    WinState& ws = win(win_id);
+    WinRankState& tst = rank_state(win_id, target);
+    // This op is an event of its own: tick *before* snapshotting, or its
+    // timestamp collapses into the origin's last sync point — which every
+    // other rank already dominates after a barrier, hiding real races.
+    clocks_[static_cast<std::size_t>(origin)].tick(origin);
+    const VectorClock vc = clocks_[static_cast<std::size_t>(origin)];
+    // Fence is collective, so the origin's own fence count identifies the
+    // open fence epoch consistently across ranks (the target's counter is
+    // bumped on the target's schedule and may lag or lead this op).
+    const std::uint64_t epoch = rank_state(win_id, origin).epoch;
+
+    const bool is_local =
+        kind == AccessKind::local_load || kind == AccessKind::local_store;
+    if (is_local && tst.exposed) {
+        // MPI-2 forbids the target touching its window while it is exposed
+        // (post issued, wait pending) — flag even without a remote overlap.
+        ByteRange span = blocks.empty() ? ByteRange{} : blocks.front();
+        for (const ByteRange& b : blocks) {
+            if (b.lo < span.lo) span.lo = b.lo;
+            if (b.hi > span.hi) span.hi = b.hi;
+        }
+        report(ViolationKind::local_access_during_exposure, win_id, target, origin,
+               span, now, now,
+               std::string(access_name(kind)) +
+                   " of window memory inside the rank's own exposure epoch",
+               track);
+    }
+
+    for (const AccessRecord& a : ws.accesses) {
+        if (a.target != target || a.origin == origin) continue;
+        ViolationKind kind_out{};
+        if (!classify(a.kind, kind, &kind_out)) continue;
+        // An epoch boundary between the two accesses orders them; so does a
+        // happens-before edge (lock hand-over, message, PSCW pairing). Both
+        // in the same epoch is erroneous per MPI-2 even if the *issuing*
+        // calls were ordered: completion is only forced at the epoch close.
+        const bool same_epoch = a.epoch == epoch;
+        const bool unordered = VectorClock::concurrent(a.vc, vc);
+        if (!same_epoch && !unordered) continue;
+        for (const ByteRange& b : blocks) {
+            if (!a.range.overlaps(b)) continue;
+            const ByteRange clash = a.range.intersect(b);
+            report(kind_out, win_id, a.origin, origin, clash, a.time, now,
+                   std::string(access_name(a.kind)) + " by rank " +
+                       std::to_string(a.origin) + " vs " + access_name(kind) +
+                       " by rank " + std::to_string(origin) + " on rank " +
+                       std::to_string(target) + "'s window, epoch " +
+                       std::to_string(epoch) +
+                       (same_epoch ? "" : " (causally unrelated)"),
+                   track);
+            break;  // one diagnostic per conflicting pair of ops
+        }
+    }
+
+    for (const ByteRange& b : blocks)
+        ws.accesses.push_back({origin, target, kind, b, epoch, vc, now});
+    if (ws.accesses.size() > kMaxWinRecords) prune(ws, origin, epoch);
+}
+
+void Checker::on_op_outside_epoch(int win_id, int origin, int target,
+                                  AccessKind kind, ByteRange span, SimTime now,
+                                  int track) {
+    if (!enabled_) return;
+    report(ViolationKind::op_outside_epoch, win_id, -1, origin, span, now, now,
+           std::string(access_name(kind)) + " to rank " + std::to_string(target) +
+               " with no fence, start or lock epoch open",
+           track);
+}
+
+void Checker::on_oob(int win_id, int origin, int target, std::uint64_t disp,
+                     std::uint64_t bytes_needed, std::uint64_t win_size,
+                     SimTime now, int track) {
+    if (!enabled_) return;
+    report(ViolationKind::oob_displacement, win_id, -1, origin,
+           {disp, disp + bytes_needed}, now, now,
+           "displacement " + std::to_string(disp) + " + " +
+               std::to_string(bytes_needed) + " bytes exceeds rank " +
+               std::to_string(target) + "'s window of " +
+               std::to_string(win_size) + " bytes",
+           track);
+}
+
+void Checker::on_remote_apply(int win_id, int origin, SimTime now, int track) {
+    if (!enabled_ || tracer_ == nullptr || !tracer_->enabled()) return;
+    tracer_->instant(track,
+                     "check:apply win" + std::to_string(win_id) + " from rank " +
+                         std::to_string(origin),
+                     now);
+}
+
+// ---------------------------------------------------------------------------
+// Raw shared segments
+// ---------------------------------------------------------------------------
+
+void Checker::watch_segment(int seg_node, int seg_id) {
+    segments_.emplace(std::make_pair(seg_node, seg_id), SegState{});
+}
+
+void Checker::unwatch_segment(int seg_node, int seg_id) {
+    segments_.erase({seg_node, seg_id});
+}
+
+void Checker::on_segment_destroyed(int seg_node, int seg_id) {
+    if (!enabled_) return;
+    unwatch_segment(seg_node, seg_id);
+}
+
+void Checker::on_segment_access(int seg_node, int seg_id, int track,
+                                std::uint64_t off, std::uint64_t len,
+                                bool is_store, SimTime now) {
+    if (!enabled_ || len == 0) return;
+    const auto it = segments_.find({seg_node, seg_id});
+    if (it == segments_.end()) return;  // unwatched: protocol-internal
+    const int rank = actor_rank(track);
+    if (rank < 0) return;  // daemons and engines are not program actors
+    SegState& seg = it->second;
+    const ByteRange range{off, off + len};
+    clocks_[static_cast<std::size_t>(rank)].tick(rank);  // tick-then-snapshot
+    const VectorClock vc = clocks_[static_cast<std::size_t>(rank)];
+    for (const SegAccess& a : seg.log) {
+        if (a.rank == rank || (!a.store && !is_store)) continue;
+        if (!a.range.overlaps(range)) continue;
+        if (!VectorClock::concurrent(a.vc, vc)) continue;
+        report(ViolationKind::segment_race, -1, a.rank, rank,
+               a.range.intersect(range), a.time, now,
+               std::string(a.store ? "store" : "load") + " by rank " +
+                   std::to_string(a.rank) + " races " +
+                   (is_store ? "store" : "load") + " by rank " +
+                   std::to_string(rank) + " on segment " +
+                   std::to_string(seg_node) + "." + std::to_string(seg_id),
+               track);
+        break;
+    }
+    seg.log.push_back({rank, is_store, range, vc, now});
+    if (seg.log.size() > kMaxSegRecords)
+        seg.log.erase(seg.log.begin(),
+                      seg.log.begin() + static_cast<std::ptrdiff_t>(seg.log.size() / 2));
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+void Checker::print_report(std::FILE* out) const {
+    if (violations_.empty()) return;
+    std::fprintf(out,
+                 "scimpi-check: %zu violation%s detected (%llu further "
+                 "occurrence%s suppressed)\n",
+                 violations_.size(), violations_.size() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(suppressed_),
+                 suppressed_ == 1 ? "" : "s");
+    std::fprintf(out, "%-30s %4s %7s %19s %23s  %s\n", "kind", "win", "ranks",
+                 "bytes", "sim time (ns)", "detail");
+    for (const Violation& v : violations_) {
+        char ranks[32];
+        if (v.rank_a >= 0)
+            std::snprintf(ranks, sizeof ranks, "%d<>%d", v.rank_a, v.rank_b);
+        else
+            std::snprintf(ranks, sizeof ranks, "%d", v.rank_b);
+        char bytes[40];
+        std::snprintf(bytes, sizeof bytes, "[%llu,%llu)",
+                      static_cast<unsigned long long>(v.range.lo),
+                      static_cast<unsigned long long>(v.range.hi));
+        char times[48];
+        std::snprintf(times, sizeof times, "%llu/%llu",
+                      static_cast<unsigned long long>(v.time_a),
+                      static_cast<unsigned long long>(v.time_b));
+        std::fprintf(out, "%-30s %4d %7s %19s %23s  %s\n", kind_name(v.kind),
+                     v.win, ranks, bytes, times, v.detail.c_str());
+    }
+}
+
+}  // namespace scimpi::check

@@ -1,0 +1,246 @@
+// scimpi-check: a deterministic RMA-epoch and shared-segment race detector
+// (MUST / Nasty-MPI style; DESIGN.md §10).
+//
+// The simulator already makes every mis-synchronized one-sided program
+// reproducible — the checker turns the reproduction into a diagnosis. It
+// instruments every access to simulated RMA windows and (watched) SCI
+// shared segments with per-rank vector clocks advanced at synchronization
+// points (fence, post/start/complete/wait, lock/unlock, message delivery)
+// and reports, with byte ranges and simulated timestamps:
+//
+//   * put_put_overlap   — two origins put overlapping bytes in one epoch,
+//   * put_get_overlap   — a read overlaps a write in one epoch,
+//   * acc_put_overlap   — accumulate mixed with put/get on the same bytes,
+//   * local_access_during_exposure — the target touches exposed window
+//                         memory between post and wait,
+//   * op_outside_epoch  — an RMA call with no fence/start/lock epoch open,
+//   * oob_displacement  — a displacement past the target window's end,
+//   * pscw_mismatch     — unmatched or crossed post/start/complete/wait
+//                         (and lock/unlock) calls,
+//   * segment_race      — causally unrelated conflicting accesses to a
+//                         watched raw SCI segment (smi/sci layer).
+//
+// Cost model: zero when disabled — every caller holds a `Checker*` that is
+// null unless the run enabled checking (`ClusterOptions::check`,
+// SCIMPI_CHECK=1, `quickstart --check`), so a disabled hook is one pointer
+// test. Enabled hooks do pure bookkeeping and never advance simulated
+// time, so a checked run is bit-identical to an unchecked one.
+//
+// This layer depends only on common/, obs/ (counters) and sim/trace.hpp
+// (violation instants on the Perfetto timeline); the mpi/smi/sci layers
+// call *into* it, never the reverse.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/clock.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::check {
+
+enum class ViolationKind : std::uint8_t {
+    put_put_overlap,
+    put_get_overlap,
+    acc_put_overlap,
+    local_access_during_exposure,
+    op_outside_epoch,
+    oob_displacement,
+    pscw_mismatch,
+    segment_race,
+};
+inline constexpr int kViolationKinds = 8;
+const char* kind_name(ViolationKind k);
+
+/// Half-open byte interval [lo, hi) within a window or segment.
+struct ByteRange {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    [[nodiscard]] bool overlaps(const ByteRange& o) const {
+        return lo < o.hi && o.lo < hi;
+    }
+    [[nodiscard]] ByteRange intersect(const ByteRange& o) const {
+        return {lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+    }
+};
+
+/// How an access touches window/segment memory.
+enum class AccessKind : std::uint8_t { put, get, accumulate, local_load, local_store };
+const char* access_name(AccessKind k);
+
+/// One reported violation. `rank_a`/`time_a` describe the earlier recorded
+/// access, `rank_b`/`time_b` the one that exposed the conflict; single-site
+/// violations (OOB, epoch misuse) leave `rank_a == -1`.
+struct Violation {
+    ViolationKind kind = ViolationKind::pscw_mismatch;
+    int win = -1;  ///< window id, -1 for raw-segment violations
+    int rank_a = -1;
+    int rank_b = -1;
+    ByteRange range;
+    SimTime time_a = 0;
+    SimTime time_b = 0;
+    std::string detail;
+};
+
+class Checker {
+public:
+    explicit Checker(int world);
+    Checker(const Checker&) = delete;
+    Checker& operator=(const Checker&) = delete;
+
+    void enable(bool on = true) { enabled_ = on; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Resolve the check.* counters (violations total and per kind).
+    void bind_metrics(obs::MetricsRegistry& m);
+    /// Emit a "check:<kind>" instant on the recording track per violation.
+    void bind_tracer(sim::Tracer* t) { tracer_ = t; }
+
+    /// Map a simulated process id (trace track) to its world rank, so
+    /// segment accesses observed below the MPI layer can be attributed.
+    void register_actor(int track, int world_rank);
+    [[nodiscard]] int actor_rank(int track) const;
+
+    // ---- synchronization hooks (all ranks are world ranks) ----
+    /// A message from `src` was delivered to `dst` (happens-before edge).
+    void on_p2p(int src, int dst);
+    void on_fence(int win, int rank, SimTime now, int track);
+    void on_post(int win, int target, const std::vector<int>& origins,
+                 SimTime now, int track);
+    void on_start(int win, int origin, const std::vector<int>& targets,
+                  SimTime now, int track);
+    void on_complete(int win, int origin, SimTime now, int track);
+    void on_wait(int win, int target, SimTime now, int track);
+    void on_lock(int win, int origin, int target, SimTime now, int track);
+    void on_unlock(int win, int origin, int target, SimTime now, int track);
+
+    // ---- window lifecycle ----
+    void on_win_create(int win, int rank, std::uint64_t size);
+
+    // ---- window access hooks ----
+    /// An RMA op was issued (origin side). `blocks` are the target-window
+    /// byte ranges the op touches; local_load/local_store mean the origin
+    /// accesses its own window portion (origin == target).
+    void on_rma_op(int win, int origin, int target, AccessKind kind,
+                   const std::vector<ByteRange>& blocks, SimTime now, int track);
+    void on_op_outside_epoch(int win, int origin, int target, AccessKind kind,
+                             ByteRange span, SimTime now, int track);
+    void on_oob(int win, int origin, int target, std::uint64_t disp,
+                std::uint64_t bytes_needed, std::uint64_t win_size, SimTime now,
+                int track);
+    /// The emulation handler applied an op at the target (trace instant so
+    /// Perfetto shows where racing data actually landed).
+    void on_remote_apply(int win, int origin, SimTime now, int track);
+
+    // ---- raw shared-segment hooks (smi::Region / sci::SciAdapter) ----
+    /// Opt a segment into race checking. Only watched segments are tracked:
+    /// protocol-internal segments (eager slots, rendezvous rings, staging)
+    /// synchronize through means the checker cannot see and stay unwatched.
+    void watch_segment(int seg_node, int seg_id);
+    void unwatch_segment(int seg_node, int seg_id);
+    /// Called by the segment directory on destroy (drops the watch).
+    void on_segment_destroyed(int seg_node, int seg_id);
+    /// Called by the adapter / region for every access through a mapping.
+    void on_segment_access(int seg_node, int seg_id, int track, std::uint64_t off,
+                           std::uint64_t len, bool is_store, SimTime now);
+
+    // ---- results ----
+    [[nodiscard]] const std::vector<Violation>& violations() const {
+        return violations_;
+    }
+    [[nodiscard]] std::size_t count(ViolationKind k) const;
+    /// Violations that matched an already-reported (kind, win, ranks, range)
+    /// signature and were not recorded again (loops hammering one race).
+    [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+    /// Formatted stderr-style table; no-op when there are no violations.
+    void print_report(std::FILE* out) const;
+
+    [[nodiscard]] const VectorClock& clock(int rank) const {
+        return clocks_[static_cast<std::size_t>(rank)];
+    }
+
+private:
+    struct AccessRecord {
+        int origin = -1;
+        int target = -1;
+        AccessKind kind = AccessKind::put;
+        ByteRange range;
+        std::uint64_t epoch = 0;  ///< origin's fence-epoch count at issue time
+        VectorClock vc;           ///< origin clock at issue (post-tick)
+        SimTime time = 0;
+    };
+
+    /// Per-(window, rank) epoch state. `epoch` counts the fences this rank
+    /// itself has passed on the window. Fence is collective, so every rank's
+    /// count agrees: two ops carry the same count iff the same fence epoch
+    /// was open when each was issued — regardless of how the simulator
+    /// interleaved the ranks' fence returns. (The target's exposure state
+    /// for PSCW lives in `exposed`/`post_origins`, not in this counter.)
+    struct WinRankState {
+        std::uint64_t epoch = 0;
+        bool exposed = false;      ///< post issued, wait not yet
+        bool access_open = false;  ///< start issued, complete not yet
+        std::uint64_t size = 0;
+        std::vector<int> post_origins;
+        VectorClock post_clock;      ///< this rank's clock at post
+        VectorClock complete_clock;  ///< this rank's clock at complete
+        VectorClock lock_clock;      ///< hand-over clock of this rank's lock
+        std::set<int> locks_held;    ///< targets this rank currently locks
+    };
+
+    struct WinState {
+        std::map<int, WinRankState> ranks;
+        std::vector<AccessRecord> accesses;
+    };
+
+    struct SegAccess {
+        int rank = -1;
+        bool store = false;
+        ByteRange range;
+        VectorClock vc;
+        SimTime time = 0;
+    };
+
+    struct SegState {
+        std::vector<SegAccess> log;
+    };
+
+    WinState& win(int id) { return windows_[id]; }
+    WinRankState& rank_state(int win_id, int rank);
+
+    /// Drop `origin`'s records from 2+ fence epochs ago (the intervening
+    /// barrier orders them before anything new; see DESIGN.md §10) and cap
+    /// the per-window log.
+    void prune(WinState& ws, int origin, std::uint64_t current_epoch);
+
+    /// Conflict classification; returns false for compatible pairs
+    /// (get/get, accumulate/accumulate, anything same-origin).
+    static bool classify(AccessKind a, AccessKind b, ViolationKind* out);
+
+    void report(ViolationKind kind, int win_id, int rank_a, int rank_b,
+                ByteRange range, SimTime time_a, SimTime time_b,
+                std::string detail, int track);
+
+    bool enabled_ = false;
+    int world_ = 0;
+    std::vector<VectorClock> clocks_;
+    std::map<int, int> actors_;  ///< trace track -> world rank
+    std::map<int, WinState> windows_;
+    std::map<std::pair<int, int>, SegState> segments_;  ///< watched only
+    std::vector<Violation> violations_;
+    std::set<std::string> seen_;  ///< dedup signatures
+    std::uint64_t suppressed_ = 0;
+    sim::Tracer* tracer_ = nullptr;
+    obs::Counter* total_c_ = nullptr;
+    obs::Counter* kind_c_[kViolationKinds] = {};
+};
+
+}  // namespace scimpi::check

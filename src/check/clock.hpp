@@ -1,0 +1,71 @@
+// Vector clocks for the happens-before layer of scimpi-check (DESIGN.md
+// §10). One component per world rank; a rank ticks its own component at
+// every checker-visible event and joins (component-wise max) at every
+// synchronization edge the checker observes — message delivery, fence
+// barrier, post/start and complete/wait pairs, lock hand-over.
+//
+// Two access snapshots are *concurrent* when neither dominates the other;
+// that is the race predicate for shared-segment accesses. All operations
+// are pure bookkeeping: the checker never advances simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scimpi::check {
+
+class VectorClock {
+public:
+    VectorClock() = default;
+    explicit VectorClock(int world)
+        : c_(static_cast<std::size_t>(world), 0) {}
+
+    [[nodiscard]] int size() const { return static_cast<int>(c_.size()); }
+    [[nodiscard]] std::uint64_t at(int rank) const {
+        return c_[static_cast<std::size_t>(rank)];
+    }
+
+    /// Advance `rank`'s own component (a new event in its program order).
+    void tick(int rank) { ++c_[static_cast<std::size_t>(rank)]; }
+
+    /// Component-wise max: absorb everything `other` has observed.
+    void join(const VectorClock& other) {
+        if (c_.size() < other.c_.size()) c_.resize(other.c_.size(), 0);
+        for (std::size_t i = 0; i < other.c_.size(); ++i)
+            if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+
+    /// True when every component of `a` is <= the matching component of
+    /// `b`, i.e. `a` happened before (or equals) `b`.
+    [[nodiscard]] static bool dominated(const VectorClock& a, const VectorClock& b) {
+        const std::size_t n = a.c_.size() < b.c_.size() ? b.c_.size() : a.c_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t av = i < a.c_.size() ? a.c_[i] : 0;
+            const std::uint64_t bv = i < b.c_.size() ? b.c_[i] : 0;
+            if (av > bv) return false;
+        }
+        return true;
+    }
+
+    /// Neither ordering holds: the two snapshots are causally unrelated.
+    [[nodiscard]] static bool concurrent(const VectorClock& a, const VectorClock& b) {
+        return !dominated(a, b) && !dominated(b, a);
+    }
+
+    /// "[1,0,3]" — diagnostics only.
+    [[nodiscard]] std::string to_string() const {
+        std::string s = "[";
+        for (std::size_t i = 0; i < c_.size(); ++i) {
+            if (i != 0) s += ',';
+            s += std::to_string(c_[i]);
+        }
+        s += ']';
+        return s;
+    }
+
+private:
+    std::vector<std::uint64_t> c_;
+};
+
+}  // namespace scimpi::check

@@ -39,8 +39,11 @@ public:
         if (!(cond)) ::scimpi::panic(std::string(msg)); \
     } while (0)
 
-/// Lightweight status: an error code plus optional detail message.
-class Status {
+/// Lightweight status: an error code plus optional detail message. The
+/// class-level [[nodiscard]] makes every silently-dropped Status return a
+/// compiler warning (an error under SCIMPI_WERROR): callers must check,
+/// propagate, or cast to void with a reason.
+class [[nodiscard]] Status {
 public:
     Status() = default;
     Status(Errc code, std::string detail) : code_(code), detail_(std::move(detail)) {}
@@ -58,9 +61,10 @@ private:
     std::string detail_;
 };
 
-/// Minimal expected-like result carrier.
+/// Minimal expected-like result carrier. [[nodiscard]] for the same reason
+/// as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
 public:
     Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
     Result(Status st) : v_(std::move(st)) {    // NOLINT(google-explicit-constructor)

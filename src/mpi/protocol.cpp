@@ -475,6 +475,9 @@ void Rank::pump_rndv(SendOp& op) {
     if ((op.next_pos >= op.env.bytes || op.aborted) && op.acks_pending == 0) {
         op.complete = true;
         live_sends_.erase(op.handle);
+        // The receiver's last ack orders its state before the sender's
+        // continuation (rendezvous completion is a two-way sync point).
+        if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.dst, rank_);
     }
 }
 
@@ -583,6 +586,9 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     op.received = msg.env.bytes;
     op.complete = true;
     live_recvs_.erase(op.handle);
+    // Happens-before edge for scimpi-check: the sender's clock at delivery
+    // time (an over-approximation that only *adds* order, never races).
+    if (auto* ck = cluster_.checker()) ck->on_p2p(msg.env.src, rank_);
     // Post-to-delivery latency plus the arrow tip of the message's flow.
     if (msg.kind == CtrlKind::short_msg)
         pm_.lat_short->record(self.now() - msg.env.post_time);
@@ -655,6 +661,7 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
         op.ring_mem = {};
         op.complete = true;
         live_recvs_.erase(op.handle);
+        if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.src, rank_);
         pm_.lat_rndv->record(proc().now() - op.env.post_time);
         if (op.env.flow != 0)
             proc().engine().tracer().flow_end(proc().id(), "msg", "p2p",

@@ -87,6 +87,8 @@ void RmaState::serve_put(sim::Process& self, const smi::Signal& s) {
     }
     self.delay(rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()));
     trace.set_bytes(moved);
+    if (win.ck_ != nullptr)
+        win.ck_->on_remote_apply(win.id(), s.from_rank, self.now(), self.id());
     // The op is done once the data sits in the target window: record the
     // post-to-done latency here and land the flow arrow in this handler span.
     win.rm_.lat_emulated->record(self.now() - s.post_time);
@@ -138,6 +140,8 @@ void RmaState::serve_get(sim::Process& self, const smi::Signal& s) {
         self, cluster.options().cfg, cluster.monitor(), rank_.node(), origin_node,
         [&] { return rank_.adapter().write_gather(self, m.value(), 0, iov, total); });
     if (out.status.is_ok()) rank_.adapter().store_barrier(self);
+    if (win.ck_ != nullptr)
+        win.ck_->on_remote_apply(win.id(), s.from_rank, self.now(), self.id());
     if (s.flow != 0)
         self.engine().tracer().flow_end(self.id(), "rma", "rma", self.now(), s.flow);
 
@@ -175,6 +179,8 @@ void RmaState::serve_accumulate(sim::Process& self, const smi::Signal& s) {
     self.delay(2 * rank_.copy_model().copy_cost(moved, {}, {}, blocks.size()) +
                static_cast<SimTime>(moved / sizeof(double)));
     trace.set_bytes(moved);
+    if (win.ck_ != nullptr)
+        win.ck_->on_remote_apply(win.id(), s.from_rank, self.now(), self.id());
     win.rm_.lat_emulated->record(self.now() - s.post_time);
     if (s.flow != 0)
         self.engine().tracer().flow_end(self.id(), "rma", "rma", self.now(), s.flow);

@@ -25,6 +25,18 @@ std::vector<rma_proto::Block> layout_blocks(const Datatype& type, int count,
     return blocks;
 }
 
+/// Target-window byte ranges of the op, for the scimpi-check access log.
+std::vector<check::ByteRange> check_blocks(const Datatype& type, int count,
+                                           std::size_t disp) {
+    std::vector<check::ByteRange> out;
+    type.for_each_block(static_cast<std::ptrdiff_t>(disp), count,
+                        [&](std::ptrdiff_t off, std::size_t len) {
+                            out.push_back({static_cast<std::uint64_t>(off),
+                                           static_cast<std::uint64_t>(off) + len});
+                        });
+    return out;
+}
+
 }  // namespace
 
 Status Win::put(const void* origin, int count, const Datatype& type, int target,
@@ -34,14 +46,35 @@ Status Win::put(const void* origin, int count, const Datatype& type, int target,
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
     const sim::TraceScope trace(rank_->proc(), "rma:put", "rma", bytes);
     if (bytes == 0) return Status::ok();
-    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
-        peers_[static_cast<std::size_t>(target)].size)
+    const std::size_t needed =
+        static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count);
+    const int wtarget = comm_->world_rank(target);
+    sim::Process& self = rank_->proc();
+    if (disp + needed > peers_[static_cast<std::size_t>(target)].size) {
+        if (ck_ != nullptr)
+            ck_->on_oob(id_, rank_->rank(), wtarget, disp, needed,
+                        peers_[static_cast<std::size_t>(target)].size, self.now(),
+                        self.id());
         return Status::error(Errc::invalid_argument, "put beyond window bounds");
+    }
 
-    if (target == my_rank())
+    if (target == my_rank()) {
+        if (ck_ != nullptr)
+            ck_->on_rma_op(id_, rank_->rank(), rank_->rank(),
+                           check::AccessKind::local_store,
+                           check_blocks(t, count, disp), self.now(), self.id());
         return op_local(const_cast<void*>(origin), count, t, disp, /*is_put=*/true);
-    if (!epoch_allows(target))
+    }
+    if (!epoch_allows(target)) {
+        if (ck_ != nullptr)
+            ck_->on_op_outside_epoch(id_, rank_->rank(), wtarget,
+                                     check::AccessKind::put,
+                                     {disp, disp + needed}, self.now(), self.id());
         return Status::error(Errc::rma_sync_error, "put outside any access epoch");
+    }
+    if (ck_ != nullptr)
+        ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::put,
+                       check_blocks(t, count, disp), self.now(), self.id());
     if (peers_[static_cast<std::size_t>(target)].shared &&
         comm_->cluster().options().cfg.osc_direct && direct_path_usable(target))
         return put_direct(origin, count, t, target, disp);
@@ -55,15 +88,36 @@ Status Win::get(void* origin, int count, const Datatype& type, int target,
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
     const sim::TraceScope trace(rank_->proc(), "rma:get", "rma", bytes);
     if (bytes == 0) return Status::ok();
-    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
-        peers_[static_cast<std::size_t>(target)].size)
+    const std::size_t needed =
+        static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count);
+    const int wtarget = comm_->world_rank(target);
+    sim::Process& self = rank_->proc();
+    if (disp + needed > peers_[static_cast<std::size_t>(target)].size) {
+        if (ck_ != nullptr)
+            ck_->on_oob(id_, rank_->rank(), wtarget, disp, needed,
+                        peers_[static_cast<std::size_t>(target)].size, self.now(),
+                        self.id());
         return Status::error(Errc::invalid_argument, "get beyond window bounds");
+    }
 
     const Config& cfg = comm_->cluster().options().cfg;
-    if (target == my_rank())
+    if (target == my_rank()) {
+        if (ck_ != nullptr)
+            ck_->on_rma_op(id_, rank_->rank(), rank_->rank(),
+                           check::AccessKind::local_load,
+                           check_blocks(t, count, disp), self.now(), self.id());
         return op_local(origin, count, t, disp, /*is_put=*/false);
-    if (!epoch_allows(target))
+    }
+    if (!epoch_allows(target)) {
+        if (ck_ != nullptr)
+            ck_->on_op_outside_epoch(id_, rank_->rank(), wtarget,
+                                     check::AccessKind::get,
+                                     {disp, disp + needed}, self.now(), self.id());
         return Status::error(Errc::rma_sync_error, "get outside any access epoch");
+    }
+    if (ck_ != nullptr)
+        ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::get,
+                       check_blocks(t, count, disp), self.now(), self.id());
     // Direct remote reads are slow on SCI: only up to the threshold, and
     // only when the target window is directly accessible (Section 4.2).
     if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct &&
@@ -277,14 +331,29 @@ Status Win::accumulate(const void* origin, int count, const Datatype& type,
     const std::size_t bytes = t.size() * static_cast<std::size_t>(count);
     const sim::TraceScope trace(self, "rma:accumulate", "rma", bytes);
     if (bytes == 0) return Status::ok();
-    if (disp + static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count) >
-        peers_[static_cast<std::size_t>(target)].size)
+    const std::size_t needed =
+        static_cast<std::size_t>(t.extent()) * static_cast<std::size_t>(count);
+    const int wtarget = comm_->world_rank(target);
+    if (disp + needed > peers_[static_cast<std::size_t>(target)].size) {
+        if (ck_ != nullptr)
+            ck_->on_oob(id_, rank_->rank(), wtarget, disp, needed,
+                        peers_[static_cast<std::size_t>(target)].size, self.now(),
+                        self.id());
         return Status::error(Errc::invalid_argument, "accumulate beyond window bounds");
+    }
     if (bytes % sizeof(double) != 0)
         return Status::error(Errc::invalid_argument, "accumulate needs doubles");
-    if (target != my_rank() && !epoch_allows(target))
+    if (target != my_rank() && !epoch_allows(target)) {
+        if (ck_ != nullptr)
+            ck_->on_op_outside_epoch(id_, rank_->rank(), wtarget,
+                                     check::AccessKind::accumulate,
+                                     {disp, disp + needed}, self.now(), self.id());
         return Status::error(Errc::rma_sync_error,
                              "accumulate outside any access epoch");
+    }
+    if (ck_ != nullptr)
+        ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::accumulate,
+                       check_blocks(t, count, disp), self.now(), self.id());
 
     if (target == my_rank()) {
         // Local read-modify-write straight on the window.

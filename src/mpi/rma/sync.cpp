@@ -27,11 +27,18 @@ void Win::fence() {
     rank_->rma().wait_all_pending(self);
     // 3. Epoch separation across the group.
     comm_->barrier();
+    if (ck_ != nullptr) ck_->on_fence(id_, rank_->rank(), self.now(), self.id());
 }
 
 void Win::post(std::span<const int> origin_group) {
     sim::Process& self = rank_->proc();
     exposure_group_.assign(origin_group.begin(), origin_group.end());
+    if (ck_ != nullptr) {
+        std::vector<int> origins;
+        origins.reserve(exposure_group_.size());
+        for (const int o : exposure_group_) origins.push_back(comm_->world_rank(o));
+        ck_->on_post(id_, rank_->rank(), origins, self.now(), self.id());
+    }
     for (const int origin : exposure_group_) {
         smi::Signal s;
         s.from_rank = rank_->rank();
@@ -53,12 +60,19 @@ void Win::start(std::span<const int> target_group) {
     while (posts_seen_ < static_cast<int>(access_group_.size()))
         rank_->rma().wait_signal_change(self);
     posts_seen_ -= static_cast<int>(access_group_.size());
+    if (ck_ != nullptr) {
+        std::vector<int> targets;
+        targets.reserve(access_group_.size());
+        for (const int t : access_group_) targets.push_back(comm_->world_rank(t));
+        ck_->on_start(id_, rank_->rank(), targets, self.now(), self.id());
+    }
 }
 
 void Win::complete() {
     sim::Process& self = rank_->proc();
     rank_->adapter().store_barrier(self);
     rank_->rma().wait_all_pending(self);
+    if (ck_ != nullptr) ck_->on_complete(id_, rank_->rank(), self.now(), self.id());
     for (const int target : access_group_) {
         smi::Signal s;
         s.from_rank = rank_->rank();
@@ -76,6 +90,12 @@ void Win::complete() {
 bool Win::test() {
     if (completes_seen_ < static_cast<int>(exposure_group_.size())) return false;
     completes_seen_ -= static_cast<int>(exposure_group_.size());
+    // Only a test() that actually closes an open exposure epoch is a wait;
+    // repeated calls with no epoch would read as unmatched waits otherwise.
+    if (ck_ != nullptr && !exposure_group_.empty()) {
+        sim::Process& self = rank_->proc();
+        ck_->on_wait(id_, rank_->rank(), self.now(), self.id());
+    }
     exposure_group_.clear();
     return true;
 }
@@ -86,6 +106,7 @@ void Win::wait() {
     while (completes_seen_ < static_cast<int>(exposure_group_.size()))
         rank_->rma().wait_signal_change(self);
     completes_seen_ -= static_cast<int>(exposure_group_.size());
+    if (ck_ != nullptr) ck_->on_wait(id_, rank_->rank(), self.now(), self.id());
     exposure_group_.clear();
 }
 
@@ -102,6 +123,9 @@ void Win::lock(int target, bool /*exclusive*/) {
             .acquire(self, rank_->node());
     }
     locked_.push_back(target);
+    if (ck_ != nullptr)
+        ck_->on_lock(id_, rank_->rank(), comm_->world_rank(target), self.now(),
+                     self.id());
 }
 
 void Win::unlock(int target) {
@@ -110,6 +134,9 @@ void Win::unlock(int target) {
     // is released.
     rank_->adapter().store_barrier(self);
     rank_->rma().wait_all_pending(self);
+    if (ck_ != nullptr)
+        ck_->on_unlock(id_, rank_->rank(), comm_->world_rank(target), self.now(),
+                       self.id());
     std::erase(locked_, target);
     comm_->cluster()
         .rank_state(comm_->world_rank(target))

@@ -25,6 +25,7 @@ Win::Win(Comm& comm, std::span<std::byte> local, int id)
     rm_.lat_direct = &m.histogram("rma.latency_direct_ns");
     rm_.lat_emulated = &m.histogram("rma.latency_emulated_ns");
     rm_.lat_remote_put = &m.histogram("rma.latency_remote_put_ns");
+    ck_ = comm.cluster().checker();
 }
 
 int Win::my_rank() const { return comm_->rank(); }  // communicator-local
@@ -79,6 +80,8 @@ std::shared_ptr<Win> Win::create(Comm& comm, void* base, std::size_t size) {
     }
 
     rma.register_win(win.get());
+    if (win->ck_ != nullptr)
+        win->ck_->on_win_create(id, rank.rank(), size);
     comm.barrier();  // no access before every rank finished creation
     return win;
 }

@@ -30,6 +30,10 @@
 #include "smi/lock.hpp"
 #include "smi/signal.hpp"
 
+namespace scimpi::check {
+class Checker;
+}
+
 namespace scimpi::mpi {
 
 class Comm;
@@ -156,6 +160,10 @@ private:
         obs::Histogram* lat_remote_put = nullptr;  ///< full get round trip
     };
     RmaMetrics rm_;
+
+    /// scimpi-check hooks; null unless the cluster enabled checking. All
+    /// hook arguments use world ranks (epoch state is per world rank).
+    check::Checker* ck_ = nullptr;
 
     /// True if `target` may currently be accessed from this rank (inside a
     /// fence epoch, a started access epoch containing it, or under a lock).

@@ -41,6 +41,7 @@ Cluster::Cluster(ClusterOptions opt)
                    "cluster needs at least one node and one process");
     if (env_flag("SCIMPI_STATS")) opt_.collect_stats = true;
     if (env_flag("SCIMPI_PROFILE")) opt_.profile = true;
+    if (env_flag("SCIMPI_CHECK")) opt_.check = true;
     if (opt_.stats_file.empty()) opt_.stats_file = env_path("SCIMPI_STATS_FILE");
     if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
     if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
@@ -58,11 +59,19 @@ Cluster::Cluster(ClusterOptions opt)
                                            "': " + loaded.status().to_string());
         opt_.faults.merge(loaded.value());
     }
+    if (opt_.check) {
+        checker_ = std::make_unique<check::Checker>(opt_.nodes * opt_.procs_per_node);
+        checker_->enable();
+        checker_->bind_metrics(metrics_);
+        checker_->bind_tracer(&engine_.tracer());
+        directory_.bind_checker(checker_.get());
+    }
     for (int n = 0; n < opt_.nodes; ++n) {
         memories_.push_back(std::make_unique<mem::NodeMemory>(n, opt_.arena_bytes));
         adapters_.push_back(std::make_unique<sci::SciAdapter>(
             n, fabric_, dispatcher_, opt_.host, opt_.cfg));
         adapters_.back()->bind_metrics(metrics_);
+        adapters_.back()->bind_checker(checker_.get());
     }
     const int world = opt_.nodes * opt_.procs_per_node;
     for (int r = 0; r < world; ++r) {
@@ -92,6 +101,7 @@ Cluster::Cluster(ClusterOptions opt)
 }
 
 Cluster::~Cluster() {
+    if (checker_ != nullptr) checker_->print_report(stderr);
     if (!opt_.stats_file.empty()) {
         const Status st = stats_report().write_json(opt_.stats_file);
         if (!st) SCIMPI_WARN("stats dump failed: ", st.to_string());
@@ -111,6 +121,15 @@ obs::RunReport Cluster::stats_report() const {
     r.events_dispatched = engine_.events_dispatched();
     r.stats_enabled = metrics_.enabled();
     r.profile_enabled = engine_.profiler().enabled();
+    r.check_enabled = checker_ != nullptr;
+    if (checker_ != nullptr) {
+        for (const check::Violation& v : checker_->violations())
+            r.violations.push_back({check::kind_name(v.kind), v.win, v.rank_a,
+                                    v.rank_b, v.range.lo, v.range.hi,
+                                    static_cast<std::uint64_t>(v.time_a),
+                                    static_cast<std::uint64_t>(v.time_b), v.detail});
+        r.check_suppressed = checker_->suppressed();
+    }
     r.seed = opt_.cfg.seed;
     r.fault_seed = opt_.faults.seed();
     r.fault_spec = opt_.fault_spec_file;
@@ -157,6 +176,7 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
         // Perfetto track label: "rank 3" reads better than the raw spawn name.
         engine_.tracer().set_track_name(proc.id(),
                                         "rank " + std::to_string(rank->rank()));
+        if (checker_ != nullptr) checker_->register_actor(proc.id(), rank->rank());
     }
     engine_.run();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "common/config.hpp"
 #include "fault/controller.hpp"
 #include "fault/monitor.hpp"
@@ -46,6 +47,10 @@ struct ClusterOptions {
     /// Per-rank time-attribution profiling (obs/profiler.hpp); exported in
     /// stats_report() / the stats file. Also forced on by SCIMPI_PROFILE=1.
     bool profile = false;
+    /// scimpi-check: happens-before race and epoch-discipline checking for
+    /// one-sided communication (src/check/checker.hpp). Also forced on by
+    /// SCIMPI_CHECK=1. Checked runs are bit-identical to unchecked ones.
+    bool check = false;
     /// Fault injection: a programmatic schedule and/or a text spec file
     /// (see src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
     /// A non-empty schedule spawns a FaultController alongside the ranks.
@@ -88,6 +93,10 @@ public:
     /// layer consults it to fail fast on peers declared dead.
     [[nodiscard]] fault::ConnectionMonitor* monitor() { return monitor_.get(); }
 
+    /// scimpi-check happens-before checker; null unless the run enabled
+    /// checking. Callers cache the pointer: a disabled hook is one null test.
+    [[nodiscard]] check::Checker* checker() { return checker_.get(); }
+
     /// Structured snapshot of the run: every registry counter/gauge plus the
     /// per-link wire statistics. Valid any time; typically taken after run().
     [[nodiscard]] obs::RunReport stats_report() const;
@@ -104,6 +113,7 @@ private:
     std::vector<std::unique_ptr<Rank>> ranks_;
     std::unique_ptr<fault::FaultController> faults_;
     std::unique_ptr<fault::ConnectionMonitor> monitor_;
+    std::unique_ptr<check::Checker> checker_;
 };
 
 }  // namespace scimpi::mpi

@@ -168,13 +168,14 @@ std::string RunReport::to_json() const {
                   "  \"schema_version\": %d,\n  \"world\": %d,\n  \"nodes\": %d,\n"
                   "  \"sim_seconds\": %.9f,\n  \"sim_time_ns\": %llu,\n"
                   "  \"events_dispatched\": %llu,\n  \"stats_enabled\": %s,\n"
-                  "  \"profile_enabled\": %s,\n  \"seed\": %llu,\n"
-                  "  \"fault_seed\": %llu,\n",
+                  "  \"profile_enabled\": %s,\n  \"check_enabled\": %s,\n"
+                  "  \"seed\": %llu,\n  \"fault_seed\": %llu,\n",
                   schema_version, world, nodes, sim_seconds,
                   static_cast<unsigned long long>(sim_time_ns),
                   static_cast<unsigned long long>(events_dispatched),
                   stats_enabled ? "true" : "false",
                   profile_enabled ? "true" : "false",
+                  check_enabled ? "true" : "false",
                   static_cast<unsigned long long>(seed),
                   static_cast<unsigned long long>(fault_seed));
     out += buf;
@@ -243,6 +244,31 @@ std::string RunReport::to_json() const {
         out += buf;
     }
     out += first ? "],\n" : "\n  ],\n";
+
+    out += "  \"violations\": [";
+    first = true;
+    for (const Violation& v : violations) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += "{\"kind\": \"";
+        json_escape(out, v.kind);
+        std::snprintf(buf, sizeof buf,
+                      "\", \"win\": %d, \"rank_a\": %d, \"rank_b\": %d, "
+                      "\"byte_lo\": %llu, \"byte_hi\": %llu, "
+                      "\"time_a\": %llu, \"time_b\": %llu, \"detail\": \"",
+                      v.win, v.rank_a, v.rank_b,
+                      static_cast<unsigned long long>(v.byte_lo),
+                      static_cast<unsigned long long>(v.byte_hi),
+                      static_cast<unsigned long long>(v.time_a),
+                      static_cast<unsigned long long>(v.time_b));
+        out += buf;
+        json_escape(out, v.detail);
+        out += "\"}";
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    std::snprintf(buf, sizeof buf, "  \"check_suppressed\": %llu,\n",
+                  static_cast<unsigned long long>(check_suppressed));
+    out += buf;
 
     out += "  \"links\": [";
     first = true;

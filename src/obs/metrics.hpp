@@ -195,8 +195,9 @@ private:
 /// statistics the fabric keeps unconditionally.
 struct RunReport {
     /// Bumped whenever the JSON layout changes incompatibly. v2 added
-    /// schema_version/seed/fault_spec/sim_time_ns, histograms and profiles.
-    static constexpr int kSchemaVersion = 2;
+    /// schema_version/seed/fault_spec/sim_time_ns, histograms and profiles;
+    /// v3 added check_enabled and the scimpi-check violations array.
+    static constexpr int kSchemaVersion = 3;
 
     int schema_version = kSchemaVersion;
     int world = 0;
@@ -206,6 +207,7 @@ struct RunReport {
     std::uint64_t events_dispatched = 0;
     bool stats_enabled = false;  ///< counters are all zero when false
     bool profile_enabled = false;
+    bool check_enabled = false;  ///< scimpi-check ran (violations meaningful)
 
     /// Run configuration needed to tell a config regression from a code one:
     /// the Config RNG seed, the fault schedule's soak seed, and the fault
@@ -238,6 +240,24 @@ struct RunReport {
         std::uint64_t late_receiver_wait_ns = 0;
     };
     std::vector<RankProfile> profiles;
+
+    /// One scimpi-check diagnostic (see src/check/checker.hpp); filled only
+    /// when the run's Checker was enabled. `win` is -1 for raw-segment
+    /// violations, `rank_a` is -1 for single-site ones (OOB, epoch misuse).
+    struct Violation {
+        std::string kind;
+        int win = -1;
+        int rank_a = -1;
+        int rank_b = -1;
+        std::uint64_t byte_lo = 0;
+        std::uint64_t byte_hi = 0;
+        std::uint64_t time_a = 0;
+        std::uint64_t time_b = 0;
+        std::string detail;
+    };
+    std::vector<Violation> violations;
+    /// Repeats of already-reported violation sites that were only counted.
+    std::uint64_t check_suppressed = 0;
 
     /// Value of a named counter in this snapshot (0 when absent).
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/checker.hpp"
 #include "mem/copy_model.hpp"
 
 namespace scimpi::sci {
@@ -146,6 +147,9 @@ Status SciAdapter::write(sim::Process& self, const SciMapping& map, std::size_t 
                          const void* src, std::size_t len, std::size_t src_traffic) {
     SCIMPI_REQUIRE(off + len <= map.size(), "remote write out of segment bounds");
     if (len == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map.seg.node, map.seg.id, self.id(), off, len,
+                                    /*is_store=*/true, self.now());
     wait_if_stalled(self);
     RoutePath path;
     if (map.remote()) {
@@ -225,6 +229,9 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     for (const auto& b : blocks) total += b.len;
     SCIMPI_REQUIRE(off + total <= map.size(), "gather write out of segment bounds");
     if (total == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map.seg.node, map.seg.id, self.id(), off, total,
+                                    /*is_store=*/true, self.now());
     wait_if_stalled(self);
     RoutePath path;
     if (map.remote()) {
@@ -300,6 +307,9 @@ Status SciAdapter::read(sim::Process& self, const SciMapping& map, std::size_t o
                         void* dst, std::size_t len) {
     SCIMPI_REQUIRE(off + len <= map.size(), "remote read out of segment bounds");
     if (len == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map.seg.node, map.seg.id, self.id(), off, len,
+                                    /*is_store=*/false, self.now());
     wait_if_stalled(self);
     RoutePath path;
     if (map.remote()) {

@@ -34,6 +34,10 @@
 #include "sim/dispatcher.hpp"
 #include "sim/sync.hpp"
 
+namespace scimpi::check {
+class Checker;
+}
+
 namespace scimpi::sci {
 
 class SciAdapter {
@@ -118,6 +122,11 @@ public:
     /// over all nodes. Per-adapter Stats stay unconditional.
     void bind_metrics(obs::MetricsRegistry& m);
 
+    /// Attach the scimpi-check checker (may be null). The adapter is the
+    /// choke point for every access through an imported mapping, so all
+    /// remote loads/stores of watched segments are observed here.
+    void bind_checker(check::Checker* ck) { checker_ = ck; }
+
     [[nodiscard]] int node() const { return node_; }
     [[nodiscard]] Fabric& fabric() { return fabric_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -174,6 +183,7 @@ private:
     obs::Counter* probes_c_ = nullptr;          // connection-monitor probes
     obs::Counter* probe_fail_c_ = nullptr;      // probes that timed out
     obs::Counter* stall_waits_c_ = nullptr;     // ops delayed by injected stalls
+    check::Checker* checker_ = nullptr;         // null unless SCIMPI_CHECK
 };
 
 }  // namespace scimpi::sci

@@ -1,5 +1,7 @@
 #include "sci/segment.hpp"
 
+#include "check/checker.hpp"
+
 namespace scimpi::sci {
 
 SegmentId SegmentDirectory::create(int node, std::span<std::byte> mem) {
@@ -12,6 +14,7 @@ SegmentId SegmentDirectory::create(int node, std::span<std::byte> mem) {
 Status SegmentDirectory::destroy(SegmentId seg) {
     if (segments_.erase(seg) == 0)
         return Status::error(Errc::not_found, "segment not exported");
+    if (checker_ != nullptr) checker_->on_segment_destroyed(seg.node, seg.id);
     return Status::ok();
 }
 

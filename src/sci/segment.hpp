@@ -12,6 +12,10 @@
 
 #include "common/status.hpp"
 
+namespace scimpi::check {
+class Checker;
+}
+
 namespace scimpi::sci {
 
 struct SegmentId {
@@ -46,9 +50,14 @@ public:
 
     [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
 
+    /// Attach the scimpi-check checker (may be null): destroy() then drops
+    /// any segment watch so stale accesses are not misattributed.
+    void bind_checker(check::Checker* ck) { checker_ = ck; }
+
 private:
     std::map<SegmentId, std::span<std::byte>> segments_;
     int next_id_ = 1;
+    check::Checker* checker_ = nullptr;
 };
 
 }  // namespace scimpi::sci

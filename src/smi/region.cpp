@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "check/checker.hpp"
+
 namespace scimpi::smi {
 
 Region Region::local(std::span<std::byte> mem, mem::MachineProfile profile) {
@@ -26,6 +28,9 @@ Status Region::write(sim::Process& self, std::size_t off, const void* src,
     if (remote()) return adapter_->write(self, map_, off, src, len, src_traffic);
     SCIMPI_REQUIRE(off + len <= size(), "region write out of bounds");
     if (len == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map_.seg.node, map_.seg.id, self.id(), off, len,
+                                    /*is_store=*/true, self.now());
     const std::size_t traffic = src_traffic == 0 ? len : src_traffic;
     self.delay(local_model_.copy_cost(traffic, {}, {}));
     std::memcpy(map_.mem.data() + off, src, len);
@@ -36,6 +41,9 @@ Status Region::read(sim::Process& self, std::size_t off, void* dst, std::size_t 
     if (remote()) return adapter_->read(self, map_, off, dst, len);
     SCIMPI_REQUIRE(off + len <= size(), "region read out of bounds");
     if (len == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map_.seg.node, map_.seg.id, self.id(), off, len,
+                                    /*is_store=*/false, self.now());
     self.delay(local_model_.copy_cost(len, {}, {}));
     std::memcpy(dst, map_.mem.data() + off, len);
     return Status::ok();

@@ -42,12 +42,18 @@ public:
 
     [[nodiscard]] const sci::SciMapping& mapping() const { return map_; }
 
+    /// Attach the scimpi-check checker (may be null). Remote accesses are
+    /// already observed at the adapter choke point; this covers the local /
+    /// loopback branch, which never reaches the adapter.
+    void bind_checker(check::Checker* ck) { checker_ = ck; }
+
 private:
     Region() = default;
 
     sci::SciMapping map_;                 // local regions use a synthetic mapping
     sci::SciAdapter* adapter_ = nullptr;  // null => local
     mem::CopyModel local_model_{mem::MachineProfile{}};
+    check::Checker* checker_ = nullptr;   // null unless SCIMPI_CHECK
 };
 
 }  // namespace scimpi::smi

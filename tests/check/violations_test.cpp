@@ -1,0 +1,359 @@
+// Pinned tests for scimpi-check (DESIGN.md §10): one test per violation
+// class asserting the exact kind and byte range reported, plus vector-clock
+// unit tests and a clean-program zero-violation check. E2e tests drive real
+// clusters with opt.check on; unit tests drive the Checker hooks directly
+// where the library would refuse to execute the broken call sequence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/clock.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/rma/window.hpp"
+
+namespace scimpi::mpi {
+namespace {
+
+using check::AccessKind;
+using check::ByteRange;
+using check::Checker;
+using check::VectorClock;
+using check::ViolationKind;
+
+ClusterOptions checked(int n) {
+    ClusterOptions opt;
+    opt.nodes = n;
+    opt.check = true;
+    return opt;
+}
+
+std::shared_ptr<Win> shared_window(Comm& comm, std::size_t bytes) {
+    auto mem = comm.alloc_mem(bytes);
+    SCIMPI_REQUIRE(mem.is_ok(), "alloc_mem failed");
+    std::memset(mem.value().data(), 0, bytes);
+    return comm.win_create(mem.value().data(), bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+TEST(VectorClockTest, TickAndJoin) {
+    VectorClock a(3);
+    VectorClock b(3);
+    a.tick(0);
+    a.tick(0);
+    b.tick(1);
+    EXPECT_EQ(a.at(0), 2u);
+    EXPECT_EQ(a.at(1), 0u);
+    b.join(a);
+    EXPECT_EQ(b.at(0), 2u);
+    EXPECT_EQ(b.at(1), 1u);
+}
+
+TEST(VectorClockTest, DominatedAndConcurrent) {
+    VectorClock a(2);
+    VectorClock b(2);
+    a.tick(0);            // a=[1,0], b=[0,0]
+    EXPECT_TRUE(VectorClock::dominated(b, a));
+    EXPECT_FALSE(VectorClock::dominated(a, b));
+    EXPECT_FALSE(VectorClock::concurrent(a, b));
+    b.tick(1);            // a=[1,0], b=[0,1]: causally unrelated
+    EXPECT_TRUE(VectorClock::concurrent(a, b));
+    b.join(a);            // b=[1,1] now dominates a
+    EXPECT_FALSE(VectorClock::concurrent(a, b));
+    EXPECT_TRUE(VectorClock::dominated(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real clusters, opt.check = true
+// ---------------------------------------------------------------------------
+
+TEST(CheckViolations, PutPutOverlapExactByteRange) {
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 1.5;
+        win->fence();
+        // Rank 1 writes [0,8), rank 2 writes [4,12): the clash is [4,8).
+        if (comm.rank() == 1) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+        } else if (comm.rank() == 2) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 4));
+        }
+        win->fence();
+        win->fence();
+    });
+    ASSERT_EQ(c.checker()->count(ViolationKind::put_put_overlap), 1u);
+    const auto& v = c.checker()->violations().front();
+    EXPECT_EQ(v.kind, ViolationKind::put_put_overlap);
+    EXPECT_EQ(v.range.lo, 4u);
+    EXPECT_EQ(v.range.hi, 8u);
+}
+
+TEST(CheckViolations, PutGetOverlapSameEpoch) {
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 2.5;
+        double sink = 0.0;
+        win->fence();
+        if (comm.rank() == 1) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+        } else if (comm.rank() == 2) {
+            ASSERT_TRUE(win->get(&sink, 1, Datatype::float64(), 0, 0));
+        }
+        win->fence();
+        win->fence();
+    });
+    ASSERT_EQ(c.checker()->count(ViolationKind::put_get_overlap), 1u);
+    const auto& v = c.checker()->violations().front();
+    EXPECT_EQ(v.range.lo, 0u);
+    EXPECT_EQ(v.range.hi, 8u);
+}
+
+TEST(CheckViolations, AccumulatePutOverlap) {
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 3.5;
+        win->fence();
+        if (comm.rank() == 1) {
+            ASSERT_TRUE(win->accumulate_sum(&v, 1, 0, 0));
+        } else if (comm.rank() == 2) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+        }
+        win->fence();
+        win->fence();
+    });
+    EXPECT_EQ(c.checker()->count(ViolationKind::acc_put_overlap), 1u);
+    EXPECT_EQ(c.checker()->count(ViolationKind::put_put_overlap), 0u);
+}
+
+TEST(CheckViolations, AccumulateAccumulateIsAllowed) {
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 1.0;
+        win->fence();
+        // Same-op accumulates to the same location may interleave (MPI-2).
+        if (comm.rank() != 0) {
+            ASSERT_TRUE(win->accumulate_sum(&v, 1, 0, 0));
+        }
+        win->fence();
+        win->fence();
+    });
+    EXPECT_TRUE(c.checker()->violations().empty());
+}
+
+TEST(CheckViolations, LocalStoreDuringExposureEpoch) {
+    Cluster c(checked(2));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        if (comm.rank() == 0) {
+            const int origins[] = {1};
+            win->post(origins);
+            // The target touching its own exposed window portion between
+            // post and wait is forbidden — even with no remote overlap.
+            const double v = 9.0;
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 16));
+            win->wait();
+        } else {
+            const int targets[] = {0};
+            win->start(targets);
+            win->complete();
+        }
+    });
+    ASSERT_EQ(c.checker()->count(ViolationKind::local_access_during_exposure), 1u);
+    const auto& v = c.checker()->violations().front();
+    EXPECT_EQ(v.range.lo, 16u);
+    EXPECT_EQ(v.range.hi, 24u);
+}
+
+TEST(CheckViolations, OpOutsideAnyEpoch) {
+    Cluster c(checked(2));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        if (comm.rank() == 0) {
+            // No fence, start or lock: the put must fail *and* be flagged.
+            const double v = 4.0;
+            const Status st = win->put(&v, 1, Datatype::float64(), 1, 0);
+            EXPECT_FALSE(st.is_ok());
+        }
+        comm.barrier();
+    });
+    ASSERT_EQ(c.checker()->count(ViolationKind::op_outside_epoch), 1u);
+    EXPECT_EQ(c.checker()->violations().front().range.lo, 0u);
+    EXPECT_EQ(c.checker()->violations().front().range.hi, 8u);
+}
+
+TEST(CheckViolations, OutOfBoundsDisplacement) {
+    Cluster c(checked(2));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        win->fence();
+        if (comm.rank() == 0) {
+            const double v = 5.0;
+            // 4 KiB window: [5000, 5008) is past the end.
+            const Status st = win->put(&v, 1, Datatype::float64(), 1, 5000);
+            EXPECT_FALSE(st.is_ok());
+        }
+        win->fence();
+    });
+    ASSERT_EQ(c.checker()->count(ViolationKind::oob_displacement), 1u);
+    const auto& v = c.checker()->violations().front();
+    EXPECT_EQ(v.range.lo, 5000u);
+    EXPECT_EQ(v.range.hi, 5008u);
+}
+
+TEST(CheckViolations, CleanPscwRoundReportsNothing) {
+    Cluster c(checked(2));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        if (comm.rank() == 0) {
+            const int origins[] = {1};
+            win->post(origins);
+            win->wait();
+        } else {
+            const int targets[] = {0};
+            win->start(targets);
+            const double v = 6.0;
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+            win->complete();
+        }
+    });
+    EXPECT_TRUE(c.checker()->violations().empty());
+}
+
+TEST(CheckViolations, CleanFenceProgramReportsNothing) {
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 7.0;
+        win->fence();
+        // Disjoint 8-byte slots per origin: no overlap, no report.
+        if (comm.rank() != 0) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0,
+                                 8 * static_cast<std::size_t>(comm.rank())));
+        }
+        win->fence();
+        win->fence();
+    });
+    EXPECT_TRUE(c.checker()->violations().empty());
+    EXPECT_EQ(c.checker()->suppressed(), 0u);
+}
+
+TEST(CheckViolations, MessageOrderedPutsInOneFenceEpochStillFlagged) {
+    // MPI-2: even if rank 1's put is message-ordered before rank 2's, both
+    // complete only at the closing fence — same-epoch conflicts stay real.
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 8.0;
+        int token = 0;
+        win->fence();
+        if (comm.rank() == 1) {
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+            ASSERT_TRUE(comm.send(&token, 1, Datatype::int32(), 2, 0));
+        } else if (comm.rank() == 2) {
+            comm.recv(&token, 1, Datatype::int32(), 1, 0);
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+        }
+        win->fence();
+        win->fence();
+    });
+    EXPECT_EQ(c.checker()->count(ViolationKind::put_put_overlap), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level: hook sequences the library itself would refuse to execute
+// ---------------------------------------------------------------------------
+
+TEST(CheckerUnit, PscwMismatchWaitWithoutPost) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_wait(/*win=*/0, /*target=*/0, /*now=*/10, /*track=*/0);
+    ASSERT_EQ(ck.count(ViolationKind::pscw_mismatch), 1u);
+    EXPECT_EQ(ck.violations().front().rank_b, 0);
+}
+
+TEST(CheckerUnit, PscwMismatchCompleteWithoutStart) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_complete(/*win=*/0, /*origin=*/1, /*now=*/10, /*track=*/0);
+    EXPECT_EQ(ck.count(ViolationKind::pscw_mismatch), 1u);
+}
+
+TEST(CheckerUnit, PscwMismatchDoublePost) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_post(0, /*target=*/0, {1}, 10, 0);
+    ck.on_post(0, /*target=*/0, {1}, 20, 0);
+    EXPECT_EQ(ck.count(ViolationKind::pscw_mismatch), 1u);
+}
+
+TEST(CheckerUnit, SegmentRaceOnWatchedSegment) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(/*track=*/100, /*world_rank=*/0);
+    ck.register_actor(/*track=*/101, /*world_rank=*/1);
+    ck.watch_segment(/*node=*/3, /*id=*/7);
+    ck.on_segment_access(3, 7, 100, /*off=*/0, /*len=*/64, /*store=*/true, 10);
+    ck.on_segment_access(3, 7, 101, /*off=*/32, /*len=*/64, /*store=*/true, 20);
+    ASSERT_EQ(ck.count(ViolationKind::segment_race), 1u);
+    const auto& v = ck.violations().front();
+    EXPECT_EQ(v.range.lo, 32u);
+    EXPECT_EQ(v.range.hi, 64u);
+}
+
+TEST(CheckerUnit, UnwatchedSegmentIsIgnored) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.register_actor(101, 1);
+    // No watch_segment: protocol-internal traffic must never be flagged.
+    ck.on_segment_access(3, 7, 100, 0, 64, true, 10);
+    ck.on_segment_access(3, 7, 101, 0, 64, true, 20);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(CheckerUnit, SegmentLoadsNeverRace) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.register_actor(101, 1);
+    ck.watch_segment(0, 1);
+    ck.on_segment_access(0, 1, 100, 0, 64, /*store=*/false, 10);
+    ck.on_segment_access(0, 1, 101, 0, 64, /*store=*/false, 20);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(CheckerUnit, HappensBeforeEdgeSuppressesSegmentRace) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.register_actor(101, 1);
+    ck.watch_segment(0, 1);
+    ck.on_segment_access(0, 1, 100, 0, 64, true, 10);
+    ck.on_p2p(/*src=*/0, /*dst=*/1);  // rank 0 handed rank 1 the baton
+    ck.on_segment_access(0, 1, 101, 0, 64, true, 20);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(CheckerUnit, RepeatedRaceIsDeduplicatedAndCounted) {
+    Checker ck(3);
+    ck.enable();
+    const std::vector<ByteRange> blk = {{0, 8}};
+    ck.on_rma_op(0, /*origin=*/1, /*target=*/0, AccessKind::put, blk, 10, 0);
+    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, blk, 20, 0);
+    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, blk, 30, 0);
+    // Same (kind, win, ranks, bytes) signature: one diagnostic, the rest
+    // only counted as suppressed.
+    EXPECT_EQ(ck.count(ViolationKind::put_put_overlap), 1u);
+    EXPECT_GE(ck.suppressed(), 1u);
+}
+
+}  // namespace
+}  // namespace scimpi::mpi

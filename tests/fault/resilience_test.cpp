@@ -233,10 +233,11 @@ TEST(Resilience, SameSeedAndSpecGiveBitIdenticalStatsReports) {
             const int right = (comm.rank() + 1) % comm.size();
             const int left = (comm.rank() + comm.size() - 1) % comm.size();
             for (int iter = 0; iter < 2; ++iter)
-                comm.sendrecv(mine.data(), static_cast<int>(mine.size()),
-                              Datatype::float64(), right, 0, theirs.data(),
-                              static_cast<int>(theirs.size()), Datatype::float64(),
-                              left, 0);
+                ASSERT_TRUE(
+                    comm.sendrecv(mine.data(), static_cast<int>(mine.size()),
+                                  Datatype::float64(), right, 0, theirs.data(),
+                                  static_cast<int>(theirs.size()),
+                                  Datatype::float64(), left, 0));
         });
         return c.stats_report();
     };

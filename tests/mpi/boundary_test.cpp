@@ -77,8 +77,9 @@ TEST(Boundary, WtimeIsMonotoneAcrossOperations) {
             comm.barrier();
             std::vector<double> buf(1024, 1.0);
             const int peer = 1 - comm.rank();
-            comm.sendrecv(buf.data(), 1024, Datatype::float64(), peer, i, buf.data(),
-                          1024, Datatype::float64(), peer, i);
+            ASSERT_TRUE(comm.sendrecv(buf.data(), 1024, Datatype::float64(),
+                                      peer, i, buf.data(), 1024,
+                                      Datatype::float64(), peer, i));
             const double now = comm.wtime();
             EXPECT_GE(now, prev);
             prev = now;

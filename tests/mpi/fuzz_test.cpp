@@ -126,7 +126,7 @@ TEST_P(P2PFuzz, RandomScheduleDeliversEveryByte) {
                                            Datatype::byte_(), m.dst, m.tag));
             }
         }
-        comm.wait_all(sends);
+        ASSERT_TRUE(comm.wait_all(sends));
         for (auto& p : recvs) {
             ASSERT_TRUE(comm.wait(p.req));
             if (p.m->strided) {

@@ -54,11 +54,11 @@ TEST(P2P, ShortMessageLatencyIsMicroseconds) {
         const double t0 = comm.wtime();
         for (int i = 0; i < 16; ++i) {
             if (comm.rank() == 0) {
-                comm.send(&b, 1, t, 1, 1);
+                ASSERT_TRUE(comm.send(&b, 1, t, 1, 1));
                 comm.recv(&b, 1, t, 1, 2);
             } else {
                 comm.recv(&b, 1, t, 0, 1);
-                comm.send(&b, 1, t, 0, 2);
+                ASSERT_TRUE(comm.send(&b, 1, t, 0, 2));
             }
         }
         if (comm.rank() == 0) latency_us = (comm.wtime() - t0) / 32 * 1e6;

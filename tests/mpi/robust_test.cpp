@@ -23,16 +23,17 @@ double mixed_workload(const ClusterOptions& opt) {
         std::iota(data.begin(), data.end(), comm.rank() * 1.0);
         const int peer = comm.rank() ^ 1;
         std::vector<double> theirs(4096, 0.0);
-        comm.sendrecv(data.data(), 4096, Datatype::float64(), peer, 0, theirs.data(),
-                      4096, Datatype::float64(), peer, 0);
+        ASSERT_TRUE(comm.sendrecv(data.data(), 4096, Datatype::float64(), peer, 0,
+                                  theirs.data(), 4096, Datatype::float64(), peer,
+                                  0));
         double local = std::accumulate(theirs.begin(), theirs.end(), 0.0);
         double global = 0.0;
-        comm.allreduce_sum(&local, &global, 1);
+        ASSERT_TRUE(comm.allreduce_sum(&local, &global, 1));
 
         auto mem = comm.alloc_mem(1024);
         auto win = comm.win_create(mem.value().data(), 1024);
         win->fence();
-        win->put(&global, 1, Datatype::float64(), peer, 0);
+        ASSERT_TRUE(win->put(&global, 1, Datatype::float64(), peer, 0));
         win->fence();
         if (comm.rank() == 0) {
             checksum = *reinterpret_cast<double*>(mem.value().data());
@@ -60,9 +61,9 @@ TEST(Determinism, SeedChangesErrorPatternButNotResults) {
         Cluster c(opt);
         c.run([&](Comm& comm) {
             std::vector<double> mine(8192, 1.5), theirs(8192);
-            comm.sendrecv(mine.data(), 8192, Datatype::float64(), 1 - comm.rank(), 0,
-                          theirs.data(), 8192, Datatype::float64(), 1 - comm.rank(),
-                          0);
+            ASSERT_TRUE(comm.sendrecv(mine.data(), 8192, Datatype::float64(),
+                                      1 - comm.rank(), 0, theirs.data(), 8192,
+                                      Datatype::float64(), 1 - comm.rank(), 0));
             if (comm.rank() == 0)
                 *checksum = std::accumulate(theirs.begin(), theirs.end(), 0.0);
         });
@@ -108,8 +109,8 @@ TEST(ErrorInjection, RetriesSlowTheTransferDown) {
             std::vector<double> data(512_KiB / 8, 1.0);
             const double t0 = comm.wtime();
             if (comm.rank() == 0)
-                comm.send(data.data(), static_cast<int>(data.size()),
-                          Datatype::float64(), 1, 0);
+                ASSERT_TRUE(comm.send(data.data(), static_cast<int>(data.size()),
+                                      Datatype::float64(), 1, 0));
             else {
                 comm.recv(data.data(), static_cast<int>(data.size()),
                           Datatype::float64(), 0, 0);
@@ -222,8 +223,8 @@ TEST(DmaRendezvous, CorrectAndFasterForLargeContiguous) {
             const double t0 = comm.wtime();
             if (comm.rank() == 0) {
                 std::iota(data.begin(), data.end(), 0.0);
-                comm.send(data.data(), static_cast<int>(data.size()),
-                          Datatype::float64(), 1, 0);
+                ASSERT_TRUE(comm.send(data.data(), static_cast<int>(data.size()),
+                                      Datatype::float64(), 1, 0));
             } else {
                 comm.recv(data.data(), static_cast<int>(data.size()),
                           Datatype::float64(), 0, 0);

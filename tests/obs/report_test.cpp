@@ -30,8 +30,8 @@ void p2p_workload(Comm& comm) {
     const auto column = Datatype::vector(1024, 8, 16, Datatype::float64());
     std::vector<double> grid(1024 * 16, 0.0);
     if (comm.rank() == 0) {
-        comm.send(eager.data(), 128, Datatype::float64(), 1, 0);
-        comm.send(grid.data(), 1, column, 1, 1);
+        ASSERT_TRUE(comm.send(eager.data(), 128, Datatype::float64(), 1, 0));
+        ASSERT_TRUE(comm.send(grid.data(), 1, column, 1, 1));
     } else {
         comm.recv(eager.data(), 128, Datatype::float64(), 0, 0);
         comm.recv(grid.data(), 1, column, 0, 1);
@@ -278,9 +278,13 @@ TEST(StatsReport, SchemaCarriesVersionSeedAndFaultSpec) {
                      static_cast<double>(r.sim_time_ns) / 1e9);
     const std::string json = r.to_json();
     EXPECT_TRUE(testsupport::json_valid(json));
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"seed\": 12345"), std::string::npos);
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    // v3: the scimpi-check fields are always present; without --check the
+    // checker never ran and the violations array is empty.
+    EXPECT_NE(json.find("\"check_enabled\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
 }
 
 TEST(StatsReport, ProfileAttributesEveryTickOfEveryRank) {

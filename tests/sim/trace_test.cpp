@@ -83,8 +83,8 @@ TEST(Tracer, MpiWorkloadProducesProtocolSpans) {
     c.run([](mpi::Comm& comm) {
         std::vector<double> buf(64_KiB / 8, 1.0);
         if (comm.rank() == 0)
-            comm.send(buf.data(), static_cast<int>(buf.size()),
-                      mpi::Datatype::float64(), 1, 0);
+            ASSERT_TRUE(comm.send(buf.data(), static_cast<int>(buf.size()),
+                                  mpi::Datatype::float64(), 1, 0));
         else
             comm.recv(buf.data(), static_cast<int>(buf.size()),
                       mpi::Datatype::float64(), 0, 0);
@@ -112,10 +112,10 @@ TEST(Tracer, FlowEventsPairUpAcrossMpiRanks) {
         std::vector<double> mid(128, 1.0);    // 1 KiB -> eager path
         std::vector<double> big(64_KiB / 8, 1.0);  // -> rendezvous path
         if (comm.rank() == 0) {
-            comm.send(small.data(), 16, mpi::Datatype::float64(), 1, 0);
-            comm.send(mid.data(), 128, mpi::Datatype::float64(), 1, 1);
-            comm.send(big.data(), static_cast<int>(big.size()),
-                      mpi::Datatype::float64(), 1, 2);
+            ASSERT_TRUE(comm.send(small.data(), 16, mpi::Datatype::float64(), 1, 0));
+            ASSERT_TRUE(comm.send(mid.data(), 128, mpi::Datatype::float64(), 1, 1));
+            ASSERT_TRUE(comm.send(big.data(), static_cast<int>(big.size()),
+                                  mpi::Datatype::float64(), 1, 2));
         } else {
             comm.recv(small.data(), 16, mpi::Datatype::float64(), 0, 0);
             comm.recv(mid.data(), 128, mpi::Datatype::float64(), 0, 1);
@@ -152,7 +152,7 @@ TEST(Tracer, FlowEndpointsLandOnSenderAndReceiverTracks) {
     c.run([](mpi::Comm& comm) {
         std::vector<double> buf(128, 1.0);
         if (comm.rank() == 0)
-            comm.send(buf.data(), 128, mpi::Datatype::float64(), 1, 7);
+            ASSERT_TRUE(comm.send(buf.data(), 128, mpi::Datatype::float64(), 1, 7));
         else
             comm.recv(buf.data(), 128, mpi::Datatype::float64(), 0, 7);
     });
@@ -207,7 +207,7 @@ TEST(Tracer, ChromeJsonNamesTracksAndSerializesFlows) {
     c.run([](mpi::Comm& comm) {
         std::vector<double> buf(128, 1.0);
         if (comm.rank() == 0)
-            comm.send(buf.data(), 128, mpi::Datatype::float64(), 1, 0);
+            ASSERT_TRUE(comm.send(buf.data(), 128, mpi::Datatype::float64(), 1, 0));
         else
             comm.recv(buf.data(), 128, mpi::Datatype::float64(), 0, 0);
     });

@@ -1,0 +1,52 @@
+# scimpi-check smoke test: the deliberately racy example must report the
+# race (in its stderr table and in the stats JSON violations array), the
+# --clean variant and the quickstart tour under --check must report nothing.
+#
+# Expects: RACE_DEMO and QUICKSTART (example binaries), OUT_DIR.
+set(stats_file "${OUT_DIR}/smoke_check_stats.json")
+file(REMOVE "${stats_file}")
+
+# 1. Racy mode: the example self-verifies (exit 0 iff >= 1 violation) and
+#    the run report must carry the violation with its kind.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SCIMPI_STATS=1"
+          "SCIMPI_STATS_FILE=${stats_file}"
+          "${RACE_DEMO}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "race_demo (racy) exited with ${rc}:\n${err}")
+endif()
+if(NOT err MATCHES "put_put_overlap")
+  message(FATAL_ERROR "race_demo stderr has no put_put_overlap report:\n${err}")
+endif()
+if(NOT EXISTS "${stats_file}")
+  message(FATAL_ERROR "expected stats file was not written: ${stats_file}")
+endif()
+file(READ "${stats_file}" stats)
+if(NOT stats MATCHES "\"check_enabled\": true")
+  message(FATAL_ERROR "stats report does not show checking enabled:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"kind\": \"put_put_overlap\"")
+  message(FATAL_ERROR "stats report carries no put_put_overlap violation:\n${stats}")
+endif()
+
+# 2. Clean mode: disjoint byte ranges, zero violations expected (the example
+#    exits non-zero if any are reported).
+execute_process(COMMAND "${RACE_DEMO}" --clean RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "race_demo --clean exited with ${rc}")
+endif()
+
+# 3. The quickstart tour is correct MPI-2: under --check it must stay quiet.
+execute_process(
+  COMMAND "${QUICKSTART}" --check
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart --check exited with ${rc}")
+endif()
+if(NOT out MATCHES "scimpi-check: 0 violation")
+  message(FATAL_ERROR "quickstart --check did not report zero violations:\n${out}")
+endif()
