@@ -118,9 +118,6 @@ bool Checker::classify(AccessKind a, AccessKind b, ViolationKind* out) {
 void Checker::report(ViolationKind kind, int win_id, int rank_a, int rank_b,
                      ByteRange range, SimTime time_a, SimTime time_b,
                      std::string detail, int track) {
-    if (total_c_ != nullptr) total_c_->inc();
-    if (kind_c_[static_cast<int>(kind)] != nullptr)
-        kind_c_[static_cast<int>(kind)]->inc();
     // One diagnostic per distinct site: a loop re-racing the same bytes
     // reports once and counts the rest as suppressed.
     std::string sig = std::to_string(static_cast<int>(kind)) + ':' +
@@ -131,6 +128,12 @@ void Checker::report(ViolationKind kind, int win_id, int rank_a, int rank_b,
         ++suppressed_;
         return;
     }
+    // Counters track recorded diagnostics, so check.violations and the
+    // per-kind counters agree with the violations array and the JSON report
+    // (suppressed occurrences are accounted separately).
+    if (total_c_ != nullptr) total_c_->inc();
+    if (kind_c_[static_cast<int>(kind)] != nullptr)
+        kind_c_[static_cast<int>(kind)]->inc();
     if (tracer_ != nullptr && tracer_->enabled())
         tracer_->instant(track, std::string("check:") + kind_name(kind), time_b);
     Violation v;
@@ -258,8 +261,8 @@ void Checker::on_win_create(int win_id, int rank, std::uint64_t size) {
 }
 
 void Checker::on_rma_op(int win_id, int origin, int target, AccessKind kind,
-                        const std::vector<ByteRange>& blocks, SimTime now,
-                        int track) {
+                        SyncMode mode, const std::vector<ByteRange>& blocks,
+                        SimTime now, int track) {
     if (!enabled_) return;
     WinState& ws = win(win_id);
     WinRankState& tst = rank_state(win_id, target);
@@ -294,13 +297,18 @@ void Checker::on_rma_op(int win_id, int origin, int target, AccessKind kind,
         if (a.target != target || a.origin == origin) continue;
         ViolationKind kind_out{};
         if (!classify(a.kind, kind, &kind_out)) continue;
-        // An epoch boundary between the two accesses orders them; so does a
-        // happens-before edge (lock hand-over, message, PSCW pairing). Both
-        // in the same epoch is erroneous per MPI-2 even if the *issuing*
-        // calls were ordered: completion is only forced at the epoch close.
-        const bool same_epoch = a.epoch == epoch;
+        // Two fence-mode accesses in the same fence epoch are erroneous per
+        // MPI-2 even if the *issuing* calls were ordered: completion is only
+        // forced at the closing fence. PSCW and lock epochs never advance
+        // the fence counter (it stays 0 in fence-free programs), so for them
+        // the counter proves nothing — their ordering lives entirely in the
+        // vector clocks (post/complete pairing, lock hand-over), and only a
+        // missing happens-before edge is a conflict.
+        const bool same_fence_epoch = mode == SyncMode::fence &&
+                                      a.mode == SyncMode::fence &&
+                                      a.epoch == epoch;
         const bool unordered = VectorClock::concurrent(a.vc, vc);
-        if (!same_epoch && !unordered) continue;
+        if (!same_fence_epoch && !unordered) continue;
         for (const ByteRange& b : blocks) {
             if (!a.range.overlaps(b)) continue;
             const ByteRange clash = a.range.intersect(b);
@@ -308,16 +316,17 @@ void Checker::on_rma_op(int win_id, int origin, int target, AccessKind kind,
                    std::string(access_name(a.kind)) + " by rank " +
                        std::to_string(a.origin) + " vs " + access_name(kind) +
                        " by rank " + std::to_string(origin) + " on rank " +
-                       std::to_string(target) + "'s window, epoch " +
-                       std::to_string(epoch) +
-                       (same_epoch ? "" : " (causally unrelated)"),
+                       std::to_string(target) + "'s window" +
+                       (same_fence_epoch
+                            ? ", fence epoch " + std::to_string(epoch)
+                            : " (causally unrelated)"),
                    track);
             break;  // one diagnostic per conflicting pair of ops
         }
     }
 
     for (const ByteRange& b : blocks)
-        ws.accesses.push_back({origin, target, kind, b, epoch, vc, now});
+        ws.accesses.push_back({origin, target, kind, mode, b, epoch, vc, now});
     if (ws.accesses.size() > kMaxWinRecords) prune(ws, origin, epoch);
 }
 

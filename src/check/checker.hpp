@@ -76,6 +76,12 @@ struct ByteRange {
 enum class AccessKind : std::uint8_t { put, get, accumulate, local_load, local_store };
 const char* access_name(AccessKind k);
 
+/// Which synchronization regime authorized an RMA access. Only fence
+/// epochs advance the per-window fence counter, so the same-epoch conflict
+/// rule applies exclusively between two fence-mode accesses; PSCW and
+/// lock accesses are ordered (or not) purely by the vector clocks.
+enum class SyncMode : std::uint8_t { none, fence, pscw, lock };
+
 /// One reported violation. `rank_a`/`time_a` describe the earlier recorded
 /// access, `rank_b`/`time_b` the one that exposed the conflict; single-site
 /// violations (OOB, epoch misuse) leave `rank_a == -1`.
@@ -128,9 +134,11 @@ public:
     // ---- window access hooks ----
     /// An RMA op was issued (origin side). `blocks` are the target-window
     /// byte ranges the op touches; local_load/local_store mean the origin
-    /// accesses its own window portion (origin == target).
+    /// accesses its own window portion (origin == target). `mode` is the
+    /// synchronization regime the op was issued under at the origin.
     void on_rma_op(int win, int origin, int target, AccessKind kind,
-                   const std::vector<ByteRange>& blocks, SimTime now, int track);
+                   SyncMode mode, const std::vector<ByteRange>& blocks,
+                   SimTime now, int track);
     void on_op_outside_epoch(int win, int origin, int target, AccessKind kind,
                              ByteRange span, SimTime now, int track);
     void on_oob(int win, int origin, int target, std::uint64_t disp,
@@ -172,6 +180,7 @@ private:
         int origin = -1;
         int target = -1;
         AccessKind kind = AccessKind::put;
+        SyncMode mode = SyncMode::none;  ///< regime the op was issued under
         ByteRange range;
         std::uint64_t epoch = 0;  ///< origin's fence-epoch count at issue time
         VectorClock vc;           ///< origin clock at issue (post-tick)

@@ -61,7 +61,7 @@ Status Win::put(const void* origin, int count, const Datatype& type, int target,
     if (target == my_rank()) {
         if (ck_ != nullptr)
             ck_->on_rma_op(id_, rank_->rank(), rank_->rank(),
-                           check::AccessKind::local_store,
+                           check::AccessKind::local_store, check_mode(target),
                            check_blocks(t, count, disp), self.now(), self.id());
         return op_local(const_cast<void*>(origin), count, t, disp, /*is_put=*/true);
     }
@@ -74,7 +74,8 @@ Status Win::put(const void* origin, int count, const Datatype& type, int target,
     }
     if (ck_ != nullptr)
         ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::put,
-                       check_blocks(t, count, disp), self.now(), self.id());
+                       check_mode(target), check_blocks(t, count, disp),
+                       self.now(), self.id());
     if (peers_[static_cast<std::size_t>(target)].shared &&
         comm_->cluster().options().cfg.osc_direct && direct_path_usable(target))
         return put_direct(origin, count, t, target, disp);
@@ -104,7 +105,7 @@ Status Win::get(void* origin, int count, const Datatype& type, int target,
     if (target == my_rank()) {
         if (ck_ != nullptr)
             ck_->on_rma_op(id_, rank_->rank(), rank_->rank(),
-                           check::AccessKind::local_load,
+                           check::AccessKind::local_load, check_mode(target),
                            check_blocks(t, count, disp), self.now(), self.id());
         return op_local(origin, count, t, disp, /*is_put=*/false);
     }
@@ -117,7 +118,8 @@ Status Win::get(void* origin, int count, const Datatype& type, int target,
     }
     if (ck_ != nullptr)
         ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::get,
-                       check_blocks(t, count, disp), self.now(), self.id());
+                       check_mode(target), check_blocks(t, count, disp),
+                       self.now(), self.id());
     // Direct remote reads are slow on SCI: only up to the threshold, and
     // only when the target window is directly accessible (Section 4.2).
     if (peers_[static_cast<std::size_t>(target)].shared && cfg.osc_direct &&
@@ -353,7 +355,8 @@ Status Win::accumulate(const void* origin, int count, const Datatype& type,
     }
     if (ck_ != nullptr)
         ck_->on_rma_op(id_, rank_->rank(), wtarget, check::AccessKind::accumulate,
-                       check_blocks(t, count, disp), self.now(), self.id());
+                       check_mode(target), check_blocks(t, count, disp),
+                       self.now(), self.id());
 
     if (target == my_rank()) {
         // Local read-modify-write straight on the window.

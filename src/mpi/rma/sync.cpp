@@ -17,6 +17,16 @@ bool Win::epoch_allows(int target) const {
     return std::find(locked_.begin(), locked_.end(), target) != locked_.end();
 }
 
+check::SyncMode Win::check_mode(int target) const {
+    if (fence_epoch_) return check::SyncMode::fence;
+    if (std::find(access_group_.begin(), access_group_.end(), target) !=
+        access_group_.end())
+        return check::SyncMode::pscw;
+    if (std::find(locked_.begin(), locked_.end(), target) != locked_.end())
+        return check::SyncMode::lock;
+    return check::SyncMode::none;
+}
+
 void Win::fence() {
     sim::Process& self = rank_->proc();
     const sim::TraceScope trace(self, "rma:fence", "rma");

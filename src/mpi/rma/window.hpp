@@ -32,6 +32,7 @@
 
 namespace scimpi::check {
 class Checker;
+enum class SyncMode : std::uint8_t;
 }
 
 namespace scimpi::mpi {
@@ -168,6 +169,11 @@ private:
     /// True if `target` may currently be accessed from this rank (inside a
     /// fence epoch, a started access epoch containing it, or under a lock).
     [[nodiscard]] bool epoch_allows(int target) const;
+
+    /// Which synchronization regime currently authorizes accesses to
+    /// `target` (for the checker's conflict predicate; `none` for local
+    /// accesses outside any epoch).
+    [[nodiscard]] check::SyncMode check_mode(int target) const;
 
     // post/start/complete/wait bookkeeping (counters incremented by the
     // handler daemon, waited on by the rank process).

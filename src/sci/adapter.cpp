@@ -229,6 +229,9 @@ Status SciAdapter::write_gather(sim::Process& self, const SciMapping& map,
     for (const auto& b : blocks) total += b.len;
     SCIMPI_REQUIRE(off + total <= map.size(), "gather write out of segment bounds");
     if (total == 0) return Status::ok();
+    // Gathered blocks land back to back at `off` (the destination is
+    // contiguous, only the source is scattered), so the single
+    // [off, off+total) record covers exactly the bytes written.
     if (checker_ != nullptr)
         checker_->on_segment_access(map.seg.node, map.seg.id, self.id(), off, total,
                                     /*is_store=*/true, self.now());

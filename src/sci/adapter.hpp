@@ -126,6 +126,10 @@ public:
     /// choke point for every access through an imported mapping, so all
     /// remote loads/stores of watched segments are observed here.
     void bind_checker(check::Checker* ck) { checker_ = ck; }
+    /// The bound checker (null unless SCIMPI_CHECK); smi::Region inherits
+    /// it at creation so loopback accesses that bypass the adapter are
+    /// still observed.
+    [[nodiscard]] check::Checker* checker() const { return checker_; }
 
     [[nodiscard]] int node() const { return node_; }
     [[nodiscard]] Fabric& fabric() { return fabric_; }

@@ -20,6 +20,9 @@ Region Region::sci(sci::SciMapping map, sci::SciAdapter& adapter) {
     r.map_ = map;
     r.adapter_ = &adapter;
     r.local_model_ = mem::CopyModel(adapter.host());
+    // Loopback mappings short-circuit past the adapter, so the region must
+    // carry the checker itself to keep watched segments observed.
+    r.checker_ = adapter.checker();
     return r;
 }
 

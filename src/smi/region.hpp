@@ -44,7 +44,9 @@ public:
 
     /// Attach the scimpi-check checker (may be null). Remote accesses are
     /// already observed at the adapter choke point; this covers the local /
-    /// loopback branch, which never reaches the adapter.
+    /// loopback branch, which never reaches the adapter. `sci()` regions
+    /// inherit the adapter's checker automatically; this override exists
+    /// for `local()` regions, which have no adapter to inherit from.
     void bind_checker(check::Checker* ck) { checker_ = ck; }
 
 private:

@@ -19,6 +19,7 @@ namespace {
 using check::AccessKind;
 using check::ByteRange;
 using check::Checker;
+using check::SyncMode;
 using check::VectorClock;
 using check::ViolationKind;
 
@@ -267,6 +268,70 @@ TEST(CheckViolations, MessageOrderedPutsInOneFenceEpochStillFlagged) {
     EXPECT_EQ(c.checker()->count(ViolationKind::put_put_overlap), 1u);
 }
 
+TEST(CheckViolations, LockSerializedPutsAreOrdered) {
+    // Passive target: the lock hand-over clock orders the two sessions, so
+    // overlapping puts by different origins are legal (no fence epoch is
+    // ever open — both ops carry fence count 0, which must prove nothing).
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 1.0;
+        if (comm.rank() != 0) {
+            win->lock(0);
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+            win->unlock(0);
+        }
+        comm.barrier();  // keep rank 0's window alive until both sessions end
+    });
+    EXPECT_TRUE(c.checker()->violations().empty());
+}
+
+TEST(CheckViolations, SequentialPscwEpochsDifferentOriginsAreOrdered) {
+    // Two exposure epochs back to back: origin 2's start joins the post
+    // clock of the second post, which dominates origin 1's complete — the
+    // overlapping puts are ordered, not racing.
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 1.0;
+        if (comm.rank() == 0) {
+            const int first[] = {1};
+            win->post(first);
+            win->wait();
+            const int second[] = {2};
+            win->post(second);
+            win->wait();
+        } else {
+            const int targets[] = {0};
+            win->start(targets);
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+            win->complete();
+        }
+    });
+    EXPECT_TRUE(c.checker()->violations().empty());
+}
+
+TEST(CheckViolations, ConcurrentPscwOriginsInOneEpochStillFlagged) {
+    // Both origins access inside the *same* exposure epoch with no ordering
+    // between them: their clocks are concurrent and the overlap is real.
+    Cluster c(checked(3));
+    c.run([](Comm& comm) {
+        auto win = shared_window(comm, 4_KiB);
+        const double v = 1.0;
+        if (comm.rank() == 0) {
+            const int origins[] = {1, 2};
+            win->post(origins);
+            win->wait();
+        } else {
+            const int targets[] = {0};
+            win->start(targets);
+            ASSERT_TRUE(win->put(&v, 1, Datatype::float64(), 0, 0));
+            win->complete();
+        }
+    });
+    EXPECT_EQ(c.checker()->count(ViolationKind::put_put_overlap), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Unit-level: hook sequences the library itself would refuse to execute
 // ---------------------------------------------------------------------------
@@ -346,9 +411,12 @@ TEST(CheckerUnit, RepeatedRaceIsDeduplicatedAndCounted) {
     Checker ck(3);
     ck.enable();
     const std::vector<ByteRange> blk = {{0, 8}};
-    ck.on_rma_op(0, /*origin=*/1, /*target=*/0, AccessKind::put, blk, 10, 0);
-    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, blk, 20, 0);
-    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, blk, 30, 0);
+    ck.on_rma_op(0, /*origin=*/1, /*target=*/0, AccessKind::put, SyncMode::none,
+                 blk, 10, 0);
+    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, SyncMode::none,
+                 blk, 20, 0);
+    ck.on_rma_op(0, /*origin=*/2, /*target=*/0, AccessKind::put, SyncMode::none,
+                 blk, 30, 0);
     // Same (kind, win, ranks, bytes) signature: one diagnostic, the rest
     // only counted as suppressed.
     EXPECT_EQ(ck.count(ViolationKind::put_put_overlap), 1u);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "../sci/sci_fixture.hpp"
+#include "check/checker.hpp"
 #include "smi/barrier.hpp"
 #include "smi/lock.hpp"
 #include "smi/region.hpp"
@@ -61,6 +62,35 @@ TEST(Region, LoopbackSciMappingActsLocal) {
         EXPECT_EQ(out, 7);  // immediate
     });
     c.engine.run();
+}
+
+TEST(Region, LoopbackRegionAccessesReachTheChecker) {
+    // Loopback mappings take the local branch that never reaches the
+    // adapter; Region::sci inherits the adapter's checker so watched
+    // segments stay observed on that path too.
+    MiniCluster c(2);
+    check::Checker ck(2);
+    ck.enable();
+    c.adapters[0]->bind_checker(&ck);
+    const auto seg = c.export_segment(0, 4_KiB);
+    ck.watch_segment(seg.node, seg.id);
+    c.engine.spawn("a", [&](sim::Process& p) {
+        ck.register_actor(p.id(), 0);
+        auto r = Region::sci(c.import(0, seg), *c.adapters[0]);
+        EXPECT_FALSE(r.remote());
+        const std::uint64_t v = 1;
+        ASSERT_TRUE(r.write(p, 0, &v, sizeof v));
+    });
+    c.engine.spawn("b", [&](sim::Process& p) {
+        ck.register_actor(p.id(), 1);
+        auto r = Region::sci(c.import(0, seg), *c.adapters[0]);
+        const std::uint64_t v = 2;
+        ASSERT_TRUE(r.write(p, 4, &v, sizeof v));
+    });
+    c.engine.run();
+    ASSERT_EQ(ck.count(check::ViolationKind::segment_race), 1u);
+    EXPECT_EQ(ck.violations().front().range.lo, 4u);
+    EXPECT_EQ(ck.violations().front().range.hi, 8u);
 }
 
 TEST(Region, OutOfBoundsLocalWritePanics) {
