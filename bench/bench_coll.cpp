@@ -1,0 +1,139 @@
+// Collective engine: shared-segment algorithms (SCIMPI_COLL auto/seg) vs the
+// seed point-to-point trees ("p2p") for bcast / allreduce / alltoall across
+// cluster sizes and payloads. The interesting regime is >= 4 ranks at
+// >= 64 KiB, where the persistent collective segments amortize their
+// bootstrap and the ring/pairwise schedules beat log-depth p2p trees.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scimpi;
+using namespace scimpi::bench;
+
+enum class Op { bcast, allreduce, alltoall };
+
+constexpr const char* kOpName[] = {"bcast", "allreduce", "alltoall"};
+
+/// Average steady-state latency (simulated seconds) of one collective call.
+/// One untimed warmup round absorbs the lazy segment-set bootstrap, exactly
+/// as a long-running application would.
+double coll_latency(Op op, int nodes, std::size_t bytes, const char* path,
+                    int iters = 4) {
+    ClusterOptions opt;
+    opt.nodes = nodes;
+    opt.coll = path;
+    opt.collect_stats = true;  // host-side only; simulated time is unaffected
+    Cluster cluster(opt);
+
+    const int n_elems = static_cast<int>(bytes / 8);
+    double elapsed = 0.0;
+    cluster.run([&](Comm& c) {
+        const int size = c.size();
+        std::vector<double> in(static_cast<std::size_t>(n_elems) *
+                                   (op == Op::alltoall ? static_cast<std::size_t>(size) : 1),
+                               static_cast<double>(c.rank() + 1));
+        std::vector<double> out(in.size(), 0.0);
+        auto round = [&] {
+            Status st;
+            switch (op) {
+                case Op::bcast:
+                    st = c.bcast(in.data(), n_elems, Datatype::float64(), 0);
+                    break;
+                case Op::allreduce:
+                    st = c.allreduce_sum(in.data(), out.data(), n_elems);
+                    break;
+                case Op::alltoall:
+                    st = c.alltoall(in.data(), bytes, out.data());
+                    break;
+            }
+            SCIMPI_REQUIRE(st.is_ok(), "collective failed");
+        };
+        round();  // warmup: segment-set bootstrap + rendezvous handshakes
+        c.barrier();
+        const double t0 = c.wtime();
+        for (int i = 0; i < iters; ++i) round();
+        c.barrier();
+        if (c.rank() == 0) elapsed = (c.wtime() - t0) / iters;
+    });
+    last_report() = cluster.stats_report();
+    return elapsed;
+}
+
+/// Payload bytes moved per call (for the goodput figure in the JSON dump).
+std::size_t coll_payload(Op op, int nodes, std::size_t bytes) {
+    return op == Op::alltoall ? bytes * static_cast<std::size_t>(nodes) : bytes;
+}
+
+double run_and_record(Op op, int nodes, std::size_t bytes, bool seg) {
+    const char* path = seg ? "" : "p2p";  // "" = auto selection (segment engine)
+    const double s = coll_latency(op, nodes, bytes, path);
+    const double goodput =
+        static_cast<double>(coll_payload(op, nodes, bytes)) / 1048576.0 / s;
+    std::string label = std::string(kOpName[static_cast<int>(op)]) + "/n" +
+                        std::to_string(nodes) + "/" + std::to_string(bytes) +
+                        (seg ? "/auto" : "/p2p");
+    json_run(label,
+             {{"nodes", static_cast<double>(nodes)},
+              {"bytes", static_cast<double>(bytes)},
+              {"seg", seg ? 1.0 : 0.0},
+              {"latency_us", s * 1e6}},
+             goodput);
+    return s;
+}
+
+void BM_Coll(benchmark::State& state) {
+    const Op op = static_cast<Op>(state.range(0));
+    const int nodes = static_cast<int>(state.range(1));
+    const auto bytes = static_cast<std::size_t>(state.range(2));
+    const bool seg = state.range(3) != 0;
+    double s = 0.0;
+    for (auto _ : state) {
+        s = run_and_record(op, nodes, bytes, seg);
+        state.SetIterationTime(s);
+    }
+    state.counters["us"] = s * 1e6;
+    export_counters(state, {"coll.seg_bytes", "coll.seg_chunks", "coll.seg_ops",
+                            "coll.p2p_ops", "coll.fallbacks"});
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+    for (int op = 0; op < 3; ++op)
+        for (const int nodes : {4, 8})
+            for (const std::size_t bytes : {4_KiB, 64_KiB, 256_KiB})
+                for (const int seg : {0, 1})
+                    b->Args({op, nodes, static_cast<std::int64_t>(bytes), seg});
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Coll)->Apply(sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    scimpi::bench::json_init("coll", argc, argv);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Collective engine: segment path vs seed p2p (latency, us) ===\n");
+    std::printf("steady state (one warmup round excluded); speedup = p2p / auto\n");
+    for (const Op op : {Op::bcast, Op::allreduce, Op::alltoall}) {
+        std::printf("\n--- %s ---\n", kOpName[static_cast<int>(op)]);
+        std::printf("%6s %10s %12s %12s %9s\n", "ranks", "payload", "p2p", "auto",
+                    "speedup");
+        for (const int nodes : {4, 8}) {
+            for (const std::size_t bytes : {4_KiB, 64_KiB, 256_KiB}) {
+                const double p2p = coll_latency(op, nodes, bytes, "p2p");
+                const double seg = coll_latency(op, nodes, bytes, "");
+                std::printf("%6d %7zu KiB %10.1f %12.1f %8.2fx\n", nodes,
+                            bytes / 1024, p2p * 1e6, seg * 1e6, p2p / seg);
+            }
+        }
+    }
+    benchmark::Shutdown();
+    scimpi::bench::json_write();
+    return 0;
+}

@@ -32,6 +32,16 @@ struct Config {
                                                    ///< target-side remote-put
     bool osc_direct = true;                   ///< allow direct PIO access to shared windows
 
+    // ---- collective engine (src/mpi/coll/; see DESIGN.md §11) ----
+    bool coll_segments = true;                ///< allow the shared-segment collective path
+    std::size_t coll_chunk = 64_KiB;          ///< pipeline chunk of a collective stream
+    std::size_t coll_seg_max = 8_MiB;         ///< per-rank data-segment cap (shrinks chunk)
+    std::size_t coll_seg_min = 1_KiB;         ///< below this payload collectives stay p2p
+    std::size_t coll_small_allreduce = 4_KiB; ///< recursive-doubling fast path below
+    std::size_t coll_ring_min = 64_KiB;       ///< ring allreduce at or above this payload
+    SimTime coll_poll_timeout = 50'000;       ///< ns parked on a flag before re-polling
+                                              ///< (and probing for a p2p fallback)
+
     // ---- SCI adapter model ----
     bool stream_buffers = true;               ///< D1: gather ascending stores into 64 B txns
     bool write_combine = true;                ///< D2: 32 B CPU write-combine buffer

@@ -1,0 +1,65 @@
+// Internal algorithm entry points shared between the engine dispatcher
+// (api.cpp) and the two implementation families. All functions are
+// collective over `c` and blocking; ranks are communicator-local.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "mpi/datatype/datatype.hpp"
+
+namespace scimpi::mpi {
+class Comm;
+}
+
+namespace scimpi::mpi::coll {
+
+class CollSegmentSet;
+
+// ---- seed algorithms over the two-sided engine (p2p_algos.cpp) ----
+namespace p2p {
+void barrier(Comm& c);
+Status bcast(Comm& c, void* buf, int count, const Datatype& type, int root);
+Status reduce_sum(Comm& c, const double* in, double* out, int n_elems, int root);
+Status allgather(Comm& c, const void* in, std::size_t bytes_each, void* out);
+Status gather(Comm& c, const void* in, std::size_t bytes_each, void* out, int root);
+Status scatter(Comm& c, const void* in, std::size_t bytes_each, void* out, int root);
+Status alltoall(Comm& c, const void* in, std::size_t bytes_each, void* out);
+/// Recursive-doubling allreduce: the pinned small-message fast path.
+Status allreduce_rdouble(Comm& c, const double* in, double* out, int n_elems);
+/// Typed allgather staged through canonical pack (reference path).
+Status allgather_typed(Comm& c, const void* in, int count, const Datatype& type,
+                       void* out);
+}  // namespace p2p
+
+// ---- segment algorithms over a CollSegmentSet (seg_algos.cpp) ----
+namespace seg {
+Status bcast_flat(Comm& c, CollSegmentSet& s, void* buf, int count,
+                  const Datatype& type, int root);
+Status bcast_binomial(Comm& c, CollSegmentSet& s, void* buf, int count,
+                      const Datatype& type, int root);
+/// Van de Geijn large-message bcast: root scatters byte blocks to all ranks
+/// concurrently, then a ring allgather reassembles them — the root's port
+/// carries the payload once instead of once per subtree.
+Status bcast_scatter_ag(Comm& c, CollSegmentSet& s, void* buf, int count,
+                        const Datatype& type, int root);
+Status reduce_binomial(Comm& c, CollSegmentSet& s, const double* in, double* out,
+                       int n_elems, int root);
+Status allreduce_ring(Comm& c, CollSegmentSet& s, const double* in, double* out,
+                      int n_elems);
+Status allgather_ring(Comm& c, CollSegmentSet& s, const void* in,
+                      std::size_t bytes_each, void* out);
+/// Pairwise-exchange typed allgather: each rank injects its block into every
+/// peer's segment with direct_pack_ff and unpacks arrivals straight out of
+/// its own segment — no staging copies at all.
+Status allgather_flat_typed(Comm& c, CollSegmentSet& s, const void* in, int count,
+                            const Datatype& type, void* out);
+Status alltoall_pairwise(Comm& c, CollSegmentSet& s, const void* in,
+                         std::size_t bytes_each, void* out);
+/// All pairwise streams posted concurrently (no step barriers); produces the
+/// same bytes as the pairwise schedule but overlaps every edge's latency.
+Status alltoall_spread(Comm& c, CollSegmentSet& s, const void* in,
+                       std::size_t bytes_each, void* out);
+}  // namespace seg
+
+}  // namespace scimpi::mpi::coll

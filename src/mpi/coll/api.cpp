@@ -1,0 +1,300 @@
+// Engine dispatch: Comm's collective methods land here, an algorithm is
+// selected (tuning.hpp), the per-communicator segment set is bootstrapped on
+// first segment-routed use, and the call is recorded in coll.* metrics and
+// the trace.
+#include <cstring>
+#include <string>
+
+#include "mpi/coll/algos.hpp"
+#include "mpi/coll/coll.hpp"
+#include "mpi/coll/segment_set.hpp"
+#include "mpi/comm.hpp"
+#include "sim/trace.hpp"
+
+namespace scimpi::mpi::coll {
+
+CollRuntime::CollRuntime(Cluster& cluster, const std::string& spec)
+    : cluster_(cluster) {
+    auto parsed = Tuning::parse(spec, cluster.options().cfg);
+    SCIMPI_REQUIRE(parsed.is_ok(), parsed.status().to_string());
+    tuning_ = parsed.value();
+    obs::MetricsRegistry& reg = cluster.metrics();
+    for (int i = 0; i < kOps; ++i) {
+        const std::string base = std::string("coll.") + op_name(static_cast<Op>(i));
+        cm_.calls[i] = &reg.counter(base + ".calls");
+        cm_.latency[i] = &reg.histogram(base + ".latency_ns");
+    }
+    cm_.seg_ops = &reg.counter("coll.seg_ops");
+    cm_.p2p_ops = &reg.counter("coll.p2p_ops");
+    cm_.seg_bytes = &reg.counter("coll.seg_bytes");
+    cm_.seg_chunks = &reg.counter("coll.seg_chunks");
+    cm_.ff_seg_packs = &reg.counter("coll.ff_seg_packs");
+    cm_.generic_seg_packs = &reg.counter("coll.generic_seg_packs");
+    cm_.fallbacks = &reg.counter("coll.fallbacks");
+    cm_.fallback_recvs = &reg.counter("coll.fallback_recvs");
+    cm_.ack_drops = &reg.counter("coll.ack_drops");
+    cm_.degraded_edges = &reg.counter("coll.degraded_edges");
+    cm_.segment_sets = &reg.counter("coll.segment_sets");
+    cm_.small_allreduce = &reg.counter("coll.small_allreduce");
+}
+
+CollRuntime::~CollRuntime() = default;
+
+void CollRuntime::release_sets() { sets_.clear(); }
+
+CollSegmentSet* CollRuntime::ensure_set(Comm& comm) {
+    auto& slot = sets_[comm.context()];
+    if (!slot)
+        slot = std::make_unique<CollSegmentSet>(cluster_, comm.size(), cm_);
+    if (!slot->initialized(comm.rank())) slot->init_member(comm);
+    return slot->usable() ? slot.get() : nullptr;
+}
+
+namespace {
+
+bool is_seg_alg(Alg a) {
+    return a == Alg::flat || a == Alg::binomial || a == Alg::ring ||
+           a == Alg::pairwise || a == Alg::flags || a == Alg::reduce_bcast ||
+           a == Alg::scatter_ag || a == Alg::spread;
+}
+
+/// Select the algorithm and, when it is a segment one, bootstrap the set.
+/// Selection is deterministic in (op, bytes, comm shape), so every member
+/// reaches the bootstrap (and its internal allgather) together; when the
+/// set turns out unusable, everyone re-selects with segments off.
+Alg choose(Comm& c, Op op, std::size_t bytes, CollSegmentSet** set_out) {
+    Cluster& cl = c.cluster();
+    CollRuntime& rt = cl.coll_runtime();
+    const ClusterOptions& opt = cl.options();
+    SelectCtx ctx{
+        .bytes = bytes,
+        .comm_size = c.size(),
+        .segments_ok = rt.tuning().segments_enabled() && opt.cfg.coll_segments &&
+                       c.size() > 1,
+        .torus = opt.torus_w > 0,
+        .procs_per_node = opt.procs_per_node,
+    };
+    Alg a = rt.tuning().select(op, ctx);
+    if (is_seg_alg(a)) {
+        CollSegmentSet* s = rt.ensure_set(c);
+        if (s == nullptr) {
+            ctx.segments_ok = false;
+            a = rt.tuning().select(op, ctx);
+        } else {
+            *set_out = s;
+        }
+    }
+    return a;
+}
+
+/// Per-call bookkeeping: invocation counter, routing counter, a per-(op,
+/// algorithm) counter, a trace span and the latency histogram on exit.
+class OpCall {
+public:
+    OpCall(Comm& c, Op op, Alg alg, std::size_t bytes, bool seg)
+        : c_(c),
+          op_(op),
+          t0_(c.proc().now()),
+          trace_(c.proc(), std::string(op_name(op)) + ":" + alg_name(alg), "coll",
+                 bytes) {
+        CollMetrics& m = c.cluster().coll_runtime().metrics();
+        m.calls[static_cast<std::size_t>(op)]->inc();
+        (seg ? m.seg_ops : m.p2p_ops)->inc();
+        c.cluster()
+            .metrics()
+            .counter(std::string("coll.") + op_name(op) + "." + alg_name(alg))
+            .inc();
+    }
+    ~OpCall() {
+        CollMetrics& m = c_.cluster().coll_runtime().metrics();
+        m.latency[static_cast<std::size_t>(op_)]->record(
+            static_cast<std::uint64_t>(c_.proc().now() - t0_));
+    }
+    OpCall(const OpCall&) = delete;
+    OpCall& operator=(const OpCall&) = delete;
+
+private:
+    Comm& c_;
+    Op op_;
+    SimTime t0_;
+    sim::TraceScope trace_;
+};
+
+}  // namespace
+
+void barrier(Comm& c) {
+    if (c.size() <= 1) return;
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::barrier, 0, &set);
+    const OpCall call(c, Op::barrier, a, 0, set != nullptr);
+    if (a == Alg::flags && set != nullptr)
+        set->barrier_flags(c);
+    else
+        p2p::barrier(c);
+}
+
+Status bcast(Comm& c, void* buf, int count, const Datatype& ty, int root) {
+    if (c.size() <= 1) return Status::ok();
+    Datatype type = ty;
+    if (!type.committed()) type.commit(c.cluster().options().cfg);
+    const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::bcast, bytes, &set);
+    const OpCall call(c, Op::bcast, a, bytes, set != nullptr);
+    if (a == Alg::flat) return seg::bcast_flat(c, *set, buf, count, type, root);
+    if (a == Alg::binomial)
+        return seg::bcast_binomial(c, *set, buf, count, type, root);
+    if (a == Alg::scatter_ag)
+        return seg::bcast_scatter_ag(c, *set, buf, count, type, root);
+    return p2p::bcast(c, buf, count, type, root);
+}
+
+Status reduce_sum(Comm& c, const double* in, double* out, int n, int root) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, static_cast<std::size_t>(n) * sizeof(double));
+        return Status::ok();
+    }
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::reduce, bytes, &set);
+    const OpCall call(c, Op::reduce, a, bytes, set != nullptr);
+    if (a == Alg::binomial) return seg::reduce_binomial(c, *set, in, out, n, root);
+    return p2p::reduce_sum(c, in, out, n, root);
+}
+
+Status allreduce_sum(Comm& c, const double* in, double* out, int n) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, static_cast<std::size_t>(n) * sizeof(double));
+        return Status::ok();
+    }
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::allreduce, bytes, &set);
+    const OpCall call(c, Op::allreduce, a, bytes, set != nullptr);
+    CollMetrics& m = c.cluster().coll_runtime().metrics();
+    if (a == Alg::rdouble) {
+        if (bytes <= c.cluster().options().cfg.coll_small_allreduce)
+            m.small_allreduce->inc();
+        return p2p::allreduce_rdouble(c, in, out, n);
+    }
+    if (a == Alg::ring) return seg::allreduce_ring(c, *set, in, out, n);
+    if (a == Alg::reduce_bcast) {
+        Status st = seg::reduce_binomial(c, *set, in, out, n, 0);
+        if (!st) return st;
+        Datatype byte = Datatype::byte_();
+        byte.commit(c.cluster().options().cfg);
+        return seg::bcast_binomial(c, *set, out, static_cast<int>(bytes), byte, 0);
+    }
+    // The seed composition, kept as the explicit "p2p" behaviour.
+    Status st = p2p::reduce_sum(c, in, out, n, 0);
+    if (!st) return st;
+    return p2p::bcast(c, out, static_cast<int>(bytes), Datatype::byte_(), 0);
+}
+
+Status allgather(Comm& c, const void* in, std::size_t bytes_each, void* out) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, bytes_each);
+        return Status::ok();
+    }
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::allgather, bytes_each, &set);
+    const OpCall call(c, Op::allgather, a, bytes_each, set != nullptr);
+    if (a == Alg::ring || a == Alg::flat)
+        return seg::allgather_ring(c, *set, in, bytes_each, out);
+    return p2p::allgather(c, in, bytes_each, out);
+}
+
+Status allgather_typed(Comm& c, const void* in, int count, const Datatype& ty,
+                       void* out) {
+    Datatype type = ty;
+    if (!type.committed()) type.commit(c.cluster().options().cfg);
+    const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+    if (c.size() <= 1) {
+        // Self-block copy through the canonical stream.
+        std::vector<std::byte> tmp(bytes);
+        std::size_t pos = 0;
+        Status st = c.pack(in, count, type, tmp, &pos);
+        if (!st) return st;
+        pos = 0;
+        return c.unpack(tmp, &pos, out, count, type);
+    }
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::allgather, bytes, &set);
+    const OpCall call(c, Op::allgather, a, bytes, set != nullptr);
+    if (a == Alg::ring || a == Alg::flat)
+        return seg::allgather_flat_typed(c, *set, in, count, type, out);
+    return p2p::allgather_typed(c, in, count, type, out);
+}
+
+Status gather(Comm& c, const void* in, std::size_t bytes_each, void* out, int root) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, bytes_each);
+        return Status::ok();
+    }
+    const OpCall call(c, Op::gather, Alg::p2p, bytes_each, false);
+    return p2p::gather(c, in, bytes_each, out, root);
+}
+
+Status scatter(Comm& c, const void* in, std::size_t bytes_each, void* out, int root) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, bytes_each);
+        return Status::ok();
+    }
+    const OpCall call(c, Op::scatter, Alg::p2p, bytes_each, false);
+    return p2p::scatter(c, in, bytes_each, out, root);
+}
+
+Status alltoall(Comm& c, const void* in, std::size_t bytes_each, void* out) {
+    if (c.size() <= 1) {
+        std::memcpy(out, in, bytes_each);
+        return Status::ok();
+    }
+    CollSegmentSet* set = nullptr;
+    const Alg a = choose(c, Op::alltoall, bytes_each, &set);
+    const OpCall call(c, Op::alltoall, a, bytes_each, set != nullptr);
+    if (a == Alg::spread) return seg::alltoall_spread(c, *set, in, bytes_each, out);
+    if (a == Alg::pairwise)
+        return seg::alltoall_pairwise(c, *set, in, bytes_each, out);
+    return p2p::alltoall(c, in, bytes_each, out);
+}
+
+}  // namespace scimpi::mpi::coll
+
+// ---- Comm collective methods: thin forwards into the engine ----
+namespace scimpi::mpi {
+
+void Comm::barrier() { coll::barrier(*this); }
+
+Status Comm::bcast(void* buf, int count, const Datatype& type, int root) {
+    return coll::bcast(*this, buf, count, type, root);
+}
+
+Status Comm::reduce_sum(const double* in, double* out, int n, int root) {
+    return coll::reduce_sum(*this, in, out, n, root);
+}
+
+Status Comm::allreduce_sum(const double* in, double* out, int n) {
+    return coll::allreduce_sum(*this, in, out, n);
+}
+
+Status Comm::allgather(const void* in, std::size_t bytes_each, void* out) {
+    return coll::allgather(*this, in, bytes_each, out);
+}
+
+Status Comm::allgather(const void* in, int count, const Datatype& type, void* out) {
+    return coll::allgather_typed(*this, in, count, type, out);
+}
+
+Status Comm::gather(const void* in, std::size_t bytes_each, void* out, int root) {
+    return coll::gather(*this, in, bytes_each, out, root);
+}
+
+Status Comm::scatter(const void* in, std::size_t bytes_each, void* out, int root) {
+    return coll::scatter(*this, in, bytes_each, out, root);
+}
+
+Status Comm::alltoall(const void* in, std::size_t bytes_each, void* out) {
+    return coll::alltoall(*this, in, bytes_each, out);
+}
+
+}  // namespace scimpi::mpi

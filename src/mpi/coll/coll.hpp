@@ -1,0 +1,97 @@
+// The SCI-native collective engine (DESIGN.md §11). Comm's collective
+// methods forward here; the engine selects an algorithm (tuning.hpp), lazily
+// bootstraps a per-communicator collective segment set (segment_set.hpp) and
+// dispatches to the p2p or segment implementation, recording coll.* metrics
+// and a trace span per call.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "mpi/coll/tuning.hpp"
+#include "mpi/datatype/datatype.hpp"
+#include "obs/metrics.hpp"
+
+namespace scimpi::mpi {
+class Cluster;
+class Comm;
+}  // namespace scimpi::mpi
+
+namespace scimpi::mpi::coll {
+
+class CollSegmentSet;
+
+// Reserved tags (context-scoped, never matched by user ANY_TAG receives).
+// The seed p2p algorithms keep their historical tags (-16..-200-s); the
+// segment engine claims the -1024 region for stream fallbacks and -1100 for
+// barrier tokens.
+inline constexpr int kTagBarrier = -16;
+inline constexpr int kTagBcast = -32;
+inline constexpr int kTagReduce = -48;
+inline constexpr int kTagGather = -64;
+inline constexpr int kTagRdouble = -300;
+inline constexpr int kTagStreamFbk = -1024;  ///< minus the stream slot
+inline constexpr int kTagBarrierFbk = -1100; ///< minus the dissemination round
+
+/// Cluster-wide registry slots for the engine, resolved once.
+struct CollMetrics {
+    obs::Counter* calls[kOps] = {};          ///< per-op invocation counts
+    obs::Histogram* latency[kOps] = {};      ///< per-op call latency (ns)
+    obs::Counter* seg_ops = nullptr;         ///< calls routed over segments
+    obs::Counter* p2p_ops = nullptr;         ///< calls routed over p2p
+    obs::Counter* seg_bytes = nullptr;       ///< payload bytes through segments
+    obs::Counter* seg_chunks = nullptr;      ///< stream chunks written
+    obs::Counter* ff_seg_packs = nullptr;    ///< direct_pack_ff into a segment
+    obs::Counter* generic_seg_packs = nullptr;
+    obs::Counter* fallbacks = nullptr;       ///< writer-side p2p fallbacks
+    obs::Counter* fallback_recvs = nullptr;  ///< transfers finished via p2p
+    obs::Counter* ack_drops = nullptr;       ///< reader acks lost to dead links
+    obs::Counter* degraded_edges = nullptr;  ///< edges pinned to the p2p path
+    obs::Counter* segment_sets = nullptr;    ///< collective segment sets built
+    obs::Counter* small_allreduce = nullptr; ///< pinned fast-path hits
+};
+
+/// Cluster-owned engine state: the parsed tuning plus the per-communicator
+/// segment-set pool. Single simulated-thread discipline: no locking.
+class CollRuntime {
+public:
+    CollRuntime(Cluster& cluster, const std::string& spec);
+    ~CollRuntime();
+    CollRuntime(const CollRuntime&) = delete;
+    CollRuntime& operator=(const CollRuntime&) = delete;
+
+    [[nodiscard]] const Tuning& tuning() const { return tuning_; }
+    [[nodiscard]] CollMetrics& metrics() { return cm_; }
+
+    /// The segment set for `comm`'s context, bootstrapping it on first use.
+    /// Collective: selection is deterministic, so every member reaches the
+    /// first segment-routed op together and synchronizes inside. Returns
+    /// null when the set is unusable (arena exhausted on any node).
+    CollSegmentSet* ensure_set(Comm& comm);
+
+    /// Destroy every segment set, returning the arena bytes. Called by
+    /// Cluster::run after the simulation drains (no processes left).
+    void release_sets();
+
+private:
+    Cluster& cluster_;
+    Tuning tuning_;
+    CollMetrics cm_;
+    std::map<int, std::unique_ptr<CollSegmentSet>> sets_;  // by context id
+};
+
+// ---- engine entry points (called by the Comm methods) ----
+void barrier(Comm& c);
+Status bcast(Comm& c, void* buf, int count, const Datatype& type, int root);
+Status reduce_sum(Comm& c, const double* in, double* out, int n, int root);
+Status allreduce_sum(Comm& c, const double* in, double* out, int n);
+Status allgather(Comm& c, const void* in, std::size_t bytes_each, void* out);
+Status allgather_typed(Comm& c, const void* in, int count, const Datatype& type,
+                       void* out);
+Status gather(Comm& c, const void* in, std::size_t bytes_each, void* out, int root);
+Status scatter(Comm& c, const void* in, std::size_t bytes_each, void* out, int root);
+Status alltoall(Comm& c, const void* in, std::size_t bytes_each, void* out);
+
+}  // namespace scimpi::mpi::coll

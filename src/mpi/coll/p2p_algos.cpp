@@ -1,0 +1,283 @@
+// Collective algorithms over the two-sided engine. These are the reference
+// implementations: always available, used directly for latency-bound sizes
+// and as the degradation target when no segment set is usable. Internal
+// messages use reserved negative tags, which user-level ANY_TAG receives
+// never match.
+#include <cstring>
+#include <vector>
+
+#include "mpi/coll/algos.hpp"
+#include "mpi/coll/coll.hpp"
+#include "mpi/comm.hpp"
+
+namespace scimpi::mpi::coll::p2p {
+
+namespace {
+
+/// Internal send/recv bypass the non-negative tag check of the public API
+/// and translate communicator-local ranks to world ranks.
+Status internal_send(Comm& c, const void* buf, std::size_t bytes, int dst, int tag) {
+    return c.rank_state().send(buf, static_cast<int>(bytes), Datatype::byte_(),
+                               c.world_rank(dst), tag, c.context());
+}
+RecvResult internal_recv(Comm& c, void* buf, std::size_t bytes, int src, int tag) {
+    return c.rank_state().recv(buf, static_cast<int>(bytes), Datatype::byte_(),
+                               c.world_rank(src), tag, c.context());
+}
+
+/// Full-duplex raw exchange on one internal tag (both requests posted before
+/// either wait, so symmetric pairs cannot deadlock).
+Status internal_xchg(Comm& c, const void* sbuf, std::size_t sbytes, int dst,
+                     void* rbuf, std::size_t rbytes, int src, int tag) {
+    Rank& rk = c.rank_state();
+    auto rx = rk.irecv(rbuf, static_cast<int>(rbytes), Datatype::byte_(),
+                       c.world_rank(src), tag, c.context());
+    auto tx = rk.isend(sbuf, static_cast<int>(sbytes), Datatype::byte_(),
+                       c.world_rank(dst), tag, c.context());
+    rk.wait(*tx);
+    rk.wait(*rx);
+    if (!rx->status) return rx->status;
+    return tx->status;
+}
+
+}  // namespace
+
+void barrier(Comm& c) {
+    const int n = c.size();
+    const int r = c.rank();
+    if (n == 1) return;
+    Rank& rk = c.rank_state();
+    std::byte token{0};
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+        const int dst = (r + k) % n;
+        const int src = (r - k + n) % n;
+        auto rx = rk.irecv(&token, 1, Datatype::byte_(), c.world_rank(src),
+                           kTagBarrier - round, c.context());
+        auto tx = rk.isend(&token, 1, Datatype::byte_(), c.world_rank(dst),
+                           kTagBarrier - round, c.context());
+        rk.wait(*tx);
+        rk.wait(*rx);
+    }
+}
+
+Status bcast(Comm& c, void* buf, int count, const Datatype& type, int root) {
+    const int n = c.size();
+    if (n == 1) return Status::ok();
+    const int vr = (c.rank() - root + n) % n;
+    // Receive from the parent (clear the lowest set bit).
+    int mask = 1;
+    while (mask < n) {
+        if ((vr & mask) != 0) {
+            const int parent = ((vr - mask) + root) % n;
+            const RecvResult res = c.rank_state().recv(
+                buf, count, type, c.world_rank(parent), kTagBcast, c.context());
+            if (!res.status) return res.status;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children.
+    mask >>= 1;
+    while (mask > 0) {
+        if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < n) {
+            const int child = (vr + mask + root) % n;
+            const Status st = c.rank_state().send(
+                buf, count, type, c.world_rank(child), kTagBcast, c.context());
+            if (!st) return st;
+        }
+        mask >>= 1;
+    }
+    return Status::ok();
+}
+
+Status reduce_sum(Comm& c, const double* in, double* out, int n_elems, int root) {
+    const int n = c.size();
+    const int vr = (c.rank() - root + n) % n;
+    std::vector<double> acc(in, in + n_elems);
+    std::vector<double> tmp(static_cast<std::size_t>(n_elems));
+    int mask = 1;
+    while (mask < n) {
+        if ((vr & mask) != 0) {
+            const int parent = ((vr - mask) + root) % n;
+            const Status st = internal_send(c, acc.data(), acc.size() * sizeof(double),
+                                            parent, kTagReduce);
+            if (!st) return st;
+            break;
+        }
+        if (vr + mask < n) {
+            const int child = (vr + mask + root) % n;
+            const RecvResult res = internal_recv(
+                c, tmp.data(), tmp.size() * sizeof(double), child, kTagReduce);
+            if (!res.status) return res.status;
+            // Model the arithmetic: one flop per element at ~1 ns each.
+            c.proc().delay(n_elems);
+            for (int i = 0; i < n_elems; ++i)
+                acc[static_cast<std::size_t>(i)] += tmp[static_cast<std::size_t>(i)];
+        }
+        mask <<= 1;
+    }
+    if (c.rank() == root) std::memcpy(out, acc.data(), acc.size() * sizeof(double));
+    return Status::ok();
+}
+
+Status allreduce_rdouble(Comm& c, const double* in, double* out, int n_elems) {
+    const int n = c.size();
+    const int r = c.rank();
+    const std::size_t bytes = static_cast<std::size_t>(n_elems) * sizeof(double);
+    std::vector<double> acc(in, in + n_elems);
+    if (n > 1) {
+        std::vector<double> tmp(static_cast<std::size_t>(n_elems));
+        int pof2 = 1;
+        while (pof2 * 2 <= n) pof2 *= 2;
+        const int rem = n - pof2;
+        // Fold the non-power-of-two surplus: odd ranks below 2*rem hand
+        // their vector to the even neighbour and sit the exchange out.
+        int newrank = 0;
+        if (r < 2 * rem) {
+            if ((r % 2) != 0) {
+                const Status st =
+                    internal_send(c, acc.data(), bytes, r - 1, kTagRdouble);
+                if (!st) return st;
+                newrank = -1;
+            } else {
+                const RecvResult res =
+                    internal_recv(c, tmp.data(), bytes, r + 1, kTagRdouble);
+                if (!res.status) return res.status;
+                c.proc().delay(n_elems);
+                for (int i = 0; i < n_elems; ++i)
+                    acc[static_cast<std::size_t>(i)] +=
+                        tmp[static_cast<std::size_t>(i)];
+                newrank = r / 2;
+            }
+        } else {
+            newrank = r - rem;
+        }
+        if (newrank >= 0) {
+            int round = 0;
+            for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+                const int partner_new = newrank ^ mask;
+                const int partner =
+                    partner_new < rem ? partner_new * 2 : partner_new + rem;
+                const Status st =
+                    internal_xchg(c, acc.data(), bytes, partner, tmp.data(), bytes,
+                                  partner, kTagRdouble - 1 - round);
+                if (!st) return st;
+                c.proc().delay(n_elems);
+                // a+b == b+a element-wise, so every rank ends each round
+                // with the bit-identical partial sum.
+                for (int i = 0; i < n_elems; ++i)
+                    acc[static_cast<std::size_t>(i)] +=
+                        tmp[static_cast<std::size_t>(i)];
+            }
+        }
+        // Unfold: the evens hand the finished vector back to the odds.
+        if (r < 2 * rem) {
+            if ((r % 2) != 0) {
+                const RecvResult res =
+                    internal_recv(c, acc.data(), bytes, r - 1, kTagRdouble);
+                if (!res.status) return res.status;
+            } else {
+                const Status st =
+                    internal_send(c, acc.data(), bytes, r + 1, kTagRdouble);
+                if (!st) return st;
+            }
+        }
+    }
+    std::memcpy(out, acc.data(), bytes);
+    return Status::ok();
+}
+
+Status allgather(Comm& c, const void* in, std::size_t bytes_each, void* out) {
+    const int n = c.size();
+    const int r = c.rank();
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each, in, bytes_each);
+    // Ring: in step s, pass along the block that originated at (r - s).
+    for (int s = 0; s < n - 1; ++s) {
+        const int send_block = (r - s + n) % n;
+        const int recv_block = (r - s - 1 + n) % n;
+        const Status st = internal_xchg(
+            c, dst + static_cast<std::size_t>(send_block) * bytes_each, bytes_each,
+            (r + 1) % n, dst + static_cast<std::size_t>(recv_block) * bytes_each,
+            bytes_each, (r - 1 + n) % n, kTagGather - s);
+        if (!st) return st;
+    }
+    return Status::ok();
+}
+
+Status allgather_typed(Comm& c, const void* in, int count, const Datatype& type,
+                       void* out) {
+    const int n = c.size();
+    const std::size_t bytes_each = type.size() * static_cast<std::size_t>(count);
+    // Stage through the canonical packed form: pack the local block, ring
+    // the raw bytes, unpack the concatenation (which *is* the packed stream
+    // of n x count elements) back into the typed layout.
+    std::vector<std::byte> mine(bytes_each);
+    std::size_t pos = 0;
+    Status st = c.pack(in, count, type, mine, &pos);
+    if (!st) return st;
+    std::vector<std::byte> stage(static_cast<std::size_t>(n) * bytes_each);
+    st = allgather(c, mine.data(), bytes_each, stage.data());
+    if (!st) return st;
+    pos = 0;
+    return c.unpack(stage, &pos, out, n * count, type);
+}
+
+Status gather(Comm& c, const void* in, std::size_t bytes_each, void* out, int root) {
+    const int n = c.size();
+    if (c.rank() != root)
+        return internal_send(c, in, bytes_each, root, kTagGather - 100);
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(root) * bytes_each, in, bytes_each);
+    for (int r = 0; r < n; ++r) {
+        if (r == root) continue;
+        const RecvResult res =
+            internal_recv(c, dst + static_cast<std::size_t>(r) * bytes_each,
+                          bytes_each, r, kTagGather - 100);
+        if (!res.status) return res.status;
+    }
+    return Status::ok();
+}
+
+Status scatter(Comm& c, const void* in, std::size_t bytes_each, void* out, int root) {
+    const int n = c.size();
+    if (c.rank() == root) {
+        const auto* src = static_cast<const std::byte*>(in);
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            const Status st =
+                internal_send(c, src + static_cast<std::size_t>(r) * bytes_each,
+                              bytes_each, r, kTagGather - 101);
+            if (!st) return st;
+        }
+        std::memcpy(out, src + static_cast<std::size_t>(root) * bytes_each,
+                    bytes_each);
+        return Status::ok();
+    }
+    return internal_recv(c, out, bytes_each, root, kTagGather - 101).status;
+}
+
+Status alltoall(Comm& c, const void* in, std::size_t bytes_each, void* out) {
+    const int n = c.size();
+    const int r = c.rank();
+    const auto* src = static_cast<const std::byte*>(in);
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each,
+                src + static_cast<std::size_t>(r) * bytes_each, bytes_each);
+    // Pairwise exchange: in step s swap with peers (r + s) and (r - s). The
+    // step index fixes the pairing, so the output is deterministic for any
+    // arrival order.
+    for (int s = 1; s < n; ++s) {
+        const int to = (r + s) % n;
+        const int from = (r - s + n) % n;
+        const Status st = internal_xchg(
+            c, src + static_cast<std::size_t>(to) * bytes_each, bytes_each, to,
+            dst + static_cast<std::size_t>(from) * bytes_each, bytes_each, from,
+            kTagGather - 200 - s);
+        if (!st) return st;
+    }
+    return Status::ok();
+}
+
+}  // namespace scimpi::mpi::coll::p2p

@@ -1,0 +1,209 @@
+// Persistent per-communicator collective segment set (DESIGN.md §11).
+//
+// Every member exports two SCI segments from its node arena, once, at the
+// first segment-routed collective on the communicator:
+//   * a data segment, carved into per-(writer, slot) double-buffered chunk
+//     areas that peers write into over the adapter PIO path (watched by
+//     scimpi-check when checking is on), and
+//   * a control segment of flag words — per-stream ready/ack sequence
+//     counters plus the dissemination-barrier rounds — which carries only
+//     the synchronization protocol and stays unwatched, exactly like the
+//     p2p engine's internal rings.
+//
+// A transfer is a *stream*: the writer remote-writes chunk `seq` into the
+// reader's data area (parity seq&1), store-barriers, publishes `seq` in the
+// reader's ready word, store-barriers again and wakes the reader. The reader
+// polls its own memory (cheap local reads, the SCI way), consumes the chunk
+// and acknowledges by writing `seq` into the writer's ack word. A writer
+// reuses a chunk buffer only once `acked >= seq - 2`, which doubles as the
+// happens-before edge that makes checked runs race-free. Sequence numbers
+// never reset, so buffer-reuse discipline holds across collective calls.
+//
+// Fault story: writer-side segment failures (chunk/flag writes exhausting
+// the fault-retry policy, or ack starvation past the retry budget) divert
+// the *remainder* of the transfer into one p2p message tagged per stream;
+// the edge is then pinned to the p2p path. Readers never unilaterally give
+// up on the flag path — they park with a timeout and probe for the fallback
+// message, so a transfer completes on whichever path the writer chose.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpi/datatype/datatype.hpp"
+#include "sci/segment.hpp"
+#include "sim/sync.hpp"
+#include "smi/region.hpp"
+
+namespace scimpi::mpi {
+class Cluster;
+class Comm;
+}  // namespace scimpi::mpi
+
+namespace scimpi::mpi::coll {
+
+struct CollMetrics;
+
+/// One side of a collective transfer in packed-stream terms. `type` null
+/// means raw bytes (stream position p maps to `data` + p); otherwise the
+/// stream is the canonical packed form of `count` x `type` at `data`, packed
+/// with direct_pack_ff straight into the remote segment when order-safe.
+struct XferView {
+    void* data = nullptr;  ///< treated as const on the send side
+    int count = 0;
+    const Datatype* type = nullptr;
+};
+
+class CollSegmentSet {
+public:
+    /// Chunk streams per (writer, reader) pair; tree algorithms use
+    /// slot = round % kSlots, sequential ring steps alternate slots.
+    static constexpr int kSlots = 2;
+    static constexpr int kBarrierRounds = 32;
+
+    CollSegmentSet(Cluster& cluster, int comm_size, CollMetrics& cm);
+    ~CollSegmentSet();
+    CollSegmentSet(const CollSegmentSet&) = delete;
+    CollSegmentSet& operator=(const CollSegmentSet&) = delete;
+
+    /// First-use bootstrap (collective): export this member's segments, then
+    /// agree over a p2p allgather that every member allocated successfully.
+    /// After it returns, usable() is identical on every member.
+    void init_member(Comm& comm);
+    [[nodiscard]] bool initialized(int local) const {
+        return members_[static_cast<std::size_t>(local)].init_done;
+    }
+    [[nodiscard]] bool usable() const { return usable_; }
+
+    [[nodiscard]] std::size_t chunk() const { return chunk_; }
+
+    /// One direction of a multi-stream pump batch. `peer` is the remote
+    /// local rank (writer for recvs, reader for sends); a batch must not
+    /// contain two ops on the same (peer, slot, direction) stream.
+    struct StreamOp {
+        int peer = 0;
+        int slot = 0;
+        XferView v;
+        std::size_t pos = 0;
+        std::size_t len = 0;
+    };
+
+    // ---- stream transfers (local ranks; blocking, collective-internal) ----
+    Status send_stream(Comm& c, int to, int slot, const XferView& v,
+                       std::size_t pos, std::size_t len);
+    Status recv_stream(Comm& c, int from, int slot, const XferView& v,
+                       std::size_t pos, std::size_t len);
+    /// Full-duplex send+recv pump (ring/pairwise steps): neither direction
+    /// blocks the other, which is what makes >2-chunk ring steps safe.
+    Status xchg_streams(Comm& c, int to, int sslot, const XferView& sv,
+                        std::size_t spos, std::size_t slen, int from, int rslot,
+                        const XferView& rv, std::size_t rpos, std::size_t rlen);
+    /// Pump any number of concurrent sends and recvs to completion (the
+    /// scatter/spread schedules): every stream progresses independently, so
+    /// one slow or degraded edge never stalls the others.
+    Status run_streams(Comm& c, std::span<const StreamOp> sends,
+                       std::span<const StreamOp> recvs);
+
+    /// Dissemination barrier on the control-segment flag words, degrading
+    /// per edge to short p2p tokens (which ride the hardware-reliable
+    /// doorbell path) when a flag write fails.
+    void barrier_flags(Comm& c);
+
+private:
+    struct Stream {
+        std::uint64_t sent = 0;   ///< writer: chunks published
+        std::uint64_t acked = 0;  ///< writer: ack floor (word or fallback)
+        std::uint64_t rcvd = 0;   ///< reader: chunks consumed
+    };
+
+    struct Member {
+        bool init_done = false;
+        bool alloc_ok = false;
+        int node = -1;
+        sci::SegmentId ctrl_seg;
+        sci::SegmentId data_seg;
+        std::span<std::byte> ctrl_mem;
+        std::span<std::byte> data_mem;
+        sim::WaitQueue waiters;              ///< woken by peer flag/ack writes
+        std::vector<Stream> tx;              ///< me as writer, [peer*kSlots+slot]
+        std::vector<Stream> rx;              ///< me as reader, [peer*kSlots+slot]
+        std::vector<std::uint8_t> degraded;  ///< per peer: segment path dead
+        std::uint64_t barrier_gen = 0;
+        // Imported regions, cached per target member (index == local rank).
+        std::vector<std::optional<smi::Region>> ctrl_to;
+        std::vector<std::optional<smi::Region>> data_to;
+    };
+
+    struct ActiveSend {
+        int to = 0;
+        int slot = 0;
+        XferView v;
+        std::size_t pos = 0;       ///< stream offset of the transfer
+        std::size_t len = 0;
+        std::size_t n_chunks = 0;
+        std::size_t next_ci = 0;   ///< next chunk index to publish
+        std::uint64_t base = 0;    ///< tx.sent at transfer start
+        SimTime stall_since = -1;  ///< ack-wait start (-1: not stalled)
+        bool done = false;
+    };
+    struct ActiveRecv {
+        int from = 0;
+        int slot = 0;
+        XferView v;
+        std::size_t pos = 0;
+        std::size_t len = 0;
+        std::size_t n_chunks = 0;
+        std::uint64_t base = 0;    ///< rx.rcvd at transfer start
+        bool done = false;
+    };
+
+    // Control-word offsets (u64 words) within a member's control segment.
+    [[nodiscard]] std::size_t barrier_off(int round) const;
+    [[nodiscard]] std::size_t ready_off(int writer, int slot) const;
+    [[nodiscard]] std::size_t ack_off(int reader, int slot) const;
+    /// Chunk-area offset within a member's data segment.
+    [[nodiscard]] std::size_t area_off(int writer, int slot, int parity) const;
+
+    Member& member(int local) { return members_[static_cast<std::size_t>(local)]; }
+    smi::Region& ctrl_region(int me, int target);
+    smi::Region& data_region(int me, int target);
+
+    /// Read a word of my own control segment (loopback region, charged).
+    std::uint64_t read_my_word(Comm& c, std::size_t word_off);
+    /// Publish a word in `target`'s control segment: write + store barrier +
+    /// host-side wake. Single attempt; adapter-internal retries only.
+    Status put_word(Comm& c, int target, std::size_t word_off, std::uint64_t v);
+    /// Park until a peer wakes this member or the poll timeout elapses.
+    void park(Comm& c);
+
+    // Pump steps; return true when they made progress.
+    bool pump_send(Comm& c, ActiveSend& s, Status* st);
+    bool pump_recv(Comm& c, ActiveRecv& r, Status* st);
+    Status pump_all(Comm& c, std::span<ActiveSend> sends,
+                    std::span<ActiveRecv> recvs);
+
+    /// Write chunk `ci` of `s` (data + flag + wake) through the segments.
+    Status publish_chunk(Comm& c, ActiveSend& s, std::size_t ci);
+    /// Consume chunk `ci` of `r` from my own data segment.
+    void consume_chunk(Comm& c, ActiveRecv& r, std::size_t ci);
+    /// Divert the rest of `s` (chunks >= ci) into one p2p message.
+    Status fallback_send(Comm& c, ActiveSend& s, std::size_t ci);
+    /// Absorb a pending fallback message; false if it was stale.
+    bool fallback_recv(Comm& c, ActiveRecv& r);
+
+    Cluster& cluster_;
+    CollMetrics& cm_;
+    int n_;
+    std::size_t chunk_ = 0;       ///< 0: data segment would not fit any chunks
+    std::size_t ctrl_bytes_ = 0;
+    std::size_t data_bytes_ = 0;
+    bool usable_ = false;
+    bool verdict_known_ = false;  ///< init allgather completed once
+    std::vector<Member> members_;
+};
+
+}  // namespace scimpi::mpi::coll

@@ -1,0 +1,75 @@
+// Collective algorithm selection (the XHC-style per-size tuning idea applied
+// to the SCI segment engine). Every rank evaluates select() with identical
+// inputs, so the choice is deterministic and collectively consistent without
+// any extra agreement traffic. Overrides come from ClusterOptions::coll /
+// SCIMPI_COLL ("p2p", "seg", "auto", or "op=alg" lists).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/status.hpp"
+
+namespace scimpi::mpi::coll {
+
+enum class Op : std::uint8_t {
+    barrier,
+    bcast,
+    reduce,
+    allreduce,
+    allgather,
+    gather,
+    scatter,
+    alltoall,
+};
+inline constexpr int kOps = 8;
+
+enum class Alg : std::uint8_t {
+    auto_,         ///< spec placeholder: size/topology-based choice
+    p2p,           ///< seed algorithms over the two-sided engine
+    flat,          ///< flat-tree remote-write fan-out (bcast, typed allgather)
+    binomial,      ///< binomial tree over segments (bcast, reduce)
+    ring,          ///< ring over segments (allgather; allreduce reduce-scatter)
+    pairwise,      ///< pairwise exchange over segments (alltoall)
+    flags,         ///< dissemination on SCI flag words (barrier)
+    rdouble,       ///< recursive doubling over p2p (small allreduce)
+    reduce_bcast,  ///< segment reduce + segment bcast (medium allreduce)
+    scatter_ag,    ///< scatter + ring allgather over segments (large bcast)
+    spread,        ///< all pairwise streams at once (alltoall)
+};
+
+const char* op_name(Op op);
+const char* alg_name(Alg a);
+
+/// Facts the selection consults; identical on every rank of the call.
+struct SelectCtx {
+    std::size_t bytes = 0;    ///< packed payload per rank
+    int comm_size = 1;
+    bool segments_ok = false; ///< a usable collective segment set is available
+    bool torus = false;
+    int procs_per_node = 1;
+};
+
+class Tuning {
+public:
+    /// Parse an override spec (empty = all auto). Errors name the bad token.
+    static Result<Tuning> parse(const std::string& spec, const Config& cfg);
+
+    [[nodiscard]] Alg select(Op op, const SelectCtx& c) const;
+
+    /// False under a global "p2p" override: lets the engine skip segment-set
+    /// bootstrap entirely.
+    [[nodiscard]] bool segments_enabled() const { return seg_allowed_; }
+
+private:
+    [[nodiscard]] Alg pick_auto(Op op, const SelectCtx& c) const;
+
+    Alg force_[kOps] = {Alg::auto_, Alg::auto_, Alg::auto_, Alg::auto_,
+                        Alg::auto_, Alg::auto_, Alg::auto_, Alg::auto_};
+    bool prefer_seg_ = false;  ///< "seg": ignore the minimum-payload threshold
+    bool seg_allowed_ = true;
+    Config cfg_{};
+};
+
+}  // namespace scimpi::mpi::coll

@@ -102,12 +102,17 @@ public:
     Status unpack(std::span<const std::byte> inbuf, std::size_t* position,
                   void* outbuf, int count, const Datatype& type);
 
-    // ---- collectives (world) ----
+    // ---- collectives (src/mpi/coll/; SCIMPI_COLL selects algorithms) ----
     void barrier();
     Status bcast(void* buf, int count, const Datatype& type, int root);
     Status reduce_sum(const double* in, double* out, int n, int root);
     Status allreduce_sum(const double* in, double* out, int n);
     Status allgather(const void* in, std::size_t bytes_each, void* out);
+    /// Typed allgather (MPI_Allgather): every rank contributes `count` x
+    /// `type`; block i of `out` receives rank i's contribution. Non-
+    /// contiguous types flow through the canonical packed stream (flattened
+    /// straight into the collective segments when order-safe).
+    Status allgather(const void* in, int count, const Datatype& type, void* out);
     Status gather(const void* in, std::size_t bytes_each, void* out, int root);
     Status scatter(const void* in, std::size_t bytes_each, void* out, int root);
     Status alltoall(const void* in, std::size_t bytes_each, void* out);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "mpi/coll/coll.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rma/window.hpp"
 
@@ -45,6 +46,7 @@ Cluster::Cluster(ClusterOptions opt)
     if (opt_.stats_file.empty()) opt_.stats_file = env_path("SCIMPI_STATS_FILE");
     if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
     if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
+    if (opt_.coll.empty()) opt_.coll = env_path("SCIMPI_COLL");
     if (!opt_.stats_file.empty()) opt_.collect_stats = true;
     metrics_.enable(opt_.collect_stats);
     engine_.profiler().enable(opt_.profile);
@@ -98,6 +100,7 @@ Cluster::Cluster(ClusterOptions opt)
         for (int n = 0; n < opt_.nodes; ++n)
             monitor_->set_adapter(n, adapters_[static_cast<std::size_t>(n)].get());
     }
+    coll_ = std::make_unique<coll::CollRuntime>(*this, opt_.coll);
 }
 
 Cluster::~Cluster() {
@@ -179,6 +182,9 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
         if (checker_ != nullptr) checker_->register_actor(proc.id(), rank->rank());
     }
     engine_.run();
+    // All rank processes have finished: tear the collective segment sets
+    // down so the node arenas drain back to empty (bytes_in_use() == 0).
+    coll_->release_sets();
 }
 
 void Rank::init_world(int world_size) {

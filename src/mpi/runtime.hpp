@@ -25,6 +25,10 @@ namespace scimpi::mpi {
 
 class Comm;
 
+namespace coll {
+class CollRuntime;
+}
+
 struct ClusterOptions {
     int nodes = 2;
     int procs_per_node = 1;
@@ -56,6 +60,11 @@ struct ClusterOptions {
     /// A non-empty schedule spawns a FaultController alongside the ranks.
     fault::FaultSchedule faults;
     std::string fault_spec_file;
+    /// Collective algorithm override (src/mpi/coll/tuning.hpp): empty means
+    /// size/topology-based auto selection; "p2p"/"seg" force one path
+    /// globally; "bcast=flat,alltoall=p2p" overrides per operation. Also
+    /// settable via SCIMPI_COLL (the option wins when both are given).
+    std::string coll;
 };
 
 class Cluster {
@@ -97,6 +106,10 @@ public:
     /// checking. Callers cache the pointer: a disabled hook is one null test.
     [[nodiscard]] check::Checker* checker() { return checker_.get(); }
 
+    /// Collective engine state: tuning decisions plus the per-communicator
+    /// segment-set pool (src/mpi/coll/). Always present.
+    [[nodiscard]] coll::CollRuntime& coll_runtime() { return *coll_; }
+
     /// Structured snapshot of the run: every registry counter/gauge plus the
     /// per-link wire statistics. Valid any time; typically taken after run().
     [[nodiscard]] obs::RunReport stats_report() const;
@@ -114,6 +127,7 @@ private:
     std::unique_ptr<fault::FaultController> faults_;
     std::unique_ptr<fault::ConnectionMonitor> monitor_;
     std::unique_ptr<check::Checker> checker_;
+    std::unique_ptr<coll::CollRuntime> coll_;  // destroyed before the directory
 };
 
 }  // namespace scimpi::mpi

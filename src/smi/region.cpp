@@ -40,6 +40,27 @@ Status Region::write(sim::Process& self, std::size_t off, const void* src,
     return Status::ok();
 }
 
+Status Region::write_gather(sim::Process& self, std::size_t off,
+                            std::span<const sci::SciAdapter::ConstIovec> blocks,
+                            std::size_t src_traffic) {
+    if (remote()) return adapter_->write_gather(self, map_, off, blocks, src_traffic);
+    std::size_t len = 0;
+    for (const auto& b : blocks) len += b.len;
+    SCIMPI_REQUIRE(off + len <= size(), "region write_gather out of bounds");
+    if (len == 0) return Status::ok();
+    if (checker_ != nullptr)
+        checker_->on_segment_access(map_.seg.node, map_.seg.id, self.id(), off, len,
+                                    /*is_store=*/true, self.now());
+    const std::size_t traffic = src_traffic == 0 ? len : src_traffic;
+    self.delay(local_model_.copy_cost(traffic, {}, {}));
+    std::byte* dst = map_.mem.data() + off;
+    for (const auto& b : blocks) {
+        std::memcpy(dst, b.ptr, b.len);
+        dst += b.len;
+    }
+    return Status::ok();
+}
+
 Status Region::read(sim::Process& self, std::size_t off, void* dst, std::size_t len) {
     if (remote()) return adapter_->read(self, map_, off, dst, len);
     SCIMPI_REQUIRE(off + len <= size(), "region read out of bounds");

@@ -34,6 +34,13 @@ public:
     Status write(sim::Process& self, std::size_t off, const void* src, std::size_t len,
                  std::size_t src_traffic = 0);
 
+    /// Gather-store: `blocks` land back to back at `off` (the direct_pack_ff
+    /// fast path of SciAdapter::write_gather, available through the unified
+    /// region API so collective algorithms work unchanged intra-node).
+    Status write_gather(sim::Process& self, std::size_t off,
+                        std::span<const sci::SciAdapter::ConstIovec> blocks,
+                        std::size_t src_traffic = 0);
+
     /// Load `len` bytes from `off`.
     Status read(sim::Process& self, std::size_t off, void* dst, std::size_t len);
 
