@@ -1,0 +1,160 @@
+// bench_scale: simulator throughput at growing world sizes.
+//
+// The ROADMAP's scaling goal (256-1024 ranks) needs the simulator itself to
+// be fast, so this harness measures the *simulator*, not the simulated
+// machine: sim-events/sec of wall clock and wall-clock spent per simulated
+// second, at 4/8/16/32 ranks running a fixed collective+p2p workload with
+// the flight recorder on.
+//
+//   ./bench_scale [--json FILE] [--ranks 4,8,16,32] [--iters N] [--bytes N]
+//
+// --json writes one RunReport v4 per scale under "runs", the format
+// scripts/bench_compare.py diffs:
+//
+//   {"bench": "scale", "schema_version": 4,
+//    "runs": [{"label": "scale/n4", "params": {...}, "report": {...}}, ...]}
+//
+// Simulated-side numbers (sim_time_ns, events_dispatched, counters, the
+// sim.* timeseries) are bit-deterministic across hosts; wall-side numbers
+// (wall_ns, events_per_sec_wall, ...) are not, and bench_compare.py skips
+// them unless asked.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+using namespace scimpi;
+using namespace scimpi::mpi;
+
+namespace {
+
+struct ScaleRun {
+    int ranks = 0;
+    obs::RunReport report;
+};
+
+ScaleRun run_scale(int nodes, int iters, std::size_t bytes) {
+    ClusterOptions opt;
+    opt.nodes = nodes;
+    opt.collect_stats = true;
+    opt.record = 5_us;  // sim.* / link*.util series for the regression diff
+    ScaleRun out;
+    out.ranks = nodes;
+    Cluster cluster(opt);
+    cluster.run([iters, bytes](Comm& comm) {
+        const int n = static_cast<int>(bytes / sizeof(double));
+        std::vector<double> buf(static_cast<std::size_t>(n), 1.0);
+        std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+        std::vector<double> ring(64, 0.0);
+        for (int it = 0; it < iters; ++it) {
+            // One "timestep": a bcast fan-out, an allreduce, and a ring
+            // neighbour exchange — the mix drives collectives, eager p2p and
+            // the fabric at once.
+            SCIMPI_REQUIRE(
+                comm.bcast(buf.data(), n, Datatype::float64(), it % comm.size())
+                    .is_ok(),
+                "bcast failed");
+            SCIMPI_REQUIRE(comm.allreduce_sum(buf.data(), sum.data(), n).is_ok(),
+                           "allreduce failed");
+            const int right = (comm.rank() + 1) % comm.size();
+            const int left = (comm.rank() + comm.size() - 1) % comm.size();
+            if (comm.rank() % 2 == 0) {
+                SCIMPI_REQUIRE(comm.send(ring.data(), 64, Datatype::float64(),
+                                         right, it)
+                                   .is_ok(),
+                               "ring send failed");
+                comm.recv(ring.data(), 64, Datatype::float64(), left, it);
+            } else {
+                comm.recv(ring.data(), 64, Datatype::float64(), left, it);
+                SCIMPI_REQUIRE(comm.send(ring.data(), 64, Datatype::float64(),
+                                         right, it)
+                                   .is_ok(),
+                               "ring send failed");
+            }
+        }
+    });
+    out.report = cluster.stats_report();
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::vector<int> scales = {4, 8, 16, 32};
+    int iters = 4;
+    std::size_t bytes = 16_KiB;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--ranks" && i + 1 < argc) {
+            scales.clear();
+            for (const char* p = argv[++i]; *p != '\0';) {
+                char* end = nullptr;
+                const long v = std::strtol(p, &end, 10);
+                if (end == p || v <= 0) break;
+                scales.push_back(static_cast<int>(v));
+                p = *end == ',' ? end + 1 : end;
+            }
+        } else if (arg == "--iters" && i + 1 < argc) {
+            iters = std::atoi(argv[++i]);
+        } else if (arg == "--bytes" && i + 1 < argc) {
+            bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_scale [--json FILE] [--ranks 4,8,16] "
+                         "[--iters N] [--bytes N]\n");
+            return 2;
+        }
+    }
+    if (scales.empty() || iters <= 0 || bytes < sizeof(double)) {
+        std::fprintf(stderr, "bench_scale: bad parameters\n");
+        return 2;
+    }
+
+    std::printf("%6s %12s %14s %12s %14s %16s\n", "ranks", "sim_ms", "events",
+                "wall_ms", "events/s", "wall_per_sim_s");
+    std::string json = "{\n  \"bench\": \"scale\",\n  \"schema_version\": 4,\n"
+                       "  \"runs\": [\n";
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        const ScaleRun r = run_scale(scales[i], iters, bytes);
+        const obs::RunReport& rep = r.report;
+        std::printf("%6d %12.3f %14llu %12.3f %14.3g %16.3g\n", r.ranks,
+                    rep.sim_seconds * 1e3,
+                    static_cast<unsigned long long>(rep.events_dispatched),
+                    static_cast<double>(rep.wall_ns) / 1e6,
+                    rep.events_per_sec_wall, rep.wall_per_sim_second);
+        if (!json_path.empty()) {
+            char buf[128];
+            std::snprintf(buf, sizeof buf,
+                          "    {\"label\": \"scale/n%d\", \"params\": "
+                          "{\"ranks\": %d, \"iters\": %d, \"bytes\": %zu}, "
+                          "\"report\": ",
+                          r.ranks, r.ranks, iters, bytes);
+            json += buf;
+            json += rep.to_json();
+            // to_json ends in "}\n"; drop the newline, then close the run
+            // object before the separator.
+            if (!json.empty() && json.back() == '\n') json.pop_back();
+            json += i + 1 < scales.size() ? "},\n" : "}\n";
+        }
+    }
+    json += "  ]\n}\n";
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench_scale: cannot open '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu runs)\n", json_path.c_str(), scales.size());
+    }
+    return 0;
+}

@@ -49,6 +49,12 @@ int main(int argc, char** argv) {
             opt.fault_spec_file = argv[++i];
         } else if (arg == "--check") {
             opt.check = true;
+        } else if (arg == "--record") {
+            // Flight recorder (DESIGN.md §12): sample gauges/counters every
+            // 10 simulated us into RunReport v4 timeseries. SCIMPI_RECORD
+            // sets a custom cadence ("500ns", "1ms", ...) without the flag.
+            opt.record = 10_us;
+            opt.collect_stats = true;
         } else {
             // Name the offender: a silent catch-all would let `--chekc`
             // typos run unchecked. Flags that take a value also land here
@@ -57,7 +63,7 @@ int main(int argc, char** argv) {
                          std::string(arg).c_str());
             std::fprintf(stderr,
                          "usage: quickstart [--stats] [--profile] [--check] "
-                         "[--trace FILE] [--faults SPEC]\n");
+                         "[--record] [--trace FILE] [--faults SPEC]\n");
             return 2;
         }
     }

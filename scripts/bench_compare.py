@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Diff two RunReport v4 JSON files metric-by-metric.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Both inputs may be either a bare RunReport (the SCIMPI_STATS_FILE /
+stats_report() document) or a bench wrapper like bench_scale --json output
+({"bench": ..., "runs": [{"label": ..., "report": {...}}]}); runs are
+matched by label.
+
+For every extracted metric the relative change against the baseline is
+computed and classified by direction:
+
+  lower-is-better   *_ns, *latency*, wall_per_sim_second, sim_time_ns, ...
+  higher-is-better  *per_sec*, *goodput*, *bandwidth*
+  neutral           everything else (counters, queue depths): any change
+                    beyond the threshold is flagged both ways
+
+Wall-clock-derived metrics (wall_ns, events_per_sec_wall,
+wall_per_sim_second, ts.sim.wall* / ts.sim.events_per_sec_wall*) are
+host-dependent and skipped unless --include-wall is given, so a checked-in
+baseline stays comparable across machines. Everything simulated is
+bit-deterministic: a clean re-run diffs to zero.
+
+Exit status: 0 = no regression, 1 = at least one metric breached its
+threshold, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics whose absolute value is tiny rounding fodder are ignored below
+# this floor to avoid 0-vs-epsilon false alarms.
+ABS_FLOOR = 1e-12
+
+WALL_METRICS = ("wall_ns", "events_per_sec_wall", "wall_per_sim_second")
+
+
+def is_wall_metric(name):
+    short = name.split(".", 1)[-1] if name.startswith("ts.") else name
+    return any(w in short for w in WALL_METRICS) or short.startswith("sim.wall")
+
+
+def direction(name):
+    """-1 = lower is better, +1 = higher is better, 0 = neutral."""
+    n = name.lower()
+    if any(k in n for k in ("per_sec", "per_sim_sec", "goodput", "bandwidth")):
+        return 1
+    if any(k in n for k in ("_ns", "latency", "wall_per_sim", "sim_time",
+                            "sim_seconds", ".p50", ".p90", ".p99")):
+        return -1
+    return 0
+
+
+def summarize_series(ts):
+    """Reduce one timeseries object to mean/max scalars."""
+    v = ts.get("v", [])
+    if not v:
+        return {}
+    name = ts.get("name", "?")
+    return {
+        f"ts.{name}.mean": sum(v) / len(v),
+        f"ts.{name}.max": max(v),
+    }
+
+
+def extract_metrics(report):
+    """Flatten one RunReport into {metric_name: float}."""
+    out = {}
+    for key in ("sim_time_ns", "events_dispatched", "wall_ns",
+                "events_per_sec_wall", "wall_per_sim_second"):
+        if key in report:
+            out[key] = float(report[key])
+    for name, val in report.get("counters", {}).items():
+        out[f"counters.{name}"] = float(val)
+    for name, val in report.get("gauges", {}).items():
+        out[f"gauges.{name}"] = float(val)
+    for name, h in report.get("histograms", {}).items():
+        for field in ("count", "p50", "p99"):
+            if field in h:
+                out[f"histograms.{name}.{field}"] = float(h[field])
+    for ts in report.get("timeseries", []):
+        out.update(summarize_series(ts))
+    return out
+
+
+def load_runs(path):
+    """-> {run_label: {metric: value}}; bare reports get label ''. """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"bench_compare: cannot read {path}: {e}\n")
+        sys.exit(2)
+    if "runs" in doc:
+        runs = {}
+        for i, run in enumerate(doc["runs"]):
+            label = run.get("label", f"run{i}")
+            report = run.get("report", run)
+            runs[label] = extract_metrics(report)
+        return runs
+    if "schema_version" in doc:
+        return {"": extract_metrics(doc)}
+    sys.stderr.write(f"bench_compare: {path} is neither a RunReport nor a "
+                     "bench wrapper (no schema_version / runs)\n")
+    sys.exit(2)
+
+
+def parse_overrides(pairs):
+    out = {}
+    for p in pairs or []:
+        name, _, pct = p.partition("=")
+        try:
+            out[name] = float(pct)
+        except ValueError:
+            sys.stderr.write(f"bench_compare: bad --metric override '{p}'\n")
+            sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two RunReport v4 JSON files; nonzero exit on "
+                    "regression beyond threshold.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="allowed regression in percent (default 20)")
+    ap.add_argument("--metric", action="append", metavar="NAME=PCT",
+                    help="per-metric threshold override (substring match)")
+    ap.add_argument("--include-wall", action="store_true",
+                    help="also compare host-wall-clock-derived metrics")
+    ap.add_argument("--verbose", "-v", action="store_true",
+                    help="print every compared metric, not just breaches")
+    args = ap.parse_args()
+
+    base_runs = load_runs(args.baseline)
+    cand_runs = load_runs(args.candidate)
+    overrides = parse_overrides(args.metric)
+
+    breaches = []
+    compared = 0
+    for label, base in sorted(base_runs.items()):
+        cand = cand_runs.get(label)
+        if cand is None:
+            breaches.append((label, "<run missing>", 0.0, 0.0, 100.0))
+            continue
+        for name, b in sorted(base.items()):
+            if not args.include_wall and is_wall_metric(name):
+                continue
+            c = cand.get(name)
+            if c is None:
+                # A metric that vanished is suspicious only if it was real.
+                if abs(b) > ABS_FLOOR:
+                    breaches.append((label, name + " <missing>", b, 0.0, 100.0))
+                continue
+            compared += 1
+            if abs(b) <= ABS_FLOOR and abs(c) <= ABS_FLOOR:
+                continue
+            if abs(b) <= ABS_FLOOR:
+                change = 100.0
+            else:
+                change = (c - b) / abs(b) * 100.0
+            threshold = args.threshold
+            for pat, pct in overrides.items():
+                if pat in name:
+                    threshold = pct
+            d = direction(name)
+            if d > 0:
+                regressed = change < -threshold
+            elif d < 0:
+                regressed = change > threshold
+            else:
+                regressed = abs(change) > threshold
+            tag = "REGRESSION" if regressed else "ok"
+            if args.verbose or regressed:
+                prefix = f"{label}:" if label else ""
+                print(f"{tag:>10}  {prefix}{name}: {b:.6g} -> {c:.6g} "
+                      f"({change:+.1f}%, threshold {threshold:g}%)")
+            if regressed:
+                breaches.append((label, name, b, c, change))
+
+    print(f"bench_compare: {compared} metrics compared, "
+          f"{len(breaches)} regression(s)")
+    return 1 if breaches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,6 +131,13 @@ public:
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
+    /// Outstanding-request depths (flight-recorder probes): sends/recvs
+    /// started but not yet complete, plus queued unexpected/posted entries.
+    [[nodiscard]] std::size_t live_send_count() const { return live_sends_.size(); }
+    [[nodiscard]] std::size_t live_recv_count() const { return live_recvs_.size(); }
+    [[nodiscard]] std::size_t unexpected_count() const { return unexpected_.size(); }
+    [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+
     /// Context-id allocation for Comm::split (collectively synchronized).
     [[nodiscard]] int peek_next_context() const { return next_context_; }
     void set_next_context(int c) { next_context_ = c; }

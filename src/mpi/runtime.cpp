@@ -22,6 +22,24 @@ std::string env_path(const char* name) {
     return v != nullptr ? std::string(v) : std::string();
 }
 
+/// SCIMPI_RECORD=10us style duration: a number with an optional ns/us/ms/s
+/// suffix (bare numbers are ns). Unparseable or non-positive -> 0 (off).
+SimTime env_duration(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0') return 0;
+    char* end = nullptr;
+    const double x = std::strtod(v, &end);
+    if (end == v || x <= 0.0) return 0;
+    const std::string suffix(end);
+    double mult = 0.0;
+    if (suffix.empty() || suffix == "ns") mult = 1.0;
+    else if (suffix == "us") mult = 1e3;
+    else if (suffix == "ms") mult = 1e6;
+    else if (suffix == "s") mult = 1e9;
+    else return 0;
+    return static_cast<SimTime>(x * mult);
+}
+
 sci::Topology make_topology(const ClusterOptions& opt) {
     if (opt.torus_w > 0 && opt.torus_h > 0) {
         const int plane = opt.torus_w * opt.torus_h;
@@ -101,15 +119,110 @@ Cluster::Cluster(ClusterOptions opt)
             monitor_->set_adapter(n, adapters_[static_cast<std::size_t>(n)].get());
     }
     coll_ = std::make_unique<coll::CollRuntime>(*this, opt_.coll);
+    if (opt_.record <= 0) opt_.record = env_duration("SCIMPI_RECORD");
+    if (opt_.record > 0) init_recorder();
+}
+
+void Cluster::init_recorder() {
+    recorder_.configure({opt_.record, 2048});
+    // Per-link utilization: cumulative wire traffic (data + echo), with the
+    // rate scaled by the link's nominal capacity in bytes/ns so a fully
+    // saturated link samples at 1.0.
+    const double cap_bytes_per_ns =
+        fabric_.params().nominal_link_bw() * static_cast<double>(1_MiB) / 1e9;
+    for (int l = 0; l < fabric_.topology().links(); ++l) {
+        const std::string base = "link" + std::to_string(l);
+        recorder_.add_cumulative(base + ".wire_bytes", [this, l] {
+            return static_cast<double>(fabric_.link_stats(l).total());
+        });
+        recorder_.add_rate(base + ".util", base + ".wire_bytes",
+                           1.0 / cap_bytes_per_ns);
+    }
+    recorder_.add_gauge(
+        "fabric.inflight_bytes",
+        [this] { return static_cast<double>(fabric_.inflight_bytes()); },
+        &metrics_.gauge("fabric.inflight_bytes"));
+    recorder_.add_gauge("fabric.active_transfers", [this] {
+        return static_cast<double>(fabric_.active_transfers());
+    });
+    recorder_.add_gauge(
+        "adapter.pending_stores",
+        [this] {
+            int n = 0;
+            for (const auto& a : adapters_) n += a->pending_store_count();
+            return static_cast<double>(n);
+        },
+        &metrics_.gauge("adapter.pending_stores"));
+    recorder_.add_gauge(
+        "mpi.live_sends",
+        [this] {
+            std::size_t n = 0;
+            for (const auto& r : ranks_) n += r->live_send_count();
+            return static_cast<double>(n);
+        },
+        &metrics_.gauge("mpi.live_sends"));
+    recorder_.add_gauge(
+        "mpi.live_recvs",
+        [this] {
+            std::size_t n = 0;
+            for (const auto& r : ranks_) n += r->live_recv_count();
+            return static_cast<double>(n);
+        },
+        &metrics_.gauge("mpi.live_recvs"));
+    recorder_.add_gauge(
+        "mpi.unexpected_queued",
+        [this] {
+            std::size_t n = 0;
+            for (const auto& r : ranks_) n += r->unexpected_count();
+            return static_cast<double>(n);
+        },
+        &metrics_.gauge("mpi.unexpected_queued"));
+    recorder_.add_gauge("mpi.posted_recvs", [this] {
+        std::size_t n = 0;
+        for (const auto& r : ranks_) n += r->posted_count();
+        return static_cast<double>(n);
+    });
+    // DES engine self-metrics. The wall-clock series is host-dependent by
+    // nature; everything sim-side stays bit-deterministic.
+    recorder_.add_cumulative("sim.events", [this] {
+        return static_cast<double>(engine_.events_dispatched());
+    });
+    recorder_.add_gauge(
+        "sim.heap", [this] { return static_cast<double>(engine_.heap_size()); },
+        &metrics_.gauge("sim.heap"));
+    recorder_.add_cumulative("sim.wall_ns", [this] {
+        return static_cast<double>(engine_.wall_ns());
+    });
+    recorder_.add_rate("sim.events_per_sim_sec", "sim.events", 1e9);
+    recorder_.add_ratio("sim.events_per_sec_wall", "sim.events", "sim.wall_ns",
+                        1e9);
+    recorder_.add_rate("sim.wall_per_sim_second", "sim.wall_ns", 1.0);
+    engine_.set_sampler(opt_.record,
+                        [this](SimTime t) { recorder_.sample(t); });
 }
 
 Cluster::~Cluster() {
     if (checker_ != nullptr) checker_->print_report(stderr);
+    flush_telemetry();
+}
+
+void Cluster::flush_telemetry() {
+    if (telemetry_flushed_) return;
+    telemetry_flushed_ = true;
     if (!opt_.stats_file.empty()) {
         const Status st = stats_report().write_json(opt_.stats_file);
         if (!st) SCIMPI_WARN("stats dump failed: ", st.to_string());
     }
     if (!opt_.trace_file.empty()) {
+        // Replay the recorded series as Chrome-trace counter tracks so
+        // Perfetto shows utilization/queue-depth curves beside the spans.
+        if (recorder_.enabled() && engine_.tracer().enabled()) {
+            for (const obs::TimeSeries& ts : recorder_.series())
+                for (std::size_t i = 0; i < ts.t.size(); ++i)
+                    engine_.tracer().counter(ts.name,
+                                             static_cast<SimTime>(ts.t[i]),
+                                             ts.v[i]);
+        }
         const Status st = engine_.tracer().write_chrome_json(opt_.trace_file);
         if (!st) SCIMPI_WARN("trace dump failed: ", st.to_string());
     }
@@ -136,9 +249,25 @@ obs::RunReport Cluster::stats_report() const {
     r.seed = opt_.cfg.seed;
     r.fault_seed = opt_.faults.seed();
     r.fault_spec = opt_.fault_spec_file;
+    r.wall_ns = engine_.wall_ns();
+    if (r.wall_ns > 0)
+        r.events_per_sec_wall = static_cast<double>(r.events_dispatched) * 1e9 /
+                                static_cast<double>(r.wall_ns);
+    if (r.sim_time_ns > 0)
+        r.wall_per_sim_second = static_cast<double>(r.wall_ns) /
+                                static_cast<double>(r.sim_time_ns);
+    if (recorder_.enabled()) {
+        r.record_cadence_ns = static_cast<std::uint64_t>(recorder_.cadence());
+        r.timeseries = recorder_.series();
+        r.hotspots = obs::congestion_hotspots(r.timeseries, 5);
+    }
     r.counters = metrics_.counters();
     r.gauges = metrics_.gauge_maxima();
+    // v4: histograms that recorded no samples are omitted (their snapshot
+    // rows are all zeros and only bloat the report).
     r.histograms = metrics_.histograms();
+    std::erase_if(r.histograms,
+                  [](const obs::HistogramSnapshot& h) { return h.count == 0; });
     for (int l = 0; l < fabric_.topology().links(); ++l) {
         const sci::LinkStats& ls = fabric_.link_stats(l);
         r.links.push_back({l, ls.payload_bytes, ls.wire_bytes, ls.echo_bytes});
@@ -181,7 +310,15 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
                                         "rank " + std::to_string(rank->rank()));
         if (checker_ != nullptr) checker_->register_actor(proc.id(), rank->rank());
     }
-    engine_.run();
+    try {
+        engine_.run();
+    } catch (...) {
+        // Abort path (process panic, deadlock, rndv_fail teardown): write
+        // the telemetry files now, with whatever the run accumulated, so a
+        // failed run still leaves usable evidence on disk.
+        flush_telemetry();
+        throw;
+    }
     // All rank processes have finished: tear the collective segment sets
     // down so the node arenas drain back to empty (bytes_in_use() == 0).
     coll_->release_sets();

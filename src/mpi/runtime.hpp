@@ -15,6 +15,7 @@
 #include "mem/node_memory.hpp"
 #include "mpi/rank.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sci/dma.hpp"
 #include "sci/fabric.hpp"
 #include "sci/segment.hpp"
@@ -51,6 +52,12 @@ struct ClusterOptions {
     /// Per-rank time-attribution profiling (obs/profiler.hpp); exported in
     /// stats_report() / the stats file. Also forced on by SCIMPI_PROFILE=1.
     bool profile = false;
+    /// Flight-recorder sampling cadence in simulated ns; 0 disables the
+    /// recorder. Also settable via SCIMPI_RECORD (accepts ns/us/ms/s
+    /// suffixes, e.g. "10us"; the option wins when both are given). Sampled
+    /// series land in RunReport::timeseries and, when tracing, as
+    /// Chrome-trace counter tracks.
+    SimTime record = 0;
     /// scimpi-check: happens-before race and epoch-discipline checking for
     /// one-sided communication (src/check/checker.hpp). Also forced on by
     /// SCIMPI_CHECK=1. Checked runs are bit-identical to unchecked ones.
@@ -96,6 +103,16 @@ public:
     /// The cluster-wide counter/gauge registry (see src/obs/metrics.hpp).
     [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
+    /// The flight recorder (see src/obs/recorder.hpp); inert unless
+    /// ClusterOptions::record / SCIMPI_RECORD set a sampling cadence.
+    [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
+
+    /// Write the stats/trace files configured for this run (idempotent).
+    /// Runs automatically at destruction *and* on abort paths out of run()
+    /// (panic, deadlock, rndv_fail teardown), so a failed run still leaves
+    /// usable telemetry on disk.
+    void flush_telemetry();
+
     /// Fault-injection controller; null when the run has no fault schedule.
     [[nodiscard]] fault::FaultController* fault_controller() { return faults_.get(); }
     /// Connection monitor; null unless Config::monitor_period > 0. The MPI
@@ -115,8 +132,12 @@ public:
     [[nodiscard]] obs::RunReport stats_report() const;
 
 private:
+    void init_recorder();
+
     ClusterOptions opt_;
     obs::MetricsRegistry metrics_;
+    obs::Recorder recorder_;
+    bool telemetry_flushed_ = false;
     sim::Engine engine_;
     sim::Dispatcher dispatcher_;
     sci::Fabric fabric_;

@@ -161,6 +161,33 @@ const HistogramSnapshot* RunReport::histogram(std::string_view name) const {
     return nullptr;
 }
 
+const TimeSeries* RunReport::series(std::string_view name) const {
+    for (const TimeSeries& ts : timeseries)
+        if (ts.name == name) return &ts;
+    return nullptr;
+}
+
+std::string TimeSeries::to_json() const {
+    std::string out = "{\"name\": \"";
+    json_escape(out, name);
+    out += "\", \"t\": [";
+    char buf[32];
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i != 0) out += ", ";
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(t[i]));
+        out += buf;
+    }
+    out += "], \"v\": [";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out += ", ";
+        std::snprintf(buf, sizeof buf, "%.6g", v[i]);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
 std::string RunReport::to_json() const {
     std::string out = "{\n";
     char buf[256];
@@ -182,6 +209,14 @@ std::string RunReport::to_json() const {
     out += "  \"fault_spec\": \"";
     json_escape(out, fault_spec);
     out += "\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"wall_ns\": %llu,\n  \"events_per_sec_wall\": %.6g,\n"
+                  "  \"wall_per_sim_second\": %.6g,\n"
+                  "  \"record_cadence_ns\": %llu,\n",
+                  static_cast<unsigned long long>(wall_ns), events_per_sec_wall,
+                  wall_per_sim_second,
+                  static_cast<unsigned long long>(record_cadence_ns));
+    out += buf;
 
     out += "  \"counters\": {";
     bool first = true;
@@ -281,6 +316,29 @@ std::string RunReport::to_json() const {
                       l.id, static_cast<unsigned long long>(l.payload_bytes),
                       static_cast<unsigned long long>(l.wire_bytes),
                       static_cast<unsigned long long>(l.echo_bytes));
+        out += buf;
+    }
+    out += first ? "],\n" : "\n  ],\n";
+
+    out += "  \"timeseries\": [";
+    first = true;
+    for (const TimeSeries& ts : timeseries) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += ts.to_json();
+    }
+    out += first ? "],\n" : "\n  ],\n";
+
+    out += "  \"hotspots\": [";
+    first = true;
+    for (const HotSpot& h : hotspots) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"link\": %d, \"peak_util\": %.6g, \"peak_t_ns\": %llu, "
+                      "\"mean_util\": %.6g}",
+                      h.link, h.peak_util,
+                      static_cast<unsigned long long>(h.peak_t_ns), h.mean_util);
         out += buf;
     }
     out += first ? "]\n" : "\n  ]\n";

@@ -190,14 +190,38 @@ private:
     std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+/// One recorded metric stream (see obs/recorder.hpp): parallel arrays of
+/// sample times (simulated ns) and values.
+struct TimeSeries {
+    std::string name;
+    std::vector<std::uint64_t> t;
+    std::vector<double> v;
+
+    /// {"name": "...", "t": [...], "v": [...]}
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// One row of the derived congestion table: a link ranked by its peak
+/// sampled utilization (fraction of nominal bandwidth over a sample window).
+struct HotSpot {
+    int link = -1;
+    double peak_util = 0.0;
+    std::uint64_t peak_t_ns = 0;  ///< window end where the peak occurred
+    double mean_util = 0.0;       ///< time-weighted mean over the run
+};
+
 /// Structured snapshot of one simulated run: every registry counter/gauge/
 /// histogram, per-rank time-attribution profiles, plus the per-link wire
 /// statistics the fabric keeps unconditionally.
 struct RunReport {
     /// Bumped whenever the JSON layout changes incompatibly. v2 added
     /// schema_version/seed/fault_spec/sim_time_ns, histograms and profiles;
-    /// v3 added check_enabled and the scimpi-check violations array.
-    static constexpr int kSchemaVersion = 3;
+    /// v3 added check_enabled and the scimpi-check violations array; v4
+    /// added the flight-recorder timeseries/hotspots arrays, the DES
+    /// self-metric scalars (wall_ns, events_per_sec_wall,
+    /// wall_per_sim_second, record_cadence_ns), and omits histograms that
+    /// recorded no samples.
+    static constexpr int kSchemaVersion = 4;
 
     int schema_version = kSchemaVersion;
     int world = 0;
@@ -215,6 +239,16 @@ struct RunReport {
     std::uint64_t seed = 0;
     std::uint64_t fault_seed = 0;
     std::string fault_spec;
+
+    /// DES engine self-metrics (v4). wall_ns is the host wall-clock the
+    /// engine spent inside run(); the two derived scalars are whole-run
+    /// averages (the timeseries below carry their evolution). All three are
+    /// host-dependent: bench_compare.py skips them by default.
+    std::uint64_t wall_ns = 0;
+    double events_per_sec_wall = 0.0;
+    double wall_per_sim_second = 0.0;
+    /// Flight-recorder base cadence (ns); 0 when the recorder was off.
+    std::uint64_t record_cadence_ns = 0;
 
     std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted by name
     std::vector<std::pair<std::string, double>> gauges;           // max values
@@ -259,12 +293,19 @@ struct RunReport {
     /// Repeats of already-reported violation sites that were only counted.
     std::uint64_t check_suppressed = 0;
 
+    /// Flight-recorder output (v4): raw + derived sampled series, and the
+    /// top-K links by peak utilization. Empty when the recorder was off.
+    std::vector<TimeSeries> timeseries;
+    std::vector<HotSpot> hotspots;
+
     /// Value of a named counter in this snapshot (0 when absent).
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
     /// Max value of a named gauge in this snapshot (0 when absent).
     [[nodiscard]] double gauge(std::string_view name) const;
     /// Named histogram snapshot (nullptr when absent).
     [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+    /// Named recorded series (nullptr when absent).
+    [[nodiscard]] const TimeSeries* series(std::string_view name) const;
 
     [[nodiscard]] std::string to_json() const;
     /// Serialize to `path`; on failure the Status detail names the path and

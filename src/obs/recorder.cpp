@@ -1,0 +1,133 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scimpi::obs {
+
+std::vector<HotSpot> congestion_hotspots(const std::vector<TimeSeries>& series,
+                                         int k) {
+    std::vector<HotSpot> spots;
+    for (const TimeSeries& s : series) {
+        // %n demands the full "link<N>.util" name: sscanf assigns %d before
+        // noticing a literal mismatch, so "link2.wire_bytes" would otherwise
+        // also parse as link 2.
+        int link = -1, consumed = 0;
+        std::sscanf(s.name.c_str(), "link%d.util%n", &link, &consumed);
+        if (link < 0 || consumed != static_cast<int>(s.name.size())) continue;
+        HotSpot h;
+        h.link = link;
+        // Time-weighted mean: each sample i covers the window ending at t[i].
+        double weighted = 0.0;
+        std::uint64_t span = 0;
+        for (std::size_t i = 0; i < s.v.size(); ++i) {
+            if (s.v[i] > h.peak_util) {
+                h.peak_util = s.v[i];
+                h.peak_t_ns = s.t[i];
+            }
+            const std::uint64_t w = i == 0 ? 0 : s.t[i] - s.t[i - 1];
+            weighted += s.v[i] * static_cast<double>(w);
+            span += w;
+        }
+        if (h.peak_util <= 0.0) continue;  // idle link: not a hot spot
+        h.mean_util = span == 0 ? 0.0 : weighted / static_cast<double>(span);
+        spots.push_back(h);
+    }
+    std::sort(spots.begin(), spots.end(), [](const HotSpot& a, const HotSpot& b) {
+        return a.peak_util != b.peak_util ? a.peak_util > b.peak_util
+                                          : a.link < b.link;
+    });
+    if (k >= 0 && spots.size() > static_cast<std::size_t>(k))
+        spots.resize(static_cast<std::size_t>(k));
+    return spots;
+}
+
+void Recorder::configure(const Options& opt) {
+    opt_ = opt;
+    if (opt_.capacity < 4) opt_.capacity = 4;  // decimation needs headroom
+}
+
+void Recorder::add_gauge(std::string name, Probe probe, Gauge* mirror) {
+    sources_.push_back({std::move(name), std::move(probe), mirror, {}});
+}
+
+void Recorder::add_cumulative(std::string name, Probe probe) {
+    sources_.push_back({std::move(name), std::move(probe), nullptr, {}});
+}
+
+void Recorder::add_rate(std::string out, std::string src, double scale) {
+    derived_.push_back({std::move(out), std::move(src), std::string(), scale});
+}
+
+void Recorder::add_ratio(std::string out, std::string num, std::string den,
+                         double scale) {
+    derived_.push_back({std::move(out), std::move(num), std::move(den), scale});
+}
+
+void Recorder::sample(SimTime now) {
+    if (!enabled()) return;
+    if (tick_++ % stride_ != 0) return;  // decimated: skip this boundary
+    t_.push_back(static_cast<std::uint64_t>(now));
+    for (Source& s : sources_) {
+        const double v = s.probe ? s.probe() : 0.0;
+        s.v.push_back(v);
+        if (s.mirror != nullptr) s.mirror->set(v);
+    }
+    if (t_.size() >= opt_.capacity) decimate();
+}
+
+void Recorder::decimate() {
+    // Keep every other sample (the even retained indices) and double the
+    // stride so future boundaries match the new spacing.
+    const auto keep = [](auto& vec) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < vec.size(); r += 2) vec[w++] = vec[r];
+        vec.resize(w);
+    };
+    keep(t_);
+    for (Source& s : sources_) keep(s.v);
+    stride_ *= 2;
+    ++decimations_;
+}
+
+const std::vector<double>* Recorder::find_raw(const std::string& name) const {
+    for (const Source& s : sources_)
+        if (s.name == name) return &s.v;
+    return nullptr;
+}
+
+std::vector<TimeSeries> Recorder::series() const {
+    std::vector<TimeSeries> out;
+    out.reserve(sources_.size() + derived_.size());
+    for (const Source& s : sources_) out.push_back({s.name, t_, s.v});
+    for (const Derived& d : derived_) {
+        const std::vector<double>* num = find_raw(d.num);
+        if (num == nullptr) continue;
+        const std::vector<double>* den = d.den.empty() ? nullptr : find_raw(d.den);
+        if (!d.den.empty() && den == nullptr) continue;
+        TimeSeries ts;
+        ts.name = d.name;
+        for (std::size_t i = 1; i < t_.size(); ++i) {
+            const double dn = (*num)[i] - (*num)[i - 1];
+            const double dd = den != nullptr
+                                  ? (*den)[i] - (*den)[i - 1]
+                                  : static_cast<double>(t_[i] - t_[i - 1]);
+            if (dd <= 0.0) continue;  // stalled denominator: no window
+            ts.t.push_back(t_[i]);
+            ts.v.push_back(dn / dd * d.scale);
+        }
+        out.push_back(std::move(ts));
+    }
+    return out;
+}
+
+void Recorder::clear() {
+    t_.clear();
+    for (Source& s : sources_) s.v.clear();
+    tick_ = 0;
+    stride_ = 1;
+    decimations_ = 0;
+}
+
+}  // namespace scimpi::obs

@@ -1,0 +1,121 @@
+// Time-series flight recorder: a sim-time-driven sampler that periodically
+// snapshots registered probes (instantaneous gauges, cumulative counters)
+// into ring-buffered time series.
+//
+// Design:
+//   * the DES engine drives sampling (Engine::set_sampler): whenever the
+//     event loop's clock first reaches the next cadence boundary it calls
+//     Recorder::sample() *between* events, so sampling never perturbs
+//     simulated time and a disabled recorder costs one pointer test per
+//     dispatched event,
+//   * bounded memory — all series share one time base capped at `capacity`
+//     samples; on overflow every other retained sample is dropped and the
+//     effective cadence doubles (classic decimating flight recorder), so a
+//     long run degrades resolution instead of growing without bound,
+//   * cumulative vs gauge — probes that read monotone counters are declared
+//     cumulative; rates and ratios are derived at *export* time from
+//     consecutive retained samples, which keeps them exact across
+//     decimation (a dropped sample widens the window, it never skews the
+//     delta),
+//   * export — series() returns raw + derived series for RunReport v4;
+//     congestion_hotspots() ranks the "link<N>.util" series into the
+//     report's top-K hot-spot table.
+//
+// Like the rest of obs/, this header depends only on common/ so every layer
+// may include it; the sim engine is wired to it through a std::function.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace scimpi::obs {
+
+// TimeSeries and HotSpot — the report-schema types the recorder produces —
+// live in obs/metrics.hpp beside RunReport.
+
+/// Top `k` "link<N>.util" series of `series` by peak value, descending;
+/// links that never carried traffic (all-zero) are skipped.
+[[nodiscard]] std::vector<HotSpot> congestion_hotspots(
+    const std::vector<TimeSeries>& series, int k);
+
+class Recorder {
+public:
+    struct Options {
+        SimTime cadence = 0;          ///< ns between samples; 0 = disabled
+        std::size_t capacity = 2048;  ///< retained samples before decimation
+    };
+
+    void configure(const Options& opt);
+    [[nodiscard]] bool enabled() const { return opt_.cadence > 0; }
+    /// Configured base cadence (ns); the effective cadence after decimation
+    /// is cadence() * stride().
+    [[nodiscard]] SimTime cadence() const { return opt_.cadence; }
+    [[nodiscard]] std::uint64_t stride() const { return stride_; }
+    [[nodiscard]] std::size_t sample_count() const { return t_.size(); }
+    [[nodiscard]] std::uint64_t decimations() const { return decimations_; }
+
+    using Probe = std::function<double()>;
+
+    /// Register an instantaneous probe (queue depth, load level). When
+    /// `mirror` is non-null every sampled value is also set on that registry
+    /// gauge, so the report's gauge table carries the observed maximum.
+    void add_gauge(std::string name, Probe probe, Gauge* mirror = nullptr);
+
+    /// Register a monotone cumulative probe (byte/event counters). Exported
+    /// raw; rates derive from it via add_rate/add_ratio.
+    void add_cumulative(std::string name, Probe probe);
+
+    /// Derive, at export time, out[i] = (src[i]-src[i-1]) / (t[i]-t[i-1])
+    /// * scale over consecutive retained samples of cumulative series
+    /// `src`. With scale = 1e9 a per-ns delta becomes a per-second rate;
+    /// with scale = 1/capacity_per_ns a byte counter becomes utilization.
+    void add_rate(std::string out, std::string src, double scale);
+
+    /// Derive out[i] = (num[i]-num[i-1]) / (den[i]-den[i-1]) * scale from
+    /// two cumulative series (e.g. events per wall second). Windows where
+    /// the denominator did not advance are skipped.
+    void add_ratio(std::string out, std::string num, std::string den, double scale);
+
+    /// Take one sample of every probe at simulated time `now` (ns).
+    /// Called by the DES engine at cadence boundaries; after a decimation
+    /// only every stride()-th call is recorded.
+    void sample(SimTime now);
+
+    /// Export every raw and derived series (raw first, registration order).
+    [[nodiscard]] std::vector<TimeSeries> series() const;
+
+    /// Drop all samples (registrations survive); used on cluster reset.
+    void clear();
+
+private:
+    struct Source {
+        std::string name;
+        Probe probe;
+        Gauge* mirror = nullptr;
+        std::vector<double> v;
+    };
+    struct Derived {
+        std::string name;
+        std::string num;
+        std::string den;  ///< empty: denominator is the sample time axis
+        double scale = 1.0;
+    };
+
+    void decimate();
+    [[nodiscard]] const std::vector<double>* find_raw(const std::string& name) const;
+
+    Options opt_;
+    std::vector<Source> sources_;
+    std::vector<Derived> derived_;
+    std::vector<std::uint64_t> t_;
+    std::uint64_t tick_ = 0;        ///< cadence boundaries seen
+    std::uint64_t stride_ = 1;      ///< record every stride-th boundary
+    std::uint64_t decimations_ = 0;
+};
+
+}  // namespace scimpi::obs

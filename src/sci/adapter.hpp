@@ -139,6 +139,14 @@ public:
     [[nodiscard]] const mem::MachineProfile& host() const { return host_; }
     void reset_stats() { stats_ = Stats{}; }
 
+    /// Posted stores currently in flight across all processes on this node
+    /// (the adapter's write-queue depth; flight-recorder probe).
+    [[nodiscard]] int pending_store_count() const {
+        int n = 0;
+        for (const auto& [pid, c] : pending_stores_) n += c;
+        return n;
+    }
+
 private:
     struct StreamState {
         bool valid = false;

@@ -208,6 +208,7 @@ SimTime Fabric::timed_transfer(sim::Process& self, const RoutePath& path,
     SCIMPI_REQUIRE(chunk > 0, "timed_transfer with zero chunk");
     register_transfer(path);
     trace_load(self, path);
+    inflight_bytes_ += bytes;
     SimTime total = 0;
     std::size_t left = bytes;
     while (left > 0) {
@@ -216,6 +217,7 @@ SimTime Fabric::timed_transfer(sim::Process& self, const RoutePath& path,
         const SimTime t = transfer_time(n, bw);
         self.delay(t);
         account(path, n);
+        inflight_bytes_ -= n;
         total += t;
         left -= n;
     }

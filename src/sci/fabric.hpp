@@ -156,6 +156,10 @@ public:
     [[nodiscard]] int active_transfers() const { return active_transfers_; }
     [[nodiscard]] int peak_concurrent_transfers() const { return peak_transfers_; }
 
+    /// Bytes accepted by timed_transfer() but not yet moved over the wire —
+    /// the fabric's instantaneous backlog (flight-recorder probe).
+    [[nodiscard]] std::uint64_t inflight_bytes() const { return inflight_bytes_; }
+
     /// Emit per-link load + active-transfer counter tracks to the tracer of
     /// `self`'s engine (no-op while tracing is disabled). Called after each
     /// register/unregister by the paths that hold a Process.
@@ -171,6 +175,7 @@ private:
     std::vector<LinkStats> stats_;
     int active_transfers_ = 0;
     int peak_transfers_ = 0;
+    std::uint64_t inflight_bytes_ = 0;
     bool reroute_enabled_ = true;
     std::uint64_t reroutes_ = 0;
     std::uint64_t link_down_events_ = 0;

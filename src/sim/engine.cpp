@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
+
 #include "sim/process.hpp"
 
 namespace scimpi::sim {
@@ -51,20 +53,55 @@ void Engine::reschedule_earlier(Process& p, SimTime t) {
     schedule(p, t);
 }
 
+void Engine::set_sampler(SimTime cadence, std::function<void(SimTime)> fn) {
+    if (cadence <= 0 || !fn) {
+        sampler_cadence_ = 0;
+        sampler_ = nullptr;
+        return;
+    }
+    sampler_cadence_ = cadence;
+    sampler_ = std::move(fn);
+    // First boundary strictly after the current time.
+    sampler_next_ = (now_ / cadence + 1) * cadence;
+}
+
+std::uint64_t Engine::wall_ns() const {
+    std::uint64_t ns = wall_base_ns_;
+    if (running_)
+        ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_run_start_)
+                .count());
+    return ns;
+}
+
 void Engine::run() {
     SCIMPI_REQUIRE(!running_, "Engine::run() is not reentrant");
     running_ = true;
+    wall_run_start_ = std::chrono::steady_clock::now();
     while (!queue_.empty() && pending_error_.empty()) {
         const QEntry e = queue_.top();
         queue_.pop();
         if (e.p->finished()) continue;   // finished while queued (shutdown path)
         if (e.gen != e.p->gen_) continue;  // stale entry after reschedule
         e.p->scheduled_ = false;
+        if (sampler_cadence_ > 0 && e.t >= sampler_next_) {
+            // Crossed one or more cadence boundaries: sample once, between
+            // events, stamped at the time actually reached. Catch up
+            // sampler_next_ past e.t so an idle stretch costs one sample.
+            now_ = e.t;
+            sampler_(now_);
+            sampler_next_ = (e.t / sampler_cadence_ + 1) * sampler_cadence_;
+        }
         now_ = e.t;
         ++events_dispatched_;
         if (ctx_switches_ != nullptr) ctx_switches_->inc();
         resume(*e.p);
     }
+    wall_base_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_run_start_)
+            .count());
     running_ = false;
 
     if (!pending_error_.empty()) {

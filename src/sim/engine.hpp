@@ -10,6 +10,7 @@
 // simultaneous events run in FIFO order of scheduling.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,6 +51,18 @@ public:
     [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
     [[nodiscard]] Process* current() const { return current_; }
     [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+    /// Pending event-queue entries (including stale reschedule residue).
+    [[nodiscard]] std::size_t heap_size() const { return queue_.size(); }
+    /// Host wall-clock spent inside run() so far, in nanoseconds; valid
+    /// mid-run (the flight recorder samples it) and after run() returns.
+    [[nodiscard]] std::uint64_t wall_ns() const;
+
+    /// Install a flight-recorder hook: whenever the event loop's clock first
+    /// reaches the next multiple of `cadence` it calls `fn(now)` between two
+    /// event dispatches (sampling never perturbs simulated time, and cannot
+    /// keep the queue alive the way a self-rescheduling daemon would).
+    /// cadence <= 0 removes the hook.
+    void set_sampler(SimTime cadence, std::function<void(SimTime)> fn);
 
     /// Event tracer (disabled by default; see sim/trace.hpp).
     [[nodiscard]] Tracer& tracer() { return tracer_; }
@@ -101,6 +114,11 @@ private:
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t events_dispatched_ = 0;
+    std::uint64_t wall_base_ns_ = 0;
+    std::chrono::steady_clock::time_point wall_run_start_{};
+    SimTime sampler_cadence_ = 0;
+    SimTime sampler_next_ = 0;
+    std::function<void(SimTime)> sampler_;
     Process* current_ = nullptr;
     Tracer tracer_;
     obs::Profiler profiler_;

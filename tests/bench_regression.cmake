@@ -1,0 +1,36 @@
+# Bench-regression gate: run bench_scale with the checked-in workload shape
+# and diff its RunReport v4 output against BENCH_BASELINE.json with
+# scripts/bench_compare.py. Simulated metrics are bit-deterministic, so any
+# diff beyond the threshold is a real behaviour change: either a regression
+# to fix or an intended change that must update the baseline
+# (see DESIGN.md §12 for the refresh recipe).
+#
+# Expects: BENCH_SCALE (binary), COMPARE (script), BASELINE (json),
+#          PYTHON, OUT_DIR.
+set(new_json "${OUT_DIR}/bench_scale_current.json")
+file(REMOVE "${new_json}")
+
+# Keep the gate fast: the two smallest scales only, few iterations. The
+# baseline was generated with exactly these parameters.
+execute_process(
+  COMMAND "${BENCH_SCALE}" --json "${new_json}" --ranks 4,8 --iters 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_scale exited with ${rc}:\n${out}")
+endif()
+if(NOT EXISTS "${new_json}")
+  message(FATAL_ERROR "bench_scale wrote no JSON")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${COMPARE}" "${BASELINE}" "${new_json}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_compare found regressions against BENCH_BASELINE.json "
+          "(rerun scripts/bench_compare.py -v for details; refresh the "
+          "baseline only for intended changes)")
+endif()

@@ -64,14 +64,23 @@ TEST(Histogram, RecordTracksCountSumMinMaxAndBuckets) {
 }
 
 TEST(Histogram, PercentileOfEmptyIsZero) {
+    // Pinned explicitly: count_ == 0 returns 0.0 up front for *any* p —
+    // never the bucket-scan fallthrough (which would return max_ = 0 only by
+    // accident) and never the clamped min/max endpoints.
     MetricsRegistry reg;
     reg.enable();
     Histogram& h = reg.histogram("t");
-    EXPECT_EQ(h.percentile(50.0), 0.0);
-    EXPECT_EQ(h.percentile(0.0), 0.0);
-    EXPECT_EQ(h.percentile(100.0), 0.0);
+    for (const double p : {-5.0, 0.0, 1.0, 50.0, 99.9, 100.0, 250.0})
+        EXPECT_EQ(h.percentile(p), 0.0) << "p" << p;
     EXPECT_EQ(h.min(), 0u);
     EXPECT_EQ(h.max(), 0u);
+    // The snapshot of an empty histogram is all-zero — that is exactly what
+    // RunReport v4's empty-histogram omission filters on (count == 0).
+    const std::vector<HistogramSnapshot> snaps = reg.histograms();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].count, 0u);
+    EXPECT_EQ(snaps[0].p50, 0.0);
+    EXPECT_EQ(snaps[0].p99, 0.0);
 }
 
 TEST(Histogram, PercentileEndpointsReturnMinAndMax) {

@@ -82,6 +82,76 @@ TEST(MetricsRegistry, SnapshotIsSortedByName) {
     EXPECT_EQ(snap[1].first, "zeta");
 }
 
+TEST(MetricsRegistry, LifecycleAcrossResetKeepsHandlesAndRezeroesGauges) {
+    // The cluster reset/re-init contract: modules resolve handles once (at
+    // construction) and keep incrementing through them across reset().
+    MetricsRegistry m;
+    m.enable();
+    Counter* c = &m.counter("mod.events");
+    Gauge* g = &m.gauge("mod.depth");
+    Histogram* h = &m.histogram("mod.latency_ns");
+    c->add(7);
+    g->set(9.0);
+    h->record(128);
+
+    m.reset();
+    // Handles are still the registry's slots (node-based storage)...
+    EXPECT_EQ(c, &m.counter("mod.events"));
+    EXPECT_EQ(g, &m.gauge("mod.depth"));
+    EXPECT_EQ(h, &m.histogram("mod.latency_ns"));
+    // ...and every value (including the gauge high-water mark) re-zeroed.
+    EXPECT_EQ(c->value(), 0u);
+    EXPECT_EQ(g->value(), 0.0);
+    EXPECT_EQ(g->max(), 0.0);
+    EXPECT_EQ(h->count(), 0u);
+
+    // A second "run" through the same handles behaves like the first.
+    c->inc();
+    g->set(3.0);
+    h->record(64);
+    EXPECT_EQ(m.value("mod.events"), 1u);
+    EXPECT_EQ(g->max(), 3.0);
+    EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistry, InternedNamesDoNotLeakOrCollideAcrossResets) {
+    MetricsRegistry m;
+    m.enable();
+    for (int round = 0; round < 3; ++round) {
+        // Re-registering the same names every "re-init" must find the
+        // existing slots, not grow the registry (no interning leak).
+        m.counter("a.count").inc();
+        m.counter("b.count").inc();
+        m.gauge("a.level").set(1.0);
+        m.histogram("a.hist").record(1);
+        EXPECT_EQ(m.counters().size(), 2u) << "round " << round;
+        EXPECT_EQ(m.gauge_maxima().size(), 1u) << "round " << round;
+        EXPECT_EQ(m.histograms().size(), 1u) << "round " << round;
+        // Prefix-sharing names stay distinct slots (no collision).
+        EXPECT_NE(&m.counter("a.count"), &m.counter("b.count"));
+        m.reset();
+        EXPECT_EQ(m.value("a.count"), 0u);
+    }
+}
+
+TEST(MetricsRegistry, FreshRegistriesPerClusterDoNotAlias) {
+    // Two clusters in sequence (re-init) own independent registries: same
+    // names, different slots, no cross-talk.
+    MetricsRegistry first;
+    first.enable();
+    Counter* c1 = &first.counter("x");
+    c1->add(5);
+    {
+        MetricsRegistry second;
+        second.enable();
+        Counter* c2 = &second.counter("x");
+        EXPECT_NE(c1, c2);
+        c2->add(2);
+        EXPECT_EQ(second.value("x"), 2u);
+    }
+    EXPECT_EQ(first.value("x"), 5u);  // unaffected by the second's lifetime
+}
+
 TEST(JsonEscape, EscapesQuotesBackslashesAndControlChars) {
     std::string out;
     json_escape(out, "a\"b\\c\n\t\x01z");

@@ -1,0 +1,201 @@
+// Unit tests for obs::Recorder: sampling, ring-buffer decimation, export-time
+// derived series (rates / ratios staying exact across decimation), and the
+// congestion hot-spot ranking.
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/mini_json.hpp"
+
+namespace scimpi::obs {
+namespace {
+
+Recorder make(SimTime cadence, std::size_t capacity = 2048) {
+    Recorder r;
+    r.configure({cadence, capacity});
+    return r;
+}
+
+TEST(Recorder, DisabledByDefaultAndWithZeroCadence) {
+    Recorder r;
+    EXPECT_FALSE(r.enabled());
+    r.sample(100);
+    EXPECT_EQ(r.sample_count(), 0u);
+    r.configure({0, 16});
+    EXPECT_FALSE(r.enabled());
+}
+
+TEST(Recorder, SamplesEveryProbeOnOneSharedTimeBase) {
+    Recorder r = make(10);
+    double level = 0.0;
+    std::uint64_t total = 0;
+    r.add_gauge("depth", [&] { return level; });
+    r.add_cumulative("bytes", [&] { return static_cast<double>(total); });
+    level = 2.0;
+    total = 100;
+    r.sample(10);
+    level = 5.0;
+    total = 250;
+    r.sample(20);
+
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].name, "depth");
+    ASSERT_EQ(out[0].t.size(), 2u);
+    EXPECT_EQ(out[0].t[0], 10u);
+    EXPECT_EQ(out[0].t[1], 20u);
+    EXPECT_EQ(out[0].v[0], 2.0);
+    EXPECT_EQ(out[0].v[1], 5.0);
+    EXPECT_EQ(out[1].name, "bytes");
+    EXPECT_EQ(out[1].v[1], 250.0);
+}
+
+TEST(Recorder, MirrorsSampledValuesIntoARegistryGauge) {
+    MetricsRegistry m;
+    m.enable();
+    Gauge& g = m.gauge("depth");
+    Recorder r = make(10);
+    double level = 3.0;
+    r.add_gauge("depth", [&] { return level; }, &g);
+    r.sample(10);
+    level = 9.0;
+    r.sample(20);
+    level = 4.0;
+    r.sample(30);
+    EXPECT_EQ(g.value(), 4.0);
+    EXPECT_EQ(g.max(), 9.0);  // high-water mark survives in the gauge table
+}
+
+TEST(Recorder, DecimationHalvesRetainedSamplesAndDoublesStride) {
+    Recorder r = make(1, /*capacity=*/8);
+    std::uint64_t ticks = 0;
+    r.add_cumulative("n", [&] { return static_cast<double>(ticks); });
+    for (SimTime t = 1; t <= 64; ++t) {
+        ticks = static_cast<std::uint64_t>(t);
+        r.sample(t);
+    }
+    // Capacity 8: each time the buffer fills, half the samples are dropped
+    // and the stride doubles. 64 boundaries fill it four times
+    // (stride 1->2->4->8->16); retained count stays in [capacity/2, capacity].
+    EXPECT_LE(r.sample_count(), 8u);
+    EXPECT_GE(r.sample_count(), 4u);
+    EXPECT_EQ(r.stride(), 16u);
+    EXPECT_EQ(r.decimations(), 4u);
+    // The retained time base is still strictly increasing and the retained
+    // cumulative values still match their sample times exactly (the probe
+    // read t at time t) — decimation drops samples, never skews them.
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out.size(), 1u);
+    for (std::size_t i = 0; i < out[0].t.size(); ++i) {
+        if (i > 0) EXPECT_GT(out[0].t[i], out[0].t[i - 1]);
+        EXPECT_EQ(out[0].v[i], static_cast<double>(out[0].t[i]));
+    }
+}
+
+TEST(Recorder, RatesStayExactAcrossDecimation) {
+    // A counter growing at exactly 3 per ns: the derived rate must read 3.0
+    // in every window, before and after decimation widens the windows.
+    Recorder r = make(1, 8);
+    SimTime now = 0;
+    r.add_cumulative("c", [&] { return static_cast<double>(3 * now); });
+    r.add_rate("c.rate", "c", 1.0);
+    for (now = 1; now <= 100; ++now) r.sample(now);
+    EXPECT_GT(r.decimations(), 0u);
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out.size(), 2u);
+    const TimeSeries& rate = out[1];
+    EXPECT_EQ(rate.name, "c.rate");
+    ASSERT_GT(rate.v.size(), 1u);
+    for (const double v : rate.v) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Recorder, RatioSkipsWindowsWhereTheDenominatorStalls) {
+    Recorder r = make(10);
+    double num = 0.0, den = 0.0;
+    r.add_cumulative("n", [&] { return num; });
+    r.add_cumulative("d", [&] { return den; });
+    r.add_ratio("n_per_d", "n", "d", 1.0);
+    num = 10;
+    den = 5;
+    r.sample(10);
+    num = 20;  // den unchanged: this window must be skipped
+    r.sample(20);
+    num = 40;
+    den = 10;
+    r.sample(30);
+    const std::vector<TimeSeries> out = r.series();
+    const TimeSeries& ratio = out.back();
+    ASSERT_EQ(ratio.v.size(), 1u);  // only the window where den advanced
+    EXPECT_EQ(ratio.t[0], 30u);
+    EXPECT_DOUBLE_EQ(ratio.v[0], (40.0 - 20.0) / (10.0 - 5.0));
+}
+
+TEST(Recorder, ClearDropsSamplesButKeepsRegistrations) {
+    Recorder r = make(1, 8);
+    double v = 1.0;
+    r.add_gauge("g", [&] { return v; });
+    for (SimTime t = 1; t <= 20; ++t) r.sample(t);
+    EXPECT_GT(r.sample_count(), 0u);
+    r.clear();
+    EXPECT_EQ(r.sample_count(), 0u);
+    EXPECT_EQ(r.stride(), 1u);
+    EXPECT_EQ(r.decimations(), 0u);
+    r.sample(5);
+    EXPECT_EQ(r.sample_count(), 1u);
+    EXPECT_EQ(r.series()[0].v[0], 1.0);
+}
+
+TEST(Recorder, TimeSeriesToJsonIsValid) {
+    TimeSeries ts;
+    ts.name = "link0.util";
+    ts.t = {10, 20, 30};
+    ts.v = {0.5, 1.0, 0.25};
+    const std::string json = ts.to_json();
+    EXPECT_TRUE(testsupport::json_valid(json)) << json;
+    EXPECT_NE(json.find("\"t\": [10, 20, 30]"), std::string::npos);
+    EXPECT_NE(json.find("\"v\": [0.5, 1, 0.25]"), std::string::npos);
+}
+
+TEST(CongestionHotspots, RanksLinksByPeakAndSkipsIdleOnes) {
+    std::vector<TimeSeries> series;
+    series.push_back({"link0.util", {10, 20, 30}, {0.1, 0.9, 0.2}});
+    series.push_back({"link1.util", {10, 20, 30}, {0.4, 0.5, 0.6}});
+    series.push_back({"link2.util", {10, 20, 30}, {0.0, 0.0, 0.0}});  // idle
+    series.push_back({"fabric.inflight_bytes", {10, 20}, {100.0, 50.0}});
+
+    const std::vector<HotSpot> spots = congestion_hotspots(series, 5);
+    ASSERT_EQ(spots.size(), 2u);  // idle link and non-link series skipped
+    EXPECT_EQ(spots[0].link, 0);
+    EXPECT_DOUBLE_EQ(spots[0].peak_util, 0.9);
+    EXPECT_EQ(spots[0].peak_t_ns, 20u);
+    EXPECT_EQ(spots[1].link, 1);
+    EXPECT_DOUBLE_EQ(spots[1].peak_util, 0.6);
+    // Time-weighted mean over equal windows: first sample has weight 0.
+    EXPECT_NEAR(spots[1].mean_util, (0.5 + 0.6) / 2.0, 1e-12);
+    // k truncation keeps the top entries.
+    EXPECT_EQ(congestion_hotspots(series, 1).size(), 1u);
+    EXPECT_EQ(congestion_hotspots(series, 1)[0].link, 0);
+}
+
+TEST(Recorder, SampleRespectsStrideAfterDecimation) {
+    // Stride parity follows the boundary (tick) counter, not sim time: after
+    // 4 boundaries trigger decimation (stride 2), boundary #5 (tick 4, even)
+    // is recorded and boundary #6 (tick 5, odd) is skipped.
+    Recorder r = make(1, 4);
+    SimTime now = 0;
+    r.add_cumulative("c", [&] { return static_cast<double>(now); });
+    for (now = 1; now <= 4; ++now) r.sample(now);  // triggers decimation
+    EXPECT_EQ(r.stride(), 2u);
+    const std::size_t before = r.sample_count();
+    now = 5;
+    r.sample(5);  // tick 4: on-stride, recorded
+    EXPECT_EQ(r.sample_count(), before + 1);
+    now = 6;
+    r.sample(6);  // tick 5: off-stride, skipped
+    EXPECT_EQ(r.sample_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace scimpi::obs

@@ -278,13 +278,22 @@ TEST(StatsReport, SchemaCarriesVersionSeedAndFaultSpec) {
                      static_cast<double>(r.sim_time_ns) / 1e9);
     const std::string json = r.to_json();
     EXPECT_TRUE(testsupport::json_valid(json));
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"seed\": 12345"), std::string::npos);
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
     // v3: the scimpi-check fields are always present; without --check the
     // checker never ran and the violations array is empty.
     EXPECT_NE(json.find("\"check_enabled\": false"), std::string::npos);
     EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
+    // v4: DES self-metrics and flight-recorder arrays are always present;
+    // with the recorder off the arrays are empty and the cadence is 0.
+    EXPECT_NE(json.find("\"wall_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"record_cadence_ns\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"timeseries\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"hotspots\": []"), std::string::npos);
+    EXPECT_GT(r.wall_ns, 0u);
+    EXPECT_GT(r.events_per_sec_wall, 0.0);
+    EXPECT_GT(r.wall_per_sim_second, 0.0);
 }
 
 TEST(StatsReport, ProfileAttributesEveryTickOfEveryRank) {
@@ -350,6 +359,131 @@ TEST(StatsReport, ObservabilityDoesNotPerturbTheSimulation) {
     c.run(p2p_workload);
     EXPECT_EQ(static_cast<std::uint64_t>(c.engine().now()), time_on);
     EXPECT_EQ(c.engine().events_dispatched(), events_on);
+}
+
+TEST(StatsReport, OmitsHistogramsThatRecordedNoSamples) {
+    // v4: the report drops all-zero histogram snapshots. The RMA latency
+    // histograms are registered by every run (bind_metrics at construction)
+    // but this p2p-only workload never records into them.
+    Cluster c(two_nodes_with_stats());
+    c.run(p2p_workload);
+    EXPECT_GT(c.metrics().histograms().size(), 0u);
+    bool registry_has_empty = false;
+    for (const obs::HistogramSnapshot& h : c.metrics().histograms())
+        if (h.count == 0) registry_has_empty = true;
+    EXPECT_TRUE(registry_has_empty);  // the filter has something to drop
+
+    const obs::RunReport r = c.stats_report();
+    ASSERT_FALSE(r.histograms.empty());
+    for (const obs::HistogramSnapshot& h : r.histograms)
+        EXPECT_GT(h.count, 0u) << h.name;
+    EXPECT_EQ(r.histogram("rma.latency_direct_ns"), nullptr);
+    const std::string json = r.to_json();
+    EXPECT_EQ(json.find("rma.latency_direct_ns"), std::string::npos);
+}
+
+TEST(StatsReport, RecorderFillsTimeseriesAndHotspots) {
+    ClusterOptions opt = two_nodes_with_stats();
+    opt.record = 1_us;
+    Cluster c(opt);
+    c.run(p2p_workload);
+    const obs::RunReport r = c.stats_report();
+    EXPECT_EQ(r.record_cadence_ns, 1000u);
+    ASSERT_FALSE(r.timeseries.empty());
+
+    // The cumulative engine-event series must exist, be monotone, and end at
+    // the run's final event count (modulo events after the last sample).
+    const obs::TimeSeries* ev = r.series("sim.events");
+    ASSERT_NE(ev, nullptr);
+    ASSERT_GT(ev->t.size(), 1u);
+    ASSERT_EQ(ev->t.size(), ev->v.size());
+    for (std::size_t i = 1; i < ev->t.size(); ++i) {
+        EXPECT_GT(ev->t[i], ev->t[i - 1]);
+        EXPECT_GE(ev->v[i], ev->v[i - 1]);
+    }
+    EXPECT_LE(ev->v.back(), static_cast<double>(r.events_dispatched));
+
+    // The p2p traffic crosses link 0 (node 0 -> node 1), so its utilization
+    // series must show activity and rank it as a hot spot.
+    const obs::TimeSeries* util = r.series("link0.util");
+    ASSERT_NE(util, nullptr);
+    double peak = 0.0;
+    for (const double v : util->v) peak = std::max(peak, v);
+    EXPECT_GT(peak, 0.0);
+    ASSERT_FALSE(r.hotspots.empty());
+    EXPECT_EQ(r.hotspots[0].link, 0);
+    EXPECT_DOUBLE_EQ(r.hotspots[0].peak_util, peak);
+
+    const std::string json = r.to_json();
+    EXPECT_TRUE(testsupport::json_valid(json));
+    EXPECT_NE(json.find("\"timeseries\": [\n"), std::string::npos);
+    EXPECT_NE(json.find("\"hotspots\": [\n"), std::string::npos);
+    EXPECT_NE(json.find("link0.util"), std::string::npos);
+}
+
+TEST(StatsReport, RecorderDoesNotPerturbTheSimulation) {
+    std::uint64_t time_off = 0, events_off = 0;
+    {
+        ClusterOptions opt;
+        opt.nodes = 2;
+        Cluster c(opt);
+        c.run(p2p_workload);
+        time_off = static_cast<std::uint64_t>(c.engine().now());
+        events_off = c.engine().events_dispatched();
+    }
+    ClusterOptions opt = two_nodes_with_stats();
+    opt.record = 500_ns;  // aggressive cadence: many samples
+    Cluster c(opt);
+    c.run(p2p_workload);
+    EXPECT_EQ(static_cast<std::uint64_t>(c.engine().now()), time_off);
+    EXPECT_EQ(c.engine().events_dispatched(), events_off);
+    EXPECT_GT(c.recorder().sample_count(), 0u);
+}
+
+TEST(StatsReport, AbortPathStillWritesStatsAndTraceFiles) {
+    const std::string stats = ::testing::TempDir() + "/scimpi_abort_stats.json";
+    const std::string trace = ::testing::TempDir() + "/scimpi_abort.trace.json";
+    std::remove(stats.c_str());
+    std::remove(trace.c_str());
+    {
+        ClusterOptions opt = two_nodes_with_stats();
+        opt.stats_file = stats;
+        opt.trace_file = trace;
+        opt.record = 1_us;
+        Cluster c(opt);
+        EXPECT_THROW(c.run([](Comm& comm) {
+            std::vector<double> buf(128, 1.0);  // 1 KiB: the eager path
+            if (comm.rank() == 0) {
+                ASSERT_TRUE(
+                    comm.send(buf.data(), 128, Datatype::float64(), 1, 0));
+                panic("injected failure after first send");
+            }
+            comm.recv(buf.data(), 128, Datatype::float64(), 0, 0);
+        }),
+                     Panic);
+        // flush_telemetry() ran on the abort path: both files exist already,
+        // before ~Cluster.
+        std::ifstream s_in(stats), t_in(trace);
+        EXPECT_TRUE(s_in.good()) << stats;
+        EXPECT_TRUE(t_in.good()) << trace;
+    }
+    // And they are valid, useful JSON (not truncated by the unwind).
+    for (const std::string& path : {stats, trace}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        EXPECT_TRUE(testsupport::json_valid(ss.str())) << path;
+    }
+    std::ifstream in(stats);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    // The pre-panic traffic made it into the aborted run's report.
+    EXPECT_NE(json.find("\"mpi.sends_eager\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    std::remove(stats.c_str());
+    std::remove(trace.c_str());
 }
 
 TEST(StatsReport, EnvVarTogglesTheRegistry) {

@@ -1,0 +1,44 @@
+# Flight-recorder smoke test: run the quickstart example with --record plus
+# stats/trace files, then check (a) both files are well-formed JSON, (b) the
+# stats report carries a valid v4 flight-recorder section (obs_check record:
+# schema >= 4, cadence set, monotone non-empty timeseries, hotspots array),
+# and (c) the trace contains the recorder's counter tracks for Perfetto.
+#
+# Expects: QUICKSTART, JSON_CHECK, OBS_CHECK, OUT_DIR.
+set(stats_file "${OUT_DIR}/smoke_record_stats.json")
+set(trace_file "${OUT_DIR}/smoke_record.trace.json")
+file(REMOVE "${stats_file}" "${trace_file}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "SCIMPI_STATS_FILE=${stats_file}"
+          "SCIMPI_TRACE_FILE=${trace_file}"
+          "${QUICKSTART}" --record
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart --record exited with ${rc}")
+endif()
+
+foreach(f IN ITEMS "${stats_file}" "${trace_file}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected output file was not written: ${f}")
+  endif()
+  execute_process(COMMAND "${JSON_CHECK}" "${f}" RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "not valid JSON: ${f}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${OBS_CHECK}" record "${stats_file}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_check record failed on ${stats_file}")
+endif()
+
+# The trace must carry the recorder's counter tracks (utilization curves).
+file(READ "${trace_file}" trace_text)
+string(FIND "${trace_text}" "link0.util" util_pos)
+string(FIND "${trace_text}" "sim.heap" heap_pos)
+if(util_pos EQUAL -1 OR heap_pos EQUAL -1)
+  message(FATAL_ERROR
+          "trace lacks recorder counter tracks (link0.util / sim.heap)")
+endif()

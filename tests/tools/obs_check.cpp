@@ -9,17 +9,25 @@
 //                                   to its total_ns, and every total_ns
 //                                   equals the report's sim_time_ns (the
 //                                   "every tick attributed" invariant).
+//   obs_check record <stats.json>   RunReport v4 flight-recorder layout:
+//                                   schema_version >= 4, record_cadence_ns
+//                                   > 0, a non-empty timeseries array whose
+//                                   series each have len(t) == len(v) and a
+//                                   strictly increasing time axis, and a
+//                                   hotspots array.
 //
 // Both modes scan the known single-event-per-line layout our own writers
 // emit; they are validators for those writers, not general JSON parsers
 // (json_check covers syntax).
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -127,12 +135,97 @@ int check_profile(const std::string& text) {
     return 0;
 }
 
+/// Parse the bracketed numeric array starting at text[open] == '['; returns
+/// the values and the index one past the closing ']'.
+std::vector<double> parse_array(const std::string& text, std::size_t open,
+                                std::size_t* end_out) {
+    std::vector<double> vals;
+    std::size_t p = open + 1;
+    const std::size_t close = text.find(']', open);
+    while (p < close) {
+        char* end = nullptr;
+        const double v = std::strtod(text.c_str() + p, &end);
+        const auto consumed = static_cast<std::size_t>(end - text.c_str());
+        if (consumed == p) break;  // no number (empty array)
+        vals.push_back(v);
+        p = text.find(',', consumed);
+        if (p == std::string::npos || p > close) break;
+        ++p;
+    }
+    if (end_out != nullptr)
+        *end_out = close == std::string::npos ? text.size() : close + 1;
+    return vals;
+}
+
+int check_record(const std::string& text) {
+    std::uint64_t schema = 0;
+    if (!find_u64(text, "schema_version", 0, schema) || schema < 4) {
+        std::fprintf(stderr,
+                     "obs_check: schema_version %llu < 4 (flight recorder "
+                     "needs v4)\n",
+                     static_cast<unsigned long long>(schema));
+        return 1;
+    }
+    std::uint64_t cadence = 0;
+    if (!find_u64(text, "record_cadence_ns", 0, cadence) || cadence == 0) {
+        std::fprintf(stderr, "obs_check: record_cadence_ns missing or 0 "
+                             "(recorder was off)\n");
+        return 1;
+    }
+    if (text.find("\"hotspots\": [") == std::string::npos) {
+        std::fprintf(stderr, "obs_check: report lacks a hotspots array\n");
+        return 1;
+    }
+    // Every series line our writer emits:  {"name": "...", "t": [...], "v": [...]}
+    std::istringstream in(text);
+    std::string line;
+    int series = 0;
+    std::size_t samples = 0;
+    while (std::getline(in, line)) {
+        const std::size_t name = line.find("\"name\": \"");
+        const std::size_t t_open = line.find("\"t\": [");
+        const std::size_t v_open = line.find("\"v\": [");
+        if (name == std::string::npos || t_open == std::string::npos ||
+            v_open == std::string::npos)
+            continue;
+        const std::size_t name_end = line.find('"', name + 9);
+        const std::string sname = line.substr(name + 9, name_end - (name + 9));
+        const std::vector<double> t = parse_array(line, t_open + 5, nullptr);
+        const std::vector<double> v = parse_array(line, v_open + 5, nullptr);
+        if (t.size() != v.size()) {
+            std::fprintf(stderr,
+                         "obs_check: series %s has %zu times but %zu values\n",
+                         sname.c_str(), t.size(), v.size());
+            return 1;
+        }
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (t[i] <= t[i - 1]) {
+                std::fprintf(stderr,
+                             "obs_check: series %s time axis not strictly "
+                             "increasing at index %zu\n",
+                             sname.c_str(), i);
+                return 1;
+            }
+        }
+        ++series;
+        samples += t.size();
+    }
+    if (series == 0 || samples == 0) {
+        std::fprintf(stderr, "obs_check: report has no non-empty timeseries\n");
+        return 1;
+    }
+    std::printf("obs_check: %d series, %zu samples, cadence %llu ns\n", series,
+                samples, static_cast<unsigned long long>(cadence));
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc != 3 || (std::strcmp(argv[1], "flows") != 0 &&
-                      std::strcmp(argv[1], "profile") != 0)) {
-        std::fprintf(stderr, "usage: obs_check flows|profile FILE\n");
+                      std::strcmp(argv[1], "profile") != 0 &&
+                      std::strcmp(argv[1], "record") != 0)) {
+        std::fprintf(stderr, "usage: obs_check flows|profile|record FILE\n");
         return 2;
     }
     std::ifstream in(argv[2], std::ios::binary);
@@ -143,6 +236,7 @@ int main(int argc, char** argv) {
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
-    return std::strcmp(argv[1], "flows") == 0 ? check_flows(text)
-                                              : check_profile(text);
+    if (std::strcmp(argv[1], "flows") == 0) return check_flows(text);
+    if (std::strcmp(argv[1], "profile") == 0) return check_profile(text);
+    return check_record(text);
 }
