@@ -1,0 +1,256 @@
+// bench_overlap: OSU-style communication/computation overlap microbench.
+//
+// Two ranks exchange rendezvous-sized messages while each burns a calibrated
+// slab of compute. Three phases per message size:
+//
+//   comm    blocking exchange, no compute  -> calibrates the compute slab
+//   block   blocking exchange + compute    -> comm and compute serialize
+//   nonblk  Irecv/Isend + compute + Waitall with async progress on -> the
+//           transfer runs underneath the compute, so per-iteration time
+//           drops toward max(comm, compute)
+//
+// The bench fails (exit 1) unless nonblk is measurably faster than block at
+// every rendezvous size — the acceptance gate for the request engine's
+// overlap path — and prints the achieved overlap ratio the profiler
+// measured per rank (RunReport profiles[].overlap_ratio).
+//
+// A derived-datatype integrity pass rides along: the same exchange through
+// a strided Datatype::vector, with the payload pattern verified element-
+// wise and the stride gaps checked for corruption every iteration.
+//
+//   ./bench_overlap [--json FILE] [--sizes 32768,131072] [--iters N]
+//
+// --json writes one RunReport v4 per phase/size under "runs", the format
+// scripts/bench_compare.py diffs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+using namespace scimpi;
+using namespace scimpi::mpi;
+
+namespace {
+
+struct OverlapRun {
+    obs::RunReport report;
+    double iter_us = 0.0;        ///< simulated time per iteration
+    double overlap_ratio = 0.0;  ///< aggregate over both ranks' profiles
+};
+
+/// One two-rank exchange phase. compute_ns == 0 is the calibration run.
+OverlapRun run_phase(std::size_t bytes, int iters, bool nonblocking,
+                     SimTime compute_ns) {
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.collect_stats = true;
+    opt.profile = true;
+    opt.async_progress = nonblocking;
+    OverlapRun out;
+    double elapsed = 0.0;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        const int n = static_cast<int>(bytes / sizeof(double));
+        const int peer = 1 - comm.rank();
+        std::vector<double> sbuf(static_cast<std::size_t>(n), 1.0);
+        std::vector<double> rbuf(static_cast<std::size_t>(n), 0.0);
+        comm.barrier();
+        const double t0 = comm.wtime();
+        for (int it = 0; it < iters; ++it) {
+            if (nonblocking) {
+                Request reqs[2] = {
+                    comm.irecv(rbuf.data(), n, Datatype::float64(), peer, it),
+                    comm.isend(sbuf.data(), n, Datatype::float64(), peer, it),
+                };
+                if (compute_ns > 0) comm.proc().delay(compute_ns);
+                SCIMPI_REQUIRE(comm.wait_all(reqs).is_ok(), "waitall failed");
+            } else {
+                if (comm.rank() == 0) {
+                    SCIMPI_REQUIRE(comm.send(sbuf.data(), n, Datatype::float64(),
+                                             peer, it)
+                                       .is_ok(),
+                                   "send failed");
+                    comm.recv(rbuf.data(), n, Datatype::float64(), peer, it);
+                } else {
+                    comm.recv(rbuf.data(), n, Datatype::float64(), peer, it);
+                    SCIMPI_REQUIRE(comm.send(sbuf.data(), n, Datatype::float64(),
+                                             peer, it)
+                                       .is_ok(),
+                                   "send failed");
+                }
+                if (compute_ns > 0) comm.proc().delay(compute_ns);
+            }
+        }
+        if (comm.rank() == 0) elapsed = comm.wtime() - t0;
+    });
+    out.report = cluster.stats_report();
+    out.iter_us = elapsed * 1e6 / iters;
+    std::uint64_t ov = 0;
+    std::uint64_t win = 0;
+    for (const auto& p : out.report.profiles) {
+        ov += p.overlap_ns;
+        win += p.comm_window_ns;
+    }
+    if (win > 0) out.overlap_ratio = static_cast<double>(ov) / static_cast<double>(win);
+    return out;
+}
+
+/// Strided-datatype exchange with end-to-end integrity checking: every
+/// second column of a rows x cols matrix travels; the untouched columns of
+/// the receive matrix must survive the exchange bit-exact.
+bool run_integrity(int iters, bool nonblocking) {
+    constexpr int kRows = 64;
+    constexpr int kCols = 32;
+    constexpr int kBlock = kCols / 2;
+    ClusterOptions opt;
+    opt.nodes = 2;
+    opt.async_progress = nonblocking;
+    bool ok = true;
+    Cluster cluster(opt);
+    cluster.run([&](Comm& comm) {
+        Datatype strided =
+            Datatype::vector(kRows, kBlock, kCols, Datatype::float64());
+        const int peer = 1 - comm.rank();
+        std::vector<double> smat(kRows * kCols);
+        std::vector<double> rmat(kRows * kCols);
+        for (int it = 0; it < iters; ++it) {
+            for (int i = 0; i < kRows * kCols; ++i) {
+                smat[static_cast<std::size_t>(i)] = comm.rank() * 1e6 + it * 1e3 + i;
+                rmat[static_cast<std::size_t>(i)] = -1.0 - i;
+            }
+            Request reqs[2] = {
+                comm.irecv(rmat.data(), 1, strided, peer, it),
+                comm.isend(smat.data(), 1, strided, peer, it),
+            };
+            comm.proc().delay(2_us);
+            SCIMPI_REQUIRE(comm.wait_all(reqs).is_ok(), "integrity waitall failed");
+            for (int r = 0; r < kRows && ok; ++r) {
+                for (int c = 0; c < kCols && ok; ++c) {
+                    const int i = r * kCols + c;
+                    const double got = rmat[static_cast<std::size_t>(i)];
+                    const double want = c < kBlock ? peer * 1e6 + it * 1e3 + i
+                                                   : -1.0 - i;
+                    if (got != want) {
+                        std::fprintf(stderr,
+                                     "integrity: rank %d iter %d [%d,%d]: got "
+                                     "%g want %g\n",
+                                     comm.rank(), it, r, c, got, want);
+                        ok = false;
+                    }
+                }
+            }
+        }
+    });
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::vector<std::size_t> sizes = {32_KiB, 128_KiB, 512_KiB};
+    int iters = 8;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--sizes" && i + 1 < argc) {
+            sizes.clear();
+            for (const char* p = argv[++i]; *p != '\0';) {
+                char* end = nullptr;
+                const long long v = std::strtoll(p, &end, 10);
+                if (end == p || v <= 0) break;
+                sizes.push_back(static_cast<std::size_t>(v));
+                p = *end == ',' ? end + 1 : end;
+            }
+        } else if (arg == "--iters" && i + 1 < argc) {
+            iters = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_overlap [--json FILE] [--sizes a,b,c] "
+                         "[--iters N]\n");
+            return 2;
+        }
+    }
+    if (sizes.empty() || iters <= 0) {
+        std::fprintf(stderr, "bench_overlap: bad parameters\n");
+        return 2;
+    }
+
+    std::printf("%10s %12s %12s %12s %10s %10s\n", "bytes", "comm_us", "block_us",
+                "nonblk_us", "saved", "overlap");
+    std::string json = "{\n  \"bench\": \"overlap\",\n  \"schema_version\": 4,\n"
+                       "  \"runs\": [\n";
+    bool pass = true;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::size_t bytes = sizes[i];
+        // Calibrate: pure communication time per iteration, then give each
+        // iteration that much compute — the regime where overlap pays most.
+        const OverlapRun comm = run_phase(bytes, iters, /*nonblocking=*/false, 0);
+        const auto compute_ns = static_cast<SimTime>(comm.iter_us * 1e3);
+        const OverlapRun block =
+            run_phase(bytes, iters, /*nonblocking=*/false, compute_ns);
+        const OverlapRun nonblk =
+            run_phase(bytes, iters, /*nonblocking=*/true, compute_ns);
+        const double saved = 1.0 - nonblk.iter_us / block.iter_us;
+        std::printf("%10zu %12.2f %12.2f %12.2f %9.1f%% %9.1f%%\n", bytes,
+                    comm.iter_us, block.iter_us, nonblk.iter_us, saved * 100.0,
+                    nonblk.overlap_ratio * 100.0);
+        if (nonblk.iter_us >= block.iter_us) {
+            std::fprintf(stderr,
+                         "bench_overlap: no overlap at %zu bytes (nonblocking "
+                         "%.2f us/iter >= blocking %.2f us/iter)\n",
+                         bytes, nonblk.iter_us, block.iter_us);
+            pass = false;
+        }
+        if (!json_path.empty()) {
+            const struct {
+                const char* label;
+                const OverlapRun* run;
+                bool async;
+            } phases[] = {{"comm", &comm, false},
+                          {"block", &block, false},
+                          {"nonblk", &nonblk, true}};
+            for (std::size_t p = 0; p < 3; ++p) {
+                char buf[192];
+                std::snprintf(buf, sizeof buf,
+                              "    {\"label\": \"overlap/%s-%zu\", \"params\": "
+                              "{\"bytes\": %zu, \"iters\": %d, \"compute_ns\": "
+                              "%llu, \"async\": %s}, \"report\": ",
+                              phases[p].label, bytes, bytes, iters,
+                              static_cast<unsigned long long>(
+                                  p == 0 ? 0 : compute_ns),
+                              phases[p].async ? "true" : "false");
+                json += buf;
+                json += phases[p].run->report.to_json();
+                if (!json.empty() && json.back() == '\n') json.pop_back();
+                json += (i + 1 < sizes.size() || p + 1 < 3) ? "},\n" : "}\n";
+            }
+        }
+    }
+    json += "  ]\n}\n";
+
+    if (!run_integrity(4, /*nonblocking=*/false) ||
+        !run_integrity(4, /*nonblocking=*/true)) {
+        std::fprintf(stderr, "bench_overlap: derived-datatype integrity FAILED\n");
+        pass = false;
+    } else {
+        std::printf("derived-datatype integrity: ok\n");
+    }
+
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench_overlap: cannot open '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu runs)\n", json_path.c_str(), sizes.size() * 3);
+    }
+    return pass ? 0 : 1;
+}

@@ -1,0 +1,247 @@
+// bench_traffic: heavy-traffic workload generators for the request engine.
+//
+// Three generators, selected with --gen:
+//
+//   halo       2D periodic halo exchange on a px*py rank grid, driven
+//              entirely by persistent requests (Send_init/Recv_init once,
+//              Startall/Waitall per step). Per-step time lands in the
+//              traffic.halo_step_ns histogram.
+//   transpose  alltoall storm: back-to-back personalized exchanges, the
+//              all-pairs pattern that saturates every fabric link at once
+//              (traffic.alltoall_step_ns).
+//   rpc        request/reply pairs: odd ranks are clients issuing fixed-size
+//              requests against their even-rank server, replies have
+//              LCG-drawn sizes spanning the short/eager/rendezvous protocol
+//              bands; per-call round-trip latency lands in rpc.latency_ns.
+//
+// Each generator prints p50/p90/p99 of its histogram (obs::Histogram
+// percentiles) and the scimpi-check violation count when SCIMPI_CHECK=1 —
+// the smoke_traffic ctest runs halo and rpc checked and requires zero.
+//
+//   ./bench_traffic --gen halo|transpose|rpc [--ranks N] [--iters N]
+//                   [--bytes N] [--json FILE] [--async]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+using namespace scimpi;
+using namespace scimpi::mpi;
+
+namespace {
+
+struct TrafficArgs {
+    std::string gen;
+    int ranks = 8;
+    int iters = 16;
+    std::size_t bytes = 4_KiB;
+    std::string json_path;
+    bool async = false;
+};
+
+/// Largest divisor of n that is <= sqrt(n): the px of a px*py rank grid.
+int grid_width(int n) {
+    int best = 1;
+    for (int w = 1; w * w <= n; ++w)
+        if (n % w == 0) best = w;
+    return best;
+}
+
+/// Deterministic reply-size sequence both ends of an RPC pair can replay.
+struct Lcg {
+    std::uint64_t s;
+    explicit Lcg(std::uint64_t seed) : s(seed * 2862933555777941757ULL + 3037000493ULL) {}
+    std::uint64_t next() {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 33;
+    }
+};
+
+void run_halo(const TrafficArgs& a, Cluster& cluster, obs::Histogram& hist) {
+    const int px = grid_width(a.ranks);
+    const int py = a.ranks / px;
+    const int edge = static_cast<int>(a.bytes / sizeof(double));
+    cluster.run([&, px, py, edge](Comm& comm) {
+        const int x = comm.rank() % px;
+        const int y = comm.rank() / px;
+        const auto at = [&](int gx, int gy) {
+            return ((gy + py) % py) * px + ((gx + px) % px);
+        };
+        const int nbr[4] = {at(x - 1, y), at(x + 1, y), at(x, y - 1), at(x, y + 1)};
+        // One send edge + one recv edge per direction; the persistent
+        // requests are built once and re-armed every step with start_all.
+        // Direction tags pair up (send left <-> recv from right) so a 2-wide
+        // torus, where left and right are the same rank, still matches.
+        std::vector<std::vector<double>> sedge(4), redge(4);
+        std::vector<Request> reqs;
+        const int stag[4] = {0, 1, 2, 3};
+        const int rtag[4] = {1, 0, 3, 2};
+        for (int d = 0; d < 4; ++d) {
+            sedge[static_cast<std::size_t>(d)].assign(
+                static_cast<std::size_t>(edge), static_cast<double>(comm.rank()));
+            redge[static_cast<std::size_t>(d)].assign(
+                static_cast<std::size_t>(edge), 0.0);
+            reqs.push_back(comm.recv_init(redge[static_cast<std::size_t>(d)].data(),
+                                          edge, Datatype::float64(), nbr[d],
+                                          rtag[d]));
+            reqs.push_back(comm.send_init(sedge[static_cast<std::size_t>(d)].data(),
+                                          edge, Datatype::float64(), nbr[d],
+                                          stag[d]));
+        }
+        comm.barrier();
+        for (int it = 0; it < a.iters; ++it) {
+            const double t0 = comm.wtime();
+            comm.start_all(reqs);
+            comm.proc().delay(3_us);  // interior stencil update
+            SCIMPI_REQUIRE(comm.wait_all(reqs).is_ok(), "halo waitall failed");
+            for (int d = 0; d < 4; ++d)
+                SCIMPI_REQUIRE(redge[static_cast<std::size_t>(d)][0] ==
+                                   static_cast<double>(nbr[d]),
+                               "halo edge carries wrong payload");
+            hist.record(static_cast<std::uint64_t>((comm.wtime() - t0) * 1e9));
+        }
+    });
+    std::printf("halo: %dx%d grid, %d steps, %d doubles/edge\n", px, py, a.iters,
+                edge);
+}
+
+void run_transpose(const TrafficArgs& a, Cluster& cluster, obs::Histogram& hist) {
+    cluster.run([&](Comm& comm) {
+        const std::size_t each = a.bytes;
+        std::vector<std::byte> in(each * static_cast<std::size_t>(comm.size()));
+        std::vector<std::byte> out(in.size());
+        for (std::size_t i = 0; i < in.size(); ++i)
+            in[i] = static_cast<std::byte>((i + static_cast<std::size_t>(comm.rank())) & 0xff);
+        comm.barrier();
+        for (int it = 0; it < a.iters; ++it) {
+            const double t0 = comm.wtime();
+            SCIMPI_REQUIRE(comm.alltoall(in.data(), each, out.data()).is_ok(),
+                           "alltoall failed");
+            hist.record(static_cast<std::uint64_t>((comm.wtime() - t0) * 1e9));
+        }
+    });
+    std::printf("transpose: %d ranks, %d storms, %zu bytes/pair\n", a.ranks,
+                a.iters, a.bytes);
+}
+
+void run_rpc(const TrafficArgs& a, Cluster& cluster, obs::Histogram& hist) {
+    cluster.run([&](Comm& comm) {
+        const int me = comm.rank();
+        const int peer = me ^ 1;
+        if (peer >= comm.size()) return;  // odd world: last rank sits out
+        // Both ends replay the same LCG, so the server knows each reply size
+        // without a length prefix. Sizes sweep the short/eager/rendezvous
+        // protocol bands.
+        Lcg lcg(static_cast<std::uint64_t>(std::min(me, peer)));
+        std::vector<std::byte> request(64);
+        std::vector<std::byte> reply(64_KiB);
+        for (int it = 0; it < a.iters; ++it) {
+            const int reply_bytes =
+                static_cast<int>(64 + lcg.next() % (64_KiB - 64));
+            if (me % 2 == 1) {  // client
+                const double t0 = comm.wtime();
+                SCIMPI_REQUIRE(comm.send(request.data(), 64, Datatype::byte_(),
+                                         peer, it)
+                                   .is_ok(),
+                               "rpc request failed");
+                comm.recv(reply.data(), reply_bytes, Datatype::byte_(), peer, it);
+                hist.record(static_cast<std::uint64_t>((comm.wtime() - t0) * 1e9));
+            } else {  // server
+                comm.recv(request.data(), 64, Datatype::byte_(), peer, it);
+                comm.proc().delay(500);  // handler work
+                SCIMPI_REQUIRE(comm.send(reply.data(), reply_bytes,
+                                         Datatype::byte_(), peer, it)
+                                   .is_ok(),
+                               "rpc reply failed");
+            }
+        }
+    });
+    std::printf("rpc: %d ranks (%d pairs), %d calls/client\n", a.ranks,
+                a.ranks / 2, a.iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    TrafficArgs a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--gen" && i + 1 < argc) {
+            a.gen = argv[++i];
+        } else if (arg == "--ranks" && i + 1 < argc) {
+            a.ranks = std::atoi(argv[++i]);
+        } else if (arg == "--iters" && i + 1 < argc) {
+            a.iters = std::atoi(argv[++i]);
+        } else if (arg == "--bytes" && i + 1 < argc) {
+            a.bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            a.json_path = argv[++i];
+        } else if (arg == "--async") {
+            a.async = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_traffic --gen halo|transpose|rpc "
+                         "[--ranks N] [--iters N] [--bytes N] [--json FILE] "
+                         "[--async]\n");
+            return 2;
+        }
+    }
+    const bool known = a.gen == "halo" || a.gen == "transpose" || a.gen == "rpc";
+    if (!known || a.ranks < 2 || a.iters <= 0 || a.bytes < sizeof(double)) {
+        std::fprintf(stderr, "bench_traffic: bad parameters (--gen required)\n");
+        return 2;
+    }
+
+    ClusterOptions opt;
+    opt.nodes = a.ranks;
+    opt.collect_stats = true;
+    opt.async_progress = a.async;
+    Cluster cluster(opt);
+    const char* hist_name = a.gen == "halo"      ? "traffic.halo_step_ns"
+                            : a.gen == "transpose" ? "traffic.alltoall_step_ns"
+                                                   : "rpc.latency_ns";
+    obs::Histogram& hist = cluster.metrics().histogram(hist_name);
+    if (a.gen == "halo") run_halo(a, cluster, hist);
+    else if (a.gen == "transpose") run_transpose(a, cluster, hist);
+    else run_rpc(a, cluster, hist);
+
+    const obs::RunReport report = cluster.stats_report();
+    for (const obs::HistogramSnapshot& h : report.histograms) {
+        if (h.name != hist_name) continue;
+        std::printf("%s: n=%llu p50=%.0f ns p90=%.0f ns p99=%.0f ns\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.p50, h.p90, h.p99);
+    }
+    if (report.check_enabled)
+        std::printf("scimpi-check: %zu violations\n", report.violations.size());
+
+    if (!a.json_path.empty()) {
+        std::string json = "{\n  \"bench\": \"traffic\",\n  \"schema_version\": 4,\n"
+                           "  \"runs\": [\n";
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"label\": \"traffic/%s\", \"params\": {\"ranks\": "
+                      "%d, \"iters\": %d, \"bytes\": %zu, \"async\": %s}, "
+                      "\"report\": ",
+                      a.gen.c_str(), a.ranks, a.iters, a.bytes,
+                      a.async ? "true" : "false");
+        json += buf;
+        json += report.to_json();
+        if (!json.empty() && json.back() == '\n') json.pop_back();
+        json += "}\n  ]\n}\n";
+        std::FILE* f = std::fopen(a.json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench_traffic: cannot open '%s'\n",
+                         a.json_path.c_str());
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", a.json_path.c_str());
+    }
+    return report.check_enabled && !report.violations.empty() ? 1 : 0;
+}

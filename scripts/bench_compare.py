@@ -2,12 +2,18 @@
 """Diff two RunReport v4 JSON files metric-by-metric.
 
 Usage:
-    bench_compare.py BASELINE.json CANDIDATE.json [options]
+    bench_compare.py BASELINE.json CANDIDATE.json... [options]
 
 Both inputs may be either a bare RunReport (the SCIMPI_STATS_FILE /
 stats_report() document) or a bench wrapper like bench_scale --json output
 ({"bench": ..., "runs": [{"label": ..., "report": {...}}]}); runs are
-matched by label.
+matched by label. Several candidate files union their runs, so one baseline
+can gate multiple bench binaries at once.
+
+Metrics (or whole runs) present in the candidate but absent from the
+baseline are reported as "new" — informational only, never an error — so
+adding instrumentation or a new bench does not trip the gate; only the
+baseline refresh records them.
 
 For every extracted metric the relative change against the baseline is
 computed and classified by direction:
@@ -125,7 +131,8 @@ def main():
         description="Diff two RunReport v4 JSON files; nonzero exit on "
                     "regression beyond threshold.")
     ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("candidate", nargs="+",
+                    help="one or more candidate files; runs are unioned")
     ap.add_argument("--threshold", type=float, default=20.0,
                     help="allowed regression in percent (default 20)")
     ap.add_argument("--metric", action="append", metavar="NAME=PCT",
@@ -137,11 +144,19 @@ def main():
     args = ap.parse_args()
 
     base_runs = load_runs(args.baseline)
-    cand_runs = load_runs(args.candidate)
+    cand_runs = {}
+    for path in args.candidate:
+        for label, metrics in load_runs(path).items():
+            if label in cand_runs:
+                sys.stderr.write(f"bench_compare: duplicate run label "
+                                 f"'{label}' across candidates\n")
+                sys.exit(2)
+            cand_runs[label] = metrics
     overrides = parse_overrides(args.metric)
 
     breaches = []
     compared = 0
+    new_metrics = 0
     for label, base in sorted(base_runs.items()):
         cand = cand_runs.get(label)
         if cand is None:
@@ -182,8 +197,24 @@ def main():
             if regressed:
                 breaches.append((label, name, b, c, change))
 
+    # Candidate-only runs/metrics: informational, never an error — a fresh
+    # bench or new instrumentation waits for the next baseline refresh.
+    for label, cand in sorted(cand_runs.items()):
+        base = base_runs.get(label, {})
+        fresh = sorted(set(cand) - set(base))
+        new_metrics += len(fresh)
+        if args.verbose:
+            prefix = f"{label}:" if label else ""
+            if label not in base_runs:
+                print(f"{'new run':>10}  {prefix} not in baseline "
+                      f"({len(fresh)} metrics)")
+            else:
+                for name in fresh:
+                    print(f"{'new':>10}  {prefix}{name} = {cand[name]:.6g} "
+                          "(not in baseline)")
+
     print(f"bench_compare: {compared} metrics compared, "
-          f"{len(breaches)} regression(s)")
+          f"{len(breaches)} regression(s), {new_metrics} new metric(s)")
     return 1 if breaches else 0
 
 

@@ -26,6 +26,7 @@ const char* kind_name(ViolationKind k) {
         case ViolationKind::oob_displacement: return "oob_displacement";
         case ViolationKind::pscw_mismatch: return "pscw_mismatch";
         case ViolationKind::segment_race: return "segment_race";
+        case ViolationKind::request_race: return "request_race";
     }
     return "unknown";
 }
@@ -376,6 +377,27 @@ void Checker::unwatch_segment(int seg_node, int seg_id) {
 void Checker::on_segment_destroyed(int seg_node, int seg_id) {
     if (!enabled_) return;
     unwatch_segment(seg_node, seg_id);
+    // Requests whose buffers lived there can no longer race anything.
+    std::erase_if(pending_, [seg_node, seg_id](const auto& kv) {
+        return kv.second.seg_node == seg_node && kv.second.seg_id == seg_id;
+    });
+}
+
+std::uint64_t Checker::on_request_issue(int rank, int seg_node, int seg_id,
+                                        std::uint64_t off, std::uint64_t len,
+                                        bool is_send, SimTime now) {
+    if (!enabled_ || len == 0) return 0;
+    if (segments_.find({seg_node, seg_id}) == segments_.end()) return 0;
+    const std::uint64_t id = next_req_id_++;
+    pending_.emplace(id, PendingReq{rank, seg_node, seg_id,
+                                    ByteRange{off, off + len}, is_send, now});
+    return id;
+}
+
+void Checker::on_request_complete(int rank, std::uint64_t id, SimTime /*now*/) {
+    if (!enabled_ || id == 0) return;
+    pending_.erase(id);
+    clocks_[static_cast<std::size_t>(rank)].tick(rank);
 }
 
 void Checker::on_segment_access(int seg_node, int seg_id, int track,
@@ -388,6 +410,26 @@ void Checker::on_segment_access(int seg_node, int seg_id, int track,
     if (rank < 0) return;  // daemons and engines are not program actors
     SegState& seg = it->second;
     const ByteRange range{off, off + len};
+    // Buffers pending under a nonblocking request conflict with any store,
+    // and with every access when the request is a receive (the incoming
+    // message may land at any moment). Checked before the vector-clock log:
+    // clocks cannot order a rank against itself, which is exactly the
+    // racy-after-Isend same-rank reuse case.
+    for (const auto& [id, p] : pending_) {
+        if (p.seg_node != seg_node || p.seg_id != seg_id) continue;
+        if (!p.range.overlaps(range)) continue;
+        if (!is_store && p.is_send) continue;  // loads of a send buffer are safe
+        report(ViolationKind::request_race, -1, p.rank, rank,
+               p.range.intersect(range), p.time, now,
+               std::string(is_store ? "store" : "load") + " by rank " +
+                   std::to_string(rank) + " overlaps the buffer of an " +
+                   (p.is_send ? "in-flight send" : "in-flight receive") +
+                   " issued by rank " + std::to_string(p.rank) +
+                   " (not yet completed by Wait/Test) on segment " +
+                   std::to_string(seg_node) + "." + std::to_string(seg_id),
+               track);
+        break;
+    }
     clocks_[static_cast<std::size_t>(rank)].tick(rank);  // tick-then-snapshot
     const VectorClock vc = clocks_[static_cast<std::size_t>(rank)];
     for (const SegAccess& a : seg.log) {

@@ -18,7 +18,11 @@
 //   * pscw_mismatch     — unmatched or crossed post/start/complete/wait
 //                         (and lock/unlock) calls,
 //   * segment_race      — causally unrelated conflicting accesses to a
-//                         watched raw SCI segment (smi/sci layer).
+//                         watched raw SCI segment (smi/sci layer),
+//   * request_race      — a watched-segment access overlapping a buffer
+//                         handed to a nonblocking send/recv that has not
+//                         been completed by Wait/Test yet (racy-after-Isend
+//                         buffer reuse; mpi/req layer).
 //
 // Cost model: zero when disabled — every caller holds a `Checker*` that is
 // null unless the run enabled checking (`ClusterOptions::check`,
@@ -55,8 +59,9 @@ enum class ViolationKind : std::uint8_t {
     oob_displacement,
     pscw_mismatch,
     segment_race,
+    request_race,
 };
-inline constexpr int kViolationKinds = 8;
+inline constexpr int kViolationKinds = 9;
 const char* kind_name(ViolationKind k);
 
 /// Half-open byte interval [lo, hi) within a window or segment.
@@ -160,6 +165,22 @@ public:
     void on_segment_access(int seg_node, int seg_id, int track, std::uint64_t off,
                            std::uint64_t len, bool is_store, SimTime now);
 
+    // ---- nonblocking-request buffer hooks (mpi/req layer) ----
+    /// A nonblocking send/recv was issued whose buffer lives inside the
+    /// given segment: the bytes belong to the library until the matching
+    /// completion. Returns a pending-entry id to pass to
+    /// on_request_complete, or 0 when the segment is unwatched (the common
+    /// case — heap buffers — costs one map lookup). Same-rank reuse is the
+    /// point: vector clocks cannot order a rank against itself, so pending
+    /// entries are checked directly by on_segment_access.
+    std::uint64_t on_request_issue(int rank, int seg_node, int seg_id,
+                                   std::uint64_t off, std::uint64_t len,
+                                   bool is_send, SimTime now);
+    /// Wait/Test succeeded: the buffer is the application's again. Closes
+    /// the pending entry and ticks the rank's clock — the happens-before
+    /// edge that orders later accesses after the communication.
+    void on_request_complete(int rank, std::uint64_t id, SimTime now);
+
     // ---- results ----
     [[nodiscard]] const std::vector<Violation>& violations() const {
         return violations_;
@@ -222,6 +243,17 @@ private:
         std::vector<SegAccess> log;
     };
 
+    /// A buffer in flight under a nonblocking request (watched segments
+    /// only), keyed by the id handed back from on_request_issue.
+    struct PendingReq {
+        int rank = -1;
+        int seg_node = -1;
+        int seg_id = -1;
+        ByteRange range;
+        bool is_send = false;
+        SimTime time = 0;
+    };
+
     WinState& win(int id) { return windows_[id]; }
     WinRankState& rank_state(int win_id, int rank);
 
@@ -244,6 +276,8 @@ private:
     std::map<int, int> actors_;  ///< trace track -> world rank
     std::map<int, WinState> windows_;
     std::map<std::pair<int, int>, SegState> segments_;  ///< watched only
+    std::map<std::uint64_t, PendingReq> pending_;  ///< open request buffers
+    std::uint64_t next_req_id_ = 1;
     std::vector<Violation> violations_;
     std::set<std::string> seen_;  ///< dedup signatures
     std::uint64_t suppressed_ = 0;

@@ -1,5 +1,6 @@
 #include "mpi/comm.hpp"
 
+#include "mpi/req/nbc.hpp"
 #include "mpi/rma/window.hpp"
 
 namespace scimpi::mpi {
@@ -62,12 +63,6 @@ Comm Comm::split(int color, int key) {
     return Comm(*cluster_, *rank_, std::move(g));
 }
 
-bool Request::complete() const {
-    if (send_) return send_->complete;
-    if (recv_) return recv_->complete;
-    return true;
-}
-
 Status Comm::send(const void* buf, int count, const Datatype& type, int dst, int tag) {
     SCIMPI_REQUIRE(tag >= 0, "user tags must be non-negative");
     return rank_->send(buf, count, type, world_rank(dst), tag, context());
@@ -84,39 +79,84 @@ RecvResult Comm::recv(void* buf, int count, const Datatype& type, int src, int t
 
 Request Comm::isend(const void* buf, int count, const Datatype& type, int dst, int tag) {
     SCIMPI_REQUIRE(tag >= 0, "user tags must be non-negative");
-    Request req;
-    req.send_ = rank_->isend(buf, count, type, world_rank(dst), tag, context());
-    return req;
+    return rank_->requests().isend(buf, count, type, world_rank(dst), tag, context());
 }
 
 Request Comm::irecv(void* buf, int count, const Datatype& type, int src, int tag) {
     SCIMPI_REQUIRE(tag >= 0 || tag == ANY_TAG, "user tags must be non-negative");
-    Request req;
-    req.recv_ = rank_->irecv(buf, count, type,
-                             src == ANY_SOURCE ? ANY_SOURCE : world_rank(src), tag,
-                             context());
-    return req;
+    return rank_->requests().irecv(buf, count, type,
+                                   src == ANY_SOURCE ? ANY_SOURCE : world_rank(src),
+                                   tag, context());
 }
 
-Status Comm::wait(Request& req) {
-    if (req.send_) {
-        rank_->wait(*req.send_);
-        return req.send_->status;
-    }
-    if (req.recv_) {
-        rank_->wait(*req.recv_);
-        return req.recv_->status;
-    }
-    return Status::ok();
-}
+Status Comm::wait(Request& req) { return rank_->requests().wait(req); }
 
 Status Comm::wait_all(std::span<Request> reqs) {
-    Status first;
-    for (auto& r : reqs) {
-        const Status st = wait(r);
-        if (!st && first.is_ok()) first = st;
-    }
-    return first;
+    return rank_->requests().waitall(reqs);
+}
+
+bool Comm::test(Request& req, Status* st) { return rank_->requests().test(req, st); }
+
+int Comm::wait_any(std::span<Request> reqs) {
+    return rank_->requests().waitany(reqs);
+}
+
+std::vector<int> Comm::test_some(std::span<Request> reqs) {
+    return rank_->requests().testsome(reqs);
+}
+
+RecvResult Comm::recv_result(const Request& req) const {
+    RecvResult r = req.result();
+    if (r.source >= 0) r.source = local_of_world(r.source);
+    return r;
+}
+
+Request Comm::send_init(const void* buf, int count, const Datatype& type, int dst,
+                        int tag) {
+    SCIMPI_REQUIRE(tag >= 0, "user tags must be non-negative");
+    return rank_->requests().send_init(buf, count, type, world_rank(dst), tag,
+                                       context());
+}
+
+Request Comm::recv_init(void* buf, int count, const Datatype& type, int src, int tag) {
+    SCIMPI_REQUIRE(tag >= 0 || tag == ANY_TAG, "user tags must be non-negative");
+    return rank_->requests().recv_init(buf, count, type,
+                                       src == ANY_SOURCE ? ANY_SOURCE : world_rank(src),
+                                       tag, context());
+}
+
+void Comm::start(Request& req) { rank_->requests().start(req); }
+
+void Comm::start_all(std::span<Request> reqs) { rank_->requests().startall(reqs); }
+
+Request Comm::ibarrier() {
+    req::Engine& eng = rank_->requests();
+    return eng.start_coll(req::make_ibarrier(*rank_, group_->members, local_rank_,
+                                             context(),
+                                             eng.nbc_tag_base(context())));
+}
+
+Request Comm::ibcast(void* buf, std::size_t bytes, int root) {
+    req::Engine& eng = rank_->requests();
+    return eng.start_coll(req::make_ibcast(*rank_, group_->members, local_rank_,
+                                           context(), eng.nbc_tag_base(context()),
+                                           buf, bytes, root));
+}
+
+Request Comm::iallreduce_sum(const double* in, double* out, int n) {
+    req::Engine& eng = rank_->requests();
+    return eng.start_coll(req::make_iallreduce(*rank_, group_->members, local_rank_,
+                                               context(),
+                                               eng.nbc_tag_base(context()), in, out,
+                                               n));
+}
+
+Request Comm::iallgather(const void* in, std::size_t bytes_each, void* out) {
+    req::Engine& eng = rank_->requests();
+    return eng.start_coll(req::make_iallgather(*rank_, group_->members, local_rank_,
+                                               context(),
+                                               eng.nbc_tag_base(context()), in,
+                                               bytes_each, out));
 }
 
 Status Comm::sendrecv(const void* sbuf, int scount, const Datatype& stype, int dst,

@@ -6,9 +6,11 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "mpi/datatype/datatype.hpp"
 #include "mpi/rank.hpp"
+#include "mpi/req/request.hpp"
 #include "mpi/runtime.hpp"
 
 namespace scimpi::mpi {
@@ -22,18 +24,9 @@ struct CommGroup {
     std::vector<int> members;
 };
 
-/// Non-blocking operation handle.
-class Request {
-public:
-    Request() = default;
-    [[nodiscard]] bool valid() const { return send_ != nullptr || recv_ != nullptr; }
-    [[nodiscard]] bool complete() const;
-
-private:
-    friend class Comm;
-    std::shared_ptr<SendOp> send_;
-    std::shared_ptr<RecvOp> recv_;
-};
+/// Non-blocking operation handle (see mpi/req/request.hpp): unifies sends,
+/// receives, persistent requests, and nonblocking collectives.
+using Request = req::Request;
 
 class Comm {
 public:
@@ -76,6 +69,30 @@ public:
     Request irecv(void* buf, int count, const Datatype& type, int src, int tag);
     Status wait(Request& req);
     Status wait_all(std::span<Request> reqs);
+    /// MPI_Test: true (and the sticky status in *st) once `req` completed.
+    bool test(Request& req, Status* st = nullptr);
+    /// MPI_Waitany: block until any active request completes; returns its
+    /// index, or -1 when none is active.
+    int wait_any(std::span<Request> reqs);
+    /// MPI_Testsome: indices of requests completed without blocking.
+    std::vector<int> test_some(std::span<Request> reqs);
+    /// Envelope of a completed receive request (source is communicator-
+    /// local, like recv()).
+    [[nodiscard]] RecvResult recv_result(const Request& req) const;
+
+    // ---- persistent requests (MPI_Send_init / MPI_Recv_init) ----
+    Request send_init(const void* buf, int count, const Datatype& type, int dst,
+                      int tag);
+    Request recv_init(void* buf, int count, const Datatype& type, int src, int tag);
+    void start(Request& req);
+    void start_all(std::span<Request> reqs);
+
+    // ---- nonblocking collectives (req/nbc.hpp schedules; byte-oriented
+    // like allgather(in, bytes_each, out); complete via wait/test) ----
+    Request ibarrier();
+    Request ibcast(void* buf, std::size_t bytes, int root);
+    Request iallreduce_sum(const double* in, double* out, int n);
+    Request iallgather(const void* in, std::size_t bytes_each, void* out);
 
     /// Combined send+receive (no deadlock regardless of ordering).
     Status sendrecv(const void* sbuf, int scount, const Datatype& stype, int dst,

@@ -5,6 +5,7 @@
 #include "fault/retry.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rank.hpp"
+#include "mpi/req/request.hpp"
 #include "mpi/rma/window.hpp"
 #include "mpi/runtime.hpp"
 #include "sim/trace.hpp"
@@ -46,6 +47,11 @@ Rank::~Rank() = default;
 
 sci::SciAdapter& Rank::adapter() { return cluster_.adapter(node_); }
 
+sim::Process& Rank::cur_proc() {
+    sim::Process* cur = proc().engine().current();
+    return cur != nullptr ? *cur : proc();
+}
+
 void Rank::set_rma(std::unique_ptr<RmaState> rma) { rma_ = std::move(rma); }
 
 bool Rank::matches(const RecvOp& op, const Envelope& env) {
@@ -61,7 +67,7 @@ bool Rank::matches(const RecvOp& op, const Envelope& env) {
 // ---------------------------------------------------------------------------
 
 void Rank::post_ctrl(int dst, CtrlMsg msg) {
-    sim::Process& self = proc();
+    sim::Process& self = cur_proc();
     Rank& peer = cluster_.rank_state(dst);
     const auto& p = cluster_.fabric().params();
     SimTime delivery;
@@ -84,12 +90,13 @@ void Rank::post_ctrl(int dst, CtrlMsg msg) {
 }
 
 void Rank::progress_one() {
+    sim::Process& self = cur_proc();
     std::optional<CtrlMsg> msg;
     {
         // Time blocked here is "waiting for a control message" regardless of
         // which caller spun the progress engine.
-        const sim::ProfScope wait(proc(), obs::ProfState::wait_recv);
-        msg = inbox_.recv(proc());
+        const sim::ProfScope wait(self, obs::ProfState::wait_recv);
+        msg = inbox_.recv(self);
     }
     dispatch(std::move(*msg));
 }
@@ -104,12 +111,43 @@ std::optional<Envelope> Rank::probe(int src, int tag, bool blocking, int context
         for (const CtrlMsg& msg : unexpected_)
             if (matches(matcher, msg.env)) return msg.env;
         if (!blocking) return std::nullopt;
-        progress_one();  // wait for the next arrival, then rescan
+        progress_wait();  // wait for the next arrival, then rescan
     }
 }
 
 void Rank::progress_poll() {
+    if (daemon_proc_ != nullptr && proc().engine().current() != daemon_proc_)
+        return;  // the daemon is the sole dispatcher
     while (auto msg = inbox_.try_recv()) dispatch(std::move(*msg));
+}
+
+void Rank::progress_wait() {
+    // With the async daemon running, everyone but the daemon itself parks
+    // until the daemon dispatched something on this rank's behalf. The
+    // daemon (e.g. driving a schedule's eager send that ran out of credits)
+    // remains the sole inbox dispatcher and makes progress directly.
+    if (daemon_proc_ != nullptr && proc().engine().current() != daemon_proc_) {
+        sim::Process& self = cur_proc();
+        const sim::ProfScope wait(self, obs::ProfState::wait_recv);
+        progress_waiters_.park(self);
+        return;
+    }
+    progress_one();
+}
+
+void Rank::progress_daemon_body(sim::Process& p) {
+    daemon_proc_ = &p;
+    for (;;) {
+        // Parked here between arrivals; unwound by the engine at teardown
+        // (daemon processes do not trip deadlock detection).
+        CtrlMsg msg = inbox_.recv(p);
+        dispatch(std::move(msg));
+        while (auto more = inbox_.try_recv()) dispatch(std::move(*more));
+        // Completions may unblock nonblocking-collective schedules; advance
+        // them on the daemon's timeline, then let waiters re-examine.
+        if (req_ != nullptr) req_->pump();
+        progress_waiters_.wake_all();
+    }
 }
 
 void Rank::dispatch(CtrlMsg msg) {
@@ -147,9 +185,9 @@ void Rank::dispatch(CtrlMsg msg) {
             return;
         }
         case CtrlKind::rndv_cts: {
-            const auto it = live_sends_.find(msg.sender_handle);
-            SCIMPI_REQUIRE(it != live_sends_.end(), "CTS for unknown send");
-            SendOp& op = *it->second;
+            const std::shared_ptr<SendOp> sp = ops_.send(msg.sender_handle);
+            SCIMPI_REQUIRE(sp != nullptr, "CTS for unknown send");
+            SendOp& op = *sp;
             op.cts_received = true;
             op.recv_handle = msg.recv_handle;
             op.mode = msg.mode;
@@ -163,26 +201,26 @@ void Rank::dispatch(CtrlMsg msg) {
             return;
         }
         case CtrlKind::rndv_ack: {
-            const auto it = live_sends_.find(msg.sender_handle);
-            SCIMPI_REQUIRE(it != live_sends_.end(), "ack for unknown send");
-            SendOp& op = *it->second;
+            const std::shared_ptr<SendOp> sp = ops_.send(msg.sender_handle);
+            SCIMPI_REQUIRE(sp != nullptr, "ack for unknown send");
+            SendOp& op = *sp;
             ++op.credits;
             --op.acks_pending;
             pump_rndv(op);
             return;
         }
         case CtrlKind::rndv_chunk: {
-            const auto it = live_recvs_.find(msg.recv_handle);
-            SCIMPI_REQUIRE(it != live_recvs_.end(), "chunk for unknown recv");
-            handle_chunk(*it->second, msg);
+            const std::shared_ptr<RecvOp> rp = ops_.recv(msg.recv_handle);
+            SCIMPI_REQUIRE(rp != nullptr, "chunk for unknown recv");
+            handle_chunk(*rp, msg);
             return;
         }
         case CtrlKind::rndv_fail: {
             // Sender gave up mid-rendezvous: complete the receive with its
             // error and release the ring so nothing leaks or hangs.
-            const auto it = live_recvs_.find(msg.recv_handle);
-            if (it == live_recvs_.end()) return;  // raced with completion
-            RecvOp& op = *it->second;
+            const std::shared_ptr<RecvOp> rp = ops_.recv(msg.recv_handle);
+            if (rp == nullptr) return;  // raced with completion
+            RecvOp& op = *rp;
             // Terminate the message's flow arrow here: the abort is where the
             // transfer's story ends on the timeline.
             if (op.env.flow != 0)
@@ -199,7 +237,7 @@ void Rank::dispatch(CtrlMsg msg) {
                 op.ring_mem = {};
             }
             op.complete = true;
-            live_recvs_.erase(msg.recv_handle);
+            ops_.erase_recv(msg.recv_handle);
             return;
         }
     }
@@ -218,7 +256,7 @@ bool Rank::use_ff_side(const Datatype& type, PackMode mode, bool /*fp_match*/) c
 
 Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
                             std::size_t ring_off, std::size_t pos, std::size_t len) {
-    sim::Process& self = proc();
+    sim::Process& self = cur_proc();
     const sim::TraceScope trace(self, "rndv:pack_chunk", "p2p", len);
     const sim::ProfScope prof(self, obs::ProfState::pack);
     const Config& cfg = cluster_.options().cfg;
@@ -275,7 +313,7 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
 
 void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
                             std::size_t len) {
-    sim::Process& self = proc();
+    sim::Process& self = cur_proc();
     const sim::TraceScope trace(self, "rndv:unpack_chunk", "p2p", len);
     const sim::ProfScope prof(self, obs::ProfState::pack);
     auto* dst = static_cast<std::byte*>(op.buf);
@@ -312,7 +350,7 @@ std::shared_ptr<SendOp> Rank::isend(const void* buf, int count, const Datatype& 
                                     int dst, int tag, int context) {
     SCIMPI_REQUIRE(dst >= 0 && dst < cluster_.world_size(), "isend: bad destination");
     auto op = std::make_shared<SendOp>();
-    op->handle = next_handle_++;
+    op->handle = ops_.next_handle();
     op->buf = buf;
     op->count = count;
     op->type = type;
@@ -325,13 +363,23 @@ std::shared_ptr<SendOp> Rank::isend(const void* buf, int count, const Datatype& 
     op->env.bytes = type.size() * static_cast<std::size_t>(count);
     op->env.type_fp = op->type.fingerprint();
     op->env.sender_canonical = op->type.flat().leaf_major_is_canonical();
-    live_sends_[op->handle] = op;
+    ops_.insert_send(op->handle, op);
+    // scimpi-check: the buffer belongs to the library until the matching
+    // Wait/Test; conflicting accesses to it through a watched segment are
+    // racy-after-Isend reuse (closed in Rank::wait(SendOp&)).
+    if (auto* ck = cluster_.checker()) {
+        if (auto loc = cluster_.directory().locate(node_, buf, op->env.bytes))
+            op->check_id = ck->on_request_issue(rank_, loc->first.node,
+                                                loc->first.id, loc->second,
+                                                op->env.bytes, /*is_send=*/true,
+                                                proc().now());
+    }
     start_send(*op);
     return op;
 }
 
 void Rank::start_send(SendOp& op) {
-    sim::Process& self = proc();
+    sim::Process& self = cur_proc();
     const Config& cfg = cluster_.options().cfg;
     const std::size_t bytes = op.env.bytes;
     const sim::TraceScope trace(self, "mpi:send_start", "p2p", bytes);
@@ -393,7 +441,7 @@ void Rank::start_send(SendOp& op) {
         pack_inline(msg.inline_data);
         post_ctrl(op.env.dst, std::move(msg));
         op.complete = true;
-        live_sends_.erase(op.handle);
+        ops_.erase_send(op.handle);
         return;
     }
 
@@ -404,11 +452,11 @@ void Rank::start_send(SendOp& op) {
         if (const Status st = retry_remote(peer_node, route_ready); !st) {
             op.status = st;
             op.complete = true;
-            live_sends_.erase(op.handle);
+            ops_.erase_send(op.handle);
             return;
         }
         auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
-        while (credits == 0) progress_one();  // flow control: wait for a slot
+        while (credits == 0) progress_wait();  // flow control: wait for a slot
         --credits;
         open_flow();
         CtrlMsg msg;
@@ -417,7 +465,7 @@ void Rank::start_send(SendOp& op) {
         pack_inline(msg.inline_data);
         post_ctrl(op.env.dst, std::move(msg));
         op.complete = true;
-        live_sends_.erase(op.handle);
+        ops_.erase_send(op.handle);
         return;
     }
 
@@ -429,7 +477,7 @@ void Rank::start_send(SendOp& op) {
     if (const Status st = retry_remote(peer_node, route_ready); !st) {
         op.status = st;
         op.complete = true;
-        live_sends_.erase(op.handle);
+        ops_.erase_send(op.handle);
         return;
     }
     open_flow();
@@ -456,7 +504,7 @@ void Rank::pump_rndv(SendOp& op) {
             abort_rndv(op, st);
             break;
         }
-        adapter().store_barrier(proc());
+        adapter().store_barrier(cur_proc());
         CtrlMsg msg;
         msg.kind = CtrlKind::rndv_chunk;
         msg.env = op.env;
@@ -474,7 +522,7 @@ void Rank::pump_rndv(SendOp& op) {
     // so late rndv_ack messages never hit an unknown handle.
     if ((op.next_pos >= op.env.bytes || op.aborted) && op.acks_pending == 0) {
         op.complete = true;
-        live_sends_.erase(op.handle);
+        ops_.erase_send(op.handle);
         // The receiver's last ack orders its state before the sender's
         // continuation (rendezvous completion is a two-way sync point).
         if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.dst, rank_);
@@ -483,7 +531,7 @@ void Rank::pump_rndv(SendOp& op) {
 
 Status Rank::retry_remote(int peer_node, const std::function<Status()>& attempt) {
     const fault::RetryOutcome out = fault::retry_with_backoff(
-        proc(), cluster_.options().cfg, cluster_.monitor(), node_, peer_node,
+        cur_proc(), cluster_.options().cfg, cluster_.monitor(), node_, peer_node,
         attempt);
     if (out.retries > 0) {
         stats_.send_retries += static_cast<std::uint64_t>(out.retries);
@@ -519,7 +567,7 @@ void Rank::abort_rndv(SendOp& op, const Status& st) {
 std::shared_ptr<RecvOp> Rank::irecv(void* buf, int count, const Datatype& type,
                                     int src, int tag, int context) {
     auto op = std::make_shared<RecvOp>();
-    op->handle = next_handle_++;
+    op->handle = ops_.next_handle();
     op->buf = buf;
     op->count = count;
     op->type = type;
@@ -528,7 +576,16 @@ std::shared_ptr<RecvOp> Rank::irecv(void* buf, int count, const Datatype& type,
     op->tag_filter = tag;
     op->context = context;
     op->post_time = proc().now();
-    live_recvs_[op->handle] = op;
+    ops_.insert_recv(op->handle, op);
+    // scimpi-check: any access to the posted buffer (even a load) races
+    // with the incoming message until the matching Wait/Test.
+    if (auto* ck = cluster_.checker()) {
+        const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+        if (auto loc = cluster_.directory().locate(node_, buf, bytes))
+            op->check_id = ck->on_request_issue(rank_, loc->first.node,
+                                                loc->first.id, loc->second, bytes,
+                                                /*is_send=*/false, proc().now());
+    }
     if (!try_match(*op)) posted_.push_back(op);
     return op;
 }
@@ -555,7 +612,7 @@ bool Rank::try_match(RecvOp& op) {
 }
 
 void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
-    sim::Process& self = proc();
+    sim::Process& self = cur_proc();
     const sim::TraceScope trace(self, "mpi:deliver_inline", "p2p", msg.env.bytes);
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
@@ -585,7 +642,7 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     stats_.bytes_received += msg.env.bytes;
     op.received = msg.env.bytes;
     op.complete = true;
-    live_recvs_.erase(op.handle);
+    ops_.erase_recv(op.handle);
     // Happens-before edge for scimpi-check: the sender's clock at delivery
     // time (an over-approximation that only *adds* order, never races).
     if (auto* ck = cluster_.checker()) ck->on_p2p(msg.env.src, rank_);
@@ -607,7 +664,7 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
 }
 
 void Rank::handle_rts(RecvOp& op, const CtrlMsg& rts) {
-    const sim::TraceScope trace(proc(), "rndv:handle_rts", "p2p", rts.env.bytes);
+    const sim::TraceScope trace(cur_proc(), "rndv:handle_rts", "p2p", rts.env.bytes);
     const Config& cfg = cluster_.options().cfg;
     const std::size_t capacity =
         op.type.size() * static_cast<std::size_t>(op.count);
@@ -637,7 +694,8 @@ void Rank::handle_rts(RecvOp& op, const CtrlMsg& rts) {
 }
 
 void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
-    const sim::TraceScope trace(proc(), "rndv:recv_chunk", "p2p", msg.b);
+    sim::Process& self = cur_proc();
+    const sim::TraceScope trace(self, "rndv:recv_chunk", "p2p", msg.b);
     const Config& cfg = cluster_.options().cfg;
     SCIMPI_REQUIRE(!op.ring_mem.empty(), "chunk without ring");
     const std::size_t slot = msg.a;
@@ -660,12 +718,12 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
                        "ring memory release failed");
         op.ring_mem = {};
         op.complete = true;
-        live_recvs_.erase(op.handle);
+        ops_.erase_recv(op.handle);
         if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.src, rank_);
-        pm_.lat_rndv->record(proc().now() - op.env.post_time);
+        pm_.lat_rndv->record(self.now() - op.env.post_time);
         if (op.env.flow != 0)
-            proc().engine().tracer().flow_end(proc().id(), "msg", "p2p",
-                                              proc().now(), op.env.flow);
+            self.engine().tracer().flow_end(self.id(), "msg", "p2p", self.now(),
+                                            op.env.flow);
     }
 }
 
@@ -674,11 +732,24 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
 // ---------------------------------------------------------------------------
 
 void Rank::wait(SendOp& op) {
-    while (!op.complete) progress_one();
+    while (!op.complete) progress_wait();
+    if (op.check_id != 0) {
+        // Wait success hands the buffer back to the application: close the
+        // pending-request entry and tick the rank's clock (happens-before
+        // edge ordering later accesses after the communication).
+        if (auto* ck = cluster_.checker())
+            ck->on_request_complete(rank_, op.check_id, proc().now());
+        op.check_id = 0;
+    }
 }
 
 void Rank::wait(RecvOp& op) {
-    while (!op.complete) progress_one();
+    while (!op.complete) progress_wait();
+    if (op.check_id != 0) {
+        if (auto* ck = cluster_.checker())
+            ck->on_request_complete(rank_, op.check_id, proc().now());
+        op.check_id = 0;
+    }
 }
 
 Status Rank::send(const void* buf, int count, const Datatype& type, int dst, int tag,
@@ -697,12 +768,13 @@ RecvResult Rank::recv(void* buf, int count, const Datatype& type, int src, int t
 
 void Rank::charge_stream_to(int dst, std::size_t bytes, std::size_t src_traffic) {
     Rank& peer = cluster_.rank_state(dst);
+    sim::Process& self = cur_proc();
     if (peer.node() == node_) {
-        proc().delay(copy_model_.copy_cost(bytes, {}, {}));
+        self.delay(copy_model_.copy_cost(bytes, {}, {}));
         return;
     }
-    const sim::ProfScope io(proc(), obs::ProfState::pio_write);
-    proc().delay(adapter().pio_stream_cost(bytes, src_traffic));
+    const sim::ProfScope io(self, obs::ProfState::pio_write);
+    self.delay(adapter().pio_stream_cost(bytes, src_traffic));
     cluster_.fabric().account(node_, peer.node(), bytes);
 }
 

@@ -26,6 +26,7 @@
 
 #include "mpi/datatype/pack_ff.hpp"
 #include "mpi/datatype/pack_generic.hpp"
+#include "mpi/req/table.hpp"
 #include "mpi/types.hpp"
 #include "obs/metrics.hpp"
 #include "sci/adapter.hpp"
@@ -36,6 +37,10 @@ namespace scimpi::mpi {
 
 class Cluster;
 class RmaState;
+
+namespace req {
+class Engine;
+}
 
 struct SendOp {
     std::uint64_t handle = 0;
@@ -55,6 +60,7 @@ struct SendOp {
     int credits = 0;               ///< free ring chunks
     int acks_pending = 0;          ///< chunks sent but not yet acknowledged
     std::uint64_t next_chunk = 0;  ///< ring chunk index to fill next
+    std::uint64_t check_id = 0;    ///< scimpi-check pending-buffer entry
 };
 
 struct RecvOp {
@@ -77,6 +83,7 @@ struct RecvOp {
     // allocated at RTS time and released at completion.
     std::span<std::byte> ring_mem;
     sci::SegmentId ring_seg;
+    std::uint64_t check_id = 0;  ///< scimpi-check pending-buffer entry
 };
 
 class Rank {
@@ -95,6 +102,13 @@ public:
         SCIMPI_REQUIRE(proc_ != nullptr, "rank not bound to a process");
         return *proc_;
     }
+
+    /// The process currently executing this rank's protocol code: the async
+    /// progress daemon while it dispatches on the rank's behalf, otherwise
+    /// the rank's own process. Protocol-path delays must charge the
+    /// executing process, so daemon-driven progress does not consume the
+    /// application's timeline (that is what buys communication overlap).
+    [[nodiscard]] sim::Process& cur_proc();
 
     // ---- p2p (src/dst are world ranks; context separates communicators) ----
     std::shared_ptr<SendOp> isend(const void* buf, int count, const Datatype& type,
@@ -116,7 +130,19 @@ public:
     /// message (blocking).
     void progress_one();
     /// Handle all currently queued control messages without blocking.
+    /// No-op while the async-progress daemon is active (it is the sole
+    /// dispatcher then; a second driver would re-enter dispatch).
     void progress_poll();
+    /// Block until progress was made: with the async daemon active, park
+    /// until it signals; otherwise handle one control message directly.
+    void progress_wait();
+    /// Body of the per-rank async-progress daemon (ClusterOptions::
+    /// async_progress): drains the inbox and pumps the request engine on
+    /// behalf of the rank, waking parked progress_wait() callers.
+    void progress_daemon_body(sim::Process& p);
+
+    /// Per-rank request engine (mpi/req), created on first use.
+    [[nodiscard]] req::Engine& requests();
 
     /// Delayed-delivery entry point used by peers (via the dispatcher).
     sim::Mailbox<CtrlMsg>& inbox() { return inbox_; }
@@ -133,8 +159,10 @@ public:
 
     /// Outstanding-request depths (flight-recorder probes): sends/recvs
     /// started but not yet complete, plus queued unexpected/posted entries.
-    [[nodiscard]] std::size_t live_send_count() const { return live_sends_.size(); }
-    [[nodiscard]] std::size_t live_recv_count() const { return live_recvs_.size(); }
+    /// Backed by the request table (req::OpTable), the single source of
+    /// truth for in-flight protocol operations.
+    [[nodiscard]] std::size_t live_send_count() const { return ops_.send_count(); }
+    [[nodiscard]] std::size_t live_recv_count() const { return ops_.recv_count(); }
     [[nodiscard]] std::size_t unexpected_count() const { return unexpected_.size(); }
     [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
 
@@ -196,14 +224,18 @@ private:
     sim::Mailbox<CtrlMsg> inbox_;
     std::deque<std::shared_ptr<RecvOp>> posted_;
     std::deque<CtrlMsg> unexpected_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<SendOp>> live_sends_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<RecvOp>> live_recvs_;
+    req::OpTable ops_;  ///< in-flight sends/recvs, keyed by handle
 
     // Eager flow control: credits per destination rank.
     std::vector<int> eager_credits_;
     sim::WaitQueue credit_waiters_;
 
-    std::uint64_t next_handle_ = 1;
+    // Async progress (ClusterOptions::async_progress / SCIMPI_ASYNC).
+    sim::Process* daemon_proc_ = nullptr;  ///< non-null once the daemon runs
+    sim::WaitQueue progress_waiters_;
+
+    std::unique_ptr<req::Engine> req_;  ///< lazily created (see requests())
+
     int next_context_ = 1;  ///< allocator for Comm::split (see comm.cpp)
     std::vector<std::uint64_t> send_seq_;  // per destination
 

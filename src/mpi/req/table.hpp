@@ -1,0 +1,55 @@
+// The per-rank table of in-flight protocol operations. Single source of
+// truth for outstanding sends/receives: the protocol engine inserts ops at
+// issue and erases them at completion, the request engine resolves handles
+// through it, and the flight-recorder queue-depth gauges
+// (mpi.live_sends/mpi.live_recvs) read its sizes — there is deliberately no
+// second bookkeeping copy anywhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace scimpi::mpi {
+
+struct SendOp;
+struct RecvOp;
+
+namespace req {
+
+class OpTable {
+public:
+    /// Allocate the next operation handle (shared across sends and recvs so
+    /// a handle identifies one op unambiguously).
+    std::uint64_t next_handle() { return next_handle_++; }
+
+    void insert_send(std::uint64_t h, std::shared_ptr<SendOp> op) {
+        sends_.emplace(h, std::move(op));
+    }
+    void insert_recv(std::uint64_t h, std::shared_ptr<RecvOp> op) {
+        recvs_.emplace(h, std::move(op));
+    }
+
+    [[nodiscard]] std::shared_ptr<SendOp> send(std::uint64_t h) const {
+        const auto it = sends_.find(h);
+        return it == sends_.end() ? nullptr : it->second;
+    }
+    [[nodiscard]] std::shared_ptr<RecvOp> recv(std::uint64_t h) const {
+        const auto it = recvs_.find(h);
+        return it == recvs_.end() ? nullptr : it->second;
+    }
+
+    void erase_send(std::uint64_t h) { sends_.erase(h); }
+    void erase_recv(std::uint64_t h) { recvs_.erase(h); }
+
+    [[nodiscard]] std::size_t send_count() const { return sends_.size(); }
+    [[nodiscard]] std::size_t recv_count() const { return recvs_.size(); }
+
+private:
+    std::unordered_map<std::uint64_t, std::shared_ptr<SendOp>> sends_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<RecvOp>> recvs_;
+    std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace req
+}  // namespace scimpi::mpi

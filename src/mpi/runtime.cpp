@@ -61,6 +61,7 @@ Cluster::Cluster(ClusterOptions opt)
     if (env_flag("SCIMPI_STATS")) opt_.collect_stats = true;
     if (env_flag("SCIMPI_PROFILE")) opt_.profile = true;
     if (env_flag("SCIMPI_CHECK")) opt_.check = true;
+    if (env_flag("SCIMPI_ASYNC")) opt_.async_progress = true;
     if (opt_.stats_file.empty()) opt_.stats_file = env_path("SCIMPI_STATS_FILE");
     if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
     if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
@@ -285,6 +286,9 @@ obs::RunReport Cluster::stats_report() const {
             p.late_receivers = s.late_receivers;
             p.late_sender_wait_ns = s.late_sender_wait_ns;
             p.late_receiver_wait_ns = s.late_receiver_wait_ns;
+            p.overlap_ops = s.overlap_ops;
+            p.overlap_ns = s.overlap_ns;
+            p.comm_window_ns = s.comm_window_ns;
             r.profiles.push_back(p);
         }
     }
@@ -309,6 +313,18 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
         engine_.tracer().set_track_name(proc.id(),
                                         "rank " + std::to_string(rank->rank()));
         if (checker_ != nullptr) checker_->register_actor(proc.id(), rank->rank());
+    }
+    if (opt_.async_progress) {
+        // One progress daemon per rank: drains the control inbox and pumps
+        // the request engine while rank code computes. Daemons park in
+        // Mailbox::recv until traffic arrives, are exempt from deadlock
+        // detection, and are unwound by the engine at teardown.
+        for (const auto& r : ranks_) {
+            Rank* rank = r.get();
+            engine_.spawn_daemon(
+                "prog" + std::to_string(rank->rank()),
+                [rank](sim::Process& p) { rank->progress_daemon_body(p); });
+        }
     }
     try {
         engine_.run();

@@ -62,6 +62,13 @@ struct ClusterOptions {
     /// one-sided communication (src/check/checker.hpp). Also forced on by
     /// SCIMPI_CHECK=1. Checked runs are bit-identical to unchecked ones.
     bool check = false;
+    /// Asynchronous progress: spawn one daemon process per rank that drains
+    /// the control inbox and pumps the request engine, so nonblocking
+    /// operations advance while rank code computes (the overlap the req/
+    /// engine measures). Also forced on by SCIMPI_ASYNC=1. Off, progress
+    /// only happens inside blocking MPI calls, as in classic single-threaded
+    /// MPICH.
+    bool async_progress = false;
     /// Fault injection: a programmatic schedule and/or a text spec file
     /// (see src/fault/schedule.hpp for the format; env: SCIMPI_FAULTS).
     /// A non-empty schedule spawns a FaultController alongside the ranks.

@@ -271,11 +271,23 @@ std::string RunReport::to_json() const {
         }
         std::snprintf(buf, sizeof buf,
                       "}, \"late_senders\": %llu, \"late_receivers\": %llu, "
-                      "\"late_sender_wait_ns\": %llu, \"late_receiver_wait_ns\": %llu}",
+                      "\"late_sender_wait_ns\": %llu, \"late_receiver_wait_ns\": %llu, ",
                       static_cast<unsigned long long>(p.late_senders),
                       static_cast<unsigned long long>(p.late_receivers),
                       static_cast<unsigned long long>(p.late_sender_wait_ns),
                       static_cast<unsigned long long>(p.late_receiver_wait_ns));
+        out += buf;
+        const double ratio =
+            p.comm_window_ns > 0
+                ? static_cast<double>(p.overlap_ns) /
+                      static_cast<double>(p.comm_window_ns)
+                : 0.0;
+        std::snprintf(buf, sizeof buf,
+                      "\"overlap_ops\": %llu, \"overlap_ns\": %llu, "
+                      "\"comm_window_ns\": %llu, \"overlap_ratio\": %.6f}",
+                      static_cast<unsigned long long>(p.overlap_ops),
+                      static_cast<unsigned long long>(p.overlap_ns),
+                      static_cast<unsigned long long>(p.comm_window_ns), ratio);
         out += buf;
     }
     out += first ? "],\n" : "\n  ],\n";

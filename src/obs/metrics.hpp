@@ -272,6 +272,12 @@ struct RunReport {
         std::uint64_t late_receivers = 0;
         std::uint64_t late_sender_wait_ns = 0;
         std::uint64_t late_receiver_wait_ns = 0;
+        /// Nonblocking-request overlap (mpi/req): of comm_window_ns of
+        /// issue→completion time across overlap_ops requests, overlap_ns ran
+        /// hidden under compute. JSON adds the derived overlap_ratio.
+        std::uint64_t overlap_ops = 0;
+        std::uint64_t overlap_ns = 0;
+        std::uint64_t comm_window_ns = 0;
     };
     std::vector<RankProfile> profiles;
 

@@ -52,6 +52,15 @@ void Profiler::late_receiver(int track, SimTime waited) {
     t.late_receiver_wait += static_cast<std::uint64_t>(waited);
 }
 
+void Profiler::comm_overlap(int track, std::uint64_t overlapped_ns,
+                            std::uint64_t window_ns) {
+    if (!enabled_) return;
+    Track& t = tracks_[track];
+    ++t.overlap_ops;
+    t.overlap_ns += overlapped_ns;
+    t.comm_window_ns += window_ns;
+}
+
 Profiler::Snapshot Profiler::snapshot(int track, SimTime now) const {
     Snapshot out;
     const auto it = tracks_.find(track);
@@ -70,6 +79,9 @@ Profiler::Snapshot Profiler::snapshot(int track, SimTime now) const {
     out.late_receivers = t.late_receivers;
     out.late_sender_wait_ns = t.late_sender_wait;
     out.late_receiver_wait_ns = t.late_receiver_wait;
+    out.overlap_ops = t.overlap_ops;
+    out.overlap_ns = t.overlap_ns;
+    out.comm_window_ns = t.comm_window_ns;
     return out;
 }
 

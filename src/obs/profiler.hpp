@@ -64,6 +64,13 @@ public:
     void late_sender(int track, SimTime waited);
     void late_receiver(int track, SimTime waited);
 
+    /// One finalized nonblocking request: of its issue→completion window of
+    /// `window_ns`, `overlapped_ns` were not spent blocked in Wait — time
+    /// the communication ran underneath user compute. The achieved overlap
+    /// ratio per rank is sum(overlapped) / sum(window).
+    void comm_overlap(int track, std::uint64_t overlapped_ns,
+                      std::uint64_t window_ns);
+
     struct Snapshot {
         std::array<std::uint64_t, kProfStates> state_ns{};
         std::uint64_t total_ns = 0;  ///< sum of state_ns; equals `now` queried
@@ -71,6 +78,9 @@ public:
         std::uint64_t late_receivers = 0;
         std::uint64_t late_sender_wait_ns = 0;
         std::uint64_t late_receiver_wait_ns = 0;
+        std::uint64_t overlap_ops = 0;      ///< finalized nonblocking requests
+        std::uint64_t overlap_ns = 0;       ///< communication hidden by compute
+        std::uint64_t comm_window_ns = 0;   ///< total issue→completion windows
     };
 
     /// Attribution of `track` with the open tail accounted up to `now`.
@@ -86,6 +96,9 @@ private:
         std::uint64_t late_receivers = 0;
         std::uint64_t late_sender_wait = 0;
         std::uint64_t late_receiver_wait = 0;
+        std::uint64_t overlap_ops = 0;
+        std::uint64_t overlap_ns = 0;
+        std::uint64_t comm_window_ns = 0;
     };
 
     static void attribute(Track& t, SimTime now);

@@ -18,6 +18,17 @@ Status SegmentDirectory::destroy(SegmentId seg) {
     return Status::ok();
 }
 
+std::optional<std::pair<SegmentId, std::uint64_t>> SegmentDirectory::locate(
+    int node, const void* p, std::size_t len) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    for (const auto& [seg, mem] : segments_) {
+        if (seg.node != node) continue;
+        if (b >= mem.data() && b + len <= mem.data() + mem.size())
+            return std::make_pair(seg, static_cast<std::uint64_t>(b - mem.data()));
+    }
+    return std::nullopt;
+}
+
 Result<SciMapping> SegmentDirectory::import(int origin_node, SegmentId seg) {
     const auto it = segments_.find(seg);
     if (it == segments_.end())

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
+#include <utility>
 
 #include "common/status.hpp"
 
@@ -49,6 +51,12 @@ public:
     Result<SciMapping> import(int origin_node, SegmentId seg);
 
     [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+    /// Find the exported segment of `node` containing [p, p+len), with the
+    /// byte offset of `p` within it. Used by scimpi-check to attribute
+    /// request buffers that live inside watched segments.
+    [[nodiscard]] std::optional<std::pair<SegmentId, std::uint64_t>> locate(
+        int node, const void* p, std::size_t len) const;
 
     /// Attach the scimpi-check checker (may be null): destroy() then drops
     /// any segment watch so stale accesses are not misattributed.

@@ -1,14 +1,16 @@
-# Bench-regression gate: run bench_scale with the checked-in workload shape
-# and diff its RunReport v4 output against BENCH_BASELINE.json with
-# scripts/bench_compare.py. Simulated metrics are bit-deterministic, so any
-# diff beyond the threshold is a real behaviour change: either a regression
-# to fix or an intended change that must update the baseline
+# Bench-regression gate: run bench_scale and bench_overlap with the
+# checked-in workload shapes and diff their RunReport v4 output against
+# BENCH_BASELINE.json with scripts/bench_compare.py (both candidates in one
+# invocation; runs match by label). Simulated metrics are bit-deterministic,
+# so any diff beyond the threshold is a real behaviour change: either a
+# regression to fix or an intended change that must update the baseline
 # (see DESIGN.md §12 for the refresh recipe).
 #
-# Expects: BENCH_SCALE (binary), COMPARE (script), BASELINE (json),
-#          PYTHON, OUT_DIR.
+# Expects: BENCH_SCALE, BENCH_OVERLAP (binaries), COMPARE (script),
+#          BASELINE (json), PYTHON, OUT_DIR.
 set(new_json "${OUT_DIR}/bench_scale_current.json")
-file(REMOVE "${new_json}")
+set(overlap_json "${OUT_DIR}/bench_overlap_current.json")
+file(REMOVE "${new_json}" "${overlap_json}")
 
 # Keep the gate fast: the two smallest scales only, few iterations. The
 # baseline was generated with exactly these parameters.
@@ -23,8 +25,21 @@ if(NOT EXISTS "${new_json}")
   message(FATAL_ERROR "bench_scale wrote no JSON")
 endif()
 
+# bench_overlap doubles as the overlap acceptance gate: a nonzero exit
+# means nonblocking+async was not faster than blocking at a rendezvous size.
 execute_process(
-  COMMAND "${PYTHON}" "${COMPARE}" "${BASELINE}" "${new_json}"
+  COMMAND "${BENCH_OVERLAP}" --json "${overlap_json}" --sizes 131072 --iters 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_overlap exited with ${rc}:\n${out}")
+endif()
+if(NOT EXISTS "${overlap_json}")
+  message(FATAL_ERROR "bench_overlap wrote no JSON")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${COMPARE}" "${BASELINE}" "${new_json}" "${overlap_json}"
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out ERROR_VARIABLE out)
 message(STATUS "${out}")

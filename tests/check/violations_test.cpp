@@ -407,6 +407,76 @@ TEST(CheckerUnit, HappensBeforeEdgeSuppressesSegmentRace) {
     EXPECT_TRUE(ck.violations().empty());
 }
 
+TEST(CheckerUnit, BufferReuseAfterIsendIsARequestRace) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(/*track=*/100, /*world_rank=*/0);
+    ck.register_actor(/*track=*/101, /*world_rank=*/1);
+    ck.watch_segment(/*node=*/3, /*id=*/7);
+    // Rank 0 isends [0,64) of the watched segment, then stores into [32,96)
+    // before completing the request: the classic racy buffer reuse.
+    const std::uint64_t id =
+        ck.on_request_issue(0, 3, 7, /*off=*/0, /*len=*/64, /*is_send=*/true, 10);
+    ASSERT_NE(id, 0u);
+    ck.on_segment_access(3, 7, 100, /*off=*/32, /*len=*/64, /*store=*/true, 20);
+    ASSERT_EQ(ck.count(ViolationKind::request_race), 1u);
+    const auto& v = ck.violations().front();
+    EXPECT_EQ(v.range.lo, 32u);
+    EXPECT_EQ(v.range.hi, 64u);  // the intersection with the pending send
+}
+
+TEST(CheckerUnit, LoadFromPendingIrecvBufferIsARequestRace) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.register_actor(101, 1);
+    ck.watch_segment(0, 1);
+    // Reading a receive buffer before Wait races with the incoming data —
+    // unlike sends, even a load conflicts.
+    const std::uint64_t id =
+        ck.on_request_issue(1, 0, 1, 0, 128, /*is_send=*/false, 10);
+    ASSERT_NE(id, 0u);
+    ck.on_segment_access(0, 1, 101, 0, 8, /*store=*/false, 20);
+    EXPECT_EQ(ck.count(ViolationKind::request_race), 1u);
+}
+
+TEST(CheckerUnit, LoadFromPendingIsendBufferIsAllowed) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.watch_segment(0, 1);
+    // Reading an in-flight *send* buffer is legal (MPI allows concurrent
+    // loads of a buffer an Isend is draining).
+    ck.on_request_issue(0, 0, 1, 0, 64, /*is_send=*/true, 10);
+    ck.on_segment_access(0, 1, 100, 0, 64, /*store=*/false, 20);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(CheckerUnit, ReuseAfterWaitIsOrderedByCompletionEdge) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    ck.register_actor(101, 1);
+    ck.watch_segment(3, 7);
+    // Same store as the racy case, but after Wait closed the request: the
+    // completion is the happens-before edge that makes the reuse legal.
+    const std::uint64_t id = ck.on_request_issue(0, 3, 7, 0, 64, true, 10);
+    ck.on_request_complete(0, id, 15);
+    ck.on_segment_access(3, 7, 100, 32, 64, true, 20);
+    EXPECT_EQ(ck.count(ViolationKind::request_race), 0u);
+}
+
+TEST(CheckerUnit, RequestIssueOnUnwatchedSegmentIsIgnored) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(100, 0);
+    // No watch_segment: buffers outside the shared arena are invisible, the
+    // hook must be a no-op returning the null id.
+    EXPECT_EQ(ck.on_request_issue(0, 5, 9, 0, 64, true, 10), 0u);
+    ck.on_segment_access(5, 9, 100, 0, 64, true, 20);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
 TEST(CheckerUnit, RepeatedRaceIsDeduplicatedAndCounted) {
     Checker ck(3);
     ck.enable();

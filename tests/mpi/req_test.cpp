@@ -1,0 +1,289 @@
+// Pinned tests for the request engine (src/mpi/req/): MPI completion
+// semantics (Wait/Test/Waitany/Testsome over invalid, inactive and finished
+// handles), persistent-request reuse, nonblocking collectives against their
+// blocking counterparts, the achieved-overlap profiler metric, and teardown
+// with requests still live at Cluster shutdown.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace scimpi::mpi {
+namespace {
+
+ClusterOptions nodes(int n) {
+    ClusterOptions opt;
+    opt.nodes = n;
+    return opt;
+}
+
+TEST(Req, InvalidRequestBehavesLikeRequestNull) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        Request null_req;
+        EXPECT_FALSE(null_req.valid());
+        EXPECT_TRUE(null_req.complete());
+        EXPECT_TRUE(comm.wait(null_req).is_ok());
+        Status st;
+        EXPECT_TRUE(comm.test(null_req, &st));
+        EXPECT_TRUE(st.is_ok());
+    });
+}
+
+TEST(Req, WaitOnInactivePersistentReturnsImmediately) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::int32();
+        int v = comm.rank() == 0 ? 77 : 0;
+        const int peer = 1 - comm.rank();
+        Request req = comm.rank() == 0 ? comm.send_init(&v, 1, t, peer, 3)
+                                       : comm.recv_init(&v, 1, t, peer, 3);
+        EXPECT_TRUE(req.persistent());
+        EXPECT_FALSE(req.active());
+        // Never started: Wait must not block and must report success.
+        const double t0 = comm.wtime();
+        EXPECT_TRUE(comm.wait(req).is_ok());
+        EXPECT_EQ(comm.wtime(), t0);
+        EXPECT_TRUE(comm.test(req));
+        // Now actually run one round so the cluster tears down clean.
+        comm.start(req);
+        EXPECT_TRUE(req.active());
+        EXPECT_TRUE(comm.wait(req).is_ok());
+        EXPECT_FALSE(req.active());  // back to inactive, ready to restart
+        if (comm.rank() == 1) EXPECT_EQ(v, 77);
+        // And inactive again: Wait is again a no-op.
+        EXPECT_TRUE(comm.wait(req).is_ok());
+    });
+}
+
+TEST(Req, TestsomeWithNoCompletionsIsEmpty) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::int32();
+        if (comm.rank() == 0) {
+            int v = 0;
+            std::vector<Request> reqs = {comm.irecv(&v, 1, t, 1, 9)};
+            // The sender is parked for 100us: nothing can have completed yet.
+            EXPECT_TRUE(comm.test_some(reqs).empty());
+            EXPECT_TRUE(comm.wait_all(reqs).is_ok());
+            EXPECT_EQ(v, 123);
+            EXPECT_EQ(comm.recv_result(reqs[0]).source, 1);
+            // Every request finalized: testsome has nothing active to report.
+            EXPECT_TRUE(comm.test_some(reqs).empty());
+        } else {
+            comm.proc().delay(100_us);
+            const int v = 123;
+            ASSERT_TRUE(comm.send(&v, 1, t, 0, 9));
+        }
+    });
+}
+
+TEST(Req, WaitanyReturnsMinusOneWhenNoneActive) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        std::vector<Request> reqs(3);  // all invalid
+        EXPECT_EQ(comm.wait_any(reqs), -1);
+    });
+}
+
+TEST(Req, WaitanyPicksEarliestThenRemaining) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::int32();
+        if (comm.rank() == 0) {
+            int a = 0;
+            int b = 0;
+            std::vector<Request> reqs = {comm.irecv(&a, 1, t, 1, 1),
+                                         comm.irecv(&b, 1, t, 1, 2)};
+            const int first = comm.wait_any(reqs);
+            EXPECT_EQ(first, 0);  // tag 1 is sent long before tag 2
+            EXPECT_EQ(a, 10);
+            const int second = comm.wait_any(reqs);
+            EXPECT_EQ(second, 1);
+            EXPECT_EQ(b, 20);
+            EXPECT_EQ(comm.wait_any(reqs), -1);  // both finalized now
+        } else {
+            const int a = 10;
+            const int b = 20;
+            ASSERT_TRUE(comm.send(&a, 1, t, 0, 1));
+            comm.proc().delay(200_us);
+            ASSERT_TRUE(comm.send(&b, 1, t, 0, 2));
+        }
+    });
+}
+
+TEST(Req, NonPersistentStatusIsSticky) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::int32();
+        const int peer = 1 - comm.rank();
+        int out = comm.rank();
+        int in = -1;
+        Request reqs[2] = {comm.irecv(&in, 1, t, peer, 4),
+                          comm.isend(&out, 1, t, peer, 4)};
+        ASSERT_TRUE(comm.wait_all(reqs));
+        EXPECT_EQ(in, peer);
+        // Finalized handles stay queryable: repeated Wait/Test are no-ops
+        // that return the recorded status.
+        EXPECT_TRUE(comm.wait(reqs[0]).is_ok());
+        EXPECT_TRUE(comm.test(reqs[1]));
+        EXPECT_TRUE(reqs[0].complete());
+        EXPECT_FALSE(reqs[0].active());
+    });
+}
+
+TEST(Req, PersistentRingReusesFrozenBuffers) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::float64();
+        const int right = (comm.rank() + 1) % comm.size();
+        const int left = (comm.rank() + comm.size() - 1) % comm.size();
+        std::vector<double> sbuf(64);
+        std::vector<double> rbuf(64);
+        std::vector<Request> reqs = {
+            comm.recv_init(rbuf.data(), 64, t, left, 6),
+            comm.send_init(sbuf.data(), 64, t, right, 6),
+        };
+        for (int it = 0; it < 5; ++it) {
+            // New payload in the same frozen buffer each round.
+            std::fill(sbuf.begin(), sbuf.end(), comm.rank() * 100.0 + it);
+            comm.start_all(reqs);
+            ASSERT_TRUE(comm.wait_all(reqs));
+            for (const double v : rbuf) ASSERT_EQ(v, left * 100.0 + it);
+        }
+    });
+}
+
+TEST(Req, IbarrierCompletes) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        // Stagger the entries: the barrier still has to hold everyone.
+        comm.proc().delay(static_cast<SimTime>(comm.rank()) * 10_us);
+        const double entered = comm.wtime();
+        Request r = comm.ibarrier();
+        ASSERT_TRUE(comm.wait(r).is_ok());
+        // Nobody leaves before the last rank (rank 3) entered.
+        EXPECT_GE(comm.wtime(), 30e-6);
+        EXPECT_GE(comm.wtime(), entered);
+    });
+}
+
+TEST(Req, IbcastMatchesBlockingBcast) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        std::vector<double> nb(256, -1.0);
+        std::vector<double> bl(256, -1.0);
+        if (comm.rank() == 1)
+            for (std::size_t i = 0; i < nb.size(); ++i)
+                nb[i] = bl[i] = static_cast<double>(i) + 0.5;
+        Request r = comm.ibcast(nb.data(), nb.size() * sizeof(double), 1);
+        ASSERT_TRUE(comm.wait(r).is_ok());
+        ASSERT_TRUE(comm.bcast(bl.data(), 256, Datatype::float64(), 1));
+        EXPECT_EQ(nb, bl);
+    });
+}
+
+TEST(Req, IallreduceMatchesBlockingAllreduce) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        std::vector<double> in(97);
+        std::iota(in.begin(), in.end(), static_cast<double>(comm.rank()));
+        std::vector<double> nb(97, 0.0);
+        std::vector<double> bl(97, 0.0);
+        Request r = comm.iallreduce_sum(in.data(), nb.data(), 97);
+        ASSERT_TRUE(comm.wait(r).is_ok());
+        ASSERT_TRUE(comm.allreduce_sum(in.data(), bl.data(), 97));
+        EXPECT_EQ(nb, bl);
+    });
+}
+
+TEST(Req, IallgatherMatchesBlockingAllgather) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        const std::size_t each = 512;
+        std::vector<std::byte> in(each, static_cast<std::byte>(comm.rank() + 1));
+        std::vector<std::byte> nb(each * 4);
+        std::vector<std::byte> bl(each * 4);
+        Request r = comm.iallgather(in.data(), each, nb.data());
+        ASSERT_TRUE(comm.wait(r).is_ok());
+        ASSERT_TRUE(comm.allgather(in.data(), each, bl.data()));
+        EXPECT_EQ(nb, bl);
+    });
+}
+
+TEST(Req, ConcurrentNbcSchedulesDoNotCrossMatch) {
+    Cluster c(nodes(4));
+    c.run([](Comm& comm) {
+        std::vector<double> in(32, static_cast<double>(comm.rank()));
+        std::vector<double> sum(32, 0.0);
+        std::vector<std::byte> gin(64, static_cast<std::byte>(comm.rank()));
+        std::vector<std::byte> gout(64 * 4);
+        // Two schedules in flight at once on the same communicator: their
+        // per-sequence tag bases keep the rounds apart.
+        std::vector<Request> reqs = {comm.iallreduce_sum(in.data(), sum.data(), 32),
+                                     comm.iallgather(gin.data(), 64, gout.data())};
+        ASSERT_TRUE(comm.wait_all(reqs));
+        for (const double v : sum) EXPECT_EQ(v, 0.0 + 1.0 + 2.0 + 3.0);
+        for (int rk = 0; rk < 4; ++rk)
+            for (int i = 0; i < 64; ++i)
+                EXPECT_EQ(gout[static_cast<std::size_t>(rk * 64 + i)],
+                          static_cast<std::byte>(rk));
+    });
+}
+
+TEST(Req, OverlapRatioIsMeasuredUnderAsyncProgress) {
+    ClusterOptions opt = nodes(2);
+    opt.profile = true;
+    opt.collect_stats = true;
+    opt.async_progress = true;
+    Cluster c(opt);
+    c.run([](Comm& comm) {
+        const int n = static_cast<int>(128_KiB / sizeof(double));  // rendezvous
+        const int peer = 1 - comm.rank();
+        std::vector<double> sbuf(static_cast<std::size_t>(n), 1.0);
+        std::vector<double> rbuf(static_cast<std::size_t>(n), 0.0);
+        for (int it = 0; it < 3; ++it) {
+            Request reqs[2] = {
+                comm.irecv(rbuf.data(), n, Datatype::float64(), peer, it),
+                comm.isend(sbuf.data(), n, Datatype::float64(), peer, it),
+            };
+            comm.proc().delay(2_ms);  // plenty of compute to hide the transfer
+            ASSERT_TRUE(comm.wait_all(reqs));
+        }
+    });
+    const obs::RunReport rep = c.stats_report();
+    ASSERT_EQ(rep.profiles.size(), 2u);
+    for (const auto& p : rep.profiles) {
+        EXPECT_GT(p.overlap_ops, 0u);
+        EXPECT_GT(p.comm_window_ns, 0u);
+        // The transfer fits entirely under the 2ms compute slab: nearly the
+        // whole communication window must have been hidden.
+        EXPECT_GT(p.overlap_ns, p.comm_window_ns / 2);
+    }
+}
+
+TEST(Req, TeardownWithLiveRequestsDoesNotHangOrLeak) {
+    Cluster c(nodes(2));
+    c.run([](Comm& comm) {
+        const auto t = Datatype::int32();
+        if (comm.rank() == 0) {
+            // A receive nobody ever matches and a persistent send never
+            // started: both are still live when the rank returns. Shutdown
+            // must neither hang nor leak (the ASan preset covers the leak).
+            static int sink = 0;
+            static int src = 41;
+            Request orphan = comm.irecv(&sink, 1, t, 1, 99);
+            Request inert = comm.send_init(&src, 1, t, 1, 98);
+            EXPECT_TRUE(orphan.active());
+            EXPECT_FALSE(inert.active());
+        }
+    });
+    EXPECT_EQ(c.rank_state(0).live_recv_count(), 1u);
+    EXPECT_EQ(c.rank_state(0).live_send_count(), 0u);
+}
+
+}  // namespace
+}  // namespace scimpi::mpi

@@ -1,0 +1,27 @@
+# Heavy-traffic smoke: the halo and RPC generators under SCIMPI_CHECK=1
+# must run to completion with zero scimpi-check violations and report their
+# latency percentiles from the obs::Histogram. The halo run also exercises
+# the async-progress daemon path.
+#
+# Expects: BENCH_TRAFFIC (binary), OUT_DIR.
+
+function(run_traffic label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SCIMPI_CHECK=1 "${BENCH_TRAFFIC}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label} exited with ${rc}:\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "p50=[0-9]+ ns p90=[0-9]+ ns p99=[0-9]+ ns")
+    message(FATAL_ERROR "${label} printed no histogram percentiles:\n${out}")
+  endif()
+  if(NOT out MATCHES "scimpi-check: 0 violations")
+    message(FATAL_ERROR "${label} reported violations:\n${out}\n${err}")
+  endif()
+  message(STATUS "${label}: ok")
+endfunction()
+
+run_traffic("traffic/halo" --gen halo --ranks 8 --iters 4)
+run_traffic("traffic/halo-async" --gen halo --ranks 8 --iters 4 --async)
+run_traffic("traffic/rpc" --gen rpc --ranks 4 --iters 4)
