@@ -155,6 +155,7 @@ def main():
     overrides = parse_overrides(args.metric)
 
     breaches = []
+    vanished = []
     compared = 0
     new_metrics = 0
     for label, base in sorted(base_runs.items()):
@@ -167,9 +168,14 @@ def main():
                 continue
             c = cand.get(name)
             if c is None:
-                # A metric that vanished is suspicious only if it was real.
+                # A metric that vanished is suspicious only if it was real;
+                # a zero-valued one still gets a warning rather than a
+                # silent drop, so a renamed counter cannot disappear from
+                # the gate unnoticed.
                 if abs(b) > ABS_FLOOR:
                     breaches.append((label, name + " <missing>", b, 0.0, 100.0))
+                else:
+                    vanished.append((label, name, b))
                 continue
             compared += 1
             if abs(b) <= ABS_FLOOR and abs(c) <= ABS_FLOOR:
@@ -213,8 +219,15 @@ def main():
                     print(f"{'new':>10}  {prefix}{name} = {cand[name]:.6g} "
                           "(not in baseline)")
 
+    for label, name, b in vanished:
+        prefix = f"{label}:" if label else ""
+        sys.stderr.write(f"bench_compare: warning: baseline metric "
+                         f"{prefix}{name} ({b:.6g}) is missing from every "
+                         f"candidate\n")
+
     print(f"bench_compare: {compared} metrics compared, "
-          f"{len(breaches)} regression(s), {new_metrics} new metric(s)")
+          f"{len(breaches)} regression(s), {new_metrics} new metric(s), "
+          f"{len(vanished)} vanished zero-valued metric(s)")
     return 1 if breaches else 0
 
 

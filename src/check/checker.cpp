@@ -234,6 +234,15 @@ void Checker::on_lock(int win_id, int origin, int target, SimTime now, int track
     auto& clk = clocks_[static_cast<std::size_t>(origin)];
     clk.join(rank_state(win_id, target).lock_clock);
     clk.tick(origin);
+    // Mirror the hand-over HB edge into the event graph: the previous
+    // holder's unlock released this acquisition, so lock-serialized time on
+    // the critical path is blamed on the rank that held the lock.
+    if (evgraph_ != nullptr && evgraph_->enabled()) {
+        const auto it = last_unlock_ev_.find({win_id, target});
+        if (it != last_unlock_ev_.end())
+            evgraph_->edge(it->second, evgraph_->last(track),
+                           obs::EvCat::wait_sync);
+    }
 }
 
 void Checker::on_unlock(int win_id, int origin, int target, SimTime now, int track) {
@@ -250,6 +259,8 @@ void Checker::on_unlock(int win_id, int origin, int target, SimTime now, int tra
     // dominate ours through the lock clock, so no conflict is reported.
     rank_state(win_id, target).lock_clock.join(clk);
     clk.tick(origin);
+    if (evgraph_ != nullptr && evgraph_->enabled())
+        last_unlock_ev_[{win_id, target}] = evgraph_->last(track);
 }
 
 // ---------------------------------------------------------------------------

@@ -45,6 +45,7 @@
 
 #include "check/clock.hpp"
 #include "common/units.hpp"
+#include "obs/evgraph.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
@@ -114,6 +115,11 @@ public:
     void bind_metrics(obs::MetricsRegistry& m);
     /// Emit a "check:<kind>" instant on the recording track per violation.
     void bind_tracer(sim::Tracer* t) { tracer_ = t; }
+    /// Mirror happens-before edges the checker computes (currently the
+    /// lock hand-over chain) into the causal event graph, so the
+    /// critical-path walk can cross passive-target sync points the protocol
+    /// layer itself cannot see. Null (the default) disables mirroring.
+    void bind_event_graph(obs::EventGraph* g) { evgraph_ = g; }
 
     /// Map a simulated process id (trace track) to its world rank, so
     /// segment accesses observed below the MPI layer can be attributed.
@@ -282,6 +288,10 @@ private:
     std::set<std::string> seen_;  ///< dedup signatures
     std::uint64_t suppressed_ = 0;
     sim::Tracer* tracer_ = nullptr;
+    obs::EventGraph* evgraph_ = nullptr;
+    /// Last graph node of the most recent unlock per (win, target): the
+    /// source of the hand-over edge the next lock acquisition completes.
+    std::map<std::pair<int, int>, std::uint64_t> last_unlock_ev_;
     obs::Counter* total_c_ = nullptr;
     obs::Counter* kind_c_[kViolationKinds] = {};
 };

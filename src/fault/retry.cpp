@@ -33,7 +33,14 @@ RetryOutcome retry_with_backoff(sim::Process& self, const Config& cfg,
         {
             const sim::TraceScope trace(self, "fault:retry_backoff", "fault");
             const sim::ProfScope prof(self, obs::ProfState::retry_backoff);
+            const SimTime t0 = self.now();
             self.delay(backoff);
+            // Causal graph: backoff time is retry-category so a --diff of a
+            // fault-injected run against a clean one pins the delta here.
+            obs::EventGraph& g = self.engine().evgraph();
+            if (g.enabled())
+                g.node(self.id(), obs::EvCat::retry, "fault:backoff", t0,
+                       self.now());
         }
         // Cold path by definition (a link already failed), so resolving the
         // histogram through the engine per backoff is fine.

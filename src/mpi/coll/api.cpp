@@ -9,6 +9,8 @@
 #include "mpi/coll/coll.hpp"
 #include "mpi/coll/segment_set.hpp"
 #include "mpi/comm.hpp"
+#include "obs/evgraph.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace scimpi::mpi::coll {
@@ -94,6 +96,7 @@ public:
     OpCall(Comm& c, Op op, Alg alg, std::size_t bytes, bool seg)
         : c_(c),
           op_(op),
+          alg_(alg),
           t0_(c.proc().now()),
           trace_(c.proc(), std::string(op_name(op)) + ":" + alg_name(alg), "coll",
                  bytes) {
@@ -104,11 +107,35 @@ public:
             .metrics()
             .counter(std::string("coll.") + op_name(op) + "." + alg_name(alg))
             .inc();
+        // Causal graph: a zero-width entry marker feeds the epoch's
+        // latest-entry slot (the straggler everyone else waits for).
+        obs::EventGraph& g = c.proc().engine().evgraph();
+        if (g.enabled()) {
+            CollRuntime& rt = c.cluster().coll_runtime();
+            seq_ = rt.next_coll_seq(c.context(), c.rank());
+            entry_ev_ = g.node(c.proc().id(), obs::EvCat::proto, "coll:enter",
+                               t0_, t0_);
+            rt.coll_enter(c.context(), seq_, entry_ev_);
+        }
     }
     ~OpCall() {
         CollMetrics& m = c_.cluster().coll_runtime().metrics();
         m.latency[static_cast<std::size_t>(op_)]->record(
             static_cast<std::uint64_t>(c_.proc().now() - t0_));
+        obs::EventGraph& g = c_.proc().engine().evgraph();
+        if (g.enabled() && entry_ev_ != 0) {
+            // Transparent container spanning the whole call; the wait_sync
+            // edge from the epoch's latest entry routes early exiters' time
+            // to the rank that arrived last.
+            const std::uint64_t exit_ev =
+                g.node(c_.proc().id(), obs::EvCat::coll,
+                       std::string(op_name(op_)) + ":" + alg_name(alg_), t0_,
+                       c_.proc().now());
+            const std::uint64_t latest = c_.cluster().coll_runtime().coll_exit(
+                c_.context(), seq_, c_.size());
+            if (latest != 0 && latest != entry_ev_)
+                g.edge(latest, exit_ev, obs::EvCat::wait_sync);
+        }
     }
     OpCall(const OpCall&) = delete;
     OpCall& operator=(const OpCall&) = delete;
@@ -116,8 +143,11 @@ public:
 private:
     Comm& c_;
     Op op_;
+    Alg alg_;
     SimTime t0_;
     sim::TraceScope trace_;
+    std::uint64_t entry_ev_ = 0;
+    std::uint64_t seq_ = 0;
 };
 
 }  // namespace

@@ -5,9 +5,12 @@
 // and a trace span per call.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/status.hpp"
 #include "mpi/coll/tuning.hpp"
@@ -75,11 +78,45 @@ public:
     /// Cluster::run after the simulation drains (no processes left).
     void release_sets();
 
+    // ---- causal event graph (obs/evgraph): collective sync epochs ----
+    // Every member of a communicator calls collectives in the same order, so
+    // the Nth collective on a context is one epoch across all members. The
+    // epoch tracks the latest entry event; each member's exit hangs a
+    // wait_sync edge off it, giving the critical-path walk a route from an
+    // early rank's barrier exit to the straggler that held everyone up.
+    /// Per-(context, rank) collective-call sequence number.
+    std::uint64_t next_coll_seq(int context, int rank) {
+        return coll_seq_[{context, rank}]++;
+    }
+    /// Record `entry_ev` (a rank's entry node) into epoch (context, seq).
+    void coll_enter(int context, std::uint64_t seq, std::uint64_t entry_ev) {
+        std::uint64_t& latest = epochs_[{context, seq}].latest_entry;
+        latest = std::max(latest, entry_ev);  // node ids are time-ordered
+    }
+    /// A member left epoch (context, seq): returns the latest entry event so
+    /// the caller can add the wait_sync edge; frees the epoch once all
+    /// `comm_size` members exited.
+    std::uint64_t coll_exit(int context, std::uint64_t seq, int comm_size) {
+        const auto key = std::make_pair(context, seq);
+        auto it = epochs_.find(key);
+        if (it == epochs_.end()) return 0;
+        const std::uint64_t latest = it->second.latest_entry;
+        if (++it->second.exits >= comm_size) epochs_.erase(it);
+        return latest;
+    }
+
 private:
     Cluster& cluster_;
     Tuning tuning_;
     CollMetrics cm_;
     std::map<int, std::unique_ptr<CollSegmentSet>> sets_;  // by context id
+
+    struct CollEpoch {
+        std::uint64_t latest_entry = 0;
+        int exits = 0;
+    };
+    std::map<std::pair<int, std::uint64_t>, CollEpoch> epochs_;
+    std::map<std::pair<int, int>, std::uint64_t> coll_seq_;
 };
 
 // ---- engine entry points (called by the Comm methods) ----

@@ -8,6 +8,7 @@
 #include "mpi/req/request.hpp"
 #include "mpi/rma/window.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/evgraph.hpp"
 #include "sim/trace.hpp"
 
 namespace scimpi::mpi {
@@ -16,6 +17,21 @@ namespace {
 constexpr SimTime kLocalCtrlIssue = 120;      // ns: write a flag in local shm
 constexpr SimTime kLocalCtrlDelivery = 250;   // ns: peer poll detects it
 constexpr SimTime kRemotePollDetect = 600;    // ns on top of the pipeline latency
+
+/// Causal-graph node labels per control-message kind.
+const char* ctrl_name(CtrlKind k) {
+    switch (k) {
+        case CtrlKind::short_msg: return "ctrl:short";
+        case CtrlKind::eager: return "ctrl:eager";
+        case CtrlKind::eager_credit: return "ctrl:credit";
+        case CtrlKind::rndv_rts: return "ctrl:rts";
+        case CtrlKind::rndv_cts: return "ctrl:cts";
+        case CtrlKind::rndv_chunk: return "ctrl:chunk";
+        case CtrlKind::rndv_ack: return "ctrl:ack";
+        case CtrlKind::rndv_fail: return "ctrl:fail";
+    }
+    return "ctrl:?";
+}
 }  // namespace
 
 Rank::Rank(Cluster& cluster, int rank, int node)
@@ -66,10 +82,11 @@ bool Rank::matches(const RecvOp& op, const Envelope& env) {
 // Control plane
 // ---------------------------------------------------------------------------
 
-void Rank::post_ctrl(int dst, CtrlMsg msg) {
+std::uint64_t Rank::post_ctrl(int dst, CtrlMsg msg) {
     sim::Process& self = cur_proc();
     Rank& peer = cluster_.rank_state(dst);
     const auto& p = cluster_.fabric().params();
+    const SimTime push_t0 = self.now();
     SimTime delivery;
     if (peer.node() == node_) {
         self.delay(kLocalCtrlIssue);
@@ -83,10 +100,18 @@ void Rank::post_ctrl(int dst, CtrlMsg msg) {
         cluster_.fabric().account(node_, peer.node(), msg.inline_data.size() + 32);
         delivery = p.write_latency + kRemotePollDetect;
     }
+    obs::EventGraph& g = self.engine().evgraph();
+    if (g.enabled())
+        msg.ev = g.node(self.id(),
+                        peer.node() == node_ ? obs::EvCat::proto : obs::EvCat::pio,
+                        ctrl_name(msg.kind), push_t0, self.now(),
+                        msg.inline_data.size());
+    const std::uint64_t push_ev = msg.ev;
     auto* inbox = &peer.inbox();
     cluster_.dispatcher().after(delivery, [inbox, m = std::move(msg)]() mutable {
         inbox->send(std::move(m));
     });
+    return push_ev;
 }
 
 void Rank::progress_one() {
@@ -151,6 +176,27 @@ void Rank::progress_daemon_body(sim::Process& p) {
 }
 
 void Rank::dispatch(CtrlMsg msg) {
+    // Arrival node on whichever track dispatches (rank or daemon). The gap
+    // back to the sender's push node is the wire: a link edge carrying the
+    // SCI node pair when the hop crossed the fabric, a scheduling edge for
+    // same-node shm delivery. msg.ev is rewritten so later handling (even
+    // after a stay in the unexpected queue) hangs off the arrival.
+    {
+        sim::Process& self = cur_proc();
+        obs::EventGraph& g = self.engine().evgraph();
+        if (g.enabled() && msg.ev != 0) {
+            const std::uint64_t arr =
+                g.node(self.id(), obs::EvCat::proto, ctrl_name(msg.kind),
+                       self.now(), self.now(), msg.inline_data.size());
+            const int from_node =
+                msg.env.src >= 0 ? cluster_.rank_state(msg.env.src).node() : -1;
+            if (from_node >= 0 && from_node != node_)
+                g.edge(msg.ev, arr, obs::EvCat::link, from_node, node_);
+            else
+                g.edge(msg.ev, arr, obs::EvCat::sched);
+            msg.ev = arr;
+        }
+    }
     switch (msg.kind) {
         case CtrlKind::short_msg:
         case CtrlKind::eager:
@@ -181,6 +227,7 @@ void Rank::dispatch(CtrlMsg msg) {
         }
         case CtrlKind::eager_credit: {
             ++eager_credits_[static_cast<std::size_t>(msg.env.src)];
+            last_credit_ev_[static_cast<std::size_t>(msg.env.src)] = msg.ev;
             credit_waiters_.wake_all();
             return;
         }
@@ -237,6 +284,7 @@ void Rank::dispatch(CtrlMsg msg) {
                 op.ring_mem = {};
             }
             op.complete = true;
+            op.ev_done = msg.ev;  // the abort notification ended the wait
             ops_.erase_recv(msg.recv_handle);
             return;
         }
@@ -267,10 +315,17 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
     const obs::ProfState io_state =
         dma_ok ? obs::ProfState::dma : obs::ProfState::pio_write;
 
+    obs::EventGraph& g = self.engine().evgraph();
     if (op.type.is_contiguous()) {
         const sim::ProfScope io(self, io_state);
-        return dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
-                      : adapter().write(self, ring, ring_off, src + pos, len, len);
+        const SimTime t0 = self.now();
+        const Status st =
+            dma_ok ? adapter().dma_write(self, ring, ring_off, src + pos, len)
+                   : adapter().write(self, ring, ring_off, src + pos, len, len);
+        if (g.enabled())
+            g.node(self.id(), dma_ok ? obs::EvCat::dma : obs::EvCat::pio,
+                   "rndv:write", t0, self.now(), len);
+        return st;
     }
 
     FFPacker ff(op.type, op.count, src);
@@ -295,6 +350,9 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
                    : adapter().write_gather(self, ring, ring_off, blocks, traffic);
         if (const SimTime dt = self.now() - t0; st && dt > 0)
             pm_.ff_throughput->record(len * 1'000'000'000ull / (dt * 1'048'576ull));
+        if (g.enabled())
+            g.node(self.id(), dma_ok ? obs::EvCat::dma : obs::EvCat::pio,
+                   "pack:ff_direct", t0, self.now(), len);
         return st;
     }
 
@@ -306,9 +364,18 @@ Status Rank::pack_into_ring(SendOp& op, const sci::SciMapping& ring,
     std::vector<std::byte> scratch(len);
     GenericPacker gp(op.type, op.count, src);
     const PackWork work = gp.pack(pos, len, scratch.data());
+    const SimTime stage_t0 = self.now();
     self.delay(GenericPacker::cost(work, copy_model_));
+    // Two nodes so scimpi-analyze --diff separates the staging copy (the
+    // extra hop the ff path avoids) from the wire write itself.
+    if (g.enabled())
+        g.node(self.id(), obs::EvCat::pack, "pack:stage", stage_t0, self.now(), len);
     const sim::ProfScope io(self, obs::ProfState::pio_write);
-    return adapter().write(self, ring, ring_off, scratch.data(), len, len);
+    const SimTime write_t0 = self.now();
+    const Status st = adapter().write(self, ring, ring_off, scratch.data(), len, len);
+    if (g.enabled())
+        g.node(self.id(), obs::EvCat::pio, "pack:write", write_t0, self.now(), len);
+    return st;
 }
 
 void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t pos,
@@ -322,24 +389,26 @@ void Rank::unpack_from_ring(RecvOp& op, std::span<std::byte> chunk, std::size_t 
     if (pos >= capacity) return;  // truncated tail: drain without storing
     const std::size_t usable = std::min(len, capacity - pos);
 
+    const SimTime t0 = self.now();
     if (op.type.is_contiguous()) {
         self.delay(copy_model_.copy_cost(usable, {}, {}));
         std::memcpy(dst + pos, chunk.data(), usable);
-        return;
-    }
-    if (use_ff_side(op.type, op.mode, false)) {
+    } else if (use_ff_side(op.type, op.mode, false)) {
         ++stats_.ff_packs;
         pm_.ff_packs->inc();
         FFPacker ff(op.type, op.count, dst);
         const PackWork work = ff.unpack(pos, usable, chunk.data());
         self.delay(FFPacker::cost(work, copy_model_));
-        return;
+    } else {
+        ++stats_.generic_packs;
+        pm_.generic_packs->inc();
+        GenericPacker gp(op.type, op.count, dst);
+        const PackWork work = gp.unpack(pos, usable, chunk.data());
+        self.delay(GenericPacker::cost(work, copy_model_));
     }
-    ++stats_.generic_packs;
-    pm_.generic_packs->inc();
-    GenericPacker gp(op.type, op.count, dst);
-    const PackWork work = gp.unpack(pos, usable, chunk.data());
-    self.delay(GenericPacker::cost(work, copy_model_));
+    obs::EventGraph& g = self.engine().evgraph();
+    if (g.enabled() && self.now() > t0)
+        g.node(self.id(), obs::EvCat::pack, "rndv:unpack", t0, self.now(), usable);
 }
 
 // ---------------------------------------------------------------------------
@@ -409,6 +478,13 @@ void Rank::start_send(SendOp& op) {
 
     auto pack_inline = [&](std::vector<std::byte>& out) {
         const sim::ProfScope prof(self, obs::ProfState::pack);
+        const SimTime pack_t0 = self.now();
+        const auto note_pack = [&] {
+            obs::EventGraph& g = self.engine().evgraph();
+            if (g.enabled() && self.now() > pack_t0)
+                g.node(self.id(), obs::EvCat::pack, "send:pack_inline", pack_t0,
+                       self.now(), bytes);
+        };
         out.resize(bytes);
         if (bytes == 0) return;
         if (op.type.is_contiguous()) {
@@ -428,6 +504,7 @@ void Rank::start_send(SendOp& op) {
             const PackWork w = gp.pack(0, bytes, out.data());
             self.delay(GenericPacker::cost(w, copy_model_));
         }
+        note_pack();
     };
 
     if (bytes <= cfg.short_threshold) {
@@ -439,7 +516,7 @@ void Rank::start_send(SendOp& op) {
         msg.kind = CtrlKind::short_msg;
         msg.env = op.env;
         pack_inline(msg.inline_data);
-        post_ctrl(op.env.dst, std::move(msg));
+        op.ev_done = post_ctrl(op.env.dst, std::move(msg));
         op.complete = true;
         ops_.erase_send(op.handle);
         return;
@@ -456,14 +533,20 @@ void Rank::start_send(SendOp& op) {
             return;
         }
         auto& credits = eager_credits_[static_cast<std::size_t>(op.env.dst)];
-        while (credits == 0) progress_wait();  // flow control: wait for a slot
+        if (credits == 0) {  // flow control: wait for a slot
+            const SimTime wait_t0 = self.now();
+            while (credits == 0) progress_wait();
+            note_wait(self, wait_t0,
+                      last_credit_ev_[static_cast<std::size_t>(op.env.dst)],
+                      "wait:credit");
+        }
         --credits;
         open_flow();
         CtrlMsg msg;
         msg.kind = CtrlKind::eager;
         msg.env = op.env;
         pack_inline(msg.inline_data);
-        post_ctrl(op.env.dst, std::move(msg));
+        op.ev_done = post_ctrl(op.env.dst, std::move(msg));
         op.complete = true;
         ops_.erase_send(op.handle);
         return;
@@ -523,6 +606,11 @@ void Rank::pump_rndv(SendOp& op) {
     if ((op.next_pos >= op.env.bytes || op.aborted) && op.acks_pending == 0) {
         op.complete = true;
         ops_.erase_send(op.handle);
+        sim::Process& self = cur_proc();
+        obs::EventGraph& g = self.engine().evgraph();
+        if (g.enabled())
+            op.ev_done = g.node(self.id(), obs::EvCat::proto, "send:done",
+                                self.now(), self.now(), op.env.bytes);
         // The receiver's last ack orders its state before the sender's
         // continuation (rendezvous completion is a two-way sync point).
         if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.dst, rank_);
@@ -620,6 +708,7 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     if (msg.env.bytes > capacity)
         op.status = Status::error(Errc::truncated, "message longer than receive buffer");
     auto* dst = static_cast<std::byte*>(op.buf);
+    const SimTime unpack_t0 = self.now();
     if (usable > 0) {
         const sim::ProfScope prof(self, obs::ProfState::pack);
         if (op.type.is_contiguous()) {
@@ -643,6 +732,16 @@ void Rank::deliver_inline(RecvOp& op, const CtrlMsg& msg) {
     op.received = msg.env.bytes;
     op.complete = true;
     ops_.erase_recv(op.handle);
+    obs::EventGraph& g = self.engine().evgraph();
+    if (g.enabled()) {
+        if (self.now() > unpack_t0)
+            g.node(self.id(), obs::EvCat::pack, "deliver:unpack", unpack_t0,
+                   self.now(), usable);
+        op.ev_done = g.node(self.id(), obs::EvCat::proto, "recv:done", self.now(),
+                            self.now(), msg.env.bytes);
+        if (msg.ev != 0) g.edge(msg.ev, op.ev_done, obs::EvCat::sched);
+        g.message(msg.env.src, rank_, msg.env.bytes, self.now() - msg.env.post_time);
+    }
     // Happens-before edge for scimpi-check: the sender's clock at delivery
     // time (an over-approximation that only *adds* order, never races).
     if (auto* ck = cluster_.checker()) ck->on_p2p(msg.env.src, rank_);
@@ -719,6 +818,14 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
         op.ring_mem = {};
         op.complete = true;
         ops_.erase_recv(op.handle);
+        obs::EventGraph& g = self.engine().evgraph();
+        if (g.enabled()) {
+            op.ev_done = g.node(self.id(), obs::EvCat::proto, "recv:done",
+                                self.now(), self.now(), op.env.bytes);
+            if (msg.ev != 0) g.edge(msg.ev, op.ev_done, obs::EvCat::sched);
+            g.message(op.env.src, rank_, op.env.bytes,
+                      self.now() - op.env.post_time);
+        }
         if (auto* ck = cluster_.checker()) ck->on_p2p(op.env.src, rank_);
         pm_.lat_rndv->record(self.now() - op.env.post_time);
         if (op.env.flow != 0)
@@ -731,8 +838,22 @@ void Rank::handle_chunk(RecvOp& op, const CtrlMsg& msg) {
 // Blocking wrappers
 // ---------------------------------------------------------------------------
 
+void Rank::note_wait(sim::Process& self, SimTime w0, std::uint64_t release,
+                     const char* name) {
+    obs::EventGraph& g = self.engine().evgraph();
+    if (!g.enabled() || self.now() <= w0) return;
+    const std::uint64_t n =
+        g.node(self.id(), obs::EvCat::wait_recv, name, w0, self.now());
+    if (release != 0) g.edge(release, n, obs::EvCat::sched);
+}
+
 void Rank::wait(SendOp& op) {
-    while (!op.complete) progress_wait();
+    if (!op.complete) {
+        sim::Process& self = cur_proc();
+        const SimTime wait_t0 = self.now();
+        while (!op.complete) progress_wait();
+        note_wait(self, wait_t0, op.ev_done, "wait:send");
+    }
     if (op.check_id != 0) {
         // Wait success hands the buffer back to the application: close the
         // pending-request entry and tick the rank's clock (happens-before
@@ -744,7 +865,12 @@ void Rank::wait(SendOp& op) {
 }
 
 void Rank::wait(RecvOp& op) {
-    while (!op.complete) progress_wait();
+    if (!op.complete) {
+        sim::Process& self = cur_proc();
+        const SimTime wait_t0 = self.now();
+        while (!op.complete) progress_wait();
+        note_wait(self, wait_t0, op.ev_done, "wait:recv");
+    }
     if (op.check_id != 0) {
         if (auto* ck = cluster_.checker())
             ck->on_request_complete(rank_, op.check_id, proc().now());

@@ -61,6 +61,7 @@ struct SendOp {
     int acks_pending = 0;          ///< chunks sent but not yet acknowledged
     std::uint64_t next_chunk = 0;  ///< ring chunk index to fill next
     std::uint64_t check_id = 0;    ///< scimpi-check pending-buffer entry
+    std::uint64_t ev_done = 0;     ///< causal-graph completion node (wait edges)
 };
 
 struct RecvOp {
@@ -84,6 +85,7 @@ struct RecvOp {
     std::span<std::byte> ring_mem;
     sci::SegmentId ring_seg;
     std::uint64_t check_id = 0;  ///< scimpi-check pending-buffer entry
+    std::uint64_t ev_done = 0;   ///< causal-graph completion node (wait edges)
 };
 
 class Rank {
@@ -121,6 +123,14 @@ public:
                     int context = 0);
     void wait(SendOp& op);
     void wait(RecvOp& op);
+
+    /// Record a transparent wait node [w0, now] on the calling track when
+    /// time actually passed, with a scheduling edge from the completion
+    /// event `release` that ended the wait (0 = unknown). Transparent nodes
+    /// carry no blame of their own; the critical-path walk chains through
+    /// them to the delay's originator.
+    void note_wait(sim::Process& self, SimTime w0, std::uint64_t release,
+                   const char* name);
 
     /// Probe for a pending message matching (src, tag) without receiving
     /// it. Blocking variant waits until one arrives.
@@ -183,8 +193,10 @@ private:
     /// Size the per-peer tables once the world size is known.
     void init_world(int world_size);
 
-    // Control-plane helpers.
-    void post_ctrl(int dst, CtrlMsg msg);
+    // Control-plane helpers. post_ctrl returns the causal-graph node of the
+    // wire push (0 when the event graph is disabled) so short/eager sends
+    // can use it as their completion event.
+    std::uint64_t post_ctrl(int dst, CtrlMsg msg);
     void dispatch(CtrlMsg msg);
     void start_send(SendOp& op);
     void pump_rndv(SendOp& op);
@@ -229,6 +241,9 @@ private:
     // Eager flow control: credits per destination rank.
     std::vector<int> eager_credits_;
     sim::WaitQueue credit_waiters_;
+    /// Arrival node of the last eager credit per peer: the release event a
+    /// credit-starved sender's wait node hangs off (late-receiver blame).
+    std::vector<std::uint64_t> last_credit_ev_;
 
     // Async progress (ClusterOptions::async_progress / SCIMPI_ASYNC).
     sim::Process* daemon_proc_ = nullptr;  ///< non-null once the daemon runs

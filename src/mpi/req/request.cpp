@@ -33,6 +33,18 @@ bool needs_completion(const State* s) {
     return s != nullptr && s->kind != Kind::none && !s->done && s->started;
 }
 
+/// Causal-graph completion node of the underlying op (0 when unknown):
+/// the release event a blocked Wait's transparent node hangs off.
+std::uint64_t state_ev_done(const State& s) {
+    switch (s.kind) {
+        case Kind::send: return s.send != nullptr ? s.send->ev_done : 0;
+        case Kind::recv: return s.recv != nullptr ? s.recv->ev_done : 0;
+        case Kind::none:
+        case Kind::coll: return 0;  // collectives record their own edges
+    }
+    return 0;
+}
+
 }  // namespace
 
 bool Request::complete() const {
@@ -225,9 +237,12 @@ Status Engine::wait(Request& r) {
     if (!needs_completion(s)) return s != nullptr ? s->status : Status::ok();
     const SimTime enter = rank_.proc().now();
     pump();
-    while (!op_complete(*s)) {
-        rank_.progress_wait();
-        pump();
+    if (!op_complete(*s)) {
+        while (!op_complete(*s)) {
+            rank_.progress_wait();
+            pump();
+        }
+        rank_.note_wait(rank_.cur_proc(), enter, state_ev_done(*s), "wait:req");
     }
     finalize(*s, enter);
     return s->status;
@@ -267,6 +282,8 @@ int Engine::waitany(std::span<Request> rs) {
             if (!needs_completion(s)) continue;
             any_active = true;
             if (op_complete(*s)) {
+                rank_.note_wait(rank_.cur_proc(), enter, state_ev_done(*s),
+                                "wait:any");
                 finalize(*s, enter);
                 return static_cast<int>(i);
             }

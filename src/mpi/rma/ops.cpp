@@ -7,11 +7,19 @@
 #include "mpi/rma/proto.hpp"
 #include "mpi/rma/window.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/evgraph.hpp"
 #include "sim/trace.hpp"
 
 namespace scimpi::mpi {
 
 namespace {
+
+/// Record an rma-category node covering [t0, now] when time passed.
+void note_rma(sim::Process& self, const char* name, SimTime t0, std::size_t bytes) {
+    obs::EventGraph& g = self.engine().evgraph();
+    if (g.enabled() && self.now() > t0)
+        g.node(self.id(), obs::EvCat::rma, name, t0, self.now(), bytes);
+}
 
 /// Collect the basic blocks of `count` x `type` as (offset, len) pairs in
 /// canonical order. Origin and target share the layout (mirrored put/get).
@@ -164,7 +172,9 @@ Status Win::op_local(void* origin, int count, const Datatype& type, std::size_t 
         moved += len;
         ++blocks;
     });
+    const SimTime t0 = self.now();
     self.delay(cm.copy_cost(moved, {}, {}, static_cast<std::size_t>(blocks)));
+    note_rma(self, "rma:local", t0, moved);
     return st;
 }
 
@@ -185,6 +195,7 @@ Status Win::put_direct(const void* origin, int count, const Datatype& type, int 
                                     user + off, len, len);
     });
     if (st) rm_.lat_direct->record(self.now() - t0);
+    note_rma(self, "rma:put_direct", t0, type.size() * static_cast<std::size_t>(count));
     return st;
 }
 
@@ -204,6 +215,7 @@ Status Win::get_direct(void* origin, int count, const Datatype& type, int target
                                    user + off, len);
     });
     if (st) rm_.lat_direct->record(self.now() - t0);
+    note_rma(self, "rma:get_direct", t0, type.size() * static_cast<std::size_t>(count));
     return st;
 }
 
@@ -215,6 +227,7 @@ Status Win::put_emulated(const void* origin, int count, const Datatype& type,
     const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
     rm_.emulated_puts->inc();
     rm_.emulated_put_bytes->add(bytes);
+    const SimTime ev_t0 = self.now();
 
     smi::Signal s;
     s.from_rank = rank_->rank();  // world rank: acks route through the cluster
@@ -245,6 +258,7 @@ Status Win::put_emulated(const void* origin, int count, const Datatype& type,
     rma.add_pending();
     Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
+    note_rma(self, "rma:put_emulated", ev_t0, bytes);
     return Status::ok();
 }
 
@@ -265,6 +279,7 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
 
     const std::uint64_t op_id = rma.next_op_id();
     auto done = rma.new_op_event(op_id);
+    const SimTime issue_t0 = self.now();
 
     smi::Signal s;
     s.from_rank = rank_->rank();
@@ -288,10 +303,16 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
     const SimTime t0 = self.now();
     Rank& peer = cluster.rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
+    note_rma(self, "rma:get_issue", issue_t0, bytes);
     {
         // Blocked until the target handler writes + barriers, then acks.
         const sim::ProfScope wait(self, obs::ProfState::wait_sync);
+        const SimTime wait_t0 = self.now();
         done->wait(self);
+        obs::EventGraph& g = self.engine().evgraph();
+        if (g.enabled() && self.now() > wait_t0)
+            g.node(self.id(), obs::EvCat::wait_sync, "rma:get_wait", wait_t0,
+                   self.now(), bytes);
     }
     rm_.lat_remote_put->record(self.now() - t0);
 
@@ -306,6 +327,7 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
     }
 
     // Scatter the staged stream into the origin layout (local copy).
+    const SimTime scatter_t0 = self.now();
     auto* user = static_cast<std::byte*>(origin);
     const std::byte* cursor = staging.value().data();
     std::int64_t blocks = 0;
@@ -316,6 +338,7 @@ Status Win::get_remote_put(void* origin, int count, const Datatype& type, int ta
     });
     self.delay(rank_->copy_model().copy_cost(bytes, {}, {},
                                              static_cast<std::size_t>(blocks)));
+    note_rma(self, "rma:get_scatter", scatter_t0, bytes);
 
     SCIMPI_REQUIRE(cluster.directory().destroy(seg).is_ok(), "staging seg leak");
     SCIMPI_REQUIRE(cluster.memory(rank_->node()).free(staging.value()).is_ok(),
@@ -380,6 +403,7 @@ Status Win::accumulate(const void* origin, int count, const Datatype& type,
     // Accumulate always goes through the target handler: SCI offers no
     // remote read-modify-write, so the combination happens target-side.
     RmaState& rma = rank_->rma();
+    const SimTime ev_t0 = self.now();
     smi::Signal s;
     s.from_rank = rank_->rank();
     s.kind = rma_proto::kAccumulate;
@@ -408,6 +432,7 @@ Status Win::accumulate(const void* origin, int count, const Datatype& type,
     rma.add_pending();
     Rank& peer = comm_->cluster().rank_state(comm_->world_rank(target));
     peer.rma().channel().post(self, rank_->node(), std::move(s));
+    note_rma(self, "rma:accumulate", ev_t0, bytes);
     return Status::ok();
 }
 

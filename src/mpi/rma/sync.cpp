@@ -3,11 +3,21 @@
 #include "mpi/rma/proto.hpp"
 #include "mpi/rma/window.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/evgraph.hpp"
 #include "sim/trace.hpp"
 
 #include <algorithm>
 
 namespace scimpi::mpi {
+
+namespace {
+/// Transparent wait_sync node covering [t0, now]; zero-width nodes are kept
+/// so the checker's lock hand-over edges have a stable anchor.
+void note_sync(sim::Process& self, const char* name, SimTime t0) {
+    obs::EventGraph& g = self.engine().evgraph();
+    if (g.enabled()) g.node(self.id(), obs::EvCat::wait_sync, name, t0, self.now());
+}
+}  // namespace
 
 bool Win::epoch_allows(int target) const {
     if (fence_epoch_) return true;
@@ -30,6 +40,7 @@ check::SyncMode Win::check_mode(int target) const {
 void Win::fence() {
     sim::Process& self = rank_->proc();
     const sim::TraceScope trace(self, "rma:fence", "rma");
+    const SimTime t0 = self.now();
     fence_epoch_ = true;  // a fence both closes the old epoch and opens a new one
     // 1. Direct puts of this epoch must have arrived at their targets.
     rank_->adapter().store_barrier(self);
@@ -37,6 +48,7 @@ void Win::fence() {
     rank_->rma().wait_all_pending(self);
     // 3. Epoch separation across the group.
     comm_->barrier();
+    note_sync(self, "rma:fence", t0);
     if (ck_ != nullptr) ck_->on_fence(id_, rank_->rank(), self.now(), self.id());
 }
 
@@ -67,9 +79,11 @@ void Win::start(std::span<const int> target_group) {
     access_group_.assign(target_group.begin(), target_group.end());
     // Wait until every target in the group has posted its exposure epoch.
     const sim::ProfScope wait(self, obs::ProfState::wait_sync);
+    const SimTime t0 = self.now();
     while (posts_seen_ < static_cast<int>(access_group_.size()))
         rank_->rma().wait_signal_change(self);
     posts_seen_ -= static_cast<int>(access_group_.size());
+    note_sync(self, "rma:start", t0);
     if (ck_ != nullptr) {
         std::vector<int> targets;
         targets.reserve(access_group_.size());
@@ -80,8 +94,10 @@ void Win::start(std::span<const int> target_group) {
 
 void Win::complete() {
     sim::Process& self = rank_->proc();
+    const SimTime t0 = self.now();
     rank_->adapter().store_barrier(self);
     rank_->rma().wait_all_pending(self);
+    note_sync(self, "rma:complete", t0);
     if (ck_ != nullptr) ck_->on_complete(id_, rank_->rank(), self.now(), self.id());
     for (const int target : access_group_) {
         smi::Signal s;
@@ -113,9 +129,11 @@ bool Win::test() {
 void Win::wait() {
     sim::Process& self = rank_->proc();
     const sim::ProfScope wait(self, obs::ProfState::wait_sync);
+    const SimTime t0 = self.now();
     while (completes_seen_ < static_cast<int>(exposure_group_.size()))
         rank_->rma().wait_signal_change(self);
     completes_seen_ -= static_cast<int>(exposure_group_.size());
+    note_sync(self, "rma:wait", t0);
     if (ck_ != nullptr) ck_->on_wait(id_, rank_->rank(), self.now(), self.id());
     exposure_group_.clear();
 }
@@ -124,6 +142,7 @@ void Win::lock(int target, bool /*exclusive*/) {
     // Shared-memory lock owned by the target rank (paper ref. [14]). Only
     // exclusive locks are implemented — shared locks degrade to exclusive.
     sim::Process& self = rank_->proc();
+    const SimTime t0 = self.now();
     {
         const sim::ProfScope wait(self, obs::ProfState::wait_sync);
         comm_->cluster()
@@ -132,6 +151,9 @@ void Win::lock(int target, bool /*exclusive*/) {
             .win_lock(id_)
             .acquire(self, rank_->node());
     }
+    // Recorded before on_lock: the checker's hand-over edge (previous
+    // unlocker -> this acquisition) must land on this wait node.
+    note_sync(self, "rma:lock", t0);
     locked_.push_back(target);
     if (ck_ != nullptr)
         ck_->on_lock(id_, rank_->rank(), comm_->world_rank(target), self.now(),
@@ -144,6 +166,13 @@ void Win::unlock(int target) {
     // is released.
     rank_->adapter().store_barrier(self);
     rank_->rma().wait_all_pending(self);
+    // Recorded before on_unlock: the checker stashes this node as the
+    // hand-over source for the next acquirer of the lock.
+    {
+        obs::EventGraph& g = self.engine().evgraph();
+        if (g.enabled())
+            g.node(self.id(), obs::EvCat::rma, "rma:unlock", self.now(), self.now());
+    }
     if (ck_ != nullptr)
         ck_->on_unlock(id_, rank_->rank(), comm_->world_rank(target), self.now(),
                        self.id());

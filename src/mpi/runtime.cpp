@@ -40,6 +40,15 @@ SimTime env_duration(const char* name) {
     return static_cast<SimTime>(x * mult);
 }
 
+/// SCIMPI_EVLOG_CAP=1000000 style unsigned count; unparseable/zero -> 0.
+std::uint64_t env_u64(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0') return 0;
+    char* end = nullptr;
+    const unsigned long long x = std::strtoull(v, &end, 10);
+    return end == v ? 0 : x;
+}
+
 sci::Topology make_topology(const ClusterOptions& opt) {
     if (opt.torus_w > 0 && opt.torus_h > 0) {
         const int plane = opt.torus_w * opt.torus_h;
@@ -66,10 +75,22 @@ Cluster::Cluster(ClusterOptions opt)
     if (opt_.trace_file.empty()) opt_.trace_file = env_path("SCIMPI_TRACE_FILE");
     if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
     if (opt_.coll.empty()) opt_.coll = env_path("SCIMPI_COLL");
+    if (opt_.evlog.empty()) opt_.evlog = env_path("SCIMPI_EVLOG");
+    // SCIMPI_DIRECT_PACK=0|1 overrides the pack engine choice, so one binary
+    // can produce the two event logs a `scimpi-analyze --diff` A/B needs.
+    if (const char* ff = std::getenv("SCIMPI_DIRECT_PACK");
+        ff != nullptr && ff[0] != '\0')
+        opt_.cfg.use_direct_pack_ff = env_flag("SCIMPI_DIRECT_PACK");
     if (!opt_.stats_file.empty()) opt_.collect_stats = true;
     metrics_.enable(opt_.collect_stats);
     engine_.profiler().enable(opt_.profile);
     if (!opt_.trace_file.empty()) engine_.tracer().enable();
+    if (!opt_.evlog.empty()) {
+        engine_.evgraph().enable();
+        if (opt_.evlog_cap == 0)
+            opt_.evlog_cap = static_cast<std::size_t>(env_u64("SCIMPI_EVLOG_CAP"));
+        if (opt_.evlog_cap > 0) engine_.evgraph().set_cap(opt_.evlog_cap);
+    }
     engine_.bind_metrics(metrics_);
     fabric_.bind_metrics(metrics_);
     fabric_.bind_engine(&engine_);
@@ -85,6 +106,7 @@ Cluster::Cluster(ClusterOptions opt)
         checker_->enable();
         checker_->bind_metrics(metrics_);
         checker_->bind_tracer(&engine_.tracer());
+        checker_->bind_event_graph(&engine_.evgraph());
         directory_.bind_checker(checker_.get());
     }
     for (int n = 0; n < opt_.nodes; ++n) {
@@ -214,7 +236,26 @@ void Cluster::flush_telemetry() {
         const Status st = stats_report().write_json(opt_.stats_file);
         if (!st) SCIMPI_WARN("stats dump failed: ", st.to_string());
     }
+    if (!opt_.evlog.empty()) {
+        // Satellite of the causal layer: the event log is flushed on every
+        // teardown path — including Panic aborts — and write_jsonl always
+        // terminates the stream with a trailer, so scimpi-analyze can read
+        // logs from runs that died mid-flight.
+        const Status st = engine_.evgraph().write_jsonl(opt_.evlog, engine_.now());
+        if (!st) SCIMPI_WARN("evlog dump failed: ", st.to_string());
+    }
     if (!opt_.trace_file.empty()) {
+        // Critical-path overlay: replay the walk's attributed segments as
+        // spans on a dedicated track, so Perfetto shows *where* the path ran
+        // alongside the per-rank spans.
+        if (engine_.evgraph().enabled() && engine_.tracer().enabled()) {
+            const obs::CriticalPath cp =
+                obs::critical_path(engine_.evgraph(), engine_.now());
+            engine_.tracer().set_track_name(-2, "critical path");
+            for (const obs::CritSeg& s : cp.segments)
+                engine_.tracer().span(-2, obs::ev_cat_name(s.cat), "critpath",
+                                      s.t0, s.t1);
+        }
         // Replay the recorded series as Chrome-trace counter tracks so
         // Perfetto shows utilization/queue-depth curves beside the spans.
         if (recorder_.enabled() && engine_.tracer().enabled()) {
@@ -261,6 +302,22 @@ obs::RunReport Cluster::stats_report() const {
         r.record_cadence_ns = static_cast<std::uint64_t>(recorder_.cadence());
         r.timeseries = recorder_.series();
         r.hotspots = obs::congestion_hotspots(r.timeseries, 5);
+    }
+    if (engine_.evgraph().enabled()) {
+        const obs::CriticalPath cp =
+            obs::critical_path(engine_.evgraph(), engine_.now());
+        r.critical_path.enabled = true;
+        r.critical_path.total_ns = cp.total_ns;
+        r.critical_path.steps = cp.steps;
+        for (int c = 0; c < obs::kEvCats; ++c)
+            if (cp.cat_ns[static_cast<std::size_t>(c)] > 0)
+                r.critical_path.categories.emplace_back(
+                    obs::ev_cat_name(static_cast<obs::EvCat>(c)),
+                    cp.cat_ns[static_cast<std::size_t>(c)]);
+        for (const auto& [name, ns] : cp.link_ns)
+            r.critical_path.links.emplace_back(name, ns);
+        for (const auto& [rank, ns] : cp.rank_ns)
+            r.critical_path.ranks.emplace_back(rank, ns);
     }
     r.counters = metrics_.counters();
     r.gauges = metrics_.gauge_maxima();
@@ -312,6 +369,7 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
         // Perfetto track label: "rank 3" reads better than the raw spawn name.
         engine_.tracer().set_track_name(proc.id(),
                                         "rank " + std::to_string(rank->rank()));
+        engine_.evgraph().set_track_rank(proc.id(), rank->rank());
         if (checker_ != nullptr) checker_->register_actor(proc.id(), rank->rank());
     }
     if (opt_.async_progress) {
@@ -321,9 +379,12 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
         // detection, and are unwound by the engine at teardown.
         for (const auto& r : ranks_) {
             Rank* rank = r.get();
-            engine_.spawn_daemon(
+            sim::Process& dproc = engine_.spawn_daemon(
                 "prog" + std::to_string(rank->rank()),
                 [rank](sim::Process& p) { rank->progress_daemon_body(p); });
+            // Daemon work is charged to the rank it serves, so critical-path
+            // blame lands on the right rank under async progress.
+            engine_.evgraph().set_track_rank(dproc.id(), rank->rank());
         }
     }
     try {
@@ -344,6 +405,7 @@ void Rank::init_world(int world_size) {
     eager_credits_.assign(static_cast<std::size_t>(world_size),
                           static_cast<int>(cluster_.options().cfg.eager_slots));
     send_seq_.assign(static_cast<std::size_t>(world_size), 0);
+    last_credit_ev_.assign(static_cast<std::size_t>(world_size), 0);
 }
 
 }  // namespace scimpi::mpi

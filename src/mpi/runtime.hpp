@@ -58,6 +58,17 @@ struct ClusterOptions {
     /// series land in RunReport::timeseries and, when tracing, as
     /// Chrome-trace counter tracks.
     SimTime record = 0;
+    /// Causal event log (obs/evgraph.hpp): a non-empty path enables the
+    /// per-run event graph and dumps it as JSONL at teardown — including on
+    /// abort paths, where the writer still terminates the stream with a
+    /// valid trailer so scimpi-analyze can read truncated runs. Env:
+    /// SCIMPI_EVLOG. Enabling the graph also adds the critical_path section
+    /// to stats_report() (RunReport schema v5) and, when tracing, a
+    /// "critical path" overlay track in the Chrome trace.
+    std::string evlog;
+    /// Node cap for the event graph (0 = default, 4M nodes); recording stops
+    /// (drop counter in the trailer) once reached. Env: SCIMPI_EVLOG_CAP.
+    std::size_t evlog_cap = 0;
     /// scimpi-check: happens-before race and epoch-discipline checking for
     /// one-sided communication (src/check/checker.hpp). Also forced on by
     /// SCIMPI_CHECK=1. Checked runs are bit-identical to unchecked ones.

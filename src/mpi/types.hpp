@@ -56,6 +56,10 @@ struct CtrlMsg {
     std::vector<std::byte> inline_data;  ///< short payload
     SimTime arrived = 0;  ///< receiver-side arrival stamp (set when the message
                           ///< is parked in the unexpected queue)
+    std::uint64_t ev = 0;  ///< causal-graph node the message hangs off: the
+                           ///< sender's wire-push node at post_ctrl time,
+                           ///< rewritten to the receiver's arrival node by
+                           ///< dispatch (0 = event graph disabled)
 };
 
 /// Result of a receive operation.

@@ -341,6 +341,43 @@ std::string RunReport::to_json() const {
     }
     out += first ? "],\n" : "\n  ],\n";
 
+    out += "  \"critical_path\": {";
+    std::snprintf(buf, sizeof buf,
+                  "\"enabled\": %s, \"total_ns\": %llu, \"steps\": %llu",
+                  critical_path.enabled ? "true" : "false",
+                  static_cast<unsigned long long>(critical_path.total_ns),
+                  static_cast<unsigned long long>(critical_path.steps));
+    out += buf;
+    out += ", \"categories\": {";
+    first = true;
+    for (const auto& [name, ns] : critical_path.categories) {
+        out += first ? "\"" : ", \"";
+        first = false;
+        json_escape(out, name);
+        std::snprintf(buf, sizeof buf, "\": %llu",
+                      static_cast<unsigned long long>(ns));
+        out += buf;
+    }
+    out += "}, \"links\": {";
+    first = true;
+    for (const auto& [name, ns] : critical_path.links) {
+        out += first ? "\"" : ", \"";
+        first = false;
+        json_escape(out, name);
+        std::snprintf(buf, sizeof buf, "\": %llu",
+                      static_cast<unsigned long long>(ns));
+        out += buf;
+    }
+    out += "}, \"ranks\": {";
+    first = true;
+    for (const auto& [rank, ns] : critical_path.ranks) {
+        std::snprintf(buf, sizeof buf, "%s\"%d\": %llu", first ? "" : ", ", rank,
+                      static_cast<unsigned long long>(ns));
+        first = false;
+        out += buf;
+    }
+    out += "}},\n";
+
     out += "  \"hotspots\": [";
     first = true;
     for (const HotSpot& h : hotspots) {

@@ -220,8 +220,10 @@ struct RunReport {
     /// added the flight-recorder timeseries/hotspots arrays, the DES
     /// self-metric scalars (wall_ns, events_per_sec_wall,
     /// wall_per_sim_second, record_cadence_ns), and omits histograms that
-    /// recorded no samples.
-    static constexpr int kSchemaVersion = 4;
+    /// recorded no samples; v5 added the critical_path section (enabled flag,
+    /// total_ns, per-category/link/rank breakdowns from the causal event
+    /// graph — see obs/evgraph.hpp).
+    static constexpr int kSchemaVersion = 5;
 
     int schema_version = kSchemaVersion;
     int world = 0;
@@ -303,6 +305,20 @@ struct RunReport {
     /// top-K links by peak utilization. Empty when the recorder was off.
     std::vector<TimeSeries> timeseries;
     std::vector<HotSpot> hotspots;
+
+    /// Critical-path attribution (v5): the causal-event-graph walk's
+    /// end-to-end breakdown. `enabled` is false (and the rest zero/empty)
+    /// when the run recorded no event graph; when true, the category
+    /// nanoseconds sum exactly to total_ns (== sim_time_ns).
+    struct CriticalPathSummary {
+        bool enabled = false;
+        std::uint64_t total_ns = 0;
+        std::uint64_t steps = 0;  ///< graph nodes visited by the walk
+        std::vector<std::pair<std::string, std::uint64_t>> categories;
+        std::vector<std::pair<std::string, std::uint64_t>> links;  // "a->b"
+        std::vector<std::pair<int, std::uint64_t>> ranks;  // blamed rank -> ns
+    };
+    CriticalPathSummary critical_path;
 
     /// Value of a named counter in this snapshot (0 when absent).
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;

@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "obs/evgraph.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
@@ -72,6 +73,12 @@ public:
     [[nodiscard]] obs::Profiler& profiler() { return profiler_; }
     [[nodiscard]] const obs::Profiler& profiler() const { return profiler_; }
 
+    /// Causal event graph for critical-path analysis (disabled by default;
+    /// see obs/evgraph.hpp). Lives on the engine like the tracer so deep
+    /// layers (protocol, fault retry) reach it without plumbing.
+    [[nodiscard]] obs::EventGraph& evgraph() { return evgraph_; }
+    [[nodiscard]] const obs::EventGraph& evgraph() const { return evgraph_; }
+
     /// Attach a metrics registry: the engine then feeds `sim.context_switches`
     /// (baton handovers) and `sim.deadlock_checks` (end-of-run blocked-process
     /// scans). Handles resolve once; increments are no-ops while disabled.
@@ -122,6 +129,7 @@ private:
     Process* current_ = nullptr;
     Tracer tracer_;
     obs::Profiler profiler_;
+    obs::EventGraph evgraph_;
     obs::MetricsRegistry* metrics_ = nullptr;
     obs::Counter* ctx_switches_ = nullptr;
     obs::Counter* deadlock_checks_ = nullptr;

@@ -1,0 +1,222 @@
+// Critical-path extraction and event-log round-trip tests on hand-built
+// graphs, where the expected attribution can be worked out on paper.
+#include "obs/evgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+namespace scimpi::obs {
+namespace {
+
+std::uint64_t cat_sum(const CriticalPath& cp) {
+    return std::accumulate(cp.cat_ns.begin(), cp.cat_ns.end(),
+                           std::uint64_t{0});
+}
+
+TEST(CriticalPath, PureChainTilesEndTimeExactly) {
+    EventGraph g;
+    g.enable();
+    g.set_track_rank(0, 0);
+    g.node(0, EvCat::pack, "pack:stage", 100, 150);
+    g.node(0, EvCat::pio, "pack:write", 150, 200);
+    g.node(0, EvCat::dma, "rndv:write", 250, 300);  // 50 ns app gap before it
+
+    const CriticalPath cp = critical_path(g, 300);
+    EXPECT_EQ(cp.total_ns, 300u);
+    EXPECT_EQ(cat_sum(cp), cp.total_ns);  // exact tiling, no loss
+    EXPECT_EQ(cp.category(EvCat::pack), 50u);
+    EXPECT_EQ(cp.category(EvCat::pio), 50u);
+    EXPECT_EQ(cp.category(EvCat::dma), 50u);
+    // The untracked gap [200,250] and the leading [0,100] are application
+    // time on the only rank.
+    EXPECT_EQ(cp.category(EvCat::compute), 150u);
+    EXPECT_EQ(cp.rank_ns.at(0), 300u);
+    EXPECT_EQ(cp.steps, 3u);
+}
+
+TEST(CriticalPath, LateSenderBlamedThroughTransparentWait) {
+    // Receiver (track 0 / rank 0) blocks from t=100; the sender (track 1 /
+    // rank 1) computes until 400, pushes at [400,450], the wire takes 10 ns.
+    // Scalasca-style root-cause propagation: the 360 ns the receiver spent
+    // waiting must land on the *sender's* compute, not on wait_recv.
+    EventGraph g;
+    g.enable();
+    g.set_track_rank(0, 0);
+    g.set_track_rank(1, 1);
+    g.node(1, EvCat::compute, "app", 0, 400);
+    const std::uint64_t push = g.node(1, EvCat::pio, "ctrl:eager", 400, 450);
+    const std::uint64_t wait =
+        g.node(0, EvCat::wait_recv, "wait:recv", 100, 460);
+    g.edge(push, wait, EvCat::link, /*a=*/0, /*b=*/1);
+    g.node(0, EvCat::proto, "recv:done", 460, 470);
+
+    const CriticalPath cp = critical_path(g, 470);
+    EXPECT_EQ(cat_sum(cp), cp.total_ns);
+    EXPECT_EQ(cp.category(EvCat::wait_recv), 0u);  // transparent: chained through
+    EXPECT_EQ(cp.category(EvCat::compute), 400u);
+    EXPECT_EQ(cp.category(EvCat::pio), 50u);
+    EXPECT_EQ(cp.category(EvCat::link), 10u);
+    EXPECT_EQ(cp.link_ns.at("0->1"), 10u);
+    EXPECT_EQ(cp.rank_ns.at(1), 450u);  // the delay originator carries the path
+    EXPECT_EQ(cp.rank_ns.at(0), 10u);   // only its own completion handling
+}
+
+TEST(CriticalPath, BarrierWaitBlamedOnLastArrival) {
+    // Rank 0 reaches the barrier at 100 and leaves at 325; rank 1 arrives at
+    // 300. The wait_sync edge from the latest entry routes rank 0's stall to
+    // rank 1's compute.
+    EventGraph g;
+    g.enable();
+    g.set_track_rank(0, 0);
+    g.set_track_rank(1, 1);
+    g.node(0, EvCat::compute, "app", 0, 100);
+    g.node(1, EvCat::compute, "app", 0, 300);
+    const std::uint64_t entry =
+        g.node(1, EvCat::proto, "coll:enter", 300, 300);
+    const std::uint64_t exit0 =
+        g.node(0, EvCat::coll, "barrier:dissemination", 100, 325);
+    g.node(1, EvCat::coll, "barrier:dissemination", 300, 320);
+    g.edge(entry, exit0, EvCat::wait_sync);
+
+    const CriticalPath cp = critical_path(g, 325);
+    EXPECT_EQ(cat_sum(cp), cp.total_ns);
+    EXPECT_EQ(cp.category(EvCat::coll), 0u);  // containers are transparent
+    EXPECT_EQ(cp.category(EvCat::wait_sync), 25u);
+    EXPECT_EQ(cp.category(EvCat::compute), 300u);
+    // Every attributed nanosecond belongs to the late rank.
+    EXPECT_EQ(cp.rank_ns.at(1), 325u);
+    EXPECT_EQ(cp.rank_ns.count(0), 0u);
+}
+
+TEST(CriticalPath, EmptyGraphIsAllApplicationTime) {
+    EventGraph g;
+    const CriticalPath cp = critical_path(g, 1234);
+    EXPECT_EQ(cp.total_ns, 1234u);
+    EXPECT_EQ(cp.category(EvCat::compute), 1234u);
+    EXPECT_EQ(cat_sum(cp), 1234u);
+}
+
+TEST(CriticalPath, CapDropsNodesAndCountsThem) {
+    EventGraph g;
+    g.enable();
+    g.set_cap(2);
+    EXPECT_NE(g.node(0, EvCat::pio, "a", 0, 1), 0u);
+    EXPECT_NE(g.node(0, EvCat::pio, "b", 1, 2), 0u);
+    EXPECT_EQ(g.node(0, EvCat::pio, "c", 2, 3), 0u);
+    EXPECT_EQ(g.dropped(), 1u);
+    // Edges to/from dropped (id 0) nodes are silently discarded.
+    g.edge(1, 0, EvCat::link, 0, 1);
+    EXPECT_TRUE(g.edges().empty());
+}
+
+class EvLogFile : public ::testing::Test {
+protected:
+    std::string path_ = ::testing::TempDir() + "/evgraph_test.evlog";
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(EvLogFile, JsonlRoundTripPreservesTheAnalysis) {
+    EventGraph g;
+    g.enable();
+    g.set_track_rank(0, 0);
+    g.set_track_rank(1, 1);
+    g.node(1, EvCat::compute, "app", 0, 400);
+    const std::uint64_t push =
+        g.node(1, EvCat::pio, "ctrl:eager", 400, 450, /*bytes=*/1024);
+    const std::uint64_t wait =
+        g.node(0, EvCat::wait_recv, "we\"ird\nname", 100, 460);
+    g.edge(push, wait, EvCat::link, 0, 1);
+    g.node(0, EvCat::proto, "recv:done", 460, 470);
+    g.message(1, 0, 1024, 60);
+
+    ASSERT_TRUE(g.write_jsonl(path_, 470).is_ok());
+    auto loaded = EventGraph::load_jsonl(path_);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    const EvLogLoaded& log = loaded.value();
+
+    EXPECT_FALSE(log.truncated);
+    EXPECT_EQ(log.world, 2);
+    EXPECT_EQ(log.sim_time_ns, 470u);
+    ASSERT_EQ(log.graph.nodes().size(), g.nodes().size());
+    for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+        const EvNode& a = g.nodes()[i];
+        const EvNode& b = log.graph.nodes()[i];
+        EXPECT_EQ(a.t0, b.t0) << i;
+        EXPECT_EQ(a.t1, b.t1) << i;
+        EXPECT_EQ(a.bytes, b.bytes) << i;
+        EXPECT_EQ(a.prev, b.prev) << i;
+        EXPECT_EQ(a.track, b.track) << i;
+        EXPECT_EQ(a.cat, b.cat) << i;
+        EXPECT_EQ(a.transparent, b.transparent) << i;
+        EXPECT_EQ(g.name(a.name), log.graph.name(b.name)) << i;
+    }
+    ASSERT_EQ(log.graph.edges().size(), 1u);
+    EXPECT_EQ(log.graph.edges()[0].from, push);
+    EXPECT_EQ(log.graph.edges()[0].to, wait);
+    EXPECT_EQ(log.graph.edges()[0].cat, EvCat::link);
+    ASSERT_EQ(log.graph.messages().size(), 1u);
+    EXPECT_EQ(log.graph.messages()[0].bytes, 1024u);
+    EXPECT_EQ(log.graph.messages()[0].lat_sum_ns, 60u);
+
+    // The loaded log yields the identical attribution.
+    const CriticalPath before = critical_path(g, 470);
+    const CriticalPath after =
+        critical_path(log.graph, static_cast<SimTime>(log.sim_time_ns));
+    EXPECT_EQ(before.cat_ns, after.cat_ns);
+    EXPECT_EQ(before.link_ns, after.link_ns);
+    EXPECT_EQ(before.rank_ns, after.rank_ns);
+}
+
+TEST_F(EvLogFile, TruncatedLogLoadsWithFlagAndStillTiles) {
+    EventGraph g;
+    g.enable();
+    g.set_track_rank(0, 0);
+    for (int i = 0; i < 50; ++i)
+        g.node(0, EvCat::pio, "step", i * 10, i * 10 + 5);
+    ASSERT_TRUE(g.write_jsonl(path_, 495).is_ok());
+
+    // Tear the file mid-record, as a crashed writer would: keep 60% of it.
+    std::string full;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        full = ss.str();
+    }
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(full.data(),
+                  static_cast<std::streamsize>(full.size() * 6 / 10));
+    }
+
+    auto loaded = EventGraph::load_jsonl(path_);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    EXPECT_TRUE(loaded.value().truncated);
+    const std::size_t kept = loaded.value().graph.nodes().size();
+    EXPECT_GT(kept, 0u);
+    EXPECT_LT(kept, 50u);
+    // No trailer: sim_time falls back to the latest loaded completion, and
+    // the walk still tiles that span exactly.
+    const auto end = static_cast<SimTime>(loaded.value().sim_time_ns);
+    EXPECT_EQ(end, loaded.value().graph.nodes().back().t1);
+    const CriticalPath cp = critical_path(loaded.value().graph, end);
+    EXPECT_EQ(cat_sum(cp), cp.total_ns);
+    EXPECT_EQ(cp.total_ns, static_cast<std::uint64_t>(end));
+}
+
+TEST_F(EvLogFile, NonEvlogFileIsRejected) {
+    {
+        std::ofstream out(path_);
+        out << "{\"not\": \"an evlog\"}\n";
+    }
+    auto loaded = EventGraph::load_jsonl(path_);
+    EXPECT_FALSE(loaded.is_ok());
+}
+
+}  // namespace
+}  // namespace scimpi::obs

@@ -89,7 +89,9 @@ TEST(Recorder, DecimationHalvesRetainedSamplesAndDoublesStride) {
     const std::vector<TimeSeries> out = r.series();
     ASSERT_EQ(out.size(), 1u);
     for (std::size_t i = 0; i < out[0].t.size(); ++i) {
-        if (i > 0) EXPECT_GT(out[0].t[i], out[0].t[i - 1]);
+        if (i > 0) {
+            EXPECT_GT(out[0].t[i], out[0].t[i - 1]);
+        }
         EXPECT_EQ(out[0].v[i], static_cast<double>(out[0].t[i]));
     }
 }
@@ -195,6 +197,85 @@ TEST(Recorder, SampleRespectsStrideAfterDecimation) {
     now = 6;
     r.sample(6);  // tick 5: off-stride, skipped
     EXPECT_EQ(r.sample_count(), before + 1);
+}
+
+TEST(Recorder, DecimationFiresAtCapacityNotBefore) {
+    // The buffer decimates when the retained count *reaches* capacity (the
+    // check is size >= capacity, run right after the push), so capacity-1
+    // samples survive intact and the capacity-th halves the buffer.
+    Recorder r = make(1, /*capacity=*/8);
+    SimTime now = 0;
+    r.add_cumulative("c", [&] { return static_cast<double>(now); });
+    for (now = 1; now <= 7; ++now) r.sample(now);
+    EXPECT_EQ(r.sample_count(), 7u);
+    EXPECT_EQ(r.decimations(), 0u);
+    EXPECT_EQ(r.stride(), 1u);
+    now = 8;
+    r.sample(8);  // hits capacity exactly: even retained indices survive
+    EXPECT_EQ(r.sample_count(), 4u);
+    EXPECT_EQ(r.decimations(), 1u);
+    EXPECT_EQ(r.stride(), 2u);
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out[0].t.size(), 4u);
+    EXPECT_EQ(out[0].t[0], 1u);
+    EXPECT_EQ(out[0].t[1], 3u);
+    EXPECT_EQ(out[0].t[2], 5u);
+    EXPECT_EQ(out[0].t[3], 7u);
+}
+
+TEST(Recorder, ConfigureClampsCapacityToDecimationMinimum) {
+    // A capacity below 4 could decimate down to a single sample and stall
+    // the ring; configure() clamps it, so three samples are always retained.
+    Recorder r = make(1, /*capacity=*/1);
+    double v = 0.0;
+    r.add_gauge("g", [&] { return v; });
+    for (SimTime t = 1; t <= 3; ++t) r.sample(t);
+    EXPECT_EQ(r.sample_count(), 3u);
+    EXPECT_EQ(r.decimations(), 0u);
+    r.sample(4);  // the clamped capacity of 4 is reached here
+    EXPECT_EQ(r.decimations(), 1u);
+}
+
+TEST(Recorder, SingleSampleYieldsEmptyDerivedSeries) {
+    // Derived series need two retained samples to form a window; with one
+    // sample they export as present-but-empty, not as a division by zero.
+    Recorder r = make(10);
+    double c = 7.0;
+    r.add_cumulative("c", [&] { return c; });
+    r.add_rate("c.rate", "c", 1.0);
+    r.add_ratio("c_per_c", "c", "c", 1.0);
+    r.sample(10);
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].v.size(), 1u);
+    EXPECT_EQ(out[1].name, "c.rate");
+    EXPECT_TRUE(out[1].t.empty());
+    EXPECT_TRUE(out[1].v.empty());
+    EXPECT_TRUE(out[2].t.empty());
+}
+
+TEST(Recorder, RateStaysExactAfterExactlyTwoDoublings) {
+    // Walk the stride through 1 -> 2 -> 4 and pin the retained time base:
+    // capacity 4 decimates at now=4 (keeping {1,3}) and at now=7 (keeping
+    // {1,5}), then records the on-stride boundary at now=9. The widened
+    // 4 ns windows must still read the exact 3/ns slope.
+    Recorder r = make(1, /*capacity=*/4);
+    SimTime now = 0;
+    r.add_cumulative("c", [&] { return static_cast<double>(3 * now); });
+    r.add_rate("c.rate", "c", 1.0);
+    for (now = 1; now <= 9; ++now) r.sample(now);
+    EXPECT_EQ(r.decimations(), 2u);
+    EXPECT_EQ(r.stride(), 4u);
+    const std::vector<TimeSeries> out = r.series();
+    ASSERT_EQ(out[0].t.size(), 3u);
+    EXPECT_EQ(out[0].t[0], 1u);
+    EXPECT_EQ(out[0].t[1], 5u);
+    EXPECT_EQ(out[0].t[2], 9u);
+    const TimeSeries& rate = out.back();
+    ASSERT_EQ(rate.v.size(), 2u);
+    EXPECT_EQ(rate.t[0], 5u);
+    EXPECT_EQ(rate.t[1], 9u);
+    for (const double v : rate.v) EXPECT_DOUBLE_EQ(v, 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// scimpi-analyze: offline bottleneck diagnosis over a causal event log
+// (SCIMPI_EVLOG / ClusterOptions::evlog; format in DESIGN.md §14).
+//
+//   scimpi-analyze RUN.evlog                 breakdown + matrix + top-K
+//   scimpi-analyze --json RUN.evlog          same, machine-readable
+//   scimpi-analyze --diff B.evlog A.evlog    A (candidate) vs B (baseline)
+//   scimpi-analyze --top 10 RUN.evlog        widen the blamed-links/ranks list
+//   scimpi-analyze --force HUGE.evlog        lift the 1 GiB input guard
+//
+// The critical path is extracted by the same obs::critical_path() pass the
+// runtime uses for RunReport schema v5, so the numbers here match the
+// `critical_path` section of a run's JSON report and the "critical path"
+// overlay track of its Chrome trace.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "obs/evgraph.hpp"
+
+namespace {
+
+using scimpi::Result;
+using scimpi::SimTime;
+using scimpi::Status;
+using scimpi::obs::CriticalPath;
+using scimpi::obs::EvCat;
+using scimpi::obs::EventGraph;
+using scimpi::obs::EvLogLoaded;
+using scimpi::obs::EvMsgCell;
+using scimpi::obs::kEvCats;
+
+constexpr std::uint64_t kMaxLogBytes = 1ull << 30;  // refuse above without --force
+
+struct Options {
+    std::string log;       // candidate (or the only) log
+    std::string baseline;  // --diff
+    bool json = false;
+    bool force = false;
+    int top = 5;
+};
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--top K] [--force] [--diff BASELINE.evlog] "
+                 "RUN.evlog\n",
+                 argv0);
+    return 2;
+}
+
+/// A loaded log plus its extracted critical path.
+struct Analysis {
+    EvLogLoaded log;
+    CriticalPath cp;
+};
+
+Result<Analysis> analyze(const std::string& path, bool force) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0)
+        return Status::error(scimpi::Errc::io_error, "cannot stat " + path);
+    if (static_cast<std::uint64_t>(st.st_size) > kMaxLogBytes && !force)
+        return Status::error(
+            scimpi::Errc::invalid_argument,
+            path + " is larger than 1 GiB; pass --force to analyze anyway, or "
+                   "re-run with SCIMPI_EVLOG_CAP to decimate the log at the "
+                   "source");
+    auto loaded = EventGraph::load_jsonl(path);
+    if (!loaded) return loaded.status();
+    Analysis a{std::move(loaded).value(), {}};
+    a.cp = scimpi::obs::critical_path(
+        a.log.graph, static_cast<SimTime>(a.log.sim_time_ns));
+    return a;
+}
+
+double pct(std::uint64_t part, std::uint64_t total) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(total);
+}
+
+/// Category nanoseconds in serialization order, densely indexed.
+std::array<std::uint64_t, kEvCats> cat_row(const CriticalPath& cp) {
+    return cp.cat_ns;
+}
+
+template <typename K>
+std::vector<std::pair<K, std::uint64_t>> top_k(
+    const std::map<K, std::uint64_t>& m, int k) {
+    std::vector<std::pair<K, std::uint64_t>> v(m.begin(), m.end());
+    std::sort(v.begin(), v.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    if (static_cast<int>(v.size()) > k) v.resize(static_cast<std::size_t>(k));
+    return v;
+}
+
+void print_human(const std::string& path, const Analysis& a, int top) {
+    const CriticalPath& cp = a.cp;
+    std::printf("log: %s\n", path.c_str());
+    std::printf("world: %d ranks   sim_time: %" PRIu64 " ns   nodes: %zu   %s\n",
+                a.log.world, a.log.sim_time_ns, a.log.graph.nodes().size(),
+                a.log.truncated ? "TRUNCATED (no trailer; partial run)"
+                                : "complete");
+    std::printf("\ncritical path (%zu steps, %" PRIu64 " ns attributed)\n",
+                cp.steps, cp.total_ns);
+    std::printf("  %-12s %15s %8s\n", "category", "ns", "%");
+    for (int i = 0; i < kEvCats; ++i) {
+        const auto c = static_cast<EvCat>(i);
+        if (cp.category(c) == 0) continue;
+        std::printf("  %-12s %15" PRIu64 " %7.2f%%\n", scimpi::obs::ev_cat_name(c),
+                    cp.category(c), pct(cp.category(c), cp.total_ns));
+    }
+    if (!cp.link_ns.empty()) {
+        std::printf("\ntop blamed links (SCI node pairs)\n");
+        for (const auto& [link, ns] : top_k(cp.link_ns, top))
+            std::printf("  %-12s %15" PRIu64 " %7.2f%%\n", link.c_str(), ns,
+                        pct(ns, cp.total_ns));
+    }
+    if (!cp.rank_ns.empty()) {
+        std::printf("\ntop blamed ranks\n");
+        for (const auto& [rank, ns] : top_k(cp.rank_ns, top))
+            std::printf("  rank %-7d %15" PRIu64 " %7.2f%%\n", rank, ns,
+                        pct(ns, cp.total_ns));
+    }
+    const std::vector<EvMsgCell> cells = a.log.graph.messages();
+    if (!cells.empty()) {
+        std::printf("\ncommunication matrix (src -> dst)\n");
+        std::printf("  %4s %4s %10s %14s %14s\n", "src", "dst", "msgs", "bytes",
+                    "mean lat ns");
+        for (const EvMsgCell& c : cells)
+            std::printf("  %4d %4d %10" PRIu64 " %14" PRIu64 " %14" PRIu64 "\n",
+                        c.src, c.dst, c.msgs, c.bytes,
+                        c.msgs == 0 ? 0 : c.lat_sum_ns / c.msgs);
+    }
+}
+
+void print_json(const std::string& path, const Analysis& a, int top) {
+    const CriticalPath& cp = a.cp;
+    std::printf("{\n  \"log\": \"%s\",\n  \"world\": %d,\n", path.c_str(),
+                a.log.world);
+    std::printf("  \"sim_time_ns\": %" PRIu64 ",\n  \"truncated\": %s,\n",
+                a.log.sim_time_ns, a.log.truncated ? "true" : "false");
+    std::printf("  \"critical_path\": {\n    \"total_ns\": %" PRIu64
+                ",\n    \"steps\": %zu,\n    \"categories\": {",
+                cp.total_ns, cp.steps);
+    bool first = true;
+    for (int i = 0; i < kEvCats; ++i) {
+        const auto c = static_cast<EvCat>(i);
+        if (cp.category(c) == 0) continue;
+        std::printf("%s\"%s\": %" PRIu64, first ? "" : ", ",
+                    scimpi::obs::ev_cat_name(c), cp.category(c));
+        first = false;
+    }
+    std::printf("},\n    \"links\": {");
+    first = true;
+    for (const auto& [link, ns] : top_k(cp.link_ns, top)) {
+        std::printf("%s\"%s\": %" PRIu64, first ? "" : ", ", link.c_str(), ns);
+        first = false;
+    }
+    std::printf("},\n    \"ranks\": {");
+    first = true;
+    for (const auto& [rank, ns] : top_k(cp.rank_ns, top)) {
+        std::printf("%s\"%d\": %" PRIu64, first ? "" : ", ", rank, ns);
+        first = false;
+    }
+    std::printf("}\n  },\n  \"matrix\": [");
+    first = true;
+    for (const EvMsgCell& c : a.log.graph.messages()) {
+        std::printf("%s\n    {\"src\": %d, \"dst\": %d, \"msgs\": %" PRIu64
+                    ", \"bytes\": %" PRIu64 ", \"mean_latency_ns\": %" PRIu64 "}",
+                    first ? "" : ",", c.src, c.dst, c.msgs, c.bytes,
+                    c.msgs == 0 ? 0 : c.lat_sum_ns / c.msgs);
+        first = false;
+    }
+    std::printf("%s]\n}\n", first ? "" : "\n  ");
+}
+
+void print_diff(const std::string& base_path, const Analysis& base,
+                const std::string& cand_path, const Analysis& cand, bool json) {
+    const auto b = cat_row(base.cp);
+    const auto c = cat_row(cand.cp);
+    if (json) {
+        std::printf("{\n  \"baseline\": \"%s\",\n  \"candidate\": \"%s\",\n",
+                    base_path.c_str(), cand_path.c_str());
+        std::printf("  \"baseline_total_ns\": %" PRIu64
+                    ",\n  \"candidate_total_ns\": %" PRIu64
+                    ",\n  \"delta_ns\": %" PRId64 ",\n  \"categories\": {",
+                    base.cp.total_ns, cand.cp.total_ns,
+                    static_cast<std::int64_t>(cand.cp.total_ns) -
+                        static_cast<std::int64_t>(base.cp.total_ns));
+        bool first = true;
+        for (int i = 0; i < kEvCats; ++i) {
+            if (b[static_cast<std::size_t>(i)] == 0 &&
+                c[static_cast<std::size_t>(i)] == 0)
+                continue;
+            std::printf(
+                "%s\n    \"%s\": {\"baseline_ns\": %" PRIu64
+                ", \"candidate_ns\": %" PRIu64 ", \"delta_ns\": %" PRId64 "}",
+                first ? "" : ",",
+                scimpi::obs::ev_cat_name(static_cast<EvCat>(i)),
+                b[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)],
+                static_cast<std::int64_t>(c[static_cast<std::size_t>(i)]) -
+                    static_cast<std::int64_t>(b[static_cast<std::size_t>(i)]));
+            first = false;
+        }
+        std::printf("\n  }\n}\n");
+        return;
+    }
+    std::printf("baseline:  %s  (%" PRIu64 " ns)\n", base_path.c_str(),
+                base.cp.total_ns);
+    std::printf("candidate: %s  (%" PRIu64 " ns)\n", cand_path.c_str(),
+                cand.cp.total_ns);
+    const auto total_delta = static_cast<std::int64_t>(cand.cp.total_ns) -
+                             static_cast<std::int64_t>(base.cp.total_ns);
+    std::printf("end-to-end delta: %+" PRId64 " ns (%+.2f%%)\n\n", total_delta,
+                base.cp.total_ns == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(total_delta) /
+                          static_cast<double>(base.cp.total_ns));
+    std::printf("  %-12s %15s %15s %15s\n", "category", "baseline ns",
+                "candidate ns", "delta ns");
+    for (int i = 0; i < kEvCats; ++i) {
+        const auto bi = b[static_cast<std::size_t>(i)];
+        const auto ci = c[static_cast<std::size_t>(i)];
+        if (bi == 0 && ci == 0) continue;
+        std::printf("  %-12s %15" PRIu64 " %15" PRIu64 " %+15" PRId64 "\n",
+                    scimpi::obs::ev_cat_name(static_cast<EvCat>(i)), bi, ci,
+                    static_cast<std::int64_t>(ci) - static_cast<std::int64_t>(bi));
+    }
+    // Where did the difference land? The largest category movers tell the
+    // pack-strategy (or fault-retry) story at a glance.
+    int worst = -1;
+    std::uint64_t worst_abs = 0;
+    for (int i = 0; i < kEvCats; ++i) {
+        const auto d = static_cast<std::int64_t>(c[static_cast<std::size_t>(i)]) -
+                       static_cast<std::int64_t>(b[static_cast<std::size_t>(i)]);
+        const auto ad = static_cast<std::uint64_t>(d < 0 ? -d : d);
+        if (ad > worst_abs) {
+            worst_abs = ad;
+            worst = i;
+        }
+    }
+    if (worst >= 0)
+        std::printf("\nlargest mover: %s (%+" PRId64 " ns)\n",
+                    scimpi::obs::ev_cat_name(static_cast<EvCat>(worst)),
+                    static_cast<std::int64_t>(c[static_cast<std::size_t>(worst)]) -
+                        static_cast<std::int64_t>(b[static_cast<std::size_t>(worst)]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--force") {
+            opt.force = true;
+        } else if (arg == "--top") {
+            if (++i >= argc) return usage(argv[0]);
+            opt.top = std::atoi(argv[i]);
+            if (opt.top <= 0) return usage(argv[0]);
+        } else if (arg == "--diff") {
+            if (++i >= argc) return usage(argv[0]);
+            opt.baseline = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 1) return usage(argv[0]);
+    opt.log = positional[0];
+
+    auto cand = analyze(opt.log, opt.force);
+    if (!cand) {
+        std::fprintf(stderr, "scimpi-analyze: %s\n",
+                     cand.status().to_string().c_str());
+        return 1;
+    }
+    if (opt.baseline.empty()) {
+        if (opt.json)
+            print_json(opt.log, cand.value(), opt.top);
+        else
+            print_human(opt.log, cand.value(), opt.top);
+        return 0;
+    }
+    auto base = analyze(opt.baseline, opt.force);
+    if (!base) {
+        std::fprintf(stderr, "scimpi-analyze: %s\n",
+                     base.status().to_string().c_str());
+        return 1;
+    }
+    print_diff(opt.baseline, base.value(), opt.log, cand.value(), opt.json);
+    return 0;
+}
