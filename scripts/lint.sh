@@ -27,10 +27,20 @@ FLAGS="-std=c++20 -Isrc -fsyntax-only -Wall -Wextra -Wpedantic -Wshadow
        -Wnon-virtual-dtor -Wcast-align -Woverloaded-virtual -Wunused
        -Wconversion-null -Wdouble-promotion -Wformat=2 -Wimplicit-fallthrough
        -Wmissing-declarations -Wredundant-decls -Wswitch-enum -Werror"
+# Strict zone: the engine and the checker/explorer are the layers where a
+# silent narrowing or qualifier drop can corrupt a schedule decision or a
+# vector clock, so they carry every extra diagnostic g++ offers. New
+# warnings here fail the gate outright.
+STRICT_FLAGS="-Wconversion -Wsign-conversion -Wcast-qual -Wlogical-op
+              -Wduplicated-cond -Wduplicated-branches"
 fail=0
 for f in $sources; do
+    extra=""
+    case "$f" in
+        src/sim/*|src/check/*) extra="$STRICT_FLAGS" ;;
+    esac
     # shellcheck disable=SC2086
-    if ! "$CXX" $FLAGS "$f"; then
+    if ! "$CXX" $FLAGS $extra "$f"; then
         fail=1
         echo "lint: FAIL $f" >&2
     fi

@@ -467,16 +467,29 @@ void Checker::on_segment_access(int seg_node, int seg_id, int track,
 // Reporting
 // ---------------------------------------------------------------------------
 
-void Checker::print_report(std::FILE* out) const {
-    if (violations_.empty()) return;
-    std::fprintf(out,
-                 "scimpi-check: %zu violation%s detected (%llu further "
-                 "occurrence%s suppressed)\n",
-                 violations_.size(), violations_.size() == 1 ? "" : "s",
-                 static_cast<unsigned long long>(suppressed_),
-                 suppressed_ == 1 ? "" : "s");
-    std::fprintf(out, "%-30s %4s %7s %19s %23s  %s\n", "kind", "win", "ranks",
-                 "bytes", "sim time (ns)", "detail");
+std::string Checker::signature() const {
+    std::string sig;
+    for (const Violation& v : violations_)
+        sig += std::string(kind_name(v.kind)) + ':' + std::to_string(v.win) + ':' +
+               std::to_string(v.rank_a) + ':' + std::to_string(v.rank_b) + ':' +
+               std::to_string(v.range.lo) + ':' + std::to_string(v.range.hi) + '\n';
+    return sig;
+}
+
+std::string Checker::report_string() const {
+    if (violations_.empty()) return {};
+    std::string out;
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "scimpi-check: %zu violation%s detected (%llu further "
+                  "occurrence%s suppressed)\n",
+                  violations_.size(), violations_.size() == 1 ? "" : "s",
+                  static_cast<unsigned long long>(suppressed_),
+                  suppressed_ == 1 ? "" : "s");
+    out += line;
+    std::snprintf(line, sizeof line, "%-30s %4s %7s %19s %23s  %s\n", "kind",
+                  "win", "ranks", "bytes", "sim time (ns)", "detail");
+    out += line;
     for (const Violation& v : violations_) {
         char ranks[32];
         if (v.rank_a >= 0)
@@ -491,9 +504,17 @@ void Checker::print_report(std::FILE* out) const {
         std::snprintf(times, sizeof times, "%llu/%llu",
                       static_cast<unsigned long long>(v.time_a),
                       static_cast<unsigned long long>(v.time_b));
-        std::fprintf(out, "%-30s %4d %7s %19s %23s  %s\n", kind_name(v.kind),
-                     v.win, ranks, bytes, times, v.detail.c_str());
+        std::snprintf(line, sizeof line, "%-30s %4d %7s %19s %23s  %s\n",
+                      kind_name(v.kind), v.win, ranks, bytes, times,
+                      v.detail.c_str());
+        out += line;
     }
+    return out;
+}
+
+void Checker::print_report(std::FILE* out) const {
+    const std::string text = report_string();
+    if (!text.empty()) std::fputs(text.c_str(), out);
 }
 
 }  // namespace scimpi::check

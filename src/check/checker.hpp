@@ -197,6 +197,14 @@ public:
     [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
     /// Formatted stderr-style table; no-op when there are no violations.
     void print_report(std::FILE* out) const;
+    /// The same table as a string (empty when there are no violations).
+    /// Deterministic byte-for-byte for a given schedule — the explorer's
+    /// replay check compares these directly.
+    [[nodiscard]] std::string report_string() const;
+    /// Stable signature of the recorded violation set: one
+    /// kind:win:ranks:range line per violation. Exploration uses it to decide
+    /// whether two schedules hit the same bug (trace minimization).
+    [[nodiscard]] std::string signature() const;
 
     [[nodiscard]] const VectorClock& clock(int rank) const {
         return clocks_[static_cast<std::size_t>(rank)];

@@ -26,6 +26,14 @@ public:
         return c_[static_cast<std::size_t>(rank)];
     }
 
+    /// Grow to at least `n` components (zero-filled). Lets users that learn
+    /// the actor count lazily (the schedule explorer) start from a default-
+    /// constructed clock.
+    void ensure(int n) {
+        if (static_cast<std::size_t>(n) > c_.size())
+            c_.resize(static_cast<std::size_t>(n), 0);
+    }
+
     /// Advance `rank`'s own component (a new event in its program order).
     void tick(int rank) { ++c_[static_cast<std::size_t>(rank)]; }
 

@@ -64,7 +64,8 @@ void ConnectionMonitor::start() {
 void ConnectionMonitor::run(sim::Process& self) {
     while (true) {
         if (!attention_ && !any_suspect()) {
-            wake_q_.park(self);  // quiet fabric: sleep until a link event
+            // Quiet fabric: sleep until a link event.
+            wake_q_.park(self, "link event");
             continue;
         }
         attention_ = false;

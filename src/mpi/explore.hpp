@@ -1,0 +1,38 @@
+// mpi::explore_cluster — the MPI front end of check::Explorer: runs a rank
+// program across systematically perturbed schedules, one fresh Cluster per
+// candidate schedule, until the checker flags a violation (or the run
+// deadlocks) or the DPOR-reduced schedule space / budget is exhausted.
+//
+// On a finding the minimized decision trace is written to
+// ClusterOptions::explore.trace_file (when set); SCIMPI_EXPLORE_REPLAY=<that
+// file> re-runs the exact schedule in a normal single-run Cluster and must
+// reproduce the byte-identical violation report.
+#pragma once
+
+#include <functional>
+
+#include "check/explorer.hpp"
+#include "mpi/runtime.hpp"
+#include "obs/metrics.hpp"
+
+namespace scimpi::mpi {
+
+struct ExploreClusterResult {
+    check::ExploreResult result;
+    /// Stats snapshot of the verification replay of the minimized schedule
+    /// (an empty default report when nothing was found), with the
+    /// RunReport::explore summary section filled either way.
+    obs::RunReport report;
+    /// Checker report of that verification replay; byte-identical to
+    /// result.finding.report when the replay reproduced the finding.
+    std::string replay_report;
+    bool replay_matches = false;
+};
+
+/// Explore the schedule space of `rank_main` under `base` (whose `explore`
+/// spec supplies budget/depth/fuzz; `base.schedule` must be null). Each
+/// schedule runs with checking enabled regardless of base.check.
+ExploreClusterResult explore_cluster(const ClusterOptions& base,
+                                     const std::function<void(Comm&)>& rank_main);
+
+}  // namespace scimpi::mpi

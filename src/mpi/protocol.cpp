@@ -154,7 +154,7 @@ void Rank::progress_wait() {
     if (daemon_proc_ != nullptr && proc().engine().current() != daemon_proc_) {
         sim::Process& self = cur_proc();
         const sim::ProfScope wait(self, obs::ProfState::wait_recv);
-        progress_waiters_.park(self);
+        progress_waiters_.park(self, "async progress");
         return;
     }
     progress_one();

@@ -53,6 +53,7 @@ void RmaState::handler_loop(sim::Process& self) {
             case rma_proto::kPost: {
                 const auto it = windows_.find(static_cast<int>(s.a));
                 SCIMPI_REQUIRE(it != windows_.end(), "post for unknown window");
+                sim::note_subject(it->second);
                 ++it->second->posts_seen_;
                 notify_change();
                 break;
@@ -60,6 +61,7 @@ void RmaState::handler_loop(sim::Process& self) {
             case rma_proto::kComplete: {
                 const auto it = windows_.find(static_cast<int>(s.a));
                 SCIMPI_REQUIRE(it != windows_.end(), "complete for unknown window");
+                sim::note_subject(it->second);
                 ++it->second->completes_seen_;
                 notify_change();
                 break;

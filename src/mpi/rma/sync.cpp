@@ -76,6 +76,9 @@ void Win::post(std::span<const int> origin_group) {
 
 void Win::start(std::span<const int> target_group) {
     sim::Process& self = rank_->proc();
+    // DPOR dependence: this reads posts_seen_, which the rma handler
+    // increments when a kPost signal lands.
+    sim::note_subject(this);
     access_group_.assign(target_group.begin(), target_group.end());
     // Wait until every target in the group has posted its exposure epoch.
     const sim::ProfScope wait(self, obs::ProfState::wait_sync);
@@ -114,6 +117,9 @@ void Win::complete() {
 }
 
 bool Win::test() {
+    // DPOR dependence: the order of this read against the rma handler's
+    // kComplete increment decides whether the epoch looks open or closed.
+    sim::note_subject(this);
     if (completes_seen_ < static_cast<int>(exposure_group_.size())) return false;
     completes_seen_ -= static_cast<int>(exposure_group_.size());
     // Only a test() that actually closes an open exposure epoch is a wait;
@@ -128,6 +134,7 @@ bool Win::test() {
 
 void Win::wait() {
     sim::Process& self = rank_->proc();
+    sim::note_subject(this);
     const sim::ProfScope wait(self, obs::ProfState::wait_sync);
     const SimTime t0 = self.now();
     while (completes_seen_ < static_cast<int>(exposure_group_.size()))

@@ -135,7 +135,7 @@ smi::SmiLock& RmaState::win_lock(int win_id) {
 
 void RmaState::wait_all_pending(sim::Process& self) {
     const sim::ProfScope wait(self, obs::ProfState::wait_sync);
-    while (pending_ > 0) pending_q_.park(self);
+    while (pending_ > 0) pending_q_.park(self, "rma pending acks");
 }
 
 std::shared_ptr<sim::Event> RmaState::new_op_event(std::uint64_t op_id) {

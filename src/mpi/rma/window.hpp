@@ -209,7 +209,9 @@ public:
     Status take_op_error(std::uint64_t op_id);
 
     /// Wait until a predicate over handler-updated state becomes true.
-    void wait_signal_change(sim::Process& self) { change_q_.park(self); }
+    void wait_signal_change(sim::Process& self) {
+        change_q_.park(self, "rma post/complete signal");
+    }
     void notify_change() { change_q_.wake_all(); }
 
     [[nodiscard]] int next_win_id() { return next_win_id_++; }

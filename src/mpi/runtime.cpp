@@ -76,6 +76,30 @@ Cluster::Cluster(ClusterOptions opt)
     if (opt_.fault_spec_file.empty()) opt_.fault_spec_file = env_path("SCIMPI_FAULTS");
     if (opt_.coll.empty()) opt_.coll = env_path("SCIMPI_COLL");
     if (opt_.evlog.empty()) opt_.evlog = env_path("SCIMPI_EVLOG");
+    // Schedule-space exploration (see sim/schedule.hpp, check/explorer.hpp).
+    // A caller-installed controller means an explorer drives this Cluster:
+    // it owns violation reporting, so the teardown stderr report is muted.
+    external_schedule_ = opt_.schedule != nullptr;
+    if (env_flag("SCIMPI_EXPLORE")) opt_.explore.enabled = true;
+    if (const std::uint64_t b = env_u64("SCIMPI_EXPLORE_BUDGET"); b > 0)
+        opt_.explore.max_schedules = b;
+    if (const std::uint64_t d = env_u64("SCIMPI_EXPLORE_DEPTH"); d > 0)
+        opt_.explore.max_depth = d;
+    if (const SimTime f = env_duration("SCIMPI_EXPLORE_FUZZ"); f > 0)
+        opt_.explore.fuzz = f;
+    if (env_flag("SCIMPI_EXPLORE_NAIVE")) opt_.explore.dpor = false;
+    if (opt_.explore.trace_file.empty())
+        opt_.explore.trace_file = env_path("SCIMPI_EXPLORE_TRACE");
+    if (const std::string replay = env_path("SCIMPI_EXPLORE_REPLAY");
+        opt_.schedule == nullptr && !replay.empty()) {
+        auto trace = sim::DecisionTrace::load(replay);
+        SCIMPI_REQUIRE(trace.is_ok(), "SCIMPI_EXPLORE_REPLAY '" + replay +
+                                          "': " + trace.status().to_string());
+        replay_ = std::make_unique<sim::ReplayController>(std::move(trace.value()));
+        opt_.schedule = replay_.get();
+        opt_.check = true;  // replaying a violation schedule implies checking
+    }
+    if (opt_.schedule != nullptr) engine_.set_schedule_controller(opt_.schedule);
     // SCIMPI_DIRECT_PACK=0|1 overrides the pack engine choice, so one binary
     // can produce the two event logs a `scimpi-analyze --diff` A/B needs.
     if (const char* ff = std::getenv("SCIMPI_DIRECT_PACK");
@@ -225,7 +249,7 @@ void Cluster::init_recorder() {
 }
 
 Cluster::~Cluster() {
-    if (checker_ != nullptr) checker_->print_report(stderr);
+    if (checker_ != nullptr && !external_schedule_) checker_->print_report(stderr);
     flush_telemetry();
 }
 

@@ -21,6 +21,7 @@
 #include "sci/segment.hpp"
 #include "sim/dispatcher.hpp"
 #include "sim/engine.hpp"
+#include "sim/schedule.hpp"
 
 namespace scimpi::mpi {
 
@@ -90,6 +91,27 @@ struct ClusterOptions {
     /// globally; "bcast=flat,alltoall=p2p" overrides per operation. Also
     /// settable via SCIMPI_COLL (the option wins when both are given).
     std::string coll;
+    /// External schedule controller (sim/schedule.hpp), installed on the
+    /// engine for the run's lifetime. The explorer drives one fresh Cluster
+    /// per candidate schedule through this; when set by the caller, the
+    /// checker's stderr report at teardown is suppressed (the explorer owns
+    /// reporting). SCIMPI_EXPLORE_REPLAY=<trace file> loads a decision trace
+    /// emitted by exploration and replays that exact schedule (the report is
+    /// printed normally in that case).
+    sim::ScheduleController* schedule = nullptr;
+    /// Schedule-space exploration (check/explorer.hpp, driven through
+    /// mpi::explore_cluster). The Cluster itself only folds the env toggles
+    /// into this spec; front ends (race_demo --explore) read it back and run
+    /// the explorer around fresh Clusters.
+    struct ExploreSpec {
+        bool enabled = false;                ///< SCIMPI_EXPLORE=1
+        std::uint64_t max_schedules = 256;   ///< SCIMPI_EXPLORE_BUDGET
+        std::uint64_t max_depth = 4096;      ///< SCIMPI_EXPLORE_DEPTH
+        SimTime fuzz = 2000;                 ///< SCIMPI_EXPLORE_FUZZ (10us style)
+        bool dpor = true;                    ///< SCIMPI_EXPLORE_NAIVE=1 disables
+        std::string trace_file;              ///< SCIMPI_EXPLORE_TRACE
+    };
+    ExploreSpec explore;
 };
 
 class Cluster {
@@ -166,6 +188,8 @@ private:
     std::unique_ptr<fault::FaultController> faults_;
     std::unique_ptr<fault::ConnectionMonitor> monitor_;
     std::unique_ptr<check::Checker> checker_;
+    std::unique_ptr<sim::ReplayController> replay_;  ///< SCIMPI_EXPLORE_REPLAY
+    bool external_schedule_ = false;  ///< caller-installed controller (explorer)
     std::unique_ptr<coll::CollRuntime> coll_;  // destroyed before the directory
 };
 

@@ -378,6 +378,27 @@ std::string RunReport::to_json() const {
     }
     out += "}},\n";
 
+    out += "  \"explore\": {";
+    std::snprintf(buf, sizeof buf,
+                  "\"enabled\": %s, \"found\": %s, \"exhausted\": %s, "
+                  "\"schedules\": %llu, \"replays\": %llu, \"pruned\": %llu, "
+                  "\"choice_points\": %llu, \"trace_decisions\": %llu, "
+                  "\"fuzz_ns\": %llu, \"wall_seconds\": %.6g, "
+                  "\"schedules_per_sec\": %.6g, \"trace_file\": \"",
+                  explore.enabled ? "true" : "false",
+                  explore.found ? "true" : "false",
+                  explore.exhausted ? "true" : "false",
+                  static_cast<unsigned long long>(explore.schedules),
+                  static_cast<unsigned long long>(explore.replays),
+                  static_cast<unsigned long long>(explore.pruned),
+                  static_cast<unsigned long long>(explore.choice_points),
+                  static_cast<unsigned long long>(explore.trace_decisions),
+                  static_cast<unsigned long long>(explore.fuzz_ns),
+                  explore.wall_seconds, explore.schedules_per_sec);
+    out += buf;
+    json_escape(out, explore.trace_file);
+    out += "\"},\n";
+
     out += "  \"hotspots\": [";
     first = true;
     for (const HotSpot& h : hotspots) {

@@ -222,8 +222,11 @@ struct RunReport {
     /// wall_per_sim_second, record_cadence_ns), and omits histograms that
     /// recorded no samples; v5 added the critical_path section (enabled flag,
     /// total_ns, per-category/link/rank breakdowns from the causal event
-    /// graph — see obs/evgraph.hpp).
-    static constexpr int kSchemaVersion = 5;
+    /// graph — see obs/evgraph.hpp); v6 added the explore section (schedule-
+    /// space exploration summary: schedules executed, DPOR-pruned
+    /// alternatives, choice points, replay-trace size — see
+    /// check/explorer.hpp).
+    static constexpr int kSchemaVersion = 6;
 
     int schema_version = kSchemaVersion;
     int world = 0;
@@ -319,6 +322,25 @@ struct RunReport {
         std::vector<std::pair<int, std::uint64_t>> ranks;  // blamed rank -> ns
     };
     CriticalPathSummary critical_path;
+
+    /// Schedule-space exploration summary (v6): what check::Explorer did
+    /// when the run was driven by `--explore` / SCIMPI_EXPLORE. `enabled` is
+    /// false (and the rest zero/empty) for ordinary single-schedule runs.
+    struct ExploreSummary {
+        bool enabled = false;
+        bool found = false;      ///< a violating/deadlocking schedule exists
+        bool exhausted = false;  ///< the reduced schedule space was completed
+        std::uint64_t schedules = 0;
+        std::uint64_t replays = 0;  ///< minimization re-executions
+        std::uint64_t pruned = 0;   ///< alternatives DPOR discarded
+        std::uint64_t choice_points = 0;
+        std::uint64_t trace_decisions = 0;  ///< minimized repro trace size
+        std::uint64_t fuzz_ns = 0;
+        double wall_seconds = 0.0;
+        double schedules_per_sec = 0.0;
+        std::string trace_file;  ///< emitted repro artifact ("" = none)
+    };
+    ExploreSummary explore;
 
     /// Value of a named counter in this snapshot (0 when absent).
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;

@@ -427,7 +427,8 @@ void SciAdapter::store_barrier(sim::Process& self) {
         st.valid = false;
     }
     self.delay(t);
-    while (pending_stores_[self.id()] > 0) barrier_waiters_.park(self);
+    while (pending_stores_[self.id()] > 0)
+        barrier_waiters_.park(self, "store barrier");
 }
 
 Status SciAdapter::dma_write(sim::Process& self, const SciMapping& map, std::size_t off,

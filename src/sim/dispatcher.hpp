@@ -41,6 +41,7 @@ private:
     };
 
     void service_loop(Process& self);
+    std::size_t pop_due(Process& self, std::vector<Item>& due);
 
     Engine& engine_;
     Process* proc_ = nullptr;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "sim/process.hpp"
+#include "sim/schedule.hpp"
 
 namespace scimpi::sim {
 
@@ -38,6 +39,8 @@ void Engine::schedule(Process& p, SimTime t) {
     SCIMPI_REQUIRE(t >= now_, "schedule() into the past");
     p.scheduled_ = true;
     p.pending_time_ = t;
+    if (sched_ != nullptr && current_ != nullptr && current_ != &p)
+        sched_->on_edge(current_->id(), p.id());
     queue_.push(QEntry{t, seq_++, &p, p.gen_});
 }
 
@@ -79,24 +82,16 @@ void Engine::run() {
     SCIMPI_REQUIRE(!running_, "Engine::run() is not reentrant");
     running_ = true;
     wall_run_start_ = std::chrono::steady_clock::now();
-    while (!queue_.empty() && pending_error_.empty()) {
-        const QEntry e = queue_.top();
-        queue_.pop();
-        if (e.p->finished()) continue;   // finished while queued (shutdown path)
-        if (e.gen != e.p->gen_) continue;  // stale entry after reschedule
-        e.p->scheduled_ = false;
-        if (sampler_cadence_ > 0 && e.t >= sampler_next_) {
-            // Crossed one or more cadence boundaries: sample once, between
-            // events, stamped at the time actually reached. Catch up
-            // sampler_next_ past e.t so an idle stretch costs one sample.
-            now_ = e.t;
-            sampler_(now_);
-            sampler_next_ = (e.t / sampler_cadence_ + 1) * sampler_cadence_;
-        }
-        now_ = e.t;
-        ++events_dispatched_;
-        if (ctx_switches_ != nullptr) ctx_switches_->inc();
-        resume(*e.p);
+    try {
+        run_loop();
+    } catch (...) {
+        // A schedule controller threw on the engine thread (replay
+        // divergence, choice out of range). Unwind the parked process
+        // threads *now*, while the objects their stacks reference are still
+        // alive — the caller's members die before this engine does.
+        running_ = false;
+        shutdown_remaining();
+        throw;
     }
     wall_base_ns_ += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -113,11 +108,68 @@ void Engine::run() {
 
     if (deadlock_checks_ != nullptr) deadlock_checks_->inc();
     std::string blocked;
-    for (const auto& p : processes_)
-        if (!p->finished() && !p->daemon_) blocked += " " + p->name();
+    for (const auto& p : processes_) {
+        if (p->finished() || p->daemon_) continue;
+        blocked += " " + p->name();
+        if (!p->wait_why_.empty()) blocked += " (in " + p->wait_why_ + ")";
+    }
     if (!blocked.empty()) {
         shutdown_remaining();
         panic("simulation deadlock; blocked processes:" + blocked);
+    }
+}
+
+void Engine::run_loop() {
+    while (!queue_.empty() && pending_error_.empty()) {
+        QEntry e = queue_.top();
+        queue_.pop();
+        if (e.p->finished()) continue;   // finished while queued (shutdown path)
+        if (e.gen != e.p->gen_) continue;  // stale entry after reschedule
+        if (sched_ != nullptr) {
+            // Collect every valid entry within the fuzz window of the
+            // earliest wakeup; the controller picks which one runs first.
+            // Entries are heap-popped, so cands is (t, seq)-sorted and
+            // cands[0] is the deterministic FIFO default.
+            const SimTime limit = e.t + sched_->fuzz();
+            std::vector<QEntry> cands{e};
+            while (!queue_.empty() && queue_.top().t <= limit) {
+                const QEntry n = queue_.top();
+                queue_.pop();
+                if (n.p->finished() || n.gen != n.p->gen_) continue;
+                cands.push_back(n);
+            }
+            std::size_t pick = 0;
+            if (cands.size() > 1) {
+                ChoicePoint cp;
+                cp.kind = ChoiceKind::dispatch;
+                cp.now = now_;
+                cp.alts.reserve(cands.size());
+                for (const QEntry& c : cands)
+                    cp.alts.push_back(ChoiceAlt{c.p->name(), c.p->id(), c.t});
+                pick = sched_->choose(cp);
+                SCIMPI_REQUIRE(pick < cands.size(), "schedule choice out of range");
+            }
+            for (std::size_t i = 0; i < cands.size(); ++i)
+                if (i != pick) queue_.push(cands[i]);
+            e = cands[pick];
+        }
+        e.p->scheduled_ = false;
+        // Dispatching a later co-enabled entry first leaves earlier entries
+        // in the queue with t < now_; time never runs backwards for them.
+        const SimTime t_eff = e.t > now_ ? e.t : now_;
+        if (sampler_cadence_ > 0 && t_eff >= sampler_next_) {
+            // Crossed one or more cadence boundaries: sample once, between
+            // events, stamped at the time actually reached. Catch up
+            // sampler_next_ past t_eff so an idle stretch costs one sample.
+            now_ = t_eff;
+            sampler_(now_);
+            sampler_next_ = (t_eff / sampler_cadence_ + 1) * sampler_cadence_;
+        }
+        now_ = t_eff;
+        ++events_dispatched_;
+        if (ctx_switches_ != nullptr) ctx_switches_->inc();
+        if (sched_ != nullptr) sched_->on_dispatch(e.p->id(), now_);
+        resume(*e.p);
     }
 }
 

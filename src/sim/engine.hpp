@@ -27,6 +27,7 @@
 namespace scimpi::sim {
 
 class Process;
+class ScheduleController;
 
 class Engine {
 public:
@@ -88,6 +89,14 @@ public:
     /// (fault retry) resolve cold-path histograms without plumbing.
     [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
+    /// Install a schedule controller (see sim/schedule.hpp): the event loop
+    /// then offers every co-enabled dispatch set (entries within the
+    /// controller's fuzz() window of the earliest wakeup) as a choice point,
+    /// and the sync primitives report hand-over choices and shared-object
+    /// footprints. nullptr restores plain deterministic FIFO dispatch.
+    void set_schedule_controller(ScheduleController* c) { sched_ = c; }
+    [[nodiscard]] ScheduleController* schedule_controller() const { return sched_; }
+
     /// Low-level: insert `p` into the ready queue at absolute time `t`
     /// (>= now). Requires that `p` is suspended and not already scheduled.
     void schedule(Process& p, SimTime t);
@@ -114,6 +123,7 @@ private:
     };
 
     void resume(Process& p);      // hand baton to p, wait for it back
+    void run_loop();              // dispatch until quiescent or error
     void shutdown_remaining();    // unwind parked threads before throwing/destroying
 
     std::vector<std::unique_ptr<Process>> processes_;
@@ -131,6 +141,7 @@ private:
     obs::Profiler profiler_;
     obs::EventGraph evgraph_;
     obs::MetricsRegistry* metrics_ = nullptr;
+    ScheduleController* sched_ = nullptr;
     obs::Counter* ctx_switches_ = nullptr;
     obs::Counter* deadlock_checks_ = nullptr;
     bool running_ = false;

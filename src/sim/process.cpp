@@ -2,6 +2,7 @@
 
 #include "common/status.hpp"
 #include "sim/engine.hpp"
+#include "sim/schedule.hpp"
 
 namespace scimpi::sim {
 
@@ -35,6 +36,9 @@ void Process::thread_main() {
             if (shutdown_) throw ShutdownSignal{};
             baton_ = false;
         }
+        // Bind this OS thread to its engine so argument-less primitives can
+        // reach the schedule controller (see sim::current_engine()).
+        set_current_engine(&engine_);
         state_ = State::running;
         body_(*this);
     } catch (const ShutdownSignal&) {
@@ -81,11 +85,13 @@ void Process::delay(SimTime ns) {
     suspend();
 }
 
-void Process::block() {
+void Process::block(std::string_view why) {
     SCIMPI_REQUIRE(engine_.current() == this,
                    "block() must be called from the process's own body");
+    wait_why_ = why;
     state_ = State::blocked;
     suspend();
+    wait_why_.clear();
 }
 
 }  // namespace scimpi::sim

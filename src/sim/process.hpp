@@ -4,6 +4,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "common/units.hpp"
@@ -34,8 +35,13 @@ public:
     void yield() { delay(0); }
 
     /// Low-level: suspend until another process calls Engine::wake(*this) or
-    /// schedules us. Used by the synchronization primitives.
-    void block();
+    /// schedules us. Used by the synchronization primitives. `why` names the
+    /// wait object (e.g. "mailbox recv", "rma post/complete signals") and is
+    /// reported by the engine's deadlock diagnostic; it is cleared on wakeup.
+    void block(std::string_view why = {});
+
+    /// The wait-object label of the current/last block(), for diagnostics.
+    [[nodiscard]] const std::string& wait_why() const { return wait_why_; }
 
     /// True while suspended with no pending wakeup (engine-side query).
     [[nodiscard]] bool is_blocked() const { return state_ == State::blocked && !scheduled_; }
@@ -65,6 +71,7 @@ private:
     bool shutdown_ = false;    // true: unwind instead of resuming
 
     State state_ = State::created;
+    std::string wait_why_;        // wait-object label while blocked
     bool daemon_ = false;         // exempt from deadlock detection
     bool scheduled_ = false;      // present in the engine ready queue
     SimTime pending_time_ = 0;    // wakeup time while scheduled_

@@ -1,31 +1,45 @@
 // Synchronization primitives for simulated processes. All of them rely on
 // the engine's single-active-thread invariant: their internal state is only
 // ever touched by the baton holder, so no host-level locking is needed.
+//
+// Every primitive reports itself to the schedule controller (when one is
+// installed) via sim::note_subject, and the points where several parked
+// processes could legitimately be woken in either order (WaitQueue::wake_one,
+// SimMutex::unlock) are exposed as `handover` choice points. Without a
+// controller all of this is a null-pointer check.
 #pragma once
 
 #include <deque>
 #include <optional>
+#include <string_view>
 
 #include "common/status.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
+#include "sim/schedule.hpp"
 
 namespace scimpi::sim {
 
 /// FIFO queue of parked processes. Building block for the other primitives.
 class WaitQueue {
 public:
-    /// Park the calling process until woken.
-    void park(Process& self) {
+    /// Park the calling process until woken. `why` names the wait object for
+    /// deadlock diagnostics (see Process::block).
+    void park(Process& self, std::string_view why = "wait queue") {
+        note_subject(this);
         waiters_.push_back(&self);
-        self.block();
+        self.block(why);
     }
 
-    /// Wake the longest-waiting process (returns false if none).
+    /// Wake the longest-waiting process (returns false if none). With a
+    /// schedule controller installed and several waiters parked, which one
+    /// receives the hand-over is a choice point.
     bool wake_one() {
+        note_subject(this);
         if (waiters_.empty()) return false;
-        Process* p = waiters_.front();
-        waiters_.pop_front();
+        const std::size_t pick = choose_waiter();
+        Process* p = waiters_[pick];
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(pick));
         p->engine().wake(*p);
         return true;
     }
@@ -38,6 +52,22 @@ public:
     [[nodiscard]] std::size_t size() const { return waiters_.size(); }
 
 private:
+    std::size_t choose_waiter() {
+        if (waiters_.size() < 2) return 0;
+        ScheduleController* c = waiters_.front()->engine().schedule_controller();
+        if (c == nullptr) return 0;
+        Engine& eng = waiters_.front()->engine();
+        ChoicePoint cp;
+        cp.kind = ChoiceKind::handover;
+        cp.now = eng.now();
+        cp.alts.reserve(waiters_.size());
+        for (Process* w : waiters_)
+            cp.alts.push_back(ChoiceAlt{w->name(), w->id(), eng.now()});
+        const std::size_t pick = c->choose(cp);
+        SCIMPI_REQUIRE(pick < waiters_.size(), "handover choice out of range");
+        return pick;
+    }
+
     std::deque<Process*> waiters_;
 };
 
@@ -45,9 +75,11 @@ private:
 class Event {
 public:
     void wait(Process& self) {
-        while (!set_) q_.park(self);
+        note_subject(this);
+        while (!set_) q_.park(self, "event wait");
     }
     void set() {
+        note_subject(this);
         set_ = true;
         q_.wake_all();
     }
@@ -64,12 +96,14 @@ template <typename T>
 class Mailbox {
 public:
     void send(T v) {
+        note_subject(this);
         items_.push_back(std::move(v));
         q_.wake_one();
     }
 
-    T recv(Process& self) {
-        while (items_.empty()) q_.park(self);
+    T recv(Process& self, std::string_view why = "mailbox recv") {
+        note_subject(this);
+        while (items_.empty()) q_.park(self, why);
         T v = std::move(items_.front());
         items_.pop_front();
         // More items may remain for other waiters parked behind us.
@@ -78,6 +112,7 @@ public:
     }
 
     std::optional<T> try_recv() {
+        note_subject(this);
         if (items_.empty()) return std::nullopt;
         T v = std::move(items_.front());
         items_.pop_front();
@@ -95,32 +130,36 @@ private:
 /// FIFO-fair mutex with direct ownership hand-off on unlock.
 class SimMutex {
 public:
-    void lock(Process& self) {
+    void lock(Process& self, std::string_view why = "mutex lock") {
+        note_subject(this);
         if (owner_ == nullptr) {
             owner_ = &self;
             return;
         }
         SCIMPI_REQUIRE(owner_ != &self, "SimMutex is not recursive");
         waiters_.push_back(&self);
-        self.block();
+        self.block(why);
         // unlock() handed ownership to us before waking us.
         SCIMPI_REQUIRE(owner_ == &self, "SimMutex hand-off violated");
     }
 
     bool try_lock(Process& self) {
+        note_subject(this);
         if (owner_ != nullptr) return false;
         owner_ = &self;
         return true;
     }
 
     void unlock(Process& self) {
+        note_subject(this);
         SCIMPI_REQUIRE(owner_ == &self, "SimMutex::unlock by non-owner");
         if (waiters_.empty()) {
             owner_ = nullptr;
             return;
         }
-        Process* next = waiters_.front();
-        waiters_.pop_front();
+        const std::size_t pick = choose_next(self);
+        Process* next = waiters_[pick];
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(pick));
         owner_ = next;
         next->engine().wake(*next);
     }
@@ -129,6 +168,21 @@ public:
     [[nodiscard]] Process* owner() const { return owner_; }
 
 private:
+    std::size_t choose_next(Process& self) {
+        if (waiters_.size() < 2) return 0;
+        ScheduleController* c = self.engine().schedule_controller();
+        if (c == nullptr) return 0;
+        ChoicePoint cp;
+        cp.kind = ChoiceKind::handover;
+        cp.now = self.engine().now();
+        cp.alts.reserve(waiters_.size());
+        for (Process* w : waiters_)
+            cp.alts.push_back(ChoiceAlt{w->name(), w->id(), cp.now});
+        const std::size_t pick = c->choose(cp);
+        SCIMPI_REQUIRE(pick < waiters_.size(), "handover choice out of range");
+        return pick;
+    }
+
     std::deque<Process*> waiters_;
     Process* owner_ = nullptr;
 };
@@ -138,7 +192,7 @@ public:
     /// Atomically release `m`, park, and re-acquire `m` before returning.
     void wait(Process& self, SimMutex& m) {
         m.unlock(self);
-        q_.park(self);
+        q_.park(self, "condvar wait");
         m.lock(self);
     }
 
@@ -157,6 +211,7 @@ public:
     }
 
     void arrive_and_wait(Process& self) {
+        note_subject(this);
         const std::uint64_t my_round = round_;
         if (++arrived_ == n_) {
             arrived_ = 0;
@@ -164,7 +219,7 @@ public:
             q_.wake_all();
             return;
         }
-        while (round_ == my_round) q_.park(self);
+        while (round_ == my_round) q_.park(self, "barrier");
     }
 
     [[nodiscard]] int participants() const { return n_; }

@@ -8,7 +8,7 @@ void SmiLock::acquire(sim::Process& self, int my_node) {
     self.delay(access_cost(my_node));
     if (mutex_.locked()) {
         ++contentions_;
-        mutex_.lock(self);  // parks until hand-off
+        mutex_.lock(self, "smi lock");  // parks until hand-off
         // Detection: the releasing store must cross the fabric and the
         // spinning load observe it.
         self.delay(access_cost(my_node));

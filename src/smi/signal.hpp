@@ -36,7 +36,7 @@ public:
     void post(sim::Process& self, int from_node, Signal s);
 
     /// Handler side: block until a signal arrives.
-    Signal wait(sim::Process& self) { return inbox_.recv(self); }
+    Signal wait(sim::Process& self) { return inbox_.recv(self, "signal inbox"); }
 
     [[nodiscard]] bool pending() const { return !inbox_.empty(); }
     [[nodiscard]] std::uint64_t delivered() const { return delivered_; }

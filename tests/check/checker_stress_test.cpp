@@ -1,0 +1,147 @@
+// Stress tests for the checker's bounded state (DESIGN.md §10): the
+// per-window / per-segment access logs cap-and-halve instead of growing
+// without bound, distinct violations stop being recorded (only counted) past
+// the cap, and the dedup signature suppresses repeat diagnoses of one site —
+// including across fence epochs, where the pruned log must not cause a
+// previously reported pair to be re-reported.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+
+namespace scimpi::check {
+namespace {
+
+/// Issue a PSCW-mode put from `origin` on `win` covering [lo, lo+len).
+void put(Checker& ck, int win, int origin, std::uint64_t lo, std::uint64_t len,
+         SimTime now) {
+    ck.on_rma_op(win, origin, /*target=*/0, AccessKind::put, SyncMode::pscw,
+                 {{lo, lo + len}}, now, /*track=*/origin);
+}
+
+TEST(CheckerStress, WindowLogCapsAndStillDetectsFreshRaces) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 1_MiB);
+    // 20k non-overlapping single-byte puts from rank 0: way past the 8192
+    // record cap; the log must halve repeatedly rather than grow unbounded.
+    for (std::uint64_t i = 0; i < 20000; ++i) put(ck, 0, 0, i, 1, i);
+    EXPECT_TRUE(ck.violations().empty());
+    // A conflicting put from rank 1 against a *recent* record must still be
+    // caught even after the wraparound dropped the old half of the log.
+    put(ck, 0, 1, 19999, 1, 30000);
+    ASSERT_EQ(ck.violations().size(), 1u);
+    EXPECT_EQ(ck.violations()[0].kind, ViolationKind::put_put_overlap);
+    EXPECT_EQ(ck.violations()[0].range.lo, 19999u);
+}
+
+TEST(CheckerStress, WindowLogWraparoundForgetsTheOldestHalfOnly) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 1_MiB);
+    for (std::uint64_t i = 0; i < 20000; ++i) put(ck, 0, 0, i, 1, i);
+    // Offset 0 was logged first and has long been dropped by the halving:
+    // a conflicting access there goes unreported. This pins the bounded-log
+    // tradeoff so a future change to the policy shows up as a test diff.
+    put(ck, 0, 1, 0, 1, 30001);
+    EXPECT_TRUE(ck.violations().empty());
+}
+
+TEST(CheckerStress, DistinctViolationsCapAtLimitAndCountTheRest) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 16_MiB);
+    // 1500 distinct racing byte ranges: 1024 recorded, the rest suppressed.
+    for (std::uint64_t i = 0; i < 1500; ++i) {
+        put(ck, 0, 0, 2 * i, 1, 2 * i);
+        put(ck, 0, 1, 2 * i, 1, 2 * i + 1);
+    }
+    EXPECT_EQ(ck.violations().size(), 1024u);
+    EXPECT_EQ(ck.suppressed(), 1500u - 1024u);
+    // The report header carries both numbers.
+    const std::string rep = ck.report_string();
+    EXPECT_NE(rep.find("1024 violations detected"), std::string::npos) << rep;
+    EXPECT_NE(rep.find("476 further occurrences suppressed"), std::string::npos)
+        << rep;
+}
+
+TEST(CheckerStress, SameSiteRaceIsReportedOnceAndSuppressedAfter) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 4_KiB);
+    for (int rep = 0; rep < 100; ++rep) {
+        put(ck, 0, 0, 64, 8, 1000 + 2 * rep);
+        put(ck, 0, 1, 64, 8, 1001 + 2 * rep);
+    }
+    // The dedup signature is direction-sensitive: the site is reported once
+    // per (earlier rank, later rank) ordering, then everything is suppressed.
+    EXPECT_EQ(ck.violations().size(), 2u);
+    EXPECT_GE(ck.suppressed(), 98u);
+    EXPECT_EQ(ck.count(ViolationKind::put_put_overlap), 2u);
+}
+
+TEST(CheckerStress, DedupSurvivesFenceEpochPruning) {
+    // Same conflicting pair re-issued in later fence epochs: pruning drops
+    // the stale records, but the dedup signature (kind, win, ranks, range)
+    // still suppresses the repeat diagnosis instead of re-reporting it.
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 4_KiB);
+    SimTime t = 0;
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        ck.on_fence(0, 0, t, 0);
+        ck.on_fence(0, 1, t + 1, 1);
+        t += 10;
+        ck.on_rma_op(0, 0, 0, AccessKind::put, SyncMode::fence, {{64, 72}}, t++, 0);
+        ck.on_rma_op(0, 1, 0, AccessKind::put, SyncMode::fence, {{64, 72}}, t++, 1);
+    }
+    // One diagnostic per direction of the pair; every later epoch's re-race
+    // only bumps the suppression counter even though pruning dropped the
+    // records the original diagnosis was made from.
+    EXPECT_EQ(ck.violations().size(), 2u);
+    EXPECT_GE(ck.suppressed(), 8u);
+}
+
+TEST(CheckerStress, SegmentLogCapsAndStillDetectsFreshRaces) {
+    Checker ck(2);
+    ck.enable();
+    ck.register_actor(/*track=*/10, /*world_rank=*/0);
+    ck.register_actor(/*track=*/11, /*world_rank=*/1);
+    ck.watch_segment(0, 7);
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        ck.on_segment_access(0, 7, /*track=*/10, i, 1, /*is_store=*/true, i);
+    EXPECT_TRUE(ck.violations().empty());
+    ck.on_segment_access(0, 7, /*track=*/11, 19999, 1, true, 30000);
+    ASSERT_EQ(ck.violations().size(), 1u);
+    EXPECT_EQ(ck.violations()[0].kind, ViolationKind::segment_race);
+}
+
+TEST(CheckerStress, SignatureIsStableAndOrdered) {
+    Checker ck(2);
+    ck.enable();
+    ck.on_win_create(0, 0, 4_KiB);
+    put(ck, 0, 0, 0, 8, 1);
+    put(ck, 0, 1, 0, 8, 2);
+    put(ck, 0, 0, 100, 4, 3);
+    put(ck, 0, 1, 100, 4, 4);
+    const std::string sig = ck.signature();
+    // One line per recorded violation, in recording order.
+    EXPECT_EQ(sig,
+              "put_put_overlap:0:0:1:0:8\n"
+              "put_put_overlap:0:0:1:100:104\n");
+    // report_string is deterministic for identical input.
+    Checker ck2(2);
+    ck2.enable();
+    ck2.on_win_create(0, 0, 4_KiB);
+    put(ck2, 0, 0, 0, 8, 1);
+    put(ck2, 0, 1, 0, 8, 2);
+    put(ck2, 0, 0, 100, 4, 3);
+    put(ck2, 0, 1, 100, 4, 4);
+    EXPECT_EQ(ck.report_string(), ck2.report_string());
+    EXPECT_EQ(ck.signature(), ck2.signature());
+}
+
+}  // namespace
+}  // namespace scimpi::check

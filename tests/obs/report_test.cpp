@@ -278,7 +278,7 @@ TEST(StatsReport, SchemaCarriesVersionSeedAndFaultSpec) {
                      static_cast<double>(r.sim_time_ns) / 1e9);
     const std::string json = r.to_json();
     EXPECT_TRUE(testsupport::json_valid(json));
-    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
     EXPECT_NE(json.find("\"seed\": 12345"), std::string::npos);
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
     // v3: the scimpi-check fields are always present; without --check the
@@ -481,7 +481,7 @@ TEST(StatsReport, AbortPathStillWritesStatsAndTraceFiles) {
     const std::string json = ss.str();
     // The pre-panic traffic made it into the aborted run's report.
     EXPECT_NE(json.find("\"mpi.sends_eager\": 1"), std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
     std::remove(stats.c_str());
     std::remove(trace.c_str());
 }

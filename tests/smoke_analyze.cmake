@@ -73,7 +73,7 @@ endif()
 
 # (d) The in-run report carries the same walk (RunReport schema v5).
 file(READ "${stats_file}" stats_text)
-foreach(needle IN ITEMS "\"schema_version\": 5" "\"critical_path\"")
+foreach(needle IN ITEMS "\"schema_version\": 6" "\"critical_path\"")
   string(FIND "${stats_text}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "stats report lacks ${needle}: ${stats_file}")

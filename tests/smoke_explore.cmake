@@ -1,0 +1,49 @@
+# Schedule-explorer smoke test (DESIGN.md §16), driven end to end through
+# the race_demo --pscw modes, which self-verify their own expectations:
+#   1. Single deterministic runs over many seeds stay clean — the planted
+#      PSCW bug is genuinely order-dependent, not seed-dependent.
+#   2. --explore hunts the schedule space, finds the race within the
+#      budget, and writes a minimized decision trace; race_demo itself
+#      verifies the trace replays to the byte-identical checker report.
+#   3. SCIMPI_EXPLORE_REPLAY=<trace> reproduces the violation through the
+#      plain (non-explorer) run path — the portable-repro contract.
+#
+# Expects: RACE_DEMO, OUT_DIR.
+set(trace_file "${OUT_DIR}/smoke_explore_pscw.trace")
+file(REMOVE "${trace_file}")
+
+execute_process(COMMAND "${RACE_DEMO}" --pscw --seeds 100
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "pscw demo was dirty in a plain run (want clean):\n${out}${err}")
+endif()
+
+execute_process(COMMAND "${RACE_DEMO}" --pscw --explore --trace "${trace_file}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explorer did not find the planted race:\n${out}${err}")
+endif()
+string(FIND "${out}" "race found" found_pos)
+string(FIND "${out}" "trace replay byte-identical" replay_pos)
+if(found_pos EQUAL -1 OR replay_pos EQUAL -1)
+  message(FATAL_ERROR "explore output lacks finding/replay lines:\n${out}")
+endif()
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "explorer did not write the decision trace")
+endif()
+file(READ "${trace_file}" trace_text)
+string(FIND "${trace_text}" "# scimpi explore trace v1" hdr_pos)
+if(NOT hdr_pos EQUAL 0)
+  message(FATAL_ERROR "trace file lacks the v1 header:\n${trace_text}")
+endif()
+
+# The portable repro: a fresh process, plain run path, trace from disk.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "SCIMPI_EXPLORE_REPLAY=${trace_file}"
+          "${RACE_DEMO}" --pscw
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "SCIMPI_EXPLORE_REPLAY did not reproduce the race:\n${out}${err}")
+endif()

@@ -1,0 +1,32 @@
+# ThreadSanitizer gate over the engine and checker suites. The simulator is
+# deterministic by construction, but it *is* built from real OS threads and
+# a condvar baton — exactly the code TSan understands — so the sim/ and
+# check/ suites (which exercise spawn/suspend/shutdown, the schedule
+# controller hooks, and the explorer's repeated engine teardown) run under
+# the existing `tsan` preset as part of verify. Configures and builds the
+# preset's tree on demand so the gate works from a fresh checkout.
+#
+# Expects: SOURCE_DIR.
+set(tsan_dir "${SOURCE_DIR}/build-tsan")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${tsan_dir}"
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCIMPI_SANITIZE_THREAD=ON
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan configure failed:\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${tsan_dir}" --target test_sim test_check
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan build failed:\n${out}${err}")
+endif()
+
+foreach(suite IN ITEMS test_sim test_check)
+  execute_process(COMMAND "${tsan_dir}/tests/${suite}" RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${suite} failed under ThreadSanitizer (rc=${rc})")
+  endif()
+endforeach()
